@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	vtxn "repro"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := map[string][]string{
+		"insert t 1 'alice smith' 2": {"insert", "t", "1", "'alice smith'", "2"},
+		"  spaced   out  ":           {"spaced", "out"},
+		"":                           nil,
+		"quote 'with  spaces' mixed": {"quote", "'with  spaces'", "mixed"},
+	}
+	for in, want := range cases {
+		if got := tokenize(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("tokenize(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseRow(t *testing.T) {
+	row, err := parseRow([]string{"42", "-7", "2.5", "'hi'", "true", "false", "null"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vtxn.Row{
+		vtxn.Int(42), vtxn.Int(-7), vtxn.Float(2.5),
+		vtxn.Str("hi"), vtxn.Bool(true), vtxn.Bool(false), vtxn.Null(),
+	}
+	if len(row) != len(want) {
+		t.Fatalf("row = %v", row)
+	}
+	for i := range want {
+		if row[i].Kind() != want[i].Kind() {
+			t.Errorf("col %d kind = %v, want %v", i, row[i].Kind(), want[i].Kind())
+		}
+	}
+	if _, err := parseRow([]string{"notanumber"}); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := parseRow([]string{"1.2.3"}); err == nil {
+		t.Error("bad float accepted")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	good := map[string]vtxn.Kind{
+		"int": vtxn.KindInt64, "bigint": vtxn.KindInt64,
+		"float": vtxn.KindFloat64, "double": vtxn.KindFloat64,
+		"string": vtxn.KindString, "varchar": vtxn.KindString,
+		"bool": vtxn.KindBool, "bytes": vtxn.KindBytes,
+	}
+	for in, want := range good {
+		got, err := parseKind(in)
+		if err != nil || got != want {
+			t.Errorf("parseKind(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseKind("blob"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestShellEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	db, err := vtxn.Open(dir, vtxn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	sh := &shell{db: db, out: os.Stdout}
+	script := []string{
+		"create table accts id:int branch:int balance:int pk id",
+		"create view totals on accts group branch count sum:balance",
+		"insert accts 1 7 100",
+		"insert accts 2 7 50",
+		"insert accts 3 8 25",
+		"delete accts 3",
+		"get accts 1",
+		"scan accts",
+		"view totals",
+		"describe totals",
+		"stats",
+		"ghosts",
+		"check",
+		"checkpoint",
+	}
+	for _, line := range script {
+		if err := sh.exec(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	// Error paths.
+	for _, bad := range []string{
+		"nosuchcommand",
+		"insert",                        // missing args
+		"insert accts xyz",              // bad value
+		"get accts",                     // missing pk
+		"create table bad x",            // bad column spec
+		"create view v on nope group x", // missing table
+		"view nosuchview",
+		"describe nosuchview",
+		"refresh nosuchview",
+	} {
+		if err := sh.exec(bad); err == nil {
+			t.Errorf("%q should error", bad)
+		}
+	}
+	// Help and empty lines are fine.
+	if err := sh.exec("help"); err != nil {
+		t.Fatal(err)
+	}
+}

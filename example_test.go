@@ -1,0 +1,69 @@
+package vtxn_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	vtxn "repro"
+)
+
+// Example demonstrates the core flow: an escrow-maintained aggregate
+// indexed view that is exactly consistent at every commit.
+func Example() {
+	dir, err := os.MkdirTemp("", "vtxn-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := vtxn.Open(dir, vtxn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.CreateTable("accounts", []vtxn.Column{
+		{Name: "id", Kind: vtxn.KindInt64},
+		{Name: "branch", Kind: vtxn.KindInt64},
+		{Name: "balance", Kind: vtxn.KindInt64},
+	}, []int{0}); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.CreateIndexedView(vtxn.ViewDef{
+		Name:    "branch_totals",
+		Kind:    vtxn.ViewAggregate,
+		Left:    "accounts",
+		GroupBy: []int{1},
+		Aggs: []vtxn.AggSpec{
+			{Func: vtxn.AggCountRows},
+			{Func: vtxn.AggSum, Arg: vtxn.Col(2)},
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	tx, _ := db.Begin(vtxn.ReadCommitted)
+	for i := int64(1); i <= 4; i++ {
+		if err := tx.Insert("accounts", vtxn.Row{vtxn.Int(i), vtxn.Int(i % 2), vtxn.Int(i * 10)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	tx, _ = db.Begin(vtxn.ReadCommitted)
+	rows, err := tx.ScanView("branch_totals")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("branch %d: count=%d sum=%d\n",
+			r.Key[0].AsInt(), r.Result[0].AsInt(), r.Result[1].AsInt())
+	}
+	tx.Commit()
+	// Output:
+	// branch 0: count=2 sum=60
+	// branch 1: count=2 sum=40
+}

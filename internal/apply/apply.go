@@ -1,0 +1,207 @@
+// Package apply is the single definition of what a log record *does* to the
+// stored trees. The engine's rollback path and the recovery redo/undo passes
+// both go through Apply and Invert, so runtime behavior and restart behavior
+// cannot drift apart.
+package apply
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/id"
+	"repro/internal/record"
+	"repro/internal/view"
+	"repro/internal/wal"
+)
+
+// Errors surfaced while applying records.
+var (
+	// ErrBadRecord reports a record that cannot be applied.
+	ErrBadRecord = errors.New("apply: malformed record")
+	// ErrNoMaintainer reports an escrow fold against a tree with no
+	// compiled aggregate-view maintainer.
+	ErrNoMaintainer = errors.New("apply: no maintainer for tree")
+)
+
+// TreeSource supplies trees by ID, creating them on demand (recovery may see
+// records for trees created by a DDL record earlier in the log).
+type TreeSource func(id.Tree) *btree.Tree
+
+// Registry resolves aggregate-view maintainers by view tree ID and tracks
+// the current catalog across DDL records.
+type Registry struct {
+	mu          sync.RWMutex
+	cat         *catalog.Catalog
+	maintainers map[id.Tree]*view.Maintainer
+}
+
+// NewRegistry compiles maintainers for every aggregate view in cat.
+func NewRegistry(cat *catalog.Catalog) (*Registry, error) {
+	r := &Registry{}
+	if err := r.Replace(cat); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Replace swaps in a new catalog (after DDL) and recompiles maintainers.
+func (r *Registry) Replace(cat *catalog.Catalog) error {
+	ms := make(map[id.Tree]*view.Maintainer)
+	for _, v := range cat.Views() {
+		left, err := cat.Table(v.Left)
+		if err != nil {
+			return err
+		}
+		var right *catalog.Table
+		if v.Join() {
+			if right, err = cat.Table(v.Right); err != nil {
+				return err
+			}
+		}
+		m, err := view.Compile(v, left, right)
+		if err != nil {
+			return err
+		}
+		ms[v.ID] = m
+	}
+	r.mu.Lock()
+	r.cat = cat
+	r.maintainers = ms
+	r.mu.Unlock()
+	return nil
+}
+
+// Catalog returns the current catalog.
+func (r *Registry) Catalog() *catalog.Catalog {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.cat
+}
+
+// Maintainer returns the compiled plan for a view tree, or nil.
+func (r *Registry) Maintainer(t id.Tree) *view.Maintainer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.maintainers[t]
+}
+
+// Apply performs the record's action against the trees. Begin/Commit/
+// AbortEnd records are no-ops. CLRs perform their compensating action.
+func Apply(reg *Registry, trees TreeSource, rec *wal.Record) error {
+	action := rec.Type
+	if rec.Type == wal.TCLR {
+		action = rec.Action
+	}
+	switch action {
+	case wal.TBegin, wal.TCommit, wal.TAbortEnd:
+		return nil
+	case wal.TInsert:
+		trees(rec.Tree).Put(rec.Key, rec.NewVal, rec.NewGhost)
+		return nil
+	case wal.TDelete:
+		trees(rec.Tree).Delete(rec.Key)
+		return nil
+	case wal.TUpdate:
+		trees(rec.Tree).Put(rec.Key, rec.NewVal, rec.NewGhost)
+		return nil
+	case wal.TSetGhost:
+		trees(rec.Tree).SetGhost(rec.Key, rec.NewGhost)
+		return nil
+	case wal.TEscrowFold:
+		return applyFold(reg, trees, rec)
+	case wal.TDDL:
+		cat, err := catalog.Decode(rec.NewVal)
+		if err != nil {
+			return fmt.Errorf("%w: DDL catalog: %v", ErrBadRecord, err)
+		}
+		if err := reg.Replace(cat); err != nil {
+			return err
+		}
+		// Materialize trees for every object so later records find them.
+		for _, tid := range cat.AllTreeIDs() {
+			trees(tid)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: action %v", ErrBadRecord, action)
+	}
+}
+
+func applyFold(reg *Registry, trees TreeSource, rec *wal.Record) error {
+	m := reg.Maintainer(rec.Tree)
+	if m == nil {
+		return fmt.Errorf("%w: %s", ErrNoMaintainer, rec.Tree)
+	}
+	tree := trees(rec.Tree)
+	cur, _, ok := tree.Get(rec.Key)
+	var stored record.Row
+	var err error
+	if ok {
+		if stored, err = record.DecodeRow(cur); err != nil {
+			return fmt.Errorf("%w: fold target: %v", ErrBadRecord, err)
+		}
+	} else {
+		// The ghost the fold targeted is gone (possible only during
+		// recovery replays that race ghost cleanup records); re-create it.
+		stored = m.NewGroupRow()
+	}
+	next, err := m.ApplyFold(stored, rec.Deltas)
+	if err != nil {
+		return err
+	}
+	tree.Put(rec.Key, record.EncodeRow(next), rec.NewGhost)
+	return nil
+}
+
+// Invert builds the compensation record for rec and applies it, returning
+// the CLR for logging. CLRs themselves are redo-only and never inverted.
+func Invert(reg *Registry, trees TreeSource, rec *wal.Record) (*wal.Record, error) {
+	clr := &wal.Record{
+		Type:      wal.TCLR,
+		Txn:       rec.Txn,
+		Sys:       rec.Sys,
+		Tree:      rec.Tree,
+		UndoneLSN: rec.LSN,
+	}
+	switch rec.Type {
+	case wal.TInsert:
+		clr.Action = wal.TDelete
+		clr.Key = rec.Key
+		clr.OldVal = rec.NewVal
+		clr.OldGhost = rec.NewGhost
+	case wal.TDelete:
+		clr.Action = wal.TInsert
+		clr.Key = rec.Key
+		clr.NewVal = rec.OldVal
+		clr.NewGhost = rec.OldGhost
+	case wal.TUpdate:
+		clr.Action = wal.TUpdate
+		clr.Key = rec.Key
+		clr.OldVal, clr.NewVal = rec.NewVal, rec.OldVal
+		clr.OldGhost, clr.NewGhost = rec.NewGhost, rec.OldGhost
+	case wal.TSetGhost:
+		clr.Action = wal.TSetGhost
+		clr.Key = rec.Key
+		clr.OldGhost, clr.NewGhost = rec.NewGhost, rec.OldGhost
+	case wal.TEscrowFold:
+		clr.Action = wal.TEscrowFold
+		clr.Key = rec.Key
+		clr.OldGhost, clr.NewGhost = rec.NewGhost, rec.OldGhost
+		clr.Deltas = make([]wal.ColDelta, len(rec.Deltas))
+		for i, d := range rec.Deltas {
+			clr.Deltas[i] = wal.ColDelta{Col: d.Col, IsFloat: d.IsFloat, Int: -d.Int, Float: -d.Float}
+		}
+	case wal.TDDL:
+		clr.Action = wal.TDDL
+		clr.OldVal, clr.NewVal = rec.NewVal, rec.OldVal
+	default:
+		return nil, fmt.Errorf("%w: cannot invert %v", ErrBadRecord, rec.Type)
+	}
+	if err := Apply(reg, trees, clr); err != nil {
+		return nil, err
+	}
+	return clr, nil
+}

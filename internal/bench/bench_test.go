@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny is an even smaller scale than Quick for unit tests.
+var tiny = Scale{Factor: 64}
+
+func TestAllRunnersProduceTables(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			tb, err := r.Run(tiny)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if tb.ID != r.ID {
+				t.Fatalf("table ID %q != runner ID %q", tb.ID, r.ID)
+			}
+			if len(tb.Rows) == 0 || len(tb.Header) == 0 {
+				t.Fatalf("%s produced an empty table", r.ID)
+			}
+			for i, row := range tb.Rows {
+				if len(row) != len(tb.Header) {
+					t.Fatalf("%s row %d has %d cells, header has %d", r.ID, i, len(row), len(tb.Header))
+				}
+			}
+			out := tb.String()
+			if !strings.Contains(out, r.ID) {
+				t.Fatalf("%s rendering lacks ID:\n%s", r.ID, out)
+			}
+		})
+	}
+}
+
+func TestT8RecoveryReportsConsistency(t *testing.T) {
+	tb, err := RunT8Recovery(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("recovery row inconsistent: %v", row)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, err := Find("F2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("unknown experiment found")
+	}
+}
+
+func TestScaleDiv(t *testing.T) {
+	if Full.div(100) != 100 {
+		t.Fatal("full scale must not shrink")
+	}
+	if Quick.div(100) != 12 {
+		t.Fatalf("quick div = %d", Quick.div(100))
+	}
+	if (Scale{Factor: 1000}).div(100) != 1 {
+		t.Fatal("div must not reach zero")
+	}
+}

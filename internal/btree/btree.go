@@ -1,0 +1,389 @@
+// Package btree implements an in-memory B+-tree over []byte keys with
+// ghost-bit-aware entries.
+//
+// The tree stands in for the paged B-tree indexes of the paper's storage
+// engine (see DESIGN.md §2): tables, secondary indexes, and indexed views are
+// each one Tree. Leaf entries carry a ghost bit — the pseudo-deleted record
+// marker the paper's system transactions toggle — so structural presence and
+// logical visibility are decoupled exactly as in the paper.
+//
+// Concurrency: every exported method takes the tree latch (an RWMutex), the
+// memory-resident analogue of page latching. Transactional isolation is the
+// lock manager's job, layered above.
+package btree
+
+import (
+	"bytes"
+	"sync"
+)
+
+// order is the maximum number of keys in a node. 2*order children max.
+const order = 64
+
+// minKeys is the minimum number of keys in a non-root node.
+const minKeys = order / 2
+
+// Tree is a B+-tree mapping []byte keys to []byte values with a per-entry
+// ghost bit. The zero value is not usable; call New.
+type Tree struct {
+	mu     sync.RWMutex
+	root   *node
+	height int // number of levels; 1 = root is a leaf
+	size   int // live (non-ghost) entries
+	ghosts int // ghost entries
+}
+
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte // leaf only, parallel to keys
+	ghost    []bool   // leaf only, parallel to keys
+	children []*node  // internal only, len(children) == len(keys)+1
+	next     *node    // leaf chain
+	prev     *node
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}, height: 1}
+}
+
+// Len returns the number of live (non-ghost) entries.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// GhostCount returns the number of ghost entries.
+func (t *Tree) GhostCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.ghosts
+}
+
+// Height returns the number of levels in the tree.
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
+
+// search returns the index of the first key >= k in n.keys, and whether an
+// exact match was found.
+func search(keys [][]byte, k []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && bytes.Equal(keys[lo], k)
+}
+
+func (t *Tree) findLeaf(k []byte) *node {
+	n := t.root
+	for !n.leaf {
+		i, exact := search(n.keys, k)
+		if exact {
+			i++ // separator keys equal to k route right
+		}
+		n = n.children[i]
+	}
+	return n
+}
+
+// Get returns a copy of the value stored under key. ghost reports the entry's
+// ghost bit; ok is false when no entry (live or ghost) exists.
+func (t *Tree) Get(key []byte) (val []byte, ghost, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.findLeaf(key)
+	i, exact := search(n.keys, key)
+	if !exact {
+		return nil, false, false
+	}
+	out := make([]byte, len(n.vals[i]))
+	copy(out, n.vals[i])
+	return out, n.ghost[i], true
+}
+
+// Put inserts or replaces the entry for key, setting its value and ghost bit.
+// It returns true when an entry (live or ghost) already existed. Key and
+// value bytes are copied.
+func (t *Tree) Put(key, val []byte, ghost bool) (replaced bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), val...)
+	replaced = t.insert(t.root, k, v, ghost)
+	if len(t.root.keys) > order {
+		t.splitRoot()
+	}
+	return replaced
+}
+
+// insert descends to the leaf and inserts/replaces; it splits full children
+// on the way back up. Returns whether an existing entry was replaced.
+func (t *Tree) insert(n *node, k, v []byte, ghost bool) bool {
+	if n.leaf {
+		i, exact := search(n.keys, k)
+		if exact {
+			t.adjustCounts(n.ghost[i], ghost)
+			n.vals[i] = v
+			n.ghost[i] = ghost
+			return true
+		}
+		n.keys = insertAt(n.keys, i, k)
+		n.vals = insertAt(n.vals, i, v)
+		n.ghost = insertBoolAt(n.ghost, i, ghost)
+		if ghost {
+			t.ghosts++
+		} else {
+			t.size++
+		}
+		return false
+	}
+	i, exact := search(n.keys, k)
+	if exact {
+		i++
+	}
+	replaced := t.insert(n.children[i], k, v, ghost)
+	if child := n.children[i]; len(child.keys) > order {
+		sep, right := splitNode(child)
+		n.keys = insertAt(n.keys, i, sep)
+		n.children = insertNodeAt(n.children, i+1, right)
+	}
+	return replaced
+}
+
+func (t *Tree) adjustCounts(oldGhost, newGhost bool) {
+	switch {
+	case oldGhost && !newGhost:
+		t.ghosts--
+		t.size++
+	case !oldGhost && newGhost:
+		t.size--
+		t.ghosts++
+	}
+}
+
+func (t *Tree) splitRoot() {
+	sep, right := splitNode(t.root)
+	t.root = &node{
+		keys:     [][]byte{sep},
+		children: []*node{t.root, right},
+	}
+	t.height++
+}
+
+// splitNode splits an over-full node in half, returning the separator key to
+// push up and the new right sibling.
+func splitNode(n *node) (sep []byte, right *node) {
+	mid := len(n.keys) / 2
+	right = &node{leaf: n.leaf}
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		right.ghost = append(right.ghost, n.ghost[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.ghost = n.ghost[:mid:mid]
+		right.next = n.next
+		if right.next != nil {
+			right.next.prev = right
+		}
+		right.prev = n
+		n.next = right
+		sep = right.keys[0]
+		return sep, right
+	}
+	sep = n.keys[mid]
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// SetGhost sets the ghost bit of an existing entry, returning false when the
+// key is absent.
+func (t *Tree) SetGhost(key []byte, ghost bool) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.findLeaf(key)
+	i, exact := search(n.keys, key)
+	if !exact {
+		return false
+	}
+	t.adjustCounts(n.ghost[i], ghost)
+	n.ghost[i] = ghost
+	return true
+}
+
+// Delete removes the entry (live or ghost) for key, returning whether it
+// existed.
+func (t *Tree) Delete(key []byte) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	deleted := t.remove(t.root, key)
+	if !t.root.leaf && len(t.root.keys) == 0 {
+		t.root = t.root.children[0]
+		t.height--
+	}
+	return deleted
+}
+
+func (t *Tree) remove(n *node, k []byte) bool {
+	if n.leaf {
+		i, exact := search(n.keys, k)
+		if !exact {
+			return false
+		}
+		if n.ghost[i] {
+			t.ghosts--
+		} else {
+			t.size--
+		}
+		n.keys = removeAt(n.keys, i)
+		n.vals = removeAt(n.vals, i)
+		n.ghost = removeBoolAt(n.ghost, i)
+		return true
+	}
+	i, exact := search(n.keys, k)
+	if exact {
+		i++
+	}
+	deleted := t.remove(n.children[i], k)
+	if deleted && len(n.children[i].keys) < minKeys {
+		t.rebalance(n, i)
+	}
+	return deleted
+}
+
+// rebalance fixes an underflowing child n.children[i] by borrowing from a
+// sibling or merging with one.
+func (t *Tree) rebalance(parent *node, i int) {
+	child := parent.children[i]
+	// Try borrowing from the left sibling.
+	if i > 0 {
+		left := parent.children[i-1]
+		if len(left.keys) > minKeys {
+			borrowFromLeft(parent, i, left, child)
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if i < len(parent.children)-1 {
+		right := parent.children[i+1]
+		if len(right.keys) > minKeys {
+			borrowFromRight(parent, i, child, right)
+			return
+		}
+	}
+	// Merge with a sibling.
+	if i > 0 {
+		mergeChildren(parent, i-1)
+	} else {
+		mergeChildren(parent, i)
+	}
+}
+
+func borrowFromLeft(parent *node, i int, left, child *node) {
+	if child.leaf {
+		last := len(left.keys) - 1
+		child.keys = insertAt(child.keys, 0, left.keys[last])
+		child.vals = insertAt(child.vals, 0, left.vals[last])
+		child.ghost = insertBoolAt(child.ghost, 0, left.ghost[last])
+		left.keys = left.keys[:last]
+		left.vals = left.vals[:last]
+		left.ghost = left.ghost[:last]
+		parent.keys[i-1] = child.keys[0]
+		return
+	}
+	last := len(left.keys) - 1
+	child.keys = insertAt(child.keys, 0, parent.keys[i-1])
+	parent.keys[i-1] = left.keys[last]
+	child.children = insertNodeAt(child.children, 0, left.children[last+1])
+	left.keys = left.keys[:last]
+	left.children = left.children[:last+1]
+}
+
+func borrowFromRight(parent *node, i int, child, right *node) {
+	if child.leaf {
+		child.keys = append(child.keys, right.keys[0])
+		child.vals = append(child.vals, right.vals[0])
+		child.ghost = append(child.ghost, right.ghost[0])
+		right.keys = removeAt(right.keys, 0)
+		right.vals = removeAt(right.vals, 0)
+		right.ghost = removeBoolAt(right.ghost, 0)
+		parent.keys[i] = right.keys[0]
+		return
+	}
+	child.keys = append(child.keys, parent.keys[i])
+	parent.keys[i] = right.keys[0]
+	child.children = append(child.children, right.children[0])
+	right.keys = removeAt(right.keys, 0)
+	right.children = removeNodeAt(right.children, 0)
+}
+
+// mergeChildren merges parent.children[i+1] into parent.children[i].
+func mergeChildren(parent *node, i int) {
+	left, right := parent.children[i], parent.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.ghost = append(left.ghost, right.ghost...)
+		left.next = right.next
+		if left.next != nil {
+			left.next.prev = left
+		}
+	} else {
+		left.keys = append(left.keys, parent.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	parent.keys = removeAt(parent.keys, i)
+	parent.children = removeNodeAt(parent.children, i+1)
+}
+
+func insertAt(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertBoolAt(s []bool, i int, v bool) []bool {
+	s = append(s, false)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertNodeAt(s []*node, i int, v *node) []*node {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeAt(s [][]byte, i int) [][]byte {
+	copy(s[i:], s[i+1:])
+	s[len(s)-1] = nil
+	return s[:len(s)-1]
+}
+
+func removeBoolAt(s []bool, i int) []bool {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+func removeNodeAt(s []*node, i int) []*node {
+	copy(s[i:], s[i+1:])
+	s[len(s)-1] = nil
+	return s[:len(s)-1]
+}

@@ -1,0 +1,437 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("val-%d", i)) }
+func mustCheck(t *testing.T, tr *Tree) {
+	t.Helper()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	mustCheck(t, tr)
+	if tr.Len() != 0 || tr.Height() != 1 || tr.GhostCount() != 0 {
+		t.Fatal("empty tree counters wrong")
+	}
+	if _, _, ok := tr.Get(key(1)); ok {
+		t.Fatal("Get on empty tree")
+	}
+	if tr.Delete(key(1)) {
+		t.Fatal("Delete on empty tree")
+	}
+	if _, ok := tr.First(); ok {
+		t.Fatal("First on empty tree")
+	}
+	if _, ok := tr.Last(); ok {
+		t.Fatal("Last on empty tree")
+	}
+}
+
+func TestPutGetSequential(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if tr.Put(key(i), val(i), false) {
+			t.Fatalf("Put(%d) reported replace", i)
+		}
+	}
+	mustCheck(t, tr)
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if tr.Height() < 2 {
+		t.Fatal("tree did not split")
+	}
+	for i := 0; i < n; i++ {
+		v, ghost, ok := tr.Get(key(i))
+		if !ok || ghost || !bytes.Equal(v, val(i)) {
+			t.Fatalf("Get(%d) = %q,%v,%v", i, v, ghost, ok)
+		}
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	tr := New()
+	tr.Put(key(1), val(1), false)
+	if !tr.Put(key(1), val(2), false) {
+		t.Fatal("replace not reported")
+	}
+	v, _, _ := tr.Get(key(1))
+	if !bytes.Equal(v, val(2)) {
+		t.Fatal("value not replaced")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("replace changed size")
+	}
+}
+
+func TestGetCopies(t *testing.T) {
+	tr := New()
+	tr.Put(key(1), []byte{1, 2, 3}, false)
+	v, _, _ := tr.Get(key(1))
+	v[0] = 99
+	v2, _, _ := tr.Get(key(1))
+	if v2[0] != 1 {
+		t.Fatal("Get exposed internal storage")
+	}
+}
+
+func TestPutCopiesArgs(t *testing.T) {
+	tr := New()
+	k := []byte("kk")
+	v := []byte("vv")
+	tr.Put(k, v, false)
+	k[0] = 'x'
+	v[0] = 'x'
+	got, _, ok := tr.Get([]byte("kk"))
+	if !ok || !bytes.Equal(got, []byte("vv")) {
+		t.Fatal("Put aliased caller slices")
+	}
+}
+
+func TestDeleteRandomized(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(7))
+	const n = 3000
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		tr.Put(key(i), val(i), false)
+	}
+	mustCheck(t, tr)
+	perm = rng.Perm(n)
+	for cnt, i := range perm {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("Delete(%d) missing", i)
+		}
+		if cnt%250 == 0 {
+			mustCheck(t, tr)
+		}
+	}
+	mustCheck(t, tr)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("Height = %d after deleting all", tr.Height())
+	}
+}
+
+func TestGhosts(t *testing.T) {
+	tr := New()
+	tr.Put(key(1), val(1), true) // insert as ghost
+	if tr.Len() != 0 || tr.GhostCount() != 1 {
+		t.Fatalf("counters after ghost insert: %d live %d ghost", tr.Len(), tr.GhostCount())
+	}
+	v, ghost, ok := tr.Get(key(1))
+	if !ok || !ghost || !bytes.Equal(v, val(1)) {
+		t.Fatal("ghost entry not readable via Get")
+	}
+	// Ghosts are invisible to scans by default.
+	if got := tr.Items(nil, nil, false); len(got) != 0 {
+		t.Fatalf("scan saw %d ghosts", len(got))
+	}
+	if got := tr.Items(nil, nil, true); len(got) != 1 || !got[0].Ghost {
+		t.Fatal("includeGhosts scan should see ghost")
+	}
+	// Resurrect.
+	if !tr.SetGhost(key(1), false) {
+		t.Fatal("SetGhost failed")
+	}
+	if tr.Len() != 1 || tr.GhostCount() != 0 {
+		t.Fatal("counters after resurrect")
+	}
+	// Re-ghost and physically delete.
+	tr.SetGhost(key(1), true)
+	if !tr.Delete(key(1)) {
+		t.Fatal("Delete of ghost failed")
+	}
+	if tr.GhostCount() != 0 {
+		t.Fatal("ghost counter after delete")
+	}
+	if tr.SetGhost(key(9), true) {
+		t.Fatal("SetGhost of absent key should fail")
+	}
+	mustCheck(t, tr)
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), val(i), i%10 == 0) // every 10th is a ghost
+	}
+	var got []string
+	tr.Scan(key(15), key(35), false, func(it Item) bool {
+		got = append(got, string(it.Key))
+		return true
+	})
+	var want []string
+	for i := 15; i < 35; i++ {
+		if i%10 == 0 {
+			continue
+		}
+		want = append(want, string(key(i)))
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Scan got %v want %v", got, want)
+	}
+	// Early stop.
+	count := 0
+	tr.Scan(nil, nil, true, func(Item) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestScanReverse(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Put(key(i), val(i), false)
+	}
+	var got []string
+	tr.ScanReverse(key(10), key(14), false, func(it Item) bool {
+		got = append(got, string(it.Key))
+		return true
+	})
+	want := []string{string(key(13)), string(key(12)), string(key(11)), string(key(10))}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ScanReverse got %v want %v", got, want)
+	}
+	// Full reverse equals sorted descending.
+	var all []string
+	tr.ScanReverse(nil, nil, false, func(it Item) bool {
+		all = append(all, string(it.Key))
+		return true
+	})
+	if len(all) != 200 || !sort.SliceIsSorted(all, func(i, j int) bool { return all[i] > all[j] }) {
+		t.Fatal("full reverse scan out of order")
+	}
+}
+
+func TestFirstLast(t *testing.T) {
+	tr := New()
+	for i := 10; i < 20; i++ {
+		tr.Put(key(i), val(i), false)
+	}
+	tr.Put(key(5), val(5), true)   // ghost below
+	tr.Put(key(25), val(25), true) // ghost above
+	first, ok := tr.First()
+	if !ok || string(first.Key) != string(key(10)) {
+		t.Fatalf("First = %q", first.Key)
+	}
+	last, ok := tr.Last()
+	if !ok || string(last.Key) != string(key(19)) {
+		t.Fatalf("Last = %q", last.Key)
+	}
+}
+
+func TestSuccessorAndCeiling(t *testing.T) {
+	tr := New()
+	for _, i := range []int{10, 20, 30} {
+		tr.Put(key(i), val(i), i == 20) // 20 is a ghost: still a physical key
+	}
+	cases := []struct {
+		from     int
+		wantSucc int // -1 = none
+		wantCeil int
+	}{
+		{5, 10, 10},
+		{10, 20, 10},
+		{15, 20, 20},
+		{20, 30, 20},
+		{25, 30, 30},
+		{30, -1, 30},
+		{35, -1, -1},
+	}
+	for _, c := range cases {
+		succ, ok := tr.Successor(key(c.from))
+		if c.wantSucc == -1 {
+			if ok {
+				t.Errorf("Successor(%d) = %q, want none", c.from, succ)
+			}
+		} else if !ok || string(succ) != string(key(c.wantSucc)) {
+			t.Errorf("Successor(%d) = %q,%v want %d", c.from, succ, ok, c.wantSucc)
+		}
+		ceil, ok := tr.Ceiling(key(c.from))
+		if c.wantCeil == -1 {
+			if ok {
+				t.Errorf("Ceiling(%d) = %q, want none", c.from, ceil)
+			}
+		} else if !ok || string(ceil) != string(key(c.wantCeil)) {
+			t.Errorf("Ceiling(%d) = %q,%v want %d", c.from, ceil, ok, c.wantCeil)
+		}
+	}
+	// Empty tree: no successor.
+	empty := New()
+	if _, ok := empty.Successor(key(1)); ok {
+		t.Error("Successor on empty tree")
+	}
+	if _, ok := empty.Ceiling(key(1)); ok {
+		t.Error("Ceiling on empty tree")
+	}
+	// Across leaf boundaries in a large tree.
+	big := New()
+	for i := 0; i < 2000; i += 2 {
+		big.Put(key(i), val(i), false)
+	}
+	for i := 1; i < 1997; i += 222 { // odd probes between the even keys
+		succ, ok := big.Successor(key(i))
+		if !ok || string(succ) != string(key(i+1)) {
+			t.Fatalf("big Successor(%d) = %q,%v", i, succ, ok)
+		}
+	}
+}
+
+type refEntry struct {
+	val   string
+	ghost bool
+}
+
+// TestRandomOpsAgainstReference drives the tree with random operations and
+// compares against a reference map at every step boundary.
+func TestRandomOpsAgainstReference(t *testing.T) {
+	tr := New()
+	ref := map[string]refEntry{}
+	rng := rand.New(rand.NewSource(42))
+	const keySpace = 800
+	for step := 0; step < 30000; step++ {
+		k := key(rng.Intn(keySpace))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // put live
+			v := val(rng.Intn(1 << 20))
+			tr.Put(k, v, false)
+			ref[string(k)] = refEntry{val: string(v)}
+		case 4: // put ghost
+			v := val(rng.Intn(1 << 20))
+			tr.Put(k, v, true)
+			ref[string(k)] = refEntry{val: string(v), ghost: true}
+		case 5, 6: // delete
+			_, exists := ref[string(k)]
+			if tr.Delete(k) != exists {
+				t.Fatalf("step %d: Delete mismatch", step)
+			}
+			delete(ref, string(k))
+		case 7: // toggle ghost
+			e, exists := ref[string(k)]
+			if tr.SetGhost(k, !e.ghost) != exists {
+				t.Fatalf("step %d: SetGhost mismatch", step)
+			}
+			if exists {
+				e.ghost = !e.ghost
+				ref[string(k)] = e
+			}
+		default: // get
+			v, ghost, ok := tr.Get(k)
+			e, exists := ref[string(k)]
+			if ok != exists {
+				t.Fatalf("step %d: Get presence mismatch", step)
+			}
+			if ok && (string(v) != e.val || ghost != e.ghost) {
+				t.Fatalf("step %d: Get content mismatch", step)
+			}
+		}
+		if step%2500 == 0 {
+			mustCheck(t, tr)
+			compareToRef(t, tr, ref)
+		}
+	}
+	mustCheck(t, tr)
+	compareToRef(t, tr, ref)
+}
+
+func compareToRef(t *testing.T, tr *Tree, ref map[string]refEntry) {
+	t.Helper()
+	items := tr.Items(nil, nil, true)
+	if len(items) != len(ref) {
+		t.Fatalf("tree has %d entries, ref has %d", len(items), len(ref))
+	}
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		it := items[i]
+		e := ref[k]
+		if string(it.Key) != k || string(it.Val) != e.val || it.Ghost != e.ghost {
+			t.Fatalf("entry %d: tree (%q,%q,%v) ref (%q,%q,%v)",
+				i, it.Key, it.Val, it.Ghost, k, e.val, e.ghost)
+		}
+	}
+}
+
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Put(key(i), val(i), false)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1000; i < 3000; i++ {
+			tr.Put(key(i), val(i), false)
+			if i%3 == 0 {
+				tr.Delete(key(i - 1000))
+			}
+		}
+	}()
+	for j := 0; j < 50; j++ {
+		n := 0
+		tr.Scan(nil, nil, false, func(Item) bool { n++; return true })
+		if n == 0 {
+			t.Fatal("scan saw empty tree")
+		}
+	}
+	<-done
+	mustCheck(t, tr)
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Put(key(i), val(i), false)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), val(i), false)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % n))
+	}
+}
+
+func BenchmarkScan100(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), val(i), false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := key((i * 97) % (n - 100))
+		cnt := 0
+		tr.Scan(start, nil, false, func(Item) bool {
+			cnt++
+			return cnt < 100
+		})
+	}
+}

@@ -1,0 +1,158 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// opKind enumerates the operations of a random program against the tree.
+type opKind uint8
+
+const (
+	opPut opKind = iota
+	opPutGhost
+	opDelete
+	opToggleGhost
+)
+
+type treeOp struct {
+	kind opKind
+	key  byte // small key space forces collisions, splits, and merges
+	val  byte
+}
+
+// TestQuickProgramEquivalence: any random program of operations leaves the
+// tree exactly equal to a reference map, with invariants intact and scans
+// sorted — checked via testing/quick over generated programs.
+func TestQuickProgramEquivalence(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			n := 50 + rng.Intn(400)
+			prog := make([]treeOp, n)
+			for i := range prog {
+				prog[i] = treeOp{
+					kind: opKind(rng.Intn(4)),
+					key:  byte(rng.Intn(48)),
+					val:  byte(rng.Intn(256)),
+				}
+			}
+			args[0] = reflect.ValueOf(prog)
+		},
+	}
+	f := func(prog []treeOp) bool {
+		tr := New()
+		type entry struct {
+			val   byte
+			ghost bool
+		}
+		ref := map[byte]entry{}
+		for _, op := range prog {
+			k := []byte{op.key}
+			switch op.kind {
+			case opPut:
+				tr.Put(k, []byte{op.val}, false)
+				ref[op.key] = entry{val: op.val}
+			case opPutGhost:
+				tr.Put(k, []byte{op.val}, true)
+				ref[op.key] = entry{val: op.val, ghost: true}
+			case opDelete:
+				_, exists := ref[op.key]
+				if tr.Delete(k) != exists {
+					return false
+				}
+				delete(ref, op.key)
+			case opToggleGhost:
+				e, exists := ref[op.key]
+				if tr.SetGhost(k, !e.ghost) != exists {
+					return false
+				}
+				if exists {
+					e.ghost = !e.ghost
+					ref[op.key] = e
+				}
+			}
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		// Full equality with the reference, in sorted order.
+		keys := make([]int, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, int(k))
+		}
+		sort.Ints(keys)
+		items := tr.Items(nil, nil, true)
+		if len(items) != len(keys) {
+			return false
+		}
+		live, ghosts := 0, 0
+		for i, k := range keys {
+			e := ref[byte(k)]
+			if !bytes.Equal(items[i].Key, []byte{byte(k)}) ||
+				!bytes.Equal(items[i].Val, []byte{e.val}) ||
+				items[i].Ghost != e.ghost {
+				return false
+			}
+			if e.ghost {
+				ghosts++
+			} else {
+				live++
+			}
+		}
+		return tr.Len() == live && tr.GhostCount() == ghosts
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScanBounds: for arbitrary bounds, Scan returns exactly the sorted
+// keys in [lo, hi), forward and reverse.
+func TestQuickScanBounds(t *testing.T) {
+	tr := New()
+	present := map[byte]bool{}
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 200; i++ {
+		k := byte(rng.Intn(200))
+		tr.Put([]byte{k}, []byte{k}, false)
+		present[k] = true
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(lo, hi byte) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var want []byte
+		for k := range present {
+			if k >= lo && k < hi {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var fwd []byte
+		tr.Scan([]byte{lo}, []byte{hi}, false, func(it Item) bool {
+			fwd = append(fwd, it.Key[0])
+			return true
+		})
+		if !bytes.Equal(fwd, want) {
+			return false
+		}
+		var rev []byte
+		tr.ScanReverse([]byte{lo}, []byte{hi}, false, func(it Item) bool {
+			rev = append(rev, it.Key[0])
+			return true
+		})
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return bytes.Equal(rev, want)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

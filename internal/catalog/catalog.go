@@ -1,0 +1,434 @@
+// Package catalog holds the schema: tables, secondary indexes, and indexed
+// view definitions. Definitions validate at creation time and serialize into
+// the snapshot so the schema survives restarts.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/id"
+	"repro/internal/record"
+)
+
+// Column is one typed column of a table.
+type Column struct {
+	Name string
+	Kind record.Kind
+}
+
+// Table describes a base table, stored as one clustered B-tree keyed by PK.
+type Table struct {
+	Name string
+	ID   id.Tree
+	Cols []Column
+	PK   []int // column indexes forming the primary key
+}
+
+// ColIndex returns the index of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Index describes a secondary index on a table: key = (Cols..., PK...), so
+// non-unique indexes disambiguate by primary key.
+type Index struct {
+	Name   string
+	ID     id.Tree
+	Table  string
+	Cols   []int
+	Unique bool
+}
+
+// ViewKind distinguishes projection views from aggregate views.
+type ViewKind uint8
+
+const (
+	// ViewProjection materializes filtered, projected source rows, keyed by
+	// the source primary key(s).
+	ViewProjection ViewKind = iota + 1
+	// ViewAggregate materializes GROUP BY aggregates, keyed by the group.
+	ViewAggregate
+)
+
+// Strategy selects how a view is maintained — the experimental axis of the
+// paper's evaluation.
+type Strategy uint8
+
+const (
+	// StrategyEscrow maintains aggregates with E locks and commit-time
+	// folds: the paper's contribution. Non-escrowable aggregates (MIN/MAX)
+	// fall back to X locks per row.
+	StrategyEscrow Strategy = iota + 1
+	// StrategyXLock maintains every view row under transaction-duration X
+	// locks: the conventional baseline.
+	StrategyXLock
+	// StrategyDeferred does not maintain the view inside user transactions;
+	// it is recomputed on demand (stale between refreshes). Baseline for F9.
+	StrategyDeferred
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyEscrow:
+		return "escrow"
+	case StrategyXLock:
+		return "xlock"
+	case StrategyDeferred:
+		return "deferred"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// View describes an indexed view.
+//
+// The source is either one table (Left) or the equijoin of Left and Right on
+// Left.col[JoinLeftCol] = Right.col[JoinRightCol]. Expressions and column
+// indexes address the source row: the left row's columns followed — for
+// joins — by the right row's columns.
+type View struct {
+	Name  string
+	ID    id.Tree
+	Kind  ViewKind
+	Left  string
+	Right string // "" when the source is a single table
+	// Join columns (source-row indexes into the left/right portions).
+	JoinLeftCol  int
+	JoinRightCol int
+	Where        expr.Expr
+	// ViewProjection: output column indexes into the source row.
+	Project []int
+	// ViewAggregate: grouping columns (source-row indexes) and aggregates.
+	GroupBy []int
+	Aggs    []expr.AggSpec
+	// Strategy selects the maintenance protocol.
+	Strategy Strategy
+}
+
+// Join reports whether the view's source is a two-table join.
+func (v *View) Join() bool { return v.Right != "" }
+
+// Catalog is the mutable, thread-safe schema registry. It also allocates
+// tree IDs.
+type Catalog struct {
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	indexes  map[string]*Index
+	views    map[string]*View
+	nextTree id.Tree
+}
+
+// Errors returned by catalog operations.
+var (
+	// ErrExists reports a duplicate object name.
+	ErrExists = errors.New("catalog: object already exists")
+	// ErrNotFound reports a missing object.
+	ErrNotFound = errors.New("catalog: object not found")
+	// ErrInvalid reports a definition that fails validation.
+	ErrInvalid = errors.New("catalog: invalid definition")
+)
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:   make(map[string]*Table),
+		indexes:  make(map[string]*Index),
+		views:    make(map[string]*View),
+		nextTree: 1,
+	}
+}
+
+func (c *Catalog) nameTaken(name string) bool {
+	if _, ok := c.tables[name]; ok {
+		return true
+	}
+	if _, ok := c.indexes[name]; ok {
+		return true
+	}
+	_, ok := c.views[name]
+	return ok
+}
+
+// AddTable validates and registers a table, assigning its tree ID.
+func (c *Catalog) AddTable(name string, cols []Column, pk []int) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nameTaken(name) {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if name == "" || len(cols) == 0 {
+		return nil, fmt.Errorf("%w: table needs a name and columns", ErrInvalid)
+	}
+	seen := map[string]bool{}
+	for _, col := range cols {
+		if col.Name == "" || seen[col.Name] {
+			return nil, fmt.Errorf("%w: bad column name %q", ErrInvalid, col.Name)
+		}
+		seen[col.Name] = true
+	}
+	if len(pk) == 0 {
+		return nil, fmt.Errorf("%w: table %q needs a primary key", ErrInvalid, name)
+	}
+	pkSeen := map[int]bool{}
+	for _, i := range pk {
+		if i < 0 || i >= len(cols) || pkSeen[i] {
+			return nil, fmt.Errorf("%w: bad PK column %d", ErrInvalid, i)
+		}
+		pkSeen[i] = true
+	}
+	t := &Table{
+		Name: name,
+		ID:   c.nextTree,
+		Cols: append([]Column(nil), cols...),
+		PK:   append([]int(nil), pk...),
+	}
+	c.nextTree++
+	c.tables[name] = t
+	return t, nil
+}
+
+// AddIndex validates and registers a secondary index.
+func (c *Catalog) AddIndex(name, table string, cols []int, unique bool) (*Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nameTaken(name) {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	t, ok := c.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: table %q", ErrNotFound, table)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("%w: index %q needs columns", ErrInvalid, name)
+	}
+	for _, i := range cols {
+		if i < 0 || i >= len(t.Cols) {
+			return nil, fmt.Errorf("%w: bad index column %d", ErrInvalid, i)
+		}
+	}
+	ix := &Index{
+		Name:   name,
+		ID:     c.nextTree,
+		Table:  table,
+		Cols:   append([]int(nil), cols...),
+		Unique: unique,
+	}
+	c.nextTree++
+	c.indexes[name] = ix
+	return ix, nil
+}
+
+// AddView validates and registers an indexed view definition.
+func (c *Catalog) AddView(v View) (*View, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nameTaken(v.Name) {
+		return nil, fmt.Errorf("%w: %q", ErrExists, v.Name)
+	}
+	left, ok := c.tables[v.Left]
+	if !ok {
+		return nil, fmt.Errorf("%w: base table %q", ErrNotFound, v.Left)
+	}
+	srcWidth := len(left.Cols)
+	if v.Right != "" {
+		right, ok := c.tables[v.Right]
+		if !ok {
+			return nil, fmt.Errorf("%w: join table %q", ErrNotFound, v.Right)
+		}
+		if v.JoinLeftCol < 0 || v.JoinLeftCol >= len(left.Cols) {
+			return nil, fmt.Errorf("%w: join left column %d", ErrInvalid, v.JoinLeftCol)
+		}
+		rightIdx := v.JoinRightCol - len(left.Cols)
+		if rightIdx < 0 || rightIdx >= len(right.Cols) {
+			return nil, fmt.Errorf("%w: join right column %d (must index the right portion of the source row)", ErrInvalid, v.JoinRightCol)
+		}
+		if left.Cols[v.JoinLeftCol].Kind != right.Cols[rightIdx].Kind {
+			return nil, fmt.Errorf("%w: join column kinds differ", ErrInvalid)
+		}
+		srcWidth += len(right.Cols)
+	}
+	checkCols := func(what string, idxs []int) error {
+		for _, i := range idxs {
+			if i < 0 || i >= srcWidth {
+				return fmt.Errorf("%w: %s column %d of %d", ErrInvalid, what, i, srcWidth)
+			}
+		}
+		return nil
+	}
+	switch v.Kind {
+	case ViewProjection:
+		if len(v.Project) == 0 {
+			return nil, fmt.Errorf("%w: projection view needs output columns", ErrInvalid)
+		}
+		if err := checkCols("project", v.Project); err != nil {
+			return nil, err
+		}
+		if len(v.GroupBy) != 0 || len(v.Aggs) != 0 {
+			return nil, fmt.Errorf("%w: projection view cannot aggregate", ErrInvalid)
+		}
+	case ViewAggregate:
+		if len(v.Aggs) == 0 {
+			return nil, fmt.Errorf("%w: aggregate view needs aggregates", ErrInvalid)
+		}
+		if err := checkCols("group-by", v.GroupBy); err != nil {
+			return nil, err
+		}
+		for _, a := range v.Aggs {
+			if a.Func == expr.AggCountRows {
+				continue
+			}
+			if a.Arg == nil {
+				return nil, fmt.Errorf("%w: %s needs an argument", ErrInvalid, a.Func)
+			}
+		}
+		if len(v.Project) != 0 {
+			return nil, fmt.Errorf("%w: aggregate view cannot project", ErrInvalid)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown view kind %d", ErrInvalid, v.Kind)
+	}
+	if v.Strategy == 0 {
+		v.Strategy = StrategyEscrow
+	}
+	nv := v // copy
+	nv.ID = c.nextTree
+	c.nextTree++
+	c.views[v.Name] = &nv
+	return &nv, nil
+}
+
+// DropView removes a view definition.
+func (c *Catalog) DropView(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.views[name]; !ok {
+		return fmt.Errorf("%w: view %q", ErrNotFound, name)
+	}
+	delete(c.views, name)
+	return nil
+}
+
+// Table returns the named table.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: table %q", ErrNotFound, name)
+	}
+	return t, nil
+}
+
+// View returns the named view.
+func (c *Catalog) View(name string) (*View, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: view %q", ErrNotFound, name)
+	}
+	return v, nil
+}
+
+// Index returns the named index.
+func (c *Catalog) Index(name string) (*Index, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ix, ok := c.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: index %q", ErrNotFound, name)
+	}
+	return ix, nil
+}
+
+// Tables returns every table, sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Views returns every view, sorted by name.
+func (c *Catalog) Views() []*View {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*View, 0, len(c.views))
+	for _, v := range c.views {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Indexes returns every secondary index, sorted by name.
+func (c *Catalog) Indexes() []*Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Index, 0, len(c.indexes))
+	for _, ix := range c.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ViewsOn returns every view whose source includes the table, sorted by name.
+func (c *Catalog) ViewsOn(table string) []*View {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*View
+	for _, v := range c.views {
+		if v.Left == table || v.Right == table {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// IndexesOn returns every secondary index on the table, sorted by name.
+func (c *Catalog) IndexesOn(table string) []*Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*Index
+	for _, ix := range c.indexes {
+		if ix.Table == table {
+			out = append(out, ix)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AllTreeIDs returns every allocated tree ID (tables, indexes, views).
+func (c *Catalog) AllTreeIDs() []id.Tree {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []id.Tree
+	for _, t := range c.tables {
+		out = append(out, t.ID)
+	}
+	for _, ix := range c.indexes {
+		out = append(out, ix.ID)
+	}
+	for _, v := range c.views {
+		out = append(out, v.ID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,248 @@
+package catalog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/id"
+	"repro/internal/record"
+)
+
+// ErrCorrupt reports an undecodable catalog blob.
+var ErrCorrupt = errors.New("catalog: corrupt encoding")
+
+const encodingVersion = 1
+
+// Encode serializes the whole catalog for the snapshot.
+func (c *Catalog) Encode() []byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var b []byte
+	b = append(b, encodingVersion)
+	b = binary.AppendUvarint(b, uint64(c.nextTree))
+
+	tables := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	sortByName(tables, func(t *Table) string { return t.Name })
+	b = binary.AppendUvarint(b, uint64(len(tables)))
+	for _, t := range tables {
+		b = putString(b, t.Name)
+		b = binary.AppendUvarint(b, uint64(t.ID))
+		b = binary.AppendUvarint(b, uint64(len(t.Cols)))
+		for _, col := range t.Cols {
+			b = putString(b, col.Name)
+			b = append(b, byte(col.Kind))
+		}
+		b = putInts(b, t.PK)
+	}
+
+	indexes := make([]*Index, 0, len(c.indexes))
+	for _, ix := range c.indexes {
+		indexes = append(indexes, ix)
+	}
+	sortByName(indexes, func(ix *Index) string { return ix.Name })
+	b = binary.AppendUvarint(b, uint64(len(indexes)))
+	for _, ix := range indexes {
+		b = putString(b, ix.Name)
+		b = binary.AppendUvarint(b, uint64(ix.ID))
+		b = putString(b, ix.Table)
+		b = putInts(b, ix.Cols)
+		b = putBool(b, ix.Unique)
+	}
+
+	views := make([]*View, 0, len(c.views))
+	for _, v := range c.views {
+		views = append(views, v)
+	}
+	sortByName(views, func(v *View) string { return v.Name })
+	b = binary.AppendUvarint(b, uint64(len(views)))
+	for _, v := range views {
+		b = putString(b, v.Name)
+		b = binary.AppendUvarint(b, uint64(v.ID))
+		b = append(b, byte(v.Kind), byte(v.Strategy))
+		b = putString(b, v.Left)
+		b = putString(b, v.Right)
+		b = binary.AppendUvarint(b, uint64(v.JoinLeftCol))
+		b = binary.AppendUvarint(b, uint64(v.JoinRightCol))
+		b = putBytes(b, expr.Marshal(v.Where))
+		b = putInts(b, v.Project)
+		b = putInts(b, v.GroupBy)
+		b = binary.AppendUvarint(b, uint64(len(v.Aggs)))
+		for _, a := range v.Aggs {
+			b = append(b, byte(a.Func))
+			b = putBytes(b, expr.Marshal(a.Arg))
+		}
+	}
+	return b
+}
+
+// Decode rebuilds a catalog from an Encode blob.
+func Decode(b []byte) (*Catalog, error) {
+	d := &decoder{buf: b}
+	if v := d.byte_(); v != encodingVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, v)
+	}
+	c := New()
+	c.nextTree = id.Tree(d.uvarint())
+
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		t := &Table{Name: d.string_(), ID: id.Tree(d.uvarint())}
+		for nc := d.uvarint(); nc > 0 && d.err == nil; nc-- {
+			t.Cols = append(t.Cols, Column{Name: d.string_(), Kind: record.Kind(d.byte_())})
+		}
+		t.PK = d.ints()
+		c.tables[t.Name] = t
+	}
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		ix := &Index{Name: d.string_(), ID: id.Tree(d.uvarint()), Table: d.string_()}
+		ix.Cols = d.ints()
+		ix.Unique = d.bool_()
+		c.indexes[ix.Name] = ix
+	}
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		v := &View{Name: d.string_(), ID: id.Tree(d.uvarint())}
+		v.Kind = ViewKind(d.byte_())
+		v.Strategy = Strategy(d.byte_())
+		v.Left = d.string_()
+		v.Right = d.string_()
+		v.JoinLeftCol = int(d.uvarint())
+		v.JoinRightCol = int(d.uvarint())
+		where, err := expr.Unmarshal(d.bytes_())
+		if err != nil {
+			return nil, fmt.Errorf("%w: view %q where: %v", ErrCorrupt, v.Name, err)
+		}
+		v.Where = where
+		v.Project = d.ints()
+		v.GroupBy = d.ints()
+		for na := d.uvarint(); na > 0 && d.err == nil; na-- {
+			a := expr.AggSpec{Func: expr.AggFunc(d.byte_())}
+			arg, err := expr.Unmarshal(d.bytes_())
+			if err != nil {
+				return nil, fmt.Errorf("%w: view %q agg: %v", ErrCorrupt, v.Name, err)
+			}
+			a.Arg = arg
+			v.Aggs = append(v.Aggs, a)
+		}
+		c.views[v.Name] = v
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf))
+	}
+	return c, nil
+}
+
+func sortByName[T any](s []T, name func(T) string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && name(s[j]) < name(s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func putString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func putBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func putBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func putInts(b []byte, xs []int) []byte {
+	b = binary.AppendUvarint(b, uint64(len(xs)))
+	for _, x := range xs {
+		b = binary.AppendVarint(b, int64(x))
+	}
+	return b
+}
+
+// decoder is a cursor with sticky errors.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+
+func (d *decoder) byte_() byte {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *decoder) bool_() bool { return d.byte_() != 0 }
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) string_() string { return string(d.bytes_()) }
+
+func (d *decoder) bytes_() []byte {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.buf)) {
+		d.fail()
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) ints() []int {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.buf))+1 {
+		d.fail()
+		return nil
+	}
+	var out []int
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out = append(out, int(d.varint()))
+	}
+	return out
+}

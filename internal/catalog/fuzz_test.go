@@ -1,0 +1,48 @@
+package catalog
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/record"
+)
+
+// FuzzDecode: arbitrary bytes must never panic the catalog decoder, and any
+// catalog that decodes must re-encode to a decodable, equivalent form.
+func FuzzDecode(f *testing.F) {
+	c := New()
+	c.AddTable("t", []Column{
+		{Name: "id", Kind: record.KindInt64},
+		{Name: "g", Kind: record.KindInt64},
+		{Name: "v", Kind: record.KindFloat64},
+	}, []int{0})
+	c.AddIndex("t_g", "t", []int{1}, false)
+	c.AddView(View{
+		Name: "agg", Kind: ViewAggregate, Left: "t",
+		Where:   expr.Gt(expr.Col(2), expr.ConstFloat(0)),
+		GroupBy: []int{1},
+		Aggs: []expr.AggSpec{
+			{Func: expr.AggCountRows},
+			{Func: expr.AggSum, Arg: expr.Col(2)},
+		},
+	})
+	f.Add(c.Encode())
+	f.Add(New().Encode())
+	f.Add([]byte{})
+	f.Add([]byte{encodingVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cat, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := cat.Encode()
+		cat2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(enc, cat2.Encode()) {
+			t.Fatal("encode not stable across a round trip")
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/record"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// TestCrashDuringCheckpointInstall simulates a crash after the new
+// generation's files were written but before the MANIFEST switched: the
+// database must recover from the OLD generation, ignoring the orphan files.
+func TestCrashDuringCheckpointInstall(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(1, 7, 100))
+	db.Crash(true)
+
+	// Fabricate a half-finished checkpoint: a snapshot and log for gen+1
+	// exist (the snapshot is even valid), but MANIFEST still names gen.
+	d := wal.Dir{Path: dir}
+	gen, _, err := d.Current()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.SnapPath(gen+1), []byte("garbage from a dying checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.LogPath(gen+1), []byte{}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery failed with orphan next-gen files: %v", err)
+	}
+	defer db2.Close()
+	if db2.RecoverySummary().Gen != gen {
+		t.Fatalf("recovered gen %d, want %d", db2.RecoverySummary().Gen, gen)
+	}
+	tx := begin(t, db2, txn.ReadCommitted)
+	if _, ok, _ := tx.Get("accounts", record.Row{record.Int(1)}); !ok {
+		t.Fatal("data lost to a half-finished checkpoint")
+	}
+	mustCommit(t, tx)
+	checkConsistent(t, db2)
+
+	// A real checkpoint now must supersede the orphan files cleanly.
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	checkConsistent(t, db2)
+}
+
+// TestCheckpointPreservesGhosts: ghosts present at checkpoint time survive
+// the snapshot round trip (they are physical entries).
+func TestCheckpointPreservesGhosts(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(1, 7, 100))
+	// Empty the group: the view row becomes a ghost (no cleaner running).
+	tx := begin(t, db, txn.ReadCommitted)
+	if err := tx.Delete("accounts", record.Row{record.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	vtree := db.tree(mustView(t, db, "branch_totals").ID)
+	if vtree.GhostCount() != 1 {
+		t.Fatalf("ghosts before checkpoint = %d", vtree.GhostCount())
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash(true)
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	vtree2 := db2.tree(mustView(t, db2, "branch_totals").ID)
+	if vtree2.GhostCount() != 1 {
+		t.Fatalf("ghosts after recovery = %d", vtree2.GhostCount())
+	}
+	// The recovered ghost is still resurrectable.
+	insertAccounts(t, db2, acctRow(2, 7, 55))
+	tx = begin(t, db2, txn.ReadCommitted)
+	res, ok, err := tx.GetViewRow("branch_totals", record.Row{record.Int(7)})
+	if err != nil || !ok || res[1].AsInt() != 55 {
+		t.Fatalf("resurrected group = %v %v %v", res, ok, err)
+	}
+	mustCommit(t, tx)
+	checkConsistent(t, db2)
+	// And still erasable.
+	tx = begin(t, db2, txn.ReadCommitted)
+	tx.Delete("accounts", record.Row{record.Int(2)})
+	mustCommit(t, tx)
+	if n := db2.CleanGhosts(); n != 1 {
+		t.Fatalf("CleanGhosts = %d", n)
+	}
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/record"
+	"repro/internal/txn"
+)
+
+// TestConcurrentEscrowWriters is the headline behavior: many writers
+// updating the same aggregate group commit concurrently and the final SUM is
+// exact.
+func TestConcurrentEscrowWriters(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(1, 7, 0))
+
+	const writers = 16
+	const perWriter = 50
+	var nextID atomic.Int64
+	nextID.Store(100)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tx, err := db.Begin(txn.ReadCommitted)
+				if err != nil {
+					errs <- err
+					return
+				}
+				id := nextID.Add(1)
+				if err := tx.Insert("accounts", acctRow(id, 7, 10)); err != nil {
+					tx.Rollback()
+					errs <- err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	count, sum, ok := branchTotal(t, db, 7)
+	want := int64(writers*perWriter + 1)
+	if !ok || count != want || sum != int64(writers*perWriter*10) {
+		t.Fatalf("branch 7 = %d/%d, want %d/%d", count, sum, want, writers*perWriter*10)
+	}
+	checkConsistent(t, db)
+}
+
+// TestConcurrentMixedCommitAbort interleaves committing and aborting
+// writers; only committed work may appear.
+func TestConcurrentMixedCommitAbort(t *testing.T) {
+	db := openTestDB(t, Options{GhostCleanInterval: 5 * time.Millisecond})
+	setupBanking(t, db, catalog.StrategyEscrow)
+
+	const writers = 12
+	const perWriter = 40
+	var committedSum atomic.Int64
+	var committedCount atomic.Int64
+	var nextID atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				tx, err := db.Begin(txn.ReadCommitted)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				id := nextID.Add(1)
+				amount := int64(rng.Intn(100))
+				branch := int64(rng.Intn(3))
+				if err := tx.Insert("accounts", acctRow(id, branch, amount)); err != nil {
+					tx.Rollback()
+					continue
+				}
+				if rng.Intn(3) == 0 {
+					tx.Rollback()
+					continue
+				}
+				if err := tx.Commit(); err == nil {
+					committedSum.Add(amount)
+					committedCount.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total, count int64
+	for b := int64(0); b < 3; b++ {
+		c, s, ok := branchTotal(t, db, b)
+		if ok {
+			count += c
+			total += s
+		}
+	}
+	if count != committedCount.Load() || total != committedSum.Load() {
+		t.Fatalf("view says %d/%d, committed %d/%d", count, total, committedCount.Load(), committedSum.Load())
+	}
+	checkConsistent(t, db)
+}
+
+// TestReadCommittedReaderDoesNotBlockOnEscrow shows the paper's reader
+// semantics: an RC reader of an escrow view returns immediately while a
+// writer holds E locks, and sees only committed values.
+func TestReadCommittedReaderDoesNotBlockOnEscrow(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(1, 7, 100))
+
+	// Writer holds an E lock on branch 7's view row (uncommitted).
+	writer := begin(t, db, txn.ReadCommitted)
+	if err := writer.Insert("accounts", acctRow(2, 7, 900)); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		count, sum, ok := branchTotal(t, db, 7)
+		if !ok || count != 1 || sum != 100 {
+			t.Errorf("RC reader saw %d/%d, want committed 1/100", count, sum)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("RC reader blocked on escrow writer")
+	}
+	mustCommit(t, writer)
+	count, sum, _ := branchTotal(t, db, 7)
+	if count != 2 || sum != 1000 {
+		t.Fatalf("after commit = %d/%d", count, sum)
+	}
+}
+
+// TestSerializableReaderBlocksOnEscrow shows the other side of the
+// trade-off: a serializable reader's S lock conflicts with E and waits.
+func TestSerializableReaderBlocksOnEscrow(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(1, 7, 100))
+
+	writer := begin(t, db, txn.ReadCommitted)
+	if err := writer.Insert("accounts", acctRow(2, 7, 900)); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan int64, 1)
+	go func() {
+		reader := begin(t, db, txn.Serializable)
+		defer reader.Rollback()
+		res, ok, err := reader.GetViewRow("branch_totals", record.Row{record.Int(7)})
+		if err != nil || !ok {
+			t.Errorf("serializable read: %v %v", ok, err)
+			got <- -1
+			return
+		}
+		got <- res[1].AsInt()
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("serializable reader did not block (saw %d)", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+	mustCommit(t, writer)
+	select {
+	case v := <-got:
+		if v != 1000 {
+			t.Fatalf("serializable reader saw %d, want 1000", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("serializable reader stuck after writer commit")
+	}
+}
+
+// TestXLockWritersSerialize shows the baseline's behavior: two writers to
+// the same group cannot proceed concurrently.
+func TestXLockWritersSerialize(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyXLock)
+	insertAccounts(t, db, acctRow(1, 7, 100))
+
+	t1 := begin(t, db, txn.ReadCommitted)
+	if err := t1.Insert("accounts", acctRow(2, 7, 10)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		t2, err := db.Begin(txn.ReadCommitted)
+		if err != nil {
+			done <- err
+			return
+		}
+		if err := t2.Insert("accounts", acctRow(3, 7, 20)); err != nil {
+			t2.Rollback()
+			done <- err
+			return
+		}
+		done <- t2.Commit()
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("second xlock writer did not block: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	mustCommit(t, t1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	count, sum, _ := branchTotal(t, db, 7)
+	if count != 3 || sum != 130 {
+		t.Fatalf("final = %d/%d", count, sum)
+	}
+	checkConsistent(t, db)
+}
+
+// TestDeadlockVictimRecovers drives two transactions into a deadlock and
+// verifies the victim can roll back and the survivor commits.
+func TestDeadlockVictimRecovers(t *testing.T) {
+	db := openTestDB(t, Options{LockTimeout: 2 * time.Second})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(1, 1, 10), acctRow(2, 2, 20))
+
+	t1 := begin(t, db, txn.ReadCommitted)
+	t2 := begin(t, db, txn.ReadCommitted)
+	if err := t1.Update("accounts", record.Row{record.Int(1)}, map[int]record.Value{2: record.Int(11)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Update("accounts", record.Row{record.Int(2)}, map[int]record.Value{2: record.Int(21)}); err != nil {
+		t.Fatal(err)
+	}
+	r1 := make(chan error, 1)
+	go func() {
+		r1 <- t1.Update("accounts", record.Row{record.Int(2)}, map[int]record.Value{2: record.Int(12)})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	err2 := t2.Update("accounts", record.Row{record.Int(1)}, map[int]record.Value{2: record.Int(22)})
+	if err2 == nil {
+		t.Fatal("expected deadlock for t2")
+	}
+	if err := t2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-r1; err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, t1)
+	row, _, _ := func() (record.Row, bool, error) {
+		tx := begin(t, db, txn.ReadCommitted)
+		defer tx.Rollback()
+		return tx.Get("accounts", record.Row{record.Int(2)})
+	}()
+	if row[2].AsInt() != 12 {
+		t.Fatalf("row 2 balance = %d, want 12 (t1's write)", row[2].AsInt())
+	}
+	checkConsistent(t, db)
+}
+
+// TestRandomWorkloadStress runs a mixed random workload across strategies
+// and isolation levels, then checks the global invariant.
+func TestRandomWorkloadStress(t *testing.T) {
+	db := openTestDB(t, Options{GhostCleanInterval: 10 * time.Millisecond, LockTimeout: 5 * time.Second})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	// A second, X-lock view over the same table stresses both paths at once.
+	if err := db.CreateIndexedView(catalog.View{
+		Name: "branch_totals_x", Kind: catalog.ViewAggregate, Left: "accounts",
+		GroupBy: []int{1},
+		Aggs: []expr.AggSpec{
+			{Func: expr.AggCountRows},
+			{Func: expr.AggSum, Arg: expr.Col(2)},
+		},
+		Strategy: catalog.StrategyXLock,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const steps = 120
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			levels := []txn.Level{txn.ReadCommitted, txn.RepeatableRead, txn.Serializable}
+			for i := 0; i < steps; i++ {
+				tx, err := db.Begin(levels[rng.Intn(3)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				failed := false
+				for op := 0; op < 1+rng.Intn(3) && !failed; op++ {
+					id := int64(g*1000 + rng.Intn(60))
+					branch := int64(rng.Intn(4))
+					switch rng.Intn(4) {
+					case 0:
+						failed = tx.Insert("accounts", acctRow(id, branch, int64(rng.Intn(50)))) != nil
+					case 1:
+						failed = tx.Delete("accounts", record.Row{record.Int(id)}) != nil
+					case 2:
+						failed = tx.Update("accounts", record.Row{record.Int(id)},
+							map[int]record.Value{2: record.Int(int64(rng.Intn(50)))}) != nil
+					default:
+						_, _, err := tx.GetViewRow("branch_totals", record.Row{record.Int(branch)})
+						failed = err != nil
+					}
+				}
+				if failed || rng.Intn(5) == 0 {
+					tx.Rollback()
+				} else if err := tx.Commit(); err != nil {
+					// Commit can fail only via injected faults, which this
+					// test does not use.
+					t.Errorf("commit: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	checkConsistent(t, db)
+	st := db.Stats()
+	if st.Commits == 0 {
+		t.Fatal("no commits happened")
+	}
+	t.Logf("stats: %+v", st)
+}

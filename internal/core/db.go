@@ -1,0 +1,304 @@
+// Package core implements the database kernel: it glues the B-tree storage,
+// write-ahead log, lock manager, escrow ledger, transaction manager, and the
+// compiled view-maintenance plans into a transactional engine with
+// immediately maintained indexed views (DESIGN.md §3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apply"
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/escrow"
+	"repro/internal/id"
+	"repro/internal/lock"
+	"repro/internal/recovery"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Options configure a database instance.
+type Options struct {
+	// SyncMode selects commit durability (default SyncNone; see wal docs).
+	SyncMode wal.SyncMode
+	// LockTimeout bounds lock waits (default 10s).
+	LockTimeout time.Duration
+	// EscalationThreshold escalates a transaction's key locks on one tree
+	// to a single tree lock once it holds more than this many. 0 disables.
+	EscalationThreshold int
+	// GhostCleanInterval runs the background ghost cleaner this often.
+	// 0 disables the background cleaner (CleanGhosts still works).
+	GhostCleanInterval time.Duration
+	// FoldLatchStripes sets the number of stripes for the commit-fold /
+	// ghost-structure latches (default 128). 1 reproduces a single global
+	// fold latch — the T10 ablation showing why striping matters.
+	FoldLatchStripes int
+}
+
+// Stats are cumulative engine counters.
+type Stats struct {
+	Commits       int64
+	Aborts        int64
+	SysTxns       int64
+	Folds         int64 // escrow folds applied at commit
+	GhostsCreated int64
+	GhostsErased  int64
+	Escalations   int64
+	Lock          lock.Stats
+}
+
+// DB is a database instance.
+type DB struct {
+	path string
+	opts Options
+
+	reg     *apply.Registry
+	treesMu sync.RWMutex
+	trees   map[id.Tree]*btree.Tree
+
+	log *wal.Writer
+	gen uint64
+
+	lm     *lock.Manager
+	ledger *escrow.Ledger
+	tm     *txn.Manager
+
+	// gate admits user-level actors (transactions, DDL, the cleaner) as
+	// readers; Checkpoint takes it exclusively to quiesce the database.
+	gate sync.RWMutex
+	// structMu stripes the short system-duration latches serializing
+	// structure changes to each aggregate view row: ghost creation, commit
+	// folds, and ghost erase (DESIGN.md §5). Striping by row keeps folds on
+	// different groups concurrent.
+	structMu []sync.Mutex
+	// ddlMu serializes DDL statements.
+	ddlMu sync.Mutex
+
+	commits       atomic.Int64
+	aborts        atomic.Int64
+	sysTxns       atomic.Int64
+	folds         atomic.Int64
+	ghostsCreated atomic.Int64
+	ghostsErased  atomic.Int64
+	escalations   atomic.Int64
+
+	closed      atomic.Bool
+	cleanerStop chan struct{}
+	cleanerDone chan struct{}
+	recovered   recovery.Summary
+}
+
+// defaultFoldStripes is the default number of row-structure latch stripes.
+const defaultFoldStripes = 128
+
+// structLatch returns the structure latch stripe for one view row.
+func (db *DB) structLatch(tree id.Tree, key []byte) *sync.Mutex {
+	h := uint32(2166136261)
+	h = (h ^ uint32(tree)) * 16777619
+	for _, b := range key {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return &db.structMu[h%uint32(len(db.structMu))]
+}
+
+// Errors returned by the engine.
+var (
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("core: database closed")
+	// ErrTxnDone reports use of a finished transaction.
+	ErrTxnDone = errors.New("core: transaction already finished")
+	// ErrDuplicateKey reports a primary-key or unique-index violation.
+	ErrDuplicateKey = errors.New("core: duplicate key")
+	// ErrNotFound reports a missing row.
+	ErrNotFound = errors.New("core: row not found")
+	// ErrSchema reports a row/DDL that does not fit the schema.
+	ErrSchema = errors.New("core: schema violation")
+)
+
+// Open recovers (or creates) the database at path.
+func Open(path string, opts Options) (*DB, error) {
+	if opts.LockTimeout <= 0 {
+		opts.LockTimeout = 10 * time.Second
+	}
+	if opts.FoldLatchStripes <= 0 {
+		opts.FoldLatchStripes = defaultFoldStripes
+	}
+	st, err := recovery.Run(path, opts.SyncMode)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		path:      path,
+		opts:      opts,
+		reg:       st.Reg,
+		trees:     st.Trees,
+		log:       st.Log,
+		gen:       st.Gen,
+		lm:        lock.NewManager(),
+		ledger:    escrow.NewLedger(),
+		tm:        txn.NewManager(st.NextTxn),
+		structMu:  make([]sync.Mutex, opts.FoldLatchStripes),
+		recovered: st.Summary,
+	}
+	db.lm.DefaultTimeout = opts.LockTimeout
+	if opts.GhostCleanInterval > 0 {
+		db.cleanerStop = make(chan struct{})
+		db.cleanerDone = make(chan struct{})
+		go db.cleanerLoop(opts.GhostCleanInterval)
+	}
+	return db, nil
+}
+
+// Close flushes the log and shuts the database down. It does not checkpoint;
+// restart recovers from the log.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return ErrClosed
+	}
+	if db.cleanerStop != nil {
+		close(db.cleanerStop)
+		<-db.cleanerDone
+	}
+	// Wait for in-flight transactions to drain.
+	db.gate.Lock()
+	defer db.gate.Unlock()
+	return db.log.Close()
+}
+
+// Crash simulates a process crash for tests and the recovery experiments:
+// the instance stops without a clean shutdown. With flush set, buffered log
+// records reach the OS first (they would survive a process crash); without
+// it they are lost (a machine-crash upper bound under SyncNone).
+func (db *DB) Crash(flush bool) {
+	if db.closed.Swap(true) {
+		return
+	}
+	if db.cleanerStop != nil {
+		close(db.cleanerStop)
+		<-db.cleanerDone
+	}
+	if flush {
+		db.log.Sync(0)
+	}
+}
+
+// Catalog returns the current catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.reg.Catalog() }
+
+// RecoverySummary reports what restart did when this instance opened.
+func (db *DB) RecoverySummary() recovery.Summary { return db.recovered }
+
+// Stats returns a snapshot of the cumulative counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Commits:       db.commits.Load(),
+		Aborts:        db.aborts.Load(),
+		SysTxns:       db.sysTxns.Load(),
+		Folds:         db.folds.Load(),
+		GhostsCreated: db.ghostsCreated.Load(),
+		GhostsErased:  db.ghostsErased.Load(),
+		Escalations:   db.escalations.Load(),
+		Lock:          db.lm.Snapshot(),
+	}
+}
+
+// tree returns the tree for tid, creating it on demand.
+func (db *DB) tree(tid id.Tree) *btree.Tree {
+	db.treesMu.RLock()
+	t := db.trees[tid]
+	db.treesMu.RUnlock()
+	if t != nil {
+		return t
+	}
+	db.treesMu.Lock()
+	defer db.treesMu.Unlock()
+	if t = db.trees[tid]; t == nil {
+		t = btree.New()
+		db.trees[tid] = t
+	}
+	return t
+}
+
+// logOp logs a record for t and applies it to the trees (write-ahead
+// discipline: the record reaches the log buffer before the trees change).
+func (db *DB) logOp(t *txn.Txn, rec *wal.Record) error {
+	rec.Txn = t.ID
+	rec.Sys = t.Sys
+	if _, err := db.log.Append(rec); err != nil {
+		return err
+	}
+	if err := apply.Apply(db.reg, db.tree, rec); err != nil {
+		return err
+	}
+	return t.RecordOp(rec)
+}
+
+// Checkpoint quiesces the database, writes a snapshot generation, and
+// truncates the log. Concurrent transactions finish first; new ones wait.
+func (db *DB) Checkpoint() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	db.gate.Lock()
+	defer db.gate.Unlock()
+	db.treesMu.RLock()
+	trees := make(map[id.Tree]*btree.Tree, len(db.trees))
+	for k, v := range db.trees {
+		trees[k] = v
+	}
+	db.treesMu.RUnlock()
+	writer, gen, err := recovery.Checkpoint(db.path, db.gen, db.log, db.Catalog(), trees, db.tm.NextID(), db.opts.SyncMode)
+	if err != nil {
+		return err
+	}
+	db.log = writer
+	db.gen = gen
+	return nil
+}
+
+// runSysTxn executes fn as a system transaction: begun, logged, and
+// committed (or rolled back on error) independently of any user
+// transaction, with its locks released at its own end (DESIGN.md §5).
+// The caller must already be admitted through the gate.
+func (db *DB) runSysTxn(fn func(st *txn.Txn) error) error {
+	st := db.tm.Begin(true, txn.ReadCommitted)
+	db.sysTxns.Add(1)
+	if _, err := db.log.Append(&wal.Record{Type: wal.TBegin, Txn: st.ID, Sys: true}); err != nil {
+		db.tm.Abort(st)
+		return err
+	}
+	if err := fn(st); err != nil {
+		db.rollbackOps(st)
+		db.log.Append(&wal.Record{Type: wal.TAbortEnd, Txn: st.ID, Sys: true})
+		db.tm.Abort(st)
+		db.lm.ReleaseAll(st.ID)
+		return err
+	}
+	if _, err := db.log.Append(&wal.Record{Type: wal.TCommit, Txn: st.ID, Sys: true}); err != nil {
+		db.tm.Abort(st)
+		db.lm.ReleaseAll(st.ID)
+		return err
+	}
+	db.tm.Commit(st)
+	db.lm.ReleaseAll(st.ID)
+	return nil
+}
+
+// rollbackOps applies and logs compensation records for every operation of
+// t, newest first.
+func (db *DB) rollbackOps(t *txn.Txn) {
+	for _, op := range t.OpsSince(0) {
+		clr, err := apply.Invert(db.reg, db.tree, op)
+		if err != nil {
+			// Inversion of a logged operation cannot legitimately fail; a
+			// failure here means corrupted state, so surface it loudly.
+			panic(fmt.Sprintf("core: rollback of %s failed: %v", op, err))
+		}
+		db.log.Append(clr)
+	}
+}

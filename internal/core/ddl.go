@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apply"
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/id"
+	"repro/internal/lock"
+	"repro/internal/record"
+	"repro/internal/txn"
+	"repro/internal/view"
+	"repro/internal/wal"
+)
+
+// ddl runs mutate against a clone of the current catalog, logs the change as
+// a TDDL record inside a system transaction (which installs the new catalog
+// via the apply layer), and then runs backfill (still inside the same system
+// transaction) to populate any new tree.
+func (db *DB) ddl(mutate func(c *catalog.Catalog) error, backfill func(st *txn.Txn) error) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	db.gate.RLock()
+	defer db.gate.RUnlock()
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+
+	oldBlob := db.Catalog().Encode()
+	clone, err := catalog.Decode(oldBlob)
+	if err != nil {
+		return fmt.Errorf("core: catalog clone: %w", err)
+	}
+	if err := mutate(clone); err != nil {
+		return err
+	}
+	newBlob := clone.Encode()
+	// Dry-run the maintainer compilation before anything reaches the log: a
+	// definition the registry cannot compile (e.g. a type-broken view) must
+	// fail here, never as an unreplayable DDL record.
+	if _, err := apply.NewRegistry(clone); err != nil {
+		return err
+	}
+	return db.runSysTxn(func(st *txn.Txn) error {
+		rec := &wal.Record{Type: wal.TDDL, OldVal: oldBlob, NewVal: newBlob}
+		if err := db.logOp(st, rec); err != nil {
+			return err
+		}
+		if backfill != nil {
+			return backfill(st)
+		}
+		return nil
+	})
+}
+
+// CreateTable registers a new base table.
+func (db *DB) CreateTable(name string, cols []catalog.Column, pk []int) error {
+	return db.ddl(func(c *catalog.Catalog) error {
+		_, err := c.AddTable(name, cols, pk)
+		return err
+	}, nil)
+}
+
+// CreateIndex registers a secondary index and backfills it from the table.
+func (db *DB) CreateIndex(name, table string, cols []int, unique bool) error {
+	return db.ddl(func(c *catalog.Catalog) error {
+		_, err := c.AddIndex(name, table, cols, unique)
+		return err
+	}, func(st *txn.Txn) error {
+		cat := db.Catalog() // post-DDL catalog
+		ix, err := cat.Index(name)
+		if err != nil {
+			return err
+		}
+		tbl, err := cat.Table(table)
+		if err != nil {
+			return err
+		}
+		// Block writers of the base table while backfilling.
+		if err := db.lockTree(st, tbl.ID, lock.ModeS); err != nil {
+			return err
+		}
+		seen := map[string]bool{}
+		var rows []record.Row
+		var decodeErr error
+		db.tree(tbl.ID).Scan(nil, nil, false, func(it btree.Item) bool {
+			row, err := record.DecodeRow(it.Val)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			rows = append(rows, row)
+			return true
+		})
+		if decodeErr != nil {
+			return decodeErr
+		}
+		for _, row := range rows {
+			ixKey := indexKey(ix, tbl, row)
+			if ix.Unique {
+				prefix := indexPrefix(ix, row)
+				if seen[string(prefix)] {
+					return fmt.Errorf("%w: unique index %q over duplicate values", ErrDuplicateKey, name)
+				}
+				seen[string(prefix)] = true
+			}
+			rec := &wal.Record{Type: wal.TInsert, Tree: ix.ID, Key: ixKey}
+			if err := db.logOp(st, rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// CreateIndexedView registers an indexed view and backfills it from its base
+// tables. The def's ID and Name validation happen in the catalog.
+func (db *DB) CreateIndexedView(def catalog.View) error {
+	return db.ddl(func(c *catalog.Catalog) error {
+		_, err := c.AddView(def)
+		return err
+	}, func(st *txn.Txn) error {
+		cat := db.Catalog()
+		v, err := cat.View(def.Name)
+		if err != nil {
+			return err
+		}
+		m := db.reg.Maintainer(v.ID)
+		if m == nil {
+			return fmt.Errorf("core: view %q has no compiled maintainer", def.Name)
+		}
+		// Block writers of every base table during the backfill scan.
+		left, err := cat.Table(v.Left)
+		if err != nil {
+			return err
+		}
+		if err := db.lockTree(st, left.ID, lock.ModeS); err != nil {
+			return err
+		}
+		leftRows, err := db.tableRows(left)
+		if err != nil {
+			return err
+		}
+		var rightRows []record.Row
+		if v.Join() {
+			right, err := cat.Table(v.Right)
+			if err != nil {
+				return err
+			}
+			if err := db.lockTree(st, right.ID, lock.ModeS); err != nil {
+				return err
+			}
+			if rightRows, err = db.tableRows(right); err != nil {
+				return err
+			}
+		}
+		entries, err := m.Recompute(leftRows, rightRows)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			rec := &wal.Record{Type: wal.TInsert, Tree: v.ID, Key: e.Key, NewVal: record.EncodeRow(e.Val)}
+			if err := db.logOp(st, rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// DropView removes an indexed view and its tree contents.
+func (db *DB) DropView(name string) error {
+	var viewTree id.Tree
+	return db.ddl(func(c *catalog.Catalog) error {
+		v, err := c.View(name)
+		if err != nil {
+			return err
+		}
+		viewTree = v.ID
+		return c.DropView(name)
+	}, func(st *txn.Txn) error {
+		// Physically clear the view's tree (logged so recovery agrees).
+		items := db.tree(viewTree).Items(nil, nil, true)
+		for _, it := range items {
+			rec := &wal.Record{Type: wal.TDelete, Tree: viewTree, Key: it.Key, OldVal: it.Val, OldGhost: it.Ghost}
+			if err := db.logOp(st, rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// tableRows snapshots every live row of a table.
+func (db *DB) tableRows(tbl *catalog.Table) ([]record.Row, error) {
+	var rows []record.Row
+	var decodeErr error
+	db.tree(tbl.ID).Scan(nil, nil, false, func(it btree.Item) bool {
+		row, err := record.DecodeRow(it.Val)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		rows = append(rows, row)
+		return true
+	})
+	return rows, decodeErr
+}
+
+// indexKey builds a secondary index entry key: indexed columns then the
+// primary key (so non-unique indexes stay unique per row).
+func indexKey(ix *catalog.Index, tbl *catalog.Table, row record.Row) []byte {
+	var key []byte
+	for _, c := range ix.Cols {
+		key = record.AppendKey(key, row[c])
+	}
+	for _, c := range tbl.PK {
+		key = record.AppendKey(key, row[c])
+	}
+	return key
+}
+
+// indexPrefix builds just the indexed-columns part of an index key, for
+// uniqueness checks and lookups.
+func indexPrefix(ix *catalog.Index, row record.Row) []byte {
+	var key []byte
+	for _, c := range ix.Cols {
+		key = record.AppendKey(key, row[c])
+	}
+	return key
+}
+
+// viewSide resolves which side of a view a table is.
+func viewSide(v *catalog.View, table string) view.JoinSide {
+	if v.Left == table {
+		return view.SideLeft
+	}
+	return view.SideRight
+}

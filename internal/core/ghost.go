@@ -1,0 +1,98 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/escrow"
+	"repro/internal/lock"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// cleanerLoop runs the background ghost cleaner (DESIGN.md §5): zero-count
+// ghost rows left behind by commit folds are physically erased by system
+// transactions, asynchronously to user work.
+func (db *DB) cleanerLoop(interval time.Duration) {
+	defer close(db.cleanerDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-db.cleanerStop:
+			return
+		case <-tick.C:
+			db.CleanGhosts()
+		}
+	}
+}
+
+// CleanGhosts erases every erasable ghost row across all aggregate views,
+// returning how many it removed. A ghost is erasable when no transaction has
+// pending escrow deltas against it and its X lock is immediately available.
+func (db *DB) CleanGhosts() int {
+	if db.closed.Load() {
+		return 0
+	}
+	db.gate.RLock()
+	defer db.gate.RUnlock()
+	erased := 0
+	for _, v := range db.Catalog().Views() {
+		if v.Kind != catalog.ViewAggregate {
+			continue
+		}
+		if db.tree(v.ID).GhostCount() == 0 {
+			continue
+		}
+		erased += db.cleanViewGhosts(v)
+	}
+	return erased
+}
+
+// cleanViewGhosts erases the erasable ghosts of one view.
+func (db *DB) cleanViewGhosts(v *catalog.View) int {
+	tree := db.tree(v.ID)
+	var keys [][]byte
+	for _, it := range tree.Items(nil, nil, true) {
+		if it.Ghost {
+			keys = append(keys, it.Key)
+		}
+	}
+	erased := 0
+	for _, key := range keys {
+		row := escrow.RowID{Tree: v.ID, Key: string(key)}
+		if db.ledger.PendingTxns(row) > 0 {
+			continue // in-flight deltas target this ghost
+		}
+		err := db.runSysTxn(func(st *txn.Txn) error {
+			// A short X lock keeps user transactions from acquiring E while
+			// we erase; if someone holds E we skip rather than wait.
+			res := lock.KeyResource(v.ID, key)
+			if err := db.lm.Lock(st.ID, res, lock.ModeX, 5*time.Millisecond); err != nil {
+				return err
+			}
+			latch := db.structLatch(v.ID, key)
+			latch.Lock()
+			defer latch.Unlock()
+			cur, ghost, ok := tree.Get(key)
+			if !ok || !ghost || db.ledger.PendingTxns(row) > 0 {
+				return errSkipGhost
+			}
+			rec := &wal.Record{Type: wal.TDelete, Tree: v.ID, Key: key, OldVal: cur, OldGhost: true}
+			return db.logOp(st, rec)
+		})
+		if err == nil {
+			erased++
+			db.ghostsErased.Add(1)
+		}
+	}
+	return erased
+}
+
+// errSkipGhost aborts a cleaning system transaction without treating the
+// skip as a failure.
+var errSkipGhost = errSentinel("ghost not erasable")
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }

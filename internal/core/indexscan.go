@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/lock"
+	"repro/internal/record"
+	"repro/internal/txn"
+)
+
+// LookupByIndex returns the live rows whose indexed columns equal vals,
+// found through the named secondary index (an index-prefix lookup: vals may
+// cover a prefix of the index's columns). Rows are read under the
+// transaction's isolation rules: momentary S at ReadCommitted, held S at
+// RepeatableRead and Serializable (index-gap phantom protection is not
+// implemented for secondary indexes; serializable callers who need it scan
+// the base table instead).
+func (tx *Tx) LookupByIndex(indexName string, vals record.Row) ([]record.Row, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	db := tx.db
+	ix, err := db.Catalog().Index(indexName)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := db.Catalog().Table(ix.Table)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) == 0 || len(vals) > len(ix.Cols) {
+		return nil, fmt.Errorf("%w: index %q takes up to %d values, got %d",
+			ErrSchema, indexName, len(ix.Cols), len(vals))
+	}
+	for i, v := range vals {
+		want := tbl.Cols[ix.Cols[i]].Kind
+		if !v.IsNull() && v.Kind() != want {
+			return nil, fmt.Errorf("%w: index column %d is %s, got %s",
+				ErrSchema, i, want, v.Kind())
+		}
+	}
+	if err := db.lockTree(tx.t, ix.ID, lock.ModeIS); err != nil {
+		return nil, err
+	}
+	if err := db.lockTree(tx.t, tbl.ID, lock.ModeIS); err != nil {
+		return nil, err
+	}
+	prefix := record.EncodeKey(vals)
+	// Collect the primary keys from the index entries (key = indexed
+	// columns then PK), latch-only, then lock and re-read each base row.
+	var pks [][]byte
+	db.tree(ix.ID).Scan(prefix, record.KeySuccessor(prefix), false, func(it btree.Item) bool {
+		rest := it.Key[len(prefix):]
+		// Skip over any remaining indexed columns to reach the PK suffix.
+		for skip := len(ix.Cols) - len(vals); skip > 0; skip-- {
+			_, r, err := record.DecodeKeyValue(rest)
+			if err != nil {
+				return true
+			}
+			rest = r
+		}
+		pks = append(pks, append([]byte(nil), rest...))
+		return true
+	})
+	var out []record.Row
+	for _, pk := range pks {
+		switch tx.t.Isolation {
+		case txn.ReadCommitted:
+			if err := db.momentaryS(tx.t, tbl.ID, pk); err != nil {
+				return nil, err
+			}
+		default:
+			if err := db.lockKey(tx.t, tbl.ID, pk, lock.ModeS); err != nil {
+				return nil, err
+			}
+		}
+		val, ghost, ok := db.tree(tbl.ID).Get(pk)
+		if !ok || ghost {
+			continue // row vanished between the index read and the lock
+		}
+		row, err := record.DecodeRow(val)
+		if err != nil {
+			return nil, err
+		}
+		// Re-validate: the row's indexed columns may have changed between
+		// the (latch-only) index read and the row lock.
+		match := true
+		for i, v := range vals {
+			if record.Compare(row[ix.Cols[i]], v) != 0 {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/record"
+	"repro/internal/txn"
+)
+
+func setupIndexed(t *testing.T, db *DB) {
+	t.Helper()
+	if err := db.CreateTable("people", []catalog.Column{
+		{Name: "id", Kind: record.KindInt64},
+		{Name: "city", Kind: record.KindString},
+		{Name: "age", Kind: record.KindInt64},
+	}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("people_city_age", "people", []int{1, 2}, false); err != nil {
+		t.Fatal(err)
+	}
+	tx := begin(t, db, txn.ReadCommitted)
+	rows := []record.Row{
+		{record.Int(1), record.Str("oslo"), record.Int(30)},
+		{record.Int(2), record.Str("oslo"), record.Int(40)},
+		{record.Int(3), record.Str("bergen"), record.Int(30)},
+		{record.Int(4), record.Str("oslo"), record.Int(30)},
+	}
+	for _, r := range rows {
+		if err := tx.Insert("people", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+}
+
+func TestLookupByIndexFullKey(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupIndexed(t, db)
+	tx := begin(t, db, txn.ReadCommitted)
+	defer tx.Rollback()
+	rows, err := tx.LookupByIndex("people_city_age", record.Row{record.Str("oslo"), record.Int(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Results come back in index order (PK-disambiguated): ids 1 then 4.
+	if rows[0][0].AsInt() != 1 || rows[1][0].AsInt() != 4 {
+		t.Fatalf("order = %v", rows)
+	}
+}
+
+func TestLookupByIndexPrefix(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupIndexed(t, db)
+	tx := begin(t, db, txn.ReadCommitted)
+	defer tx.Rollback()
+	rows, err := tx.LookupByIndex("people_city_age", record.Row{record.Str("oslo")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("prefix lookup = %v", rows)
+	}
+	rows, err = tx.LookupByIndex("people_city_age", record.Row{record.Str("nowhere")})
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("missing city = %v, %v", rows, err)
+	}
+}
+
+func TestLookupByIndexSeesTransactionalChanges(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupIndexed(t, db)
+	tx := begin(t, db, txn.ReadCommitted)
+	// Delete one oslo row and move another city inside this transaction.
+	if err := tx.Delete("people", record.Row{record.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("people", record.Row{record.Int(3)},
+		map[int]record.Value{1: record.Str("oslo")}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tx.LookupByIndex("people_city_age", record.Row{record.Str("oslo"), record.Int(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id 1 deleted, id 3 moved in, id 4 stays: ids 3 and 4.
+	if len(rows) != 2 || rows[0][0].AsInt() != 3 || rows[1][0].AsInt() != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	mustCommit(t, tx)
+	checkConsistent(t, db)
+}
+
+func TestLookupByIndexValidation(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupIndexed(t, db)
+	tx := begin(t, db, txn.ReadCommitted)
+	defer tx.Rollback()
+	if _, err := tx.LookupByIndex("nope", record.Row{record.Str("x")}); err == nil {
+		t.Fatal("missing index accepted")
+	}
+	if _, err := tx.LookupByIndex("people_city_age", record.Row{}); !errors.Is(err, ErrSchema) {
+		t.Fatal("empty values accepted")
+	}
+	if _, err := tx.LookupByIndex("people_city_age",
+		record.Row{record.Str("a"), record.Int(1), record.Int(2)}); !errors.Is(err, ErrSchema) {
+		t.Fatal("too many values accepted")
+	}
+	if _, err := tx.LookupByIndex("people_city_age", record.Row{record.Int(5)}); !errors.Is(err, ErrSchema) {
+		t.Fatal("wrong kind accepted")
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/record"
+	"repro/internal/txn"
+)
+
+// setupJoinStress builds orders ⋈ products with an aggregate join view
+// (SUM(qty) per product name) and a projection join view.
+func setupJoinStress(t *testing.T, db *DB) {
+	t.Helper()
+	for _, ddl := range []func() error{
+		func() error {
+			return db.CreateTable("products", []catalog.Column{
+				{Name: "id", Kind: record.KindInt64},
+				{Name: "name", Kind: record.KindString},
+			}, []int{0})
+		},
+		func() error {
+			return db.CreateTable("orders", []catalog.Column{
+				{Name: "id", Kind: record.KindInt64},
+				{Name: "product", Kind: record.KindInt64},
+				{Name: "qty", Kind: record.KindInt64},
+			}, []int{0})
+		},
+		func() error { return db.CreateIndex("orders_product", "orders", []int{1}, false) },
+		func() error {
+			// Source row: [o.id, o.product, o.qty, p.id, p.name].
+			return db.CreateIndexedView(catalog.View{
+				Name: "qty_by_name", Kind: catalog.ViewAggregate,
+				Left: "orders", Right: "products",
+				JoinLeftCol: 1, JoinRightCol: 3,
+				GroupBy: []int{4},
+				Aggs: []expr.AggSpec{
+					{Func: expr.AggCountRows},
+					{Func: expr.AggSum, Arg: expr.Col(2)},
+				},
+			})
+		},
+		func() error {
+			return db.CreateIndexedView(catalog.View{
+				Name: "details", Kind: catalog.ViewProjection,
+				Left: "orders", Right: "products",
+				JoinLeftCol: 1, JoinRightCol: 3,
+				Project: []int{0, 4, 2},
+			})
+		},
+	} {
+		if err := ddl(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestJoinViewBothSidesChurn stresses join-view maintenance with concurrent
+// writers mutating BOTH sides: order churn (insert/delete) races product
+// churn (insert/delete/rename). The inner-side S locks taken during
+// maintenance must serialize the conflicting pairs; whatever interleavings
+// commit, the views must equal recompute-from-base at quiescence.
+func TestJoinViewBothSidesChurn(t *testing.T) {
+	db := openTestDB(t, Options{LockTimeout: 10 * time.Second})
+	setupJoinStress(t, db)
+
+	const products = 6
+	// Seed products.
+	tx := begin(t, db, txn.ReadCommitted)
+	for p := 0; p < products; p++ {
+		if err := tx.Insert("products", record.Row{record.Int(int64(p)), record.Str(pname(p))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+
+	var wg sync.WaitGroup
+	// Order writers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var mine []int64
+			for i := 0; i < 120; i++ {
+				tx, err := db.Begin(txn.ReadCommitted)
+				if err != nil {
+					return
+				}
+				if len(mine) > 0 && rng.Intn(3) == 0 {
+					id := mine[rng.Intn(len(mine))]
+					if err := tx.Delete("orders", record.Row{record.Int(id)}); err != nil {
+						tx.Rollback()
+						continue
+					}
+					if tx.Commit() == nil {
+						for j, v := range mine {
+							if v == id {
+								mine = append(mine[:j], mine[j+1:]...)
+								break
+							}
+						}
+					}
+					continue
+				}
+				id := int64(w)*1_000_000 + int64(i)
+				row := record.Row{record.Int(id), record.Int(int64(rng.Intn(products))), record.Int(int64(rng.Intn(5) + 1))}
+				if err := tx.Insert("orders", row); err != nil {
+					tx.Rollback()
+					continue
+				}
+				if tx.Commit() == nil {
+					mine = append(mine, id)
+				}
+			}
+		}(w)
+	}
+	// Product writers: rename products (join-key values stay; names — the
+	// group-by column — change, moving whole groups).
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 60; i++ {
+				tx, err := db.Begin(txn.ReadCommitted)
+				if err != nil {
+					return
+				}
+				p := int64(rng.Intn(products))
+				newName := pname(rng.Intn(products * 2))
+				if err := tx.Update("products", record.Row{record.Int(p)},
+					map[int]record.Value{1: record.Str(newName)}); err != nil {
+					tx.Rollback()
+					continue
+				}
+				tx.Commit()
+			}
+		}(w)
+	}
+	wg.Wait()
+	db.waitQuiesced()
+	checkConsistent(t, db)
+
+	// Cross-check the aggregate view against the projection view: total
+	// quantities must agree.
+	tx = begin(t, db, txn.ReadCommitted)
+	agg, err := tx.ScanView("qty_by_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aggTotal int64
+	for _, r := range agg {
+		if !r.Result[1].IsNull() {
+			aggTotal += r.Result[1].AsInt()
+		}
+	}
+	det, err := tx.ScanView("details")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detTotal int64
+	for _, r := range det {
+		detTotal += r.Result[2].AsInt()
+	}
+	mustCommit(t, tx)
+	if aggTotal != detTotal {
+		t.Fatalf("aggregate view total %d != projection view total %d", aggTotal, detTotal)
+	}
+}
+
+func pname(p int) string {
+	names := []string{"ale", "bun", "cog", "dab", "elm", "fig", "gnu", "hay", "ivy", "jay", "kit", "log"}
+	return names[p%len(names)]
+}
+
+// TestJoinViewProductDeleteRemovesContributions deletes an inner row while
+// orders exist: the orders stop joining and their contributions vanish.
+func TestJoinViewProductDeleteRemovesContributions(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupJoinStress(t, db)
+	tx := begin(t, db, txn.ReadCommitted)
+	tx.Insert("products", record.Row{record.Int(1), record.Str("ale")})
+	tx.Insert("orders", record.Row{record.Int(100), record.Int(1), record.Int(3)})
+	tx.Insert("orders", record.Row{record.Int(101), record.Int(1), record.Int(4)})
+	mustCommit(t, tx)
+
+	tx = begin(t, db, txn.ReadCommitted)
+	res, ok, err := tx.GetViewRow("qty_by_name", record.Row{record.Str("ale")})
+	if err != nil || !ok || res[1].AsInt() != 7 {
+		t.Fatalf("ale = %v %v %v", res, ok, err)
+	}
+	mustCommit(t, tx)
+
+	tx = begin(t, db, txn.ReadCommitted)
+	if err := tx.Delete("products", record.Row{record.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	tx = begin(t, db, txn.ReadCommitted)
+	if _, ok, _ := tx.GetViewRow("qty_by_name", record.Row{record.Str("ale")}); ok {
+		t.Fatal("group survived inner-row delete")
+	}
+	rows, _ := tx.ScanView("details")
+	if len(rows) != 0 {
+		t.Fatalf("projection join rows survived: %v", rows)
+	}
+	mustCommit(t, tx)
+	checkConsistent(t, db)
+}

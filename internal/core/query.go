@@ -1,0 +1,360 @@
+package core
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/id"
+	"repro/internal/lock"
+	"repro/internal/record"
+	"repro/internal/txn"
+	"repro/internal/view"
+	"repro/internal/wal"
+)
+
+// Get returns the row with the given primary key, or ok=false. Locking
+// follows the isolation level: ReadCommitted takes a momentary S lock
+// (blocking on uncommitted writers, releasing after the read); higher levels
+// hold the S lock to end of transaction.
+func (tx *Tx) Get(table string, pk record.Row) (record.Row, bool, error) {
+	if err := tx.check(); err != nil {
+		return nil, false, err
+	}
+	db := tx.db
+	tbl, err := db.Catalog().Table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	key, err := pkKey(tbl, pk)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := db.lockTree(tx.t, tbl.ID, lock.ModeIS); err != nil {
+		return nil, false, err
+	}
+	if err := db.readLock(tx, tbl.ID, key); err != nil {
+		return nil, false, err
+	}
+	val, ghost, ok := db.tree(tbl.ID).Get(key)
+	if !ok || ghost {
+		return nil, false, nil
+	}
+	row, err := record.DecodeRow(val)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// readLock implements the per-row read lock for the transaction's level.
+func (db *DB) readLock(tx *Tx, tree id.Tree, key []byte) error {
+	switch tx.t.Isolation {
+	case txn.ReadCommitted:
+		return db.momentaryS(tx.t, tree, key)
+	default:
+		return db.lockKey(tx.t, tree, key, lock.ModeS)
+	}
+}
+
+// ScanTable visits live rows of a table in primary-key order, within
+// [loPK, hiPK) (nil bounds mean open ends). ReadCommitted re-reads each row
+// under a momentary S lock; RepeatableRead holds S locks on the rows read;
+// Serializable additionally key-range locks the scanned range (each row
+// plus the range's end anchor), which together with insert-time next-key
+// locking blocks phantoms.
+func (tx *Tx) ScanTable(table string, loPK, hiPK record.Row, fn func(record.Row) bool) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	db := tx.db
+	tbl, err := db.Catalog().Table(table)
+	if err != nil {
+		return err
+	}
+	var lo, hi []byte
+	if loPK != nil {
+		lo = record.EncodeKey(loPK)
+	}
+	if hiPK != nil {
+		hi = record.EncodeKey(hiPK)
+	}
+	if err := db.lockTree(tx.t, tbl.ID, lock.ModeIS); err != nil {
+		return err
+	}
+	return db.scanForLevel(tx, tbl.ID, lo, hi, func(_, val []byte) (bool, error) {
+		row, err := record.DecodeRow(val)
+		if err != nil {
+			return false, err
+		}
+		return fn(row), nil
+	})
+}
+
+// GetViewRow reads one group of an aggregate view (or one row of a
+// projection view, keyed by source PKs). For aggregate escrow views the
+// stored value is committed by construction, so ReadCommitted readers read
+// latch-only — they never block on escrow writers. Serializable (and
+// RepeatableRead) readers take S locks, which conflict with E: they block
+// until in-flux groups commit (DESIGN.md §5). X-lock-maintained views
+// contain uncommitted data, so even ReadCommitted locks momentarily.
+func (tx *Tx) GetViewRow(viewName string, keyRow record.Row) (record.Row, bool, error) {
+	if err := tx.check(); err != nil {
+		return nil, false, err
+	}
+	db := tx.db
+	v, err := db.Catalog().View(viewName)
+	if err != nil {
+		return nil, false, err
+	}
+	m := db.reg.Maintainer(v.ID)
+	key := record.EncodeKey(keyRow)
+	if err := db.lockTree(tx.t, v.ID, lock.ModeIS); err != nil {
+		return nil, false, err
+	}
+	switch {
+	case tx.t.Isolation != txn.ReadCommitted:
+		if err := db.lockKey(tx.t, v.ID, key, lock.ModeS); err != nil {
+			return nil, false, err
+		}
+	case v.Strategy == catalog.StrategyEscrow && v.Kind == catalog.ViewAggregate:
+		// Committed values by construction: no lock.
+	case v.Strategy == catalog.StrategyDeferred:
+		// Stale reads are the point of the deferred baseline: no lock.
+	default:
+		if err := db.momentaryS(tx.t, v.ID, key); err != nil {
+			return nil, false, err
+		}
+	}
+	val, ghost, ok := db.tree(v.ID).Get(key)
+	if !ok || ghost {
+		return nil, false, nil
+	}
+	stored, err := record.DecodeRow(val)
+	if err != nil {
+		return nil, false, err
+	}
+	if v.Kind == catalog.ViewProjection {
+		return stored, true, nil
+	}
+	res, err := m.Result(stored)
+	if err != nil {
+		return nil, false, err
+	}
+	return res, true, nil
+}
+
+// ViewRow pairs a view key with its user-visible result row.
+type ViewRow struct {
+	Key    record.Row
+	Result record.Row
+}
+
+// ScanView returns every live row of a view: group keys with aggregate
+// results, or projection rows. Locking follows GetViewRow's rules, at tree
+// granularity for Serializable/RepeatableRead.
+func (tx *Tx) ScanView(viewName string) ([]ViewRow, error) {
+	return tx.ScanViewRange(viewName, nil, nil)
+}
+
+// ScanViewRange returns the live view rows with loKey <= key < hiKey (nil
+// bounds mean open ends); keys are group values for aggregate views and
+// source PKs for projection views. Locking follows ScanView's rules.
+func (tx *Tx) ScanViewRange(viewName string, loKey, hiKey record.Row) ([]ViewRow, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	db := tx.db
+	v, err := db.Catalog().View(viewName)
+	if err != nil {
+		return nil, err
+	}
+	m := db.reg.Maintainer(v.ID)
+	if tx.t.Isolation != txn.ReadCommitted {
+		if err := db.lockTree(tx.t, v.ID, lock.ModeS); err != nil {
+			return nil, err
+		}
+	} else if err := db.lockTree(tx.t, v.ID, lock.ModeIS); err != nil {
+		return nil, err
+	}
+	var lo, hi []byte
+	if loKey != nil {
+		lo = record.EncodeKey(loKey)
+	}
+	if hiKey != nil {
+		hi = record.EncodeKey(hiKey)
+	}
+	items := db.tree(v.ID).Items(lo, hi, false)
+	out := make([]ViewRow, 0, len(items))
+	lockFree := tx.t.Isolation != txn.ReadCommitted || // tree S already held
+		(v.Strategy == catalog.StrategyEscrow && v.Kind == catalog.ViewAggregate) ||
+		v.Strategy == catalog.StrategyDeferred
+	for _, it := range items {
+		val := it.Val
+		if !lockFree {
+			if err := db.momentaryS(tx.t, v.ID, it.Key); err != nil {
+				return nil, err
+			}
+			fresh, ghost, ok := db.tree(v.ID).Get(it.Key)
+			if !ok || ghost {
+				continue
+			}
+			val = fresh
+		}
+		keyRow, err := record.DecodeKey(it.Key)
+		if err != nil {
+			return nil, err
+		}
+		stored, err := record.DecodeRow(val)
+		if err != nil {
+			return nil, err
+		}
+		res := stored
+		if v.Kind == catalog.ViewAggregate {
+			if res, err = m.Result(stored); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, ViewRow{Key: keyRow, Result: res})
+	}
+	return out, nil
+}
+
+// AggregateNoView computes GROUP BY aggregates by scanning the base table —
+// the query plan a database without the indexed view must run (the F6
+// baseline). It scans under the transaction's isolation rules.
+func (tx *Tx) AggregateNoView(table string, where expr.Expr, groupBy []int, aggs []expr.AggSpec) ([]ViewRow, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	db := tx.db
+	tbl, err := db.Catalog().Table(table)
+	if err != nil {
+		return nil, err
+	}
+	def := &catalog.View{
+		Name: "(adhoc)", Kind: catalog.ViewAggregate, Left: table,
+		Where: where, GroupBy: groupBy, Aggs: aggs,
+	}
+	m, err := view.Compile(def, tbl, nil)
+	if err != nil {
+		return nil, err
+	}
+	var rows []record.Row
+	if err := tx.ScanTable(table, nil, nil, func(r record.Row) bool {
+		rows = append(rows, r)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	entries, err := m.Recompute(rows, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ViewRow, 0, len(entries))
+	for _, e := range entries {
+		keyRow, err := record.DecodeKey(e.Key)
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.Result(e.Val)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ViewRow{Key: keyRow, Result: res})
+	}
+	return out, nil
+}
+
+// RefreshView recomputes a deferred view's contents from its base tables in
+// a system transaction, logging the differences. It reports how many view
+// rows changed.
+func (db *DB) RefreshView(viewName string) (int, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	db.gate.RLock()
+	defer db.gate.RUnlock()
+	v, err := db.Catalog().View(viewName)
+	if err != nil {
+		return 0, err
+	}
+	m := db.reg.Maintainer(v.ID)
+	changed := 0
+	err = db.runSysTxn(func(st *txn.Txn) error {
+		// Stabilize the bases and take the view exclusively.
+		left, err := db.Catalog().Table(v.Left)
+		if err != nil {
+			return err
+		}
+		if err := db.lockTree(st, left.ID, lock.ModeS); err != nil {
+			return err
+		}
+		leftRows, err := db.tableRows(left)
+		if err != nil {
+			return err
+		}
+		var rightRows []record.Row
+		if v.Join() {
+			right, err := db.Catalog().Table(v.Right)
+			if err != nil {
+				return err
+			}
+			if err := db.lockTree(st, right.ID, lock.ModeS); err != nil {
+				return err
+			}
+			if rightRows, err = db.tableRows(right); err != nil {
+				return err
+			}
+		}
+		if err := db.lockTree(st, v.ID, lock.ModeX); err != nil {
+			return err
+		}
+		want, err := m.Recompute(leftRows, rightRows)
+		if err != nil {
+			return err
+		}
+		have := db.tree(v.ID).Items(nil, nil, true)
+		// Merge the two sorted sequences, logging the differences.
+		i, j := 0, 0
+		for i < len(want) || j < len(have) {
+			var cmp int
+			switch {
+			case i >= len(want):
+				cmp = 1
+			case j >= len(have):
+				cmp = -1
+			default:
+				cmp = record.CompareKeys(want[i].Key, have[j].Key)
+			}
+			switch {
+			case cmp < 0: // missing row
+				rec := &wal.Record{Type: wal.TInsert, Tree: v.ID, Key: want[i].Key, NewVal: record.EncodeRow(want[i].Val)}
+				if err := db.logOp(st, rec); err != nil {
+					return err
+				}
+				changed++
+				i++
+			case cmp > 0: // stale row
+				rec := &wal.Record{Type: wal.TDelete, Tree: v.ID, Key: have[j].Key, OldVal: have[j].Val, OldGhost: have[j].Ghost}
+				if err := db.logOp(st, rec); err != nil {
+					return err
+				}
+				changed++
+				j++
+			default:
+				newVal := record.EncodeRow(want[i].Val)
+				if have[j].Ghost || string(newVal) != string(have[j].Val) {
+					rec := &wal.Record{Type: wal.TUpdate, Tree: v.ID, Key: have[j].Key,
+						OldVal: have[j].Val, NewVal: newVal, OldGhost: have[j].Ghost}
+					if err := db.logOp(st, rec); err != nil {
+						return err
+					}
+					changed++
+				}
+				i++
+				j++
+			}
+		}
+		return nil
+	})
+	return changed, err
+}

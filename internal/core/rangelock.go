@@ -1,0 +1,159 @@
+package core
+
+import (
+	"repro/internal/btree"
+	"repro/internal/id"
+	"repro/internal/lock"
+	"repro/internal/txn"
+)
+
+// Key-range (next-key) locking for base tables, in the style the paper's
+// engine uses (SQL Server's RangeS/RangeI family): range protection lives in
+// a *gap-resource* namespace separate from row locks, so holding a row S
+// lock (RepeatableRead) never blocks inserts, while a serializable scan's
+// gap locks do.
+//
+// The gap resource of key k covers the open interval (predecessor(k), k].
+// A serializable scan S-locks the gap of every row it returns plus the gap
+// of the range's end anchor (the first physical key at/after hi, or the
+// tree's infinity). An insert of key i takes an instant-duration X lock on
+// the gap of i's successor: if any serializable scan covers the gap i lands
+// in, that gap S lock blocks the insert until the scan's transaction ends.
+
+// gapPrefix distinguishes gap resources from row resources. Encoded row
+// keys always start with a value tag (0x10–0x60), never 0x01.
+const gapPrefix = 0x01
+
+// infinityKey anchors the gap beyond the last key of a tree. 0xFF cannot
+// begin an encoded key.
+var infinityKey = []byte{0xFF}
+
+// gapResource names the gap ending at key.
+func gapResource(tree id.Tree, key []byte) lock.Resource {
+	gk := make([]byte, 0, len(key)+1)
+	gk = append(gk, gapPrefix)
+	gk = append(gk, key...)
+	return lock.KeyResource(tree, gk)
+}
+
+// successorGap returns the gap resource an insert of key must probe: the
+// gap of the next physical key (ghosts included), or the infinity gap.
+func (db *DB) successorGap(tree id.Tree, key []byte) lock.Resource {
+	if succ, ok := db.tree(tree).Successor(key); ok {
+		return gapResource(tree, succ)
+	}
+	return gapResource(tree, infinityKey)
+}
+
+// ceilingGap returns the end-anchor gap for a scan bounded by hi (nil means
+// unbounded → infinity).
+func (db *DB) ceilingGap(tree id.Tree, hi []byte) lock.Resource {
+	if hi != nil {
+		if ceil, ok := db.tree(tree).Ceiling(hi); ok {
+			return gapResource(tree, ceil)
+		}
+	}
+	return gapResource(tree, infinityKey)
+}
+
+// scanForLevel dispatches a base-table scan to the isolation level's
+// protocol:
+//
+//   - ReadCommitted: momentary S per row, re-read under the lock.
+//   - RepeatableRead: S locks on returned rows held to end of transaction.
+//   - Serializable: RepeatableRead plus held S locks on each returned row's
+//     gap and on the range's end-anchor gap (phantom protection), acquired
+//     to a fixpoint so inserts racing the lock acquisition are caught.
+func (db *DB) scanForLevel(tx *Tx, tree id.Tree, lo, hi []byte, fn func(key, val []byte) (bool, error)) error {
+	if tx.t.Isolation == txn.Serializable {
+		return db.serializableScan(tx, tree, lo, hi, fn)
+	}
+	// Snapshot the candidate keys latch-only, then lock and re-read each
+	// (locking while holding the tree latch could deadlock with commits).
+	for _, key := range db.snapshotKeys(tree, lo, hi) {
+		if tx.t.Isolation == txn.ReadCommitted {
+			if err := db.momentaryS(tx.t, tree, key); err != nil {
+				return err
+			}
+		} else {
+			if err := db.lockKey(tx.t, tree, key, lock.ModeS); err != nil {
+				return err
+			}
+		}
+		val, ghost, ok := db.tree(tree).Get(key)
+		if !ok || ghost {
+			continue // vanished between snapshot and lock
+		}
+		more, err := fn(key, val)
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+	return nil
+}
+
+// serializableScan locks the range to a fixpoint before emitting rows: each
+// pass locks the rows and gaps it sees plus the end anchor; a committed
+// insert that raced an earlier pass shows up in the next pass and gets
+// locked too. Once a pass finds nothing new, every gap in [lo, hi) is
+// covered, deleters are blocked by the row S locks, and the result set is
+// stable.
+func (db *DB) serializableScan(tx *Tx, tree id.Tree, lo, hi []byte, fn func(key, val []byte) (bool, error)) error {
+	const maxPasses = 64
+	locked := map[string]bool{}
+	for pass := 0; ; pass++ {
+		if pass >= maxPasses {
+			return lock.ErrTimeout // the range would not stabilize
+		}
+		fresh := 0
+		for _, key := range db.snapshotKeys(tree, lo, hi) {
+			if locked[string(key)] {
+				continue
+			}
+			fresh++
+			if err := db.lockKey(tx.t, tree, key, lock.ModeS); err != nil {
+				return err
+			}
+			if err := db.lm.Lock(tx.t.ID, gapResource(tree, key), lock.ModeS, db.opts.LockTimeout); err != nil {
+				return err
+			}
+			locked[string(key)] = true
+		}
+		// (Re-)acquire the end anchor; it may have moved closer after an
+		// insert landed ahead of it, and holding the superseded anchor's
+		// gap is merely extra coverage.
+		if err := db.lm.Lock(tx.t.ID, db.ceilingGap(tree, hi), lock.ModeS, db.opts.LockTimeout); err != nil {
+			return err
+		}
+		if pass > 0 && fresh == 0 {
+			break
+		}
+	}
+	for _, key := range db.snapshotKeys(tree, lo, hi) {
+		val, ghost, ok := db.tree(tree).Get(key)
+		if !ok || ghost {
+			continue
+		}
+		more, err := fn(key, val)
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+	return nil
+}
+
+// snapshotKeys collects the live keys of [lo, hi) under the tree latch only.
+func (db *DB) snapshotKeys(tree id.Tree, lo, hi []byte) [][]byte {
+	var keys [][]byte
+	db.tree(tree).Scan(lo, hi, false, func(it btree.Item) bool {
+		keys = append(keys, append([]byte(nil), it.Key...))
+		return true
+	})
+	return keys
+}

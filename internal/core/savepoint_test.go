@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/record"
+	"repro/internal/txn"
+)
+
+func TestSavepointPartialRollback(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(1, 7, 100))
+
+	tx := begin(t, db, txn.ReadCommitted)
+	if err := tx.Insert("accounts", acctRow(2, 7, 50)); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := tx.Savepoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work after the savepoint: an insert and an update.
+	if err := tx.Insert("accounts", acctRow(3, 8, 25)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("accounts", record.Row{record.Int(1)}, map[int]record.Value{2: record.Int(999)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-savepoint work is intact within the transaction; post is gone.
+	if _, ok, _ := tx.Get("accounts", record.Row{record.Int(3)}); ok {
+		t.Fatal("post-savepoint insert visible")
+	}
+	row, ok, _ := tx.Get("accounts", record.Row{record.Int(1)})
+	if !ok || row[2].AsInt() != 100 {
+		t.Fatalf("post-savepoint update not undone: %v", row)
+	}
+	if _, ok, _ := tx.Get("accounts", record.Row{record.Int(2)}); !ok {
+		t.Fatal("pre-savepoint insert lost")
+	}
+	mustCommit(t, tx)
+
+	count, sum, ok := branchTotal(t, db, 7)
+	if !ok || count != 2 || sum != 150 {
+		t.Fatalf("branch 7 = %d/%d", count, sum)
+	}
+	if _, _, ok := branchTotal(t, db, 8); ok {
+		t.Fatal("rolled-back group visible")
+	}
+	checkConsistent(t, db)
+}
+
+func TestSavepointEscrowDeltasDiscarded(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(1, 7, 100))
+
+	tx := begin(t, db, txn.ReadCommitted)
+	sp, _ := tx.Savepoint()
+	// Post-savepoint escrow deltas via deletes and inserts.
+	if err := tx.Delete("accounts", record.Row{record.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("accounts", acctRow(2, 7, 77)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx) // commits with zero net deltas
+
+	count, sum, ok := branchTotal(t, db, 7)
+	if !ok || count != 1 || sum != 100 {
+		t.Fatalf("branch 7 = %d/%d/%v", count, sum, ok)
+	}
+	checkConsistent(t, db)
+}
+
+func TestNestedSavepoints(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+
+	tx := begin(t, db, txn.ReadCommitted)
+	tx.Insert("accounts", acctRow(1, 1, 10))
+	sp1, _ := tx.Savepoint()
+	tx.Insert("accounts", acctRow(2, 1, 20))
+	sp2, _ := tx.Savepoint()
+	tx.Insert("accounts", acctRow(3, 1, 30))
+
+	if err := tx.RollbackTo(sp2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tx.Get("accounts", record.Row{record.Int(3)}); ok {
+		t.Fatal("inner rollback missed row 3")
+	}
+	if _, ok, _ := tx.Get("accounts", record.Row{record.Int(2)}); !ok {
+		t.Fatal("inner rollback took row 2")
+	}
+	if err := tx.RollbackTo(sp1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tx.Get("accounts", record.Row{record.Int(2)}); ok {
+		t.Fatal("outer rollback missed row 2")
+	}
+	mustCommit(t, tx)
+
+	count, sum, _ := branchTotal(t, db, 1)
+	if count != 1 || sum != 10 {
+		t.Fatalf("branch 1 = %d/%d", count, sum)
+	}
+	checkConsistent(t, db)
+}
+
+func TestSavepointAfterFullRollback(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	tx := begin(t, db, txn.ReadCommitted)
+	sp, _ := tx.Savepoint()
+	tx.Insert("accounts", acctRow(1, 1, 10))
+	tx.Rollback()
+	if err := tx.RollbackTo(sp); err != ErrTxnDone {
+		t.Fatalf("RollbackTo on dead txn = %v", err)
+	}
+	if _, err := tx.Savepoint(); err != ErrTxnDone {
+		t.Fatalf("Savepoint on dead txn = %v", err)
+	}
+	checkConsistent(t, db)
+}
+
+func TestSavepointWithXLockView(t *testing.T) {
+	// Savepoint rollback must also invert the X-lock strategy's in-place
+	// view updates (TUpdate/TInsert/TDelete compensations).
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyXLock)
+	insertAccounts(t, db, acctRow(1, 7, 100))
+
+	tx := begin(t, db, txn.ReadCommitted)
+	sp, _ := tx.Savepoint()
+	if err := tx.Insert("accounts", acctRow(2, 7, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("accounts", acctRow(3, 9, 5)); err != nil { // new group: TInsert on the view
+		t.Fatal(err)
+	}
+	if err := tx.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("accounts", acctRow(4, 7, 25)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	count, sum, ok := branchTotal(t, db, 7)
+	if !ok || count != 2 || sum != 125 {
+		t.Fatalf("branch 7 = %d/%d", count, sum)
+	}
+	if _, _, ok := branchTotal(t, db, 9); ok {
+		t.Fatal("rolled-back xlock group visible")
+	}
+	checkConsistent(t, db)
+}
+
+func TestSavepointSurvivesRecovery(t *testing.T) {
+	// A transaction that partially rolled back then committed must recover
+	// to exactly its committed effects (CLRs replay correctly).
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupBanking(t, db, catalog.StrategyEscrow)
+	tx := begin(t, db, txn.ReadCommitted)
+	tx.Insert("accounts", acctRow(1, 7, 100))
+	sp, _ := tx.Savepoint()
+	tx.Insert("accounts", acctRow(2, 7, 999))
+	tx.RollbackTo(sp)
+	mustCommit(t, tx)
+	db.Crash(true)
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tx2 := begin(t, db2, txn.ReadCommitted)
+	if _, ok, _ := tx2.Get("accounts", record.Row{record.Int(2)}); ok {
+		t.Fatal("savepoint-rolled-back row resurrected by recovery")
+	}
+	if _, ok, _ := tx2.Get("accounts", record.Row{record.Int(1)}); !ok {
+		t.Fatal("committed row lost")
+	}
+	mustCommit(t, tx2)
+	checkConsistent(t, db2)
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apply"
+
+	"repro/internal/escrow"
+	"repro/internal/id"
+	"repro/internal/lock"
+	"repro/internal/record"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Tx is a user transaction handle. It is not safe for concurrent use by
+// multiple goroutines (like database/sql's Tx).
+type Tx struct {
+	db   *DB
+	t    *txn.Txn
+	done bool
+}
+
+// Begin starts a user transaction at the given isolation level.
+func (db *DB) Begin(level txn.Level) (*Tx, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	db.gate.RLock()
+	if db.closed.Load() {
+		db.gate.RUnlock()
+		return nil, ErrClosed
+	}
+	t := db.tm.Begin(false, level)
+	if _, err := db.log.Append(&wal.Record{Type: wal.TBegin, Txn: t.ID}); err != nil {
+		db.tm.Abort(t)
+		db.gate.RUnlock()
+		return nil, err
+	}
+	return &Tx{db: db, t: t}, nil
+}
+
+// ID returns the transaction's identifier.
+func (tx *Tx) ID() id.Txn { return tx.t.ID }
+
+// Isolation returns the transaction's isolation level.
+func (tx *Tx) Isolation() txn.Level { return tx.t.Isolation }
+
+func (tx *Tx) check() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	return nil
+}
+
+// Commit folds the transaction's pending escrow deltas into the view rows
+// (logging one EscrowFold per row), writes and group-commits the commit
+// record, and releases locks.
+func (tx *Tx) Commit() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	db := tx.db
+	if err := db.foldEscrow(tx.t); err != nil {
+		// Fold failure (e.g. a log fault) aborts the transaction; already-
+		// applied folds are compensated by the generic rollback.
+		tx.rollback()
+		return fmt.Errorf("core: commit failed, transaction rolled back: %w", err)
+	}
+	lsn, err := db.log.Append(&wal.Record{Type: wal.TCommit, Txn: tx.t.ID})
+	if err != nil {
+		tx.rollback()
+		return fmt.Errorf("core: commit failed, transaction rolled back: %w", err)
+	}
+	if err := db.log.Sync(lsn); err != nil {
+		// The commit record may or may not be durable; treat as failed and
+		// roll back in memory so the surviving state matches recovery's
+		// worst case view (recovery decides by what actually reached disk).
+		tx.rollback()
+		return fmt.Errorf("core: commit sync failed, transaction rolled back: %w", err)
+	}
+	tx.finish(true)
+	return nil
+}
+
+// Savepoint marks a statement-level rollback point inside the transaction.
+type Savepoint struct {
+	ops    txn.Savepoint
+	ledger int
+}
+
+// Savepoint returns a marker for partial rollback with RollbackTo.
+func (tx *Tx) Savepoint() (Savepoint, error) {
+	if err := tx.check(); err != nil {
+		return Savepoint{}, err
+	}
+	return Savepoint{
+		ops:    tx.t.Savepoint(),
+		ledger: tx.db.ledger.Mark(tx.t.ID),
+	}, nil
+}
+
+// RollbackTo undoes everything the transaction did after the savepoint:
+// logged operations are compensated (with CLRs) in reverse order and escrow
+// deltas accumulated since are discarded. Locks acquired since remain held
+// (standard savepoint semantics). The transaction stays active.
+func (tx *Tx) RollbackTo(sp Savepoint) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	db := tx.db
+	for _, op := range tx.t.OpsSince(sp.ops) {
+		clr, err := apply.Invert(db.reg, db.tree, op)
+		if err != nil {
+			return fmt.Errorf("core: savepoint rollback of %s: %w", op, err)
+		}
+		if _, err := db.log.Append(clr); err != nil {
+			return err
+		}
+	}
+	db.ledger.RollbackTo(tx.t.ID, sp.ledger)
+	return nil
+}
+
+// Rollback undoes the transaction: pending escrow deltas are discarded, and
+// every logged operation is compensated in reverse order.
+func (tx *Tx) Rollback() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tx.rollback()
+	return nil
+}
+
+func (tx *Tx) rollback() {
+	db := tx.db
+	db.rollbackOps(tx.t)
+	db.log.Append(&wal.Record{Type: wal.TAbortEnd, Txn: tx.t.ID})
+	tx.finish(false)
+}
+
+func (tx *Tx) finish(committed bool) {
+	db := tx.db
+	if committed {
+		db.tm.Commit(tx.t)
+		db.commits.Add(1)
+	} else {
+		db.tm.Abort(tx.t)
+		db.aborts.Add(1)
+	}
+	db.ledger.Discard(tx.t.ID)
+	db.lm.ReleaseAll(tx.t.ID)
+	tx.done = true
+	db.gate.RUnlock()
+}
+
+// rowFold is one view row's worth of deltas to fold at commit.
+type rowFold struct {
+	row    escrow.RowID
+	deltas []wal.ColDelta
+}
+
+// foldEscrow applies the transaction's pending deltas to the view rows under
+// the short structure latch, logging one logical EscrowFold per row.
+func (db *DB) foldEscrow(t *txn.Txn) error {
+	cds := db.ledger.TxnDeltas(t.ID)
+	if len(cds) == 0 {
+		return nil
+	}
+	// Group cell deltas by row (TxnDeltas is already row-ordered).
+	var folds []rowFold
+	add := func(row escrow.RowID, d wal.ColDelta) {
+		if n := len(folds); n > 0 && folds[n-1].row == row {
+			folds[n-1].deltas = append(folds[n-1].deltas, d)
+			return
+		}
+		folds = append(folds, rowFold{row: row, deltas: []wal.ColDelta{d}})
+	}
+	for _, cd := range cds {
+		if cd.Delta.Float != 0 && cd.Delta.Int != 0 {
+			// Mixed cell: split into two deltas to stay exact.
+			add(cd.Cell.Row, wal.ColDelta{Col: cd.Cell.Col, Int: cd.Delta.Int})
+			add(cd.Cell.Row, wal.ColDelta{Col: cd.Cell.Col, IsFloat: true, Float: cd.Delta.Float})
+			continue
+		}
+		if cd.Delta.Float != 0 {
+			add(cd.Cell.Row, wal.ColDelta{Col: cd.Cell.Col, IsFloat: true, Float: cd.Delta.Float})
+		} else {
+			add(cd.Cell.Row, wal.ColDelta{Col: cd.Cell.Col, Int: cd.Delta.Int})
+		}
+	}
+	for _, f := range folds {
+		if err := db.foldRow(t, f.row, f.deltas); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldRow folds one view row under the structure latch.
+func (db *DB) foldRow(t *txn.Txn, row escrow.RowID, deltas []wal.ColDelta) error {
+	m := db.reg.Maintainer(row.Tree)
+	if m == nil {
+		return fmt.Errorf("core: fold against unknown view %s", row.Tree)
+	}
+	key := []byte(row.Key)
+	latch := db.structLatch(row.Tree, key)
+	latch.Lock()
+	defer latch.Unlock()
+	tree := db.tree(row.Tree)
+	cur, oldGhost, ok := tree.Get(key)
+	var stored record.Row
+	var err error
+	if ok {
+		if stored, err = record.DecodeRow(cur); err != nil {
+			return err
+		}
+	} else {
+		// The ghost this transaction targeted cannot be erased while its
+		// deltas are pending, so an absent row means a protocol bug.
+		return fmt.Errorf("core: fold target %s[%x] missing", row.Tree, key)
+	}
+	next, err := m.ApplyFold(stored, deltas)
+	if err != nil {
+		return err
+	}
+	empty, err := m.GroupEmpty(next)
+	if err != nil {
+		return err
+	}
+	rec := &wal.Record{
+		Type:     wal.TEscrowFold,
+		Tree:     row.Tree,
+		Key:      key,
+		Deltas:   deltas,
+		OldGhost: oldGhost,
+		NewGhost: empty,
+	}
+	if err := db.logOp(t, rec); err != nil {
+		return err
+	}
+	db.folds.Add(1)
+	return nil
+}
+
+// lockKey acquires a key lock with the engine's timeout and escalation
+// policy.
+func (db *DB) lockKey(t *txn.Txn, tree id.Tree, key []byte, mode lock.Mode) error {
+	if err := db.lm.Lock(t.ID, lock.KeyResource(tree, key), mode, db.opts.LockTimeout); err != nil {
+		return err
+	}
+	if th := db.opts.EscalationThreshold; th > 0 && db.lm.CountKeyLocks(t.ID, tree) > th {
+		// Escalate to a tree lock covering the key locks, then drop them.
+		treeMode := lock.ModeS
+		if mode == lock.ModeX || mode == lock.ModeE || mode == lock.ModeU {
+			treeMode = lock.ModeX
+		}
+		if err := db.lm.Lock(t.ID, lock.TreeResource(tree), treeMode, db.opts.LockTimeout); err != nil {
+			return err
+		}
+		db.lm.ReleaseKeyLocks(t.ID, tree)
+		db.escalations.Add(1)
+	}
+	return nil
+}
+
+// lockTree acquires a tree-level lock with the engine's timeout.
+func (db *DB) lockTree(t *txn.Txn, tree id.Tree, mode lock.Mode) error {
+	return db.lm.Lock(t.ID, lock.TreeResource(tree), mode, db.opts.LockTimeout)
+}
+
+// momentaryS takes and immediately releases an S key lock: the lock-based
+// read-committed read (block on uncommitted X, then read).
+func (db *DB) momentaryS(t *txn.Txn, tree id.Tree, key []byte) error {
+	res := lock.KeyResource(tree, key)
+	held := db.lm.HeldMode(t.ID, res)
+	if err := db.lm.Lock(t.ID, res, lock.ModeS, db.opts.LockTimeout); err != nil {
+		return err
+	}
+	if held == lock.ModeNone {
+		db.lm.Unlock(t.ID, res)
+	}
+	return nil
+}
+
+// waitQuiesced is a test helper: it blocks until no transactions are active.
+func (db *DB) waitQuiesced() {
+	for db.tm.ActiveCount() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,201 @@
+// Package escrow implements the escrow ledger: per-transaction pending
+// signed deltas against aggregate view rows.
+//
+// Following DESIGN.md §5, the B-tree row always stores the last *committed*
+// aggregate values. A transaction updating an aggregate under an E lock
+// records its deltas here; at commit the engine folds them into the row
+// (logging one EscrowFold record per row) and at abort they are simply
+// discarded — the logical undo of the paper realized without ever exposing
+// uncommitted values to readers.
+package escrow
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/id"
+)
+
+// RowID names one aggregate view row.
+type RowID struct {
+	Tree id.Tree
+	Key  string
+}
+
+// CellID names one aggregate column of one view row.
+type CellID struct {
+	Row RowID
+	Col uint32
+}
+
+// Delta is a signed change to a cell. Int and Float accumulate
+// independently; an int-typed aggregate uses Int, a float-typed one Float.
+type Delta struct {
+	Int   int64
+	Float float64
+}
+
+// IsZero reports whether the delta changes nothing.
+func (d Delta) IsZero() bool { return d.Int == 0 && d.Float == 0 }
+
+// Add returns the sum of two deltas.
+func (d Delta) Add(o Delta) Delta {
+	return Delta{Int: d.Int + o.Int, Float: d.Float + o.Float}
+}
+
+// Neg returns the inverse delta.
+func (d Delta) Neg() Delta { return Delta{Int: -d.Int, Float: -d.Float} }
+
+// txnState is one transaction's pending deltas.
+type txnState struct {
+	cells   map[CellID]Delta
+	rows    map[RowID]int // cells per row, for the row reference counts
+	journal []CellDelta   // append order, for savepoint rollback
+}
+
+// Ledger tracks every transaction's pending escrow deltas. The zero value is
+// not usable; call NewLedger.
+type Ledger struct {
+	mu     sync.Mutex
+	byTxn  map[id.Txn]*txnState
+	rowRef map[RowID]int // number of transactions with pending deltas per row
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		byTxn:  make(map[id.Txn]*txnState),
+		rowRef: make(map[RowID]int),
+	}
+}
+
+// Add accumulates a pending delta for txn against cell.
+func (l *Ledger) Add(txn id.Txn, cell CellID, d Delta) {
+	if d.IsZero() {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.byTxn[txn]
+	if st == nil {
+		st = &txnState{cells: make(map[CellID]Delta), rows: make(map[RowID]int)}
+		l.byTxn[txn] = st
+	}
+	if _, seen := st.cells[cell]; !seen {
+		if st.rows[cell.Row] == 0 {
+			l.rowRef[cell.Row]++
+		}
+		st.rows[cell.Row]++
+	}
+	st.cells[cell] = st.cells[cell].Add(d)
+	st.journal = append(st.journal, CellDelta{Cell: cell, Delta: d})
+}
+
+// Mark returns a savepoint position in txn's delta journal.
+func (l *Ledger) Mark(txn id.Txn) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.byTxn[txn]
+	if st == nil {
+		return 0
+	}
+	return len(st.journal)
+}
+
+// RollbackTo discards the deltas txn accumulated after mark (partial
+// rollback to a savepoint). Cells whose pending delta returns to zero are
+// forgotten entirely, releasing their row references.
+func (l *Ledger) RollbackTo(txn id.Txn, mark int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.byTxn[txn]
+	if st == nil || mark < 0 || mark >= len(st.journal) {
+		return
+	}
+	for i := len(st.journal) - 1; i >= mark; i-- {
+		cd := st.journal[i]
+		next := st.cells[cd.Cell].Add(cd.Delta.Neg())
+		if next.IsZero() {
+			delete(st.cells, cd.Cell)
+			st.rows[cd.Cell.Row]--
+			if st.rows[cd.Cell.Row] <= 0 {
+				delete(st.rows, cd.Cell.Row)
+				l.rowRef[cd.Cell.Row]--
+				if l.rowRef[cd.Cell.Row] <= 0 {
+					delete(l.rowRef, cd.Cell.Row)
+				}
+			}
+		} else {
+			st.cells[cd.Cell] = next
+		}
+	}
+	st.journal = st.journal[:mark]
+	if len(st.cells) == 0 {
+		delete(l.byTxn, txn)
+	}
+}
+
+// CellDelta is one (cell, delta) pair returned by TxnDeltas.
+type CellDelta struct {
+	Cell  CellID
+	Delta Delta
+}
+
+// TxnDeltas returns txn's pending deltas grouped by row, deterministically
+// ordered (by tree, key, column) so commit logging is reproducible.
+func (l *Ledger) TxnDeltas(txn id.Txn) []CellDelta {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.byTxn[txn]
+	if st == nil {
+		return nil
+	}
+	out := make([]CellDelta, 0, len(st.cells))
+	for cell, d := range st.cells {
+		out = append(out, CellDelta{Cell: cell, Delta: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Cell, out[j].Cell
+		if a.Row.Tree != b.Row.Tree {
+			return a.Row.Tree < b.Row.Tree
+		}
+		if a.Row.Key != b.Row.Key {
+			return a.Row.Key < b.Row.Key
+		}
+		return a.Col < b.Col
+	})
+	return out
+}
+
+// PendingTxns reports how many transactions currently have pending deltas
+// against row. The ghost cleaner must not erase a row while this is nonzero.
+func (l *Ledger) PendingTxns(row RowID) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rowRef[row]
+}
+
+// Discard drops every pending delta of txn (commit after fold, or abort).
+func (l *Ledger) Discard(txn id.Txn) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.byTxn[txn]
+	if st == nil {
+		return
+	}
+	for row := range st.rows {
+		l.rowRef[row]--
+		if l.rowRef[row] <= 0 {
+			delete(l.rowRef, row)
+		}
+	}
+	delete(l.byTxn, txn)
+}
+
+// Empty reports whether the ledger holds no pending deltas at all; the
+// consistency checker asserts this at quiescence.
+func (l *Ledger) Empty() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.byTxn) == 0 && len(l.rowRef) == 0
+}

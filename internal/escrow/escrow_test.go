@@ -1,0 +1,239 @@
+package escrow
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/id"
+)
+
+func cell(key string, col uint32) CellID {
+	return CellID{Row: RowID{Tree: 1, Key: key}, Col: col}
+}
+
+func TestDeltaArithmetic(t *testing.T) {
+	d := Delta{Int: 3, Float: 1.5}
+	if d.IsZero() || !(Delta{}).IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+	s := d.Add(Delta{Int: -1, Float: 0.5})
+	if s.Int != 2 || s.Float != 2.0 {
+		t.Fatalf("Add = %+v", s)
+	}
+	n := d.Neg()
+	if n.Int != -3 || n.Float != -1.5 {
+		t.Fatalf("Neg = %+v", n)
+	}
+	if !d.Add(d.Neg()).IsZero() {
+		t.Fatal("d + (-d) != 0")
+	}
+}
+
+func TestAddAccumulatesPerCell(t *testing.T) {
+	l := NewLedger()
+	l.Add(1, cell("g1", 0), Delta{Int: 5})
+	l.Add(1, cell("g1", 0), Delta{Int: -2})
+	l.Add(1, cell("g1", 1), Delta{Float: 1.5})
+	l.Add(1, cell("g2", 0), Delta{Int: 7})
+	ds := l.TxnDeltas(1)
+	if len(ds) != 3 {
+		t.Fatalf("got %d cells", len(ds))
+	}
+	// Deterministic order: g1/0, g1/1, g2/0.
+	if ds[0].Cell != cell("g1", 0) || ds[0].Delta.Int != 3 {
+		t.Fatalf("ds[0] = %+v", ds[0])
+	}
+	if ds[1].Cell != cell("g1", 1) || ds[1].Delta.Float != 1.5 {
+		t.Fatalf("ds[1] = %+v", ds[1])
+	}
+	if ds[2].Cell != cell("g2", 0) || ds[2].Delta.Int != 7 {
+		t.Fatalf("ds[2] = %+v", ds[2])
+	}
+}
+
+func TestZeroDeltaIgnored(t *testing.T) {
+	l := NewLedger()
+	l.Add(1, cell("g", 0), Delta{})
+	if ds := l.TxnDeltas(1); len(ds) != 0 {
+		t.Fatalf("zero delta stored: %+v", ds)
+	}
+	if !l.Empty() {
+		t.Fatal("ledger not empty")
+	}
+}
+
+func TestRowRefCounting(t *testing.T) {
+	l := NewLedger()
+	row := RowID{Tree: 1, Key: "hot"}
+	if l.PendingTxns(row) != 0 {
+		t.Fatal("fresh row has pending txns")
+	}
+	l.Add(1, CellID{Row: row, Col: 0}, Delta{Int: 1})
+	l.Add(1, CellID{Row: row, Col: 1}, Delta{Int: 1}) // same txn, same row
+	l.Add(2, CellID{Row: row, Col: 0}, Delta{Int: 1})
+	if got := l.PendingTxns(row); got != 2 {
+		t.Fatalf("PendingTxns = %d, want 2", got)
+	}
+	l.Discard(1)
+	if got := l.PendingTxns(row); got != 1 {
+		t.Fatalf("after discard: PendingTxns = %d, want 1", got)
+	}
+	l.Discard(2)
+	if l.PendingTxns(row) != 0 || !l.Empty() {
+		t.Fatal("ledger not empty after discards")
+	}
+}
+
+func TestDiscardUnknownTxn(t *testing.T) {
+	l := NewLedger()
+	l.Discard(42) // must not panic
+	if ds := l.TxnDeltas(42); ds != nil {
+		t.Fatal("unknown txn has deltas")
+	}
+}
+
+// TestFoldDiscardEquivalence is the package's core property: folding the
+// committed transactions' deltas and discarding the aborted ones yields
+// exactly the serial sum of committed deltas.
+func TestFoldDiscardEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		l := NewLedger()
+		const txns = 20
+		const cells = 5
+		expect := map[CellID]Delta{}
+		committed := map[id.Txn]bool{}
+		for tx := id.Txn(1); tx <= txns; tx++ {
+			committed[tx] = rng.Intn(2) == 0
+			for op := 0; op < 1+rng.Intn(8); op++ {
+				c := cell("g", uint32(rng.Intn(cells)))
+				d := Delta{Int: int64(rng.Intn(21) - 10), Float: float64(rng.Intn(9) - 4)}
+				l.Add(tx, c, d)
+				if committed[tx] {
+					expect[c] = expect[c].Add(d)
+				}
+			}
+		}
+		got := map[CellID]Delta{}
+		for tx := id.Txn(1); tx <= txns; tx++ {
+			if committed[tx] {
+				for _, cd := range l.TxnDeltas(tx) {
+					got[cd.Cell] = got[cd.Cell].Add(cd.Delta)
+				}
+			}
+			l.Discard(tx)
+		}
+		for c, want := range expect {
+			if got[c] != want {
+				t.Fatalf("trial %d cell %+v: got %+v want %+v", trial, c, got[c], want)
+			}
+		}
+		for c, g := range got {
+			if expect[c] != g {
+				t.Fatalf("trial %d cell %+v: unexpected %+v", trial, c, g)
+			}
+		}
+		if !l.Empty() {
+			t.Fatalf("trial %d: ledger not empty", trial)
+		}
+	}
+}
+
+func TestMarkAndRollbackTo(t *testing.T) {
+	l := NewLedger()
+	c1, c2 := cell("g1", 0), cell("g2", 0)
+	l.Add(1, c1, Delta{Int: 5})
+	mark := l.Mark(1)
+	l.Add(1, c1, Delta{Int: 3})
+	l.Add(1, c2, Delta{Int: 7})
+	l.RollbackTo(1, mark)
+	ds := l.TxnDeltas(1)
+	if len(ds) != 1 || ds[0].Cell != c1 || ds[0].Delta.Int != 5 {
+		t.Fatalf("after rollback: %+v", ds)
+	}
+	// The row touched only after the mark released its reference.
+	if l.PendingTxns(c2.Row) != 0 {
+		t.Fatal("row ref leaked after savepoint rollback")
+	}
+	if l.PendingTxns(c1.Row) != 1 {
+		t.Fatal("pre-mark row ref lost")
+	}
+	l.Discard(1)
+	if !l.Empty() {
+		t.Fatal("not empty")
+	}
+}
+
+func TestRollbackToFullDiscard(t *testing.T) {
+	l := NewLedger()
+	mark := l.Mark(1) // before anything
+	l.Add(1, cell("g", 0), Delta{Int: 1})
+	l.Add(1, cell("g", 1), Delta{Float: 2.5})
+	l.RollbackTo(1, mark)
+	if !l.Empty() {
+		t.Fatal("rollback to the start should empty the ledger")
+	}
+	// Out-of-range marks are ignored.
+	l.Add(1, cell("g", 0), Delta{Int: 1})
+	l.RollbackTo(1, 99)
+	l.RollbackTo(1, -1)
+	if len(l.TxnDeltas(1)) != 1 {
+		t.Fatal("bad marks must be no-ops")
+	}
+	l.RollbackTo(2, 0) // unknown txn: no-op
+	l.Discard(1)
+}
+
+func TestRollbackToZeroCrossing(t *testing.T) {
+	// A cell whose post-mark deltas cancel a pre-mark delta must come back.
+	l := NewLedger()
+	c := cell("g", 0)
+	l.Add(1, c, Delta{Int: 5})
+	mark := l.Mark(1)
+	l.Add(1, c, Delta{Int: -5}) // current total now zero
+	l.RollbackTo(1, mark)
+	ds := l.TxnDeltas(1)
+	if len(ds) != 1 || ds[0].Delta.Int != 5 {
+		t.Fatalf("after rollback: %+v", ds)
+	}
+	l.Discard(1)
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	l := NewLedger()
+	const goroutines = 16
+	const adds = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tx := id.Txn(g + 1)
+			for i := 0; i < adds; i++ {
+				l.Add(tx, cell("hot", 0), Delta{Int: 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(0)
+	for g := 0; g < goroutines; g++ {
+		ds := l.TxnDeltas(id.Txn(g + 1))
+		if len(ds) != 1 {
+			t.Fatalf("txn %d has %d cells", g+1, len(ds))
+		}
+		total += ds[0].Delta.Int
+	}
+	if total != goroutines*adds {
+		t.Fatalf("total = %d, want %d", total, goroutines*adds)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	l := NewLedger()
+	c := cell("hot", 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Add(id.Txn(i%64+1), c, Delta{Int: 1})
+	}
+}

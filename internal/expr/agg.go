@@ -1,0 +1,159 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/record"
+)
+
+// AggFunc identifies an aggregate function.
+type AggFunc uint8
+
+// Aggregate functions supported by indexed views.
+const (
+	// AggCountRows is COUNT(*).
+	AggCountRows AggFunc = iota + 1
+	// AggCount is COUNT(expr): non-NULL inputs only.
+	AggCount
+	// AggSum is SUM(expr) over BIGINT or DOUBLE inputs.
+	AggSum
+	// AggAvg is AVG(expr), maintained as a (count, sum) pair so it is
+	// escrow-able like SUM.
+	AggAvg
+	// AggMin is MIN(expr). Not escrow-able (deletes need recomputation).
+	AggMin
+	// AggMax is MAX(expr). Not escrow-able (deletes need recomputation).
+	AggMax
+)
+
+// String names the function.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCountRows:
+		return "COUNT(*)"
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// Escrowable reports whether the function commutes under concurrent signed
+// deltas — the property escrow locking exploits. SUM and COUNT commute;
+// MIN/MAX do not (deleting the current extremum needs a group recompute), so
+// their maintenance falls back to X locks (DESIGN.md §5).
+func (f AggFunc) Escrowable() bool {
+	return f == AggCountRows || f == AggCount || f == AggSum || f == AggAvg
+}
+
+// AggSpec is one aggregate column of a view: Func applied to Arg evaluated
+// over each source row. Arg is ignored (may be nil) for AggCountRows.
+type AggSpec struct {
+	Func AggFunc
+	Arg  Expr
+}
+
+// String renders the spec.
+func (s AggSpec) String() string {
+	if s.Func == AggCountRows {
+		return "COUNT(*)"
+	}
+	return fmt.Sprintf("%s(%s)", s.Func, s.Arg)
+}
+
+// Accumulator folds rows into one aggregate value; it implements the
+// recompute-from-scratch oracle used by queries without a view, by deferred
+// maintenance, and by the consistency checker.
+type Accumulator struct {
+	spec    AggSpec
+	count   int64
+	sumI    int64
+	sumF    float64
+	isFloat bool
+	anyRow  bool
+	extreme record.Value // MIN/MAX running value
+}
+
+// NewAccumulator returns an empty accumulator for spec.
+func NewAccumulator(spec AggSpec) *Accumulator {
+	return &Accumulator{spec: spec}
+}
+
+// Add folds one source row into the aggregate.
+func (a *Accumulator) Add(row record.Row) error {
+	if a.spec.Func == AggCountRows {
+		a.count++
+		return nil
+	}
+	v, err := a.spec.Arg.Eval(row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // SQL aggregates skip NULLs
+	}
+	switch a.spec.Func {
+	case AggCount:
+		a.count++
+	case AggSum, AggAvg:
+		switch v.Kind() {
+		case record.KindInt64:
+			a.sumI += v.AsInt()
+		case record.KindFloat64:
+			a.sumF += v.AsFloat()
+			a.isFloat = true
+		default:
+			return fmt.Errorf("%w: %s over %s", ErrTypeMismatch, a.spec.Func, v.Kind())
+		}
+		a.count++
+		a.anyRow = true
+	case AggMin:
+		if !a.anyRow || record.Compare(v, a.extreme) < 0 {
+			a.extreme = v
+		}
+		a.anyRow = true
+	case AggMax:
+		if !a.anyRow || record.Compare(v, a.extreme) > 0 {
+			a.extreme = v
+		}
+		a.anyRow = true
+	default:
+		return fmt.Errorf("expr: unknown aggregate %d", a.spec.Func)
+	}
+	return nil
+}
+
+// Result returns the aggregate value: 0 for COUNT over no rows, NULL for
+// SUM/MIN/MAX over no rows.
+func (a *Accumulator) Result() record.Value {
+	switch a.spec.Func {
+	case AggCountRows, AggCount:
+		return record.Int(a.count)
+	case AggSum:
+		if !a.anyRow {
+			return record.Null()
+		}
+		if a.isFloat {
+			return record.Float(a.sumF + float64(a.sumI))
+		}
+		return record.Int(a.sumI)
+	case AggAvg:
+		if !a.anyRow || a.count == 0 {
+			return record.Null()
+		}
+		return record.Float((a.sumF + float64(a.sumI)) / float64(a.count))
+	default:
+		if !a.anyRow {
+			return record.Null()
+		}
+		return a.extreme
+	}
+}

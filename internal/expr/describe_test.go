@@ -1,0 +1,13 @@
+package expr
+
+import "testing"
+
+func TestDescribe(t *testing.T) {
+	out := Describe([]Expr{Col(0), Gt(Col(1), ConstInt(5))})
+	if out != "col0, (col1 > 5)" {
+		t.Fatalf("Describe = %q", out)
+	}
+	if Describe(nil) != "" {
+		t.Fatal("empty Describe")
+	}
+}

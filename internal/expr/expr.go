@@ -1,0 +1,424 @@
+// Package expr implements scalar expressions and predicates over rows, plus
+// the aggregate-function specs used by indexed views. Expressions serialize
+// to bytes so view definitions survive in the catalog across restarts.
+//
+// NULL handling is SQL-flavored but simplified: any NULL operand makes the
+// result NULL, and EvalBool treats a NULL predicate as false.
+package expr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/record"
+)
+
+// Expr is a scalar expression evaluated against a row.
+type Expr interface {
+	// Eval computes the expression over row.
+	Eval(row record.Row) (record.Value, error)
+	// String renders the expression for diagnostics.
+	String() string
+	marshal(dst []byte) []byte
+}
+
+// Errors returned by evaluation.
+var (
+	// ErrColumnRange reports a column reference past the end of the row.
+	ErrColumnRange = errors.New("expr: column index out of range")
+	// ErrTypeMismatch reports operands of incompatible kinds.
+	ErrTypeMismatch = errors.New("expr: type mismatch")
+	// ErrCorrupt reports an undecodable serialized expression.
+	ErrCorrupt = errors.New("expr: corrupt serialized expression")
+)
+
+// op identifies a binary or unary operator.
+type op uint8
+
+const (
+	opAdd op = iota + 1
+	opSub
+	opMul
+	opDiv
+	opEq
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opAnd
+	opOr
+	opNot
+	opNeg
+	opIsNull
+)
+
+var opNames = map[op]string{
+	opAdd: "+", opSub: "-", opMul: "*", opDiv: "/",
+	opEq: "=", opNe: "<>", opLt: "<", opLe: "<=", opGt: ">", opGe: ">=",
+	opAnd: "AND", opOr: "OR", opNot: "NOT", opNeg: "-", opIsNull: "IS NULL",
+}
+
+// colRef references the i-th column of the input row.
+type colRef struct{ idx int }
+
+// Col returns a reference to column idx of the input row.
+func Col(idx int) Expr { return colRef{idx: idx} }
+
+func (c colRef) Eval(row record.Row) (record.Value, error) {
+	if c.idx < 0 || c.idx >= len(row) {
+		return record.Value{}, fmt.Errorf("%w: col %d of %d", ErrColumnRange, c.idx, len(row))
+	}
+	return row[c.idx], nil
+}
+
+func (c colRef) String() string { return fmt.Sprintf("col%d", c.idx) }
+
+// constant is a literal value.
+type constant struct{ v record.Value }
+
+// Const returns a literal expression.
+func Const(v record.Value) Expr { return constant{v: v} }
+
+// ConstInt returns a BIGINT literal.
+func ConstInt(v int64) Expr { return constant{v: record.Int(v)} }
+
+// ConstFloat returns a DOUBLE literal.
+func ConstFloat(v float64) Expr { return constant{v: record.Float(v)} }
+
+// ConstStr returns a VARCHAR literal.
+func ConstStr(v string) Expr { return constant{v: record.Str(v)} }
+
+func (c constant) Eval(record.Row) (record.Value, error) { return c.v, nil }
+func (c constant) String() string                        { return c.v.String() }
+
+// binary applies op to two operands.
+type binOp struct {
+	op   op
+	l, r Expr
+}
+
+// Arithmetic constructors.
+func Add(l, r Expr) Expr { return binOp{op: opAdd, l: l, r: r} }
+func Sub(l, r Expr) Expr { return binOp{op: opSub, l: l, r: r} }
+func Mul(l, r Expr) Expr { return binOp{op: opMul, l: l, r: r} }
+func Div(l, r Expr) Expr { return binOp{op: opDiv, l: l, r: r} }
+
+// Comparison constructors.
+func Eq(l, r Expr) Expr { return binOp{op: opEq, l: l, r: r} }
+func Ne(l, r Expr) Expr { return binOp{op: opNe, l: l, r: r} }
+func Lt(l, r Expr) Expr { return binOp{op: opLt, l: l, r: r} }
+func Le(l, r Expr) Expr { return binOp{op: opLe, l: l, r: r} }
+func Gt(l, r Expr) Expr { return binOp{op: opGt, l: l, r: r} }
+func Ge(l, r Expr) Expr { return binOp{op: opGe, l: l, r: r} }
+
+// Logical constructors.
+func And(l, r Expr) Expr { return binOp{op: opAnd, l: l, r: r} }
+func Or(l, r Expr) Expr  { return binOp{op: opOr, l: l, r: r} }
+
+func (b binOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.l, opNames[b.op], b.r)
+}
+
+func (b binOp) Eval(row record.Row) (record.Value, error) {
+	lv, err := b.l.Eval(row)
+	if err != nil {
+		return record.Value{}, err
+	}
+	rv, err := b.r.Eval(row)
+	if err != nil {
+		return record.Value{}, err
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return record.Null(), nil
+	}
+	switch b.op {
+	case opAdd, opSub, opMul, opDiv:
+		return evalArith(b.op, lv, rv)
+	case opEq, opNe, opLt, opLe, opGt, opGe:
+		return evalCompare(b.op, lv, rv)
+	case opAnd, opOr:
+		if lv.Kind() != record.KindBool || rv.Kind() != record.KindBool {
+			return record.Value{}, fmt.Errorf("%w: %s needs booleans", ErrTypeMismatch, opNames[b.op])
+		}
+		if b.op == opAnd {
+			return record.Bool(lv.AsBool() && rv.AsBool()), nil
+		}
+		return record.Bool(lv.AsBool() || rv.AsBool()), nil
+	default:
+		return record.Value{}, fmt.Errorf("expr: invalid binary op %d", b.op)
+	}
+}
+
+func evalArith(o op, l, r record.Value) (record.Value, error) {
+	// String concatenation via +.
+	if o == opAdd && l.Kind() == record.KindString && r.Kind() == record.KindString {
+		return record.Str(l.AsString() + r.AsString()), nil
+	}
+	if l.Kind() == record.KindInt64 && r.Kind() == record.KindInt64 {
+		a, b := l.AsInt(), r.AsInt()
+		switch o {
+		case opAdd:
+			return record.Int(a + b), nil
+		case opSub:
+			return record.Int(a - b), nil
+		case opMul:
+			return record.Int(a * b), nil
+		case opDiv:
+			if b == 0 {
+				return record.Null(), nil
+			}
+			return record.Int(a / b), nil
+		}
+	}
+	a, aok := l.Numeric()
+	b, bok := r.Numeric()
+	if !aok || !bok {
+		return record.Value{}, fmt.Errorf("%w: %s on %s and %s", ErrTypeMismatch, opNames[o], l.Kind(), r.Kind())
+	}
+	switch o {
+	case opAdd:
+		return record.Float(a + b), nil
+	case opSub:
+		return record.Float(a - b), nil
+	case opMul:
+		return record.Float(a * b), nil
+	default:
+		if b == 0 {
+			return record.Null(), nil
+		}
+		return record.Float(a / b), nil
+	}
+}
+
+func evalCompare(o op, l, r record.Value) (record.Value, error) {
+	var c int
+	if l.Kind() == r.Kind() {
+		c = record.Compare(l, r)
+	} else {
+		a, aok := l.Numeric()
+		b, bok := r.Numeric()
+		if !aok || !bok {
+			return record.Value{}, fmt.Errorf("%w: compare %s with %s", ErrTypeMismatch, l.Kind(), r.Kind())
+		}
+		switch {
+		case a < b:
+			c = -1
+		case a > b:
+			c = 1
+		}
+	}
+	var out bool
+	switch o {
+	case opEq:
+		out = c == 0
+	case opNe:
+		out = c != 0
+	case opLt:
+		out = c < 0
+	case opLe:
+		out = c <= 0
+	case opGt:
+		out = c > 0
+	case opGe:
+		out = c >= 0
+	}
+	return record.Bool(out), nil
+}
+
+// unary applies op to one operand.
+type unary struct {
+	op op
+	x  Expr
+}
+
+// Not negates a boolean expression.
+func Not(x Expr) Expr { return unary{op: opNot, x: x} }
+
+// Neg negates a numeric expression.
+func Neg(x Expr) Expr { return unary{op: opNeg, x: x} }
+
+// IsNull tests for NULL (and is the only expression that never returns NULL).
+func IsNull(x Expr) Expr { return unary{op: opIsNull, x: x} }
+
+func (u unary) String() string {
+	if u.op == opIsNull {
+		return fmt.Sprintf("(%s IS NULL)", u.x)
+	}
+	return fmt.Sprintf("(%s %s)", opNames[u.op], u.x)
+}
+
+func (u unary) Eval(row record.Row) (record.Value, error) {
+	v, err := u.x.Eval(row)
+	if err != nil {
+		return record.Value{}, err
+	}
+	switch u.op {
+	case opIsNull:
+		return record.Bool(v.IsNull()), nil
+	case opNot:
+		if v.IsNull() {
+			return record.Null(), nil
+		}
+		if v.Kind() != record.KindBool {
+			return record.Value{}, fmt.Errorf("%w: NOT on %s", ErrTypeMismatch, v.Kind())
+		}
+		return record.Bool(!v.AsBool()), nil
+	case opNeg:
+		if v.IsNull() {
+			return record.Null(), nil
+		}
+		switch v.Kind() {
+		case record.KindInt64:
+			return record.Int(-v.AsInt()), nil
+		case record.KindFloat64:
+			return record.Float(-v.AsFloat()), nil
+		}
+		return record.Value{}, fmt.Errorf("%w: negate %s", ErrTypeMismatch, v.Kind())
+	default:
+		return record.Value{}, fmt.Errorf("expr: invalid unary op %d", u.op)
+	}
+}
+
+// EvalBool evaluates a predicate; NULL counts as false.
+func EvalBool(e Expr, row record.Row) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	v, err := e.Eval(row)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	if v.Kind() != record.KindBool {
+		return false, fmt.Errorf("%w: predicate is %s, not BOOL", ErrTypeMismatch, v.Kind())
+	}
+	return v.AsBool(), nil
+}
+
+// Serialization tags.
+const (
+	tagCol    byte = 1
+	tagConst  byte = 2
+	tagBinary byte = 3
+	tagUnary  byte = 4
+)
+
+// Marshal serializes an expression; nil encodes as an empty slice.
+func Marshal(e Expr) []byte {
+	if e == nil {
+		return nil
+	}
+	return e.marshal(nil)
+}
+
+func (c colRef) marshal(dst []byte) []byte {
+	dst = append(dst, tagCol)
+	return binary.AppendUvarint(dst, uint64(c.idx))
+}
+
+func (c constant) marshal(dst []byte) []byte {
+	dst = append(dst, tagConst)
+	enc := record.EncodeRow(record.Row{c.v})
+	dst = binary.AppendUvarint(dst, uint64(len(enc)))
+	return append(dst, enc...)
+}
+
+func (b binOp) marshal(dst []byte) []byte {
+	dst = append(dst, tagBinary, byte(b.op))
+	dst = b.l.marshal(dst)
+	return b.r.marshal(dst)
+}
+
+func (u unary) marshal(dst []byte) []byte {
+	dst = append(dst, tagUnary, byte(u.op))
+	return u.x.marshal(dst)
+}
+
+// Unmarshal parses a serialized expression; an empty input yields nil.
+func Unmarshal(buf []byte) (Expr, error) {
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	e, rest, err := unmarshal(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return e, nil
+}
+
+func unmarshal(buf []byte) (Expr, []byte, error) {
+	if len(buf) == 0 {
+		return nil, nil, ErrCorrupt
+	}
+	tag := buf[0]
+	buf = buf[1:]
+	switch tag {
+	case tagCol:
+		idx, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, nil, ErrCorrupt
+		}
+		return colRef{idx: int(idx)}, buf[n:], nil
+	case tagConst:
+		n, used := binary.Uvarint(buf)
+		if used <= 0 || n > uint64(len(buf)-used) {
+			return nil, nil, ErrCorrupt
+		}
+		row, err := record.DecodeRow(buf[used : used+int(n)])
+		if err != nil || len(row) != 1 {
+			return nil, nil, ErrCorrupt
+		}
+		return constant{v: row[0]}, buf[used+int(n):], nil
+	case tagBinary:
+		if len(buf) == 0 {
+			return nil, nil, ErrCorrupt
+		}
+		o := op(buf[0])
+		if opNames[o] == "" || o == opNot || o == opNeg || o == opIsNull {
+			return nil, nil, ErrCorrupt
+		}
+		l, rest, err := unmarshal(buf[1:])
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rest, err := unmarshal(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		return newBinOp(o, l, r), rest, nil
+	case tagUnary:
+		if len(buf) == 0 {
+			return nil, nil, ErrCorrupt
+		}
+		o := op(buf[0])
+		if o != opNot && o != opNeg && o != opIsNull {
+			return nil, nil, ErrCorrupt
+		}
+		x, rest, err := unmarshal(buf[1:])
+		if err != nil {
+			return nil, nil, err
+		}
+		return unary{op: o, x: x}, rest, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: tag %d", ErrCorrupt, tag)
+	}
+}
+
+func newBinOp(o op, l, r Expr) Expr { return binOp{op: o, l: l, r: r} }
+
+// Describe joins rendered expressions for catalog listings.
+func Describe(exprs []Expr) string {
+	parts := make([]string, len(exprs))
+	for i, e := range exprs {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,316 @@
+package expr
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/record"
+)
+
+var row = record.Row{record.Int(10), record.Str("abc"), record.Float(2.5), record.Bool(true), record.Null()}
+
+func eval(t *testing.T, e Expr) record.Value {
+	t.Helper()
+	v, err := e.Eval(row)
+	if err != nil {
+		t.Fatalf("%s: %v", e, err)
+	}
+	return v
+}
+
+func TestColAndConst(t *testing.T) {
+	if v := eval(t, Col(0)); v.AsInt() != 10 {
+		t.Fatalf("col0 = %v", v)
+	}
+	if v := eval(t, ConstStr("x")); v.AsString() != "x" {
+		t.Fatalf("const = %v", v)
+	}
+	if _, err := Col(9).Eval(row); !errors.Is(err, ErrColumnRange) {
+		t.Fatalf("out of range err = %v", err)
+	}
+	if _, err := Col(-1).Eval(row); !errors.Is(err, ErrColumnRange) {
+		t.Fatalf("negative col err = %v", err)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want record.Value
+	}{
+		{Add(Col(0), ConstInt(5)), record.Int(15)},
+		{Sub(Col(0), ConstInt(3)), record.Int(7)},
+		{Mul(Col(0), ConstInt(4)), record.Int(40)},
+		{Div(Col(0), ConstInt(3)), record.Int(3)},
+		{Div(Col(0), ConstInt(0)), record.Null()},
+		{Add(Col(0), Col(2)), record.Float(12.5)},
+		{Mul(Col(2), ConstFloat(2)), record.Float(5)},
+		{Div(ConstFloat(5), ConstFloat(0)), record.Null()},
+		{Add(Col(1), ConstStr("!")), record.Str("abc!")},
+		{Neg(Col(0)), record.Int(-10)},
+		{Neg(Col(2)), record.Float(-2.5)},
+		{Add(Col(4), ConstInt(1)), record.Null()}, // NULL propagates
+	}
+	for _, c := range cases {
+		got := eval(t, c.e)
+		if record.Compare(got, c.want) != 0 {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+	if _, err := Add(Col(1), ConstInt(1)).Eval(row); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("string+int err = %v", err)
+	}
+	if _, err := Neg(Col(1)).Eval(row); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("neg string err = %v", err)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	trueCases := []Expr{
+		Eq(Col(0), ConstInt(10)),
+		Ne(Col(0), ConstInt(9)),
+		Lt(Col(0), ConstInt(11)),
+		Le(Col(0), ConstInt(10)),
+		Gt(Col(0), ConstInt(9)),
+		Ge(Col(0), ConstInt(10)),
+		Eq(Col(1), ConstStr("abc")),
+		Lt(Col(2), ConstInt(3)), // mixed numeric compare
+		Gt(ConstInt(3), Col(2)),
+	}
+	for _, e := range trueCases {
+		if v := eval(t, e); !v.AsBool() {
+			t.Errorf("%s = false, want true", e)
+		}
+	}
+	if v := eval(t, Eq(Col(4), ConstInt(1))); !v.IsNull() {
+		t.Errorf("NULL compare = %v", v)
+	}
+	if _, err := Lt(Col(1), ConstInt(1)).Eval(row); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("string<int err = %v", err)
+	}
+}
+
+func TestLogic(t *testing.T) {
+	tr, fa := Const(record.Bool(true)), Const(record.Bool(false))
+	if !eval(t, And(tr, tr)).AsBool() || eval(t, And(tr, fa)).AsBool() {
+		t.Fatal("AND wrong")
+	}
+	if !eval(t, Or(fa, tr)).AsBool() || eval(t, Or(fa, fa)).AsBool() {
+		t.Fatal("OR wrong")
+	}
+	if eval(t, Not(tr)).AsBool() {
+		t.Fatal("NOT wrong")
+	}
+	if !eval(t, IsNull(Col(4))).AsBool() || eval(t, IsNull(Col(0))).AsBool() {
+		t.Fatal("IS NULL wrong")
+	}
+	if v := eval(t, Not(Col(4))); !v.IsNull() {
+		t.Fatal("NOT NULL should be NULL")
+	}
+	if _, err := And(Col(0), tr).Eval(row); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatal("AND over int should fail")
+	}
+}
+
+func TestEvalBool(t *testing.T) {
+	ok, err := EvalBool(Gt(Col(0), ConstInt(5)), row)
+	if err != nil || !ok {
+		t.Fatalf("EvalBool = %v, %v", ok, err)
+	}
+	ok, err = EvalBool(Eq(Col(4), ConstInt(1)), row) // NULL -> false
+	if err != nil || ok {
+		t.Fatalf("NULL predicate = %v, %v", ok, err)
+	}
+	ok, err = EvalBool(nil, row) // nil predicate -> true
+	if err != nil || !ok {
+		t.Fatalf("nil predicate = %v, %v", ok, err)
+	}
+	if _, err := EvalBool(Col(0), row); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("non-bool predicate err = %v", err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := And(Gt(Col(0), ConstInt(5)), IsNull(Col(4)))
+	want := "((col0 > 5) AND (col4 IS NULL))"
+	if e.String() != want {
+		t.Fatalf("String = %q, want %q", e.String(), want)
+	}
+}
+
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Col(rng.Intn(5))
+		case 1:
+			return ConstInt(int64(rng.Intn(100) - 50))
+		case 2:
+			return ConstFloat(float64(rng.Intn(100)) / 4)
+		default:
+			return ConstStr(string(rune('a' + rng.Intn(26))))
+		}
+	}
+	l, r := randomExpr(rng, depth-1), randomExpr(rng, depth-1)
+	switch rng.Intn(13) {
+	case 0:
+		return Add(l, r)
+	case 1:
+		return Sub(l, r)
+	case 2:
+		return Mul(l, r)
+	case 3:
+		return Div(l, r)
+	case 4:
+		return Eq(l, r)
+	case 5:
+		return Ne(l, r)
+	case 6:
+		return Lt(l, r)
+	case 7:
+		return Le(l, r)
+	case 8:
+		return Gt(l, r)
+	case 9:
+		return Ge(l, r)
+	case 10:
+		return And(l, r)
+	case 11:
+		return Not(l)
+	default:
+		return IsNull(l)
+	}
+}
+
+// Property: Marshal/Unmarshal round-trips arbitrary expression trees, both
+// structurally and behaviorally.
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 800,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			args[0] = reflect.ValueOf(randomExpr(rng, 4))
+		},
+	}
+	f := func(e Expr) bool {
+		dec, err := Unmarshal(Marshal(e))
+		if err != nil {
+			return false
+		}
+		if dec.String() != e.String() {
+			return false
+		}
+		v1, err1 := e.Eval(row)
+		v2, err2 := dec.Eval(row)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		return err1 != nil || record.Compare(v1, v2) == 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalNil(t *testing.T) {
+	if b := Marshal(nil); len(b) != 0 {
+		t.Fatal("nil should marshal empty")
+	}
+	e, err := Unmarshal(nil)
+	if err != nil || e != nil {
+		t.Fatal("empty should unmarshal to nil")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good := Marshal(And(Eq(Col(1), ConstStr("abc")), Gt(Col(0), ConstInt(3))))
+	for i := 1; i < len(good); i++ {
+		if _, err := Unmarshal(good[:i]); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+	if _, err := Unmarshal([]byte{99}); err == nil {
+		t.Error("bad tag accepted")
+	}
+	if _, err := Unmarshal(append(good, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Unary op in binary slot and vice versa.
+	if _, err := Unmarshal([]byte{tagBinary, byte(opNot), tagCol, 0, tagCol, 1}); err == nil {
+		t.Error("unary op as binary accepted")
+	}
+	if _, err := Unmarshal([]byte{tagUnary, byte(opAdd), tagCol, 0}); err == nil {
+		t.Error("binary op as unary accepted")
+	}
+}
+
+func TestAggEscrowable(t *testing.T) {
+	if !AggCountRows.Escrowable() || !AggCount.Escrowable() || !AggSum.Escrowable() {
+		t.Fatal("COUNT/SUM must be escrowable")
+	}
+	if AggMin.Escrowable() || AggMax.Escrowable() {
+		t.Fatal("MIN/MAX must not be escrowable")
+	}
+}
+
+func TestAccumulators(t *testing.T) {
+	rows := []record.Row{
+		{record.Int(5), record.Float(1.5)},
+		{record.Int(-2), record.Float(2.0)},
+		{record.Null(), record.Float(0.5)},
+		{record.Int(7), record.Null()},
+	}
+	cases := []struct {
+		spec AggSpec
+		want record.Value
+	}{
+		{AggSpec{Func: AggCountRows}, record.Int(4)},
+		{AggSpec{Func: AggCount, Arg: Col(0)}, record.Int(3)},
+		{AggSpec{Func: AggCount, Arg: Col(1)}, record.Int(3)},
+		{AggSpec{Func: AggSum, Arg: Col(0)}, record.Int(10)},
+		{AggSpec{Func: AggSum, Arg: Col(1)}, record.Float(4.0)},
+		{AggSpec{Func: AggMin, Arg: Col(0)}, record.Int(-2)},
+		{AggSpec{Func: AggMax, Arg: Col(0)}, record.Int(7)},
+		{AggSpec{Func: AggMax, Arg: Col(1)}, record.Float(2.0)},
+	}
+	for _, c := range cases {
+		acc := NewAccumulator(c.spec)
+		for _, r := range rows {
+			if err := acc.Add(r); err != nil {
+				t.Fatalf("%s: %v", c.spec, err)
+			}
+		}
+		if got := acc.Result(); record.Compare(got, c.want) != 0 {
+			t.Errorf("%s = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestAccumulatorEmptyGroups(t *testing.T) {
+	if v := NewAccumulator(AggSpec{Func: AggCountRows}).Result(); v.AsInt() != 0 {
+		t.Fatal("empty COUNT(*) != 0")
+	}
+	if v := NewAccumulator(AggSpec{Func: AggSum, Arg: Col(0)}).Result(); !v.IsNull() {
+		t.Fatal("empty SUM not NULL")
+	}
+	if v := NewAccumulator(AggSpec{Func: AggMin, Arg: Col(0)}).Result(); !v.IsNull() {
+		t.Fatal("empty MIN not NULL")
+	}
+}
+
+func TestAccumulatorSumTypeError(t *testing.T) {
+	acc := NewAccumulator(AggSpec{Func: AggSum, Arg: Col(0)})
+	if err := acc.Add(record.Row{record.Str("no")}); err == nil {
+		t.Fatal("SUM over string accepted")
+	}
+}
+
+func BenchmarkEvalPredicate(b *testing.B) {
+	e := And(Gt(Col(0), ConstInt(5)), Lt(Col(2), ConstFloat(10)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EvalBool(e, row)
+	}
+}

@@ -1,0 +1,47 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/record"
+)
+
+// FuzzUnmarshal: arbitrary bytes must never panic the expression decoder,
+// and any expression that decodes must be marshalable, re-decodable, and
+// behaviorally identical.
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []Expr{
+		Col(0),
+		ConstInt(42),
+		And(Gt(Col(0), ConstInt(5)), IsNull(Col(2))),
+		Div(Mul(Col(1), ConstFloat(2.5)), Sub(Col(0), ConstInt(1))),
+		Not(Eq(ConstStr("x"), Col(3))),
+	}
+	for _, e := range seeds {
+		f.Add(Marshal(e))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{tagBinary, 99})
+	sample := record.Row{record.Int(7), record.Float(1.5), record.Null(), record.Str("s")}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Unmarshal(data)
+		if err != nil || e == nil {
+			return
+		}
+		again, err := Unmarshal(Marshal(e))
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if again.String() != e.String() {
+			t.Fatalf("round trip changed %s to %s", e, again)
+		}
+		v1, err1 := e.Eval(sample)
+		v2, err2 := again.Eval(sample)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("eval divergence: %v vs %v", err1, err2)
+		}
+		if err1 == nil && record.Compare(v1, v2) != 0 {
+			t.Fatalf("eval results differ: %v vs %v", v1, v2)
+		}
+	})
+}

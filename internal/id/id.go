@@ -1,0 +1,23 @@
+// Package id defines the identifier types shared by the storage, logging,
+// locking, and transaction layers.
+package id
+
+import "fmt"
+
+// Txn identifies a transaction. User transactions and system transactions
+// (the paper's nested top-level actions) share one ID space; system
+// transactions are flagged in the transaction manager, not in the ID.
+type Txn uint64
+
+// None is the zero Txn, meaning "no transaction".
+const None Txn = 0
+
+// String renders the ID for logs and errors.
+func (t Txn) String() string { return fmt.Sprintf("txn-%d", uint64(t)) }
+
+// Tree identifies a B-tree index: a table's clustered index, a secondary
+// index, or an indexed view.
+type Tree uint32
+
+// String renders the ID for logs and errors.
+func (t Tree) String() string { return fmt.Sprintf("tree-%d", uint32(t)) }

@@ -1,0 +1,15 @@
+package id
+
+import "testing"
+
+func TestStrings(t *testing.T) {
+	if Txn(7).String() != "txn-7" {
+		t.Fatalf("Txn.String = %q", Txn(7).String())
+	}
+	if Tree(3).String() != "tree-3" {
+		t.Fatalf("Tree.String = %q", Tree(3).String())
+	}
+	if None != Txn(0) {
+		t.Fatal("None must be the zero Txn")
+	}
+}

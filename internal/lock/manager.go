@@ -1,0 +1,372 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/id"
+)
+
+// Resource names a lockable object: a whole tree (Key == "") or one key
+// within a tree.
+type Resource struct {
+	Tree id.Tree
+	Key  string
+}
+
+// TreeResource returns the whole-tree resource (for intention and escalated
+// locks).
+func TreeResource(t id.Tree) Resource { return Resource{Tree: t} }
+
+// KeyResource returns the resource for one key of a tree.
+func KeyResource(t id.Tree, key []byte) Resource {
+	return Resource{Tree: t, Key: string(key)}
+}
+
+// String renders the resource for errors and traces.
+func (r Resource) String() string {
+	if r.Key == "" {
+		return r.Tree.String()
+	}
+	return fmt.Sprintf("%s[%x]", r.Tree, r.Key)
+}
+
+// Errors returned by Lock.
+var (
+	// ErrDeadlock aborts the requester chosen as deadlock victim.
+	ErrDeadlock = errors.New("lock: deadlock detected")
+	// ErrTimeout reports that the lock wait exceeded its timeout.
+	ErrTimeout = errors.New("lock: wait timed out")
+)
+
+// Stats are cumulative lock-manager counters, read with Snapshot.
+type Stats struct {
+	Requests  int64 // total Lock calls
+	Waits     int64 // calls that blocked
+	Deadlocks int64 // requests aborted as deadlock victims
+	Timeouts  int64 // requests aborted by timeout
+}
+
+// request is one waiting lock request.
+type request struct {
+	txn     id.Txn
+	mode    Mode // target mode (already the sup for conversions)
+	convert bool // the txn already holds the resource in a weaker mode
+	granted chan error
+}
+
+// lockState is the queue and grant table for one resource.
+type lockState struct {
+	granted map[id.Txn]Mode
+	queue   []*request
+}
+
+// Manager is the lock manager. One instance serves a whole database.
+type Manager struct {
+	mu     sync.Mutex
+	table  map[Resource]*lockState
+	held   map[id.Txn]map[Resource]Mode // reverse index for ReleaseAll
+	waits  map[id.Txn]map[id.Txn]bool   // waits-for graph
+	wanted map[id.Txn]*request          // the single request a txn may be blocked on
+
+	requests  atomic.Int64
+	waitCount atomic.Int64
+	deadlocks atomic.Int64
+	timeouts  atomic.Int64
+
+	// DefaultTimeout bounds waits when Lock is called with timeout 0.
+	DefaultTimeout time.Duration
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		table:          make(map[Resource]*lockState),
+		held:           make(map[id.Txn]map[Resource]Mode),
+		waits:          make(map[id.Txn]map[id.Txn]bool),
+		wanted:         make(map[id.Txn]*request),
+		DefaultTimeout: 10 * time.Second,
+	}
+}
+
+// Snapshot returns the cumulative counters.
+func (m *Manager) Snapshot() Stats {
+	return Stats{
+		Requests:  m.requests.Load(),
+		Waits:     m.waitCount.Load(),
+		Deadlocks: m.deadlocks.Load(),
+		Timeouts:  m.timeouts.Load(),
+	}
+}
+
+// Lock acquires res in mode for txn, blocking until granted, deadlock, or
+// timeout (0 means DefaultTimeout). Re-requests in covered modes return
+// immediately; stronger modes convert. Conversions wait ahead of new
+// requests.
+func (m *Manager) Lock(txn id.Txn, res Resource, mode Mode, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = m.DefaultTimeout
+	}
+	m.requests.Add(1)
+
+	m.mu.Lock()
+	ls := m.table[res]
+	if ls == nil {
+		ls = &lockState{granted: make(map[id.Txn]Mode)}
+		m.table[res] = ls
+	}
+	cur := ls.granted[txn]
+	target := Sup(cur, mode)
+	if cur != ModeNone && target == cur {
+		m.mu.Unlock()
+		return nil // already covered
+	}
+	convert := cur != ModeNone
+	if m.grantable(ls, txn, target) && (convert || m.noEarlierWaiter(ls)) {
+		m.grant(ls, txn, res, target)
+		m.mu.Unlock()
+		return nil
+	}
+
+	// Must wait.
+	req := &request{txn: txn, mode: target, convert: convert, granted: make(chan error, 1)}
+	if convert {
+		// Conversions queue ahead of non-conversions.
+		i := 0
+		for i < len(ls.queue) && ls.queue[i].convert {
+			i++
+		}
+		ls.queue = append(ls.queue, nil)
+		copy(ls.queue[i+1:], ls.queue[i:])
+		ls.queue[i] = req
+	} else {
+		ls.queue = append(ls.queue, req)
+	}
+	m.wanted[txn] = req
+	m.rebuildEdges(res, ls)
+	if m.cycleFrom(txn) {
+		m.deadlocks.Add(1)
+		m.dropRequest(res, ls, req)
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s requesting %s on %s", ErrDeadlock, txn, target, res)
+	}
+	m.waitCount.Add(1)
+	m.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-req.granted:
+		return err
+	case <-timer.C:
+		m.mu.Lock()
+		// The grant may have raced the timer.
+		select {
+		case err := <-req.granted:
+			m.mu.Unlock()
+			return err
+		default:
+		}
+		m.timeouts.Add(1)
+		m.dropRequest(res, ls, req)
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s requesting %s on %s", ErrTimeout, txn, target, res)
+	}
+}
+
+// grantable reports whether txn may hold res in mode given current grants
+// (ignoring txn's own current grant, which a conversion replaces).
+func (m *Manager) grantable(ls *lockState, txn id.Txn, mode Mode) bool {
+	for holder, held := range ls.granted {
+		if holder == txn {
+			continue
+		}
+		if !Compatible(held, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// noEarlierWaiter reports whether the queue has no waiting request that a
+// new (non-conversion) request must respect under FIFO fairness.
+func (m *Manager) noEarlierWaiter(ls *lockState) bool { return len(ls.queue) == 0 }
+
+func (m *Manager) grant(ls *lockState, txn id.Txn, res Resource, mode Mode) {
+	ls.granted[txn] = mode
+	h := m.held[txn]
+	if h == nil {
+		h = make(map[Resource]Mode)
+		m.held[txn] = h
+	}
+	h[res] = mode
+}
+
+// dropRequest removes a waiting request (victim or timeout) and re-runs the
+// grant scan, since the drop may unblock others.
+func (m *Manager) dropRequest(res Resource, ls *lockState, req *request) {
+	for i, r := range ls.queue {
+		if r == req {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			break
+		}
+	}
+	if m.wanted[req.txn] == req {
+		delete(m.wanted, req.txn)
+		delete(m.waits, req.txn)
+	}
+	m.scan(res, ls)
+}
+
+// scan grants queued requests in order, stopping at the first that cannot
+// proceed, then refreshes the waits-for edges of the remainder.
+func (m *Manager) scan(res Resource, ls *lockState) {
+	for len(ls.queue) > 0 {
+		req := ls.queue[0]
+		if !m.grantable(ls, req.txn, req.mode) {
+			break
+		}
+		ls.queue = ls.queue[1:]
+		m.grant(ls, req.txn, res, req.mode)
+		if m.wanted[req.txn] == req {
+			delete(m.wanted, req.txn)
+			delete(m.waits, req.txn)
+		}
+		req.granted <- nil
+	}
+	m.rebuildEdges(res, ls)
+	m.gcState(res, ls)
+}
+
+// rebuildEdges recomputes waits-for edges for every waiter on res: a waiter
+// waits for incompatible grant holders and for every earlier waiter.
+func (m *Manager) rebuildEdges(res Resource, ls *lockState) {
+	for i, req := range ls.queue {
+		edges := make(map[id.Txn]bool)
+		for holder, held := range ls.granted {
+			if holder != req.txn && !Compatible(held, req.mode) {
+				edges[holder] = true
+			}
+		}
+		for j := 0; j < i; j++ {
+			if ls.queue[j].txn != req.txn {
+				edges[ls.queue[j].txn] = true
+			}
+		}
+		m.waits[req.txn] = edges
+	}
+}
+
+// cycleFrom reports whether the waits-for graph has a cycle reachable from
+// start that returns to start.
+func (m *Manager) cycleFrom(start id.Txn) bool {
+	seen := map[id.Txn]bool{}
+	var dfs func(t id.Txn) bool
+	dfs = func(t id.Txn) bool {
+		for next := range m.waits[t] {
+			if next == start {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+func (m *Manager) gcState(res Resource, ls *lockState) {
+	if len(ls.granted) == 0 && len(ls.queue) == 0 {
+		delete(m.table, res)
+	}
+}
+
+// Unlock releases txn's lock on res (used by system transactions, which hold
+// short locks). It is a no-op when nothing is held.
+func (m *Manager) Unlock(txn id.Txn, res Resource) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.release(txn, res)
+}
+
+func (m *Manager) release(txn id.Txn, res Resource) {
+	ls := m.table[res]
+	if ls == nil {
+		return
+	}
+	if _, ok := ls.granted[txn]; !ok {
+		return
+	}
+	delete(ls.granted, txn)
+	if h := m.held[txn]; h != nil {
+		delete(h, res)
+		if len(h) == 0 {
+			delete(m.held, txn)
+		}
+	}
+	m.scan(res, ls)
+}
+
+// ReleaseAll releases every lock txn holds (commit or abort).
+func (m *Manager) ReleaseAll(txn id.Txn) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.held[txn]
+	if h == nil {
+		return
+	}
+	resources := make([]Resource, 0, len(h))
+	for res := range h {
+		resources = append(resources, res)
+	}
+	for _, res := range resources {
+		m.release(txn, res)
+	}
+}
+
+// HeldMode returns the mode txn currently holds on res.
+func (m *Manager) HeldMode(txn id.Txn, res Resource) Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h := m.held[txn]; h != nil {
+		return h[res]
+	}
+	return ModeNone
+}
+
+// CountKeyLocks counts the key-granular locks txn holds within tree; the
+// engine consults it for lock escalation.
+func (m *Manager) CountKeyLocks(txn id.Txn, tree id.Tree) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for res := range m.held[txn] {
+		if res.Tree == tree && res.Key != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// ReleaseKeyLocks drops every key-granular lock txn holds within tree; used
+// after escalation replaced them with a tree lock.
+func (m *Manager) ReleaseKeyLocks(txn id.Txn, tree id.Tree) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var drop []Resource
+	for res := range m.held[txn] {
+		if res.Tree == tree && res.Key != "" {
+			drop = append(drop, res)
+		}
+	}
+	for _, res := range drop {
+		m.release(txn, res)
+	}
+}

@@ -1,0 +1,94 @@
+// Package lock implements the lock manager: multi-granularity lock modes
+// (IS, IX, S, U, X) extended with the paper's escrow mode E (the "IncDec"
+// lock), FIFO queueing with conversion priority, waits-for deadlock
+// detection, timeouts, and lock-escalation accounting.
+//
+// E is the heart of the paper's concurrency contribution: increments and
+// decrements of SUM/COUNT aggregates commute, so E is compatible with E (and
+// with intention modes) while conflicting with S, U, and X. Many writers may
+// therefore update the same aggregate view row concurrently, while readers
+// who need a stable value still conflict.
+package lock
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes, weakest to strongest along the upgrade lattice.
+const (
+	// ModeNone is the absence of a lock.
+	ModeNone Mode = iota
+	// ModeIS is intention-shared, taken on a tree before S key locks.
+	ModeIS
+	// ModeIX is intention-exclusive, taken on a tree before X/E key locks.
+	ModeIX
+	// ModeS is shared.
+	ModeS
+	// ModeU is update: read now with intent to upgrade to X; compatible
+	// with S but not with another U (prevents upgrade deadlocks).
+	ModeU
+	// ModeX is exclusive.
+	ModeX
+	// ModeE is the escrow (IncDec) mode: compatible with itself and with
+	// intention modes, incompatible with S, U, and X.
+	ModeE
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "-"
+	case ModeIS:
+		return "IS"
+	case ModeIX:
+		return "IX"
+	case ModeS:
+		return "S"
+	case ModeU:
+		return "U"
+	case ModeX:
+		return "X"
+	case ModeE:
+		return "E"
+	default:
+		return "?"
+	}
+}
+
+// compatible[a][b] reports whether a granted lock in mode a coexists with a
+// request in mode b.
+var compatible = [8][8]bool{
+	ModeIS: {ModeIS: true, ModeIX: true, ModeS: true, ModeU: true, ModeX: false, ModeE: true},
+	ModeIX: {ModeIS: true, ModeIX: true, ModeS: false, ModeU: false, ModeX: false, ModeE: true},
+	ModeS:  {ModeIS: true, ModeIX: false, ModeS: true, ModeU: true, ModeX: false, ModeE: false},
+	ModeU:  {ModeIS: true, ModeIX: false, ModeS: true, ModeU: false, ModeX: false, ModeE: false},
+	ModeX:  {},
+	ModeE:  {ModeIS: true, ModeIX: true, ModeS: false, ModeU: false, ModeX: false, ModeE: true},
+}
+
+// Compatible reports whether a granted lock in mode a coexists with a
+// request in mode b. ModeNone is compatible with everything.
+func Compatible(a, b Mode) bool {
+	if a == ModeNone || b == ModeNone {
+		return true
+	}
+	return compatible[a][b]
+}
+
+// sup[a][b] is the least mode at least as strong as both a and b: the mode a
+// holder converts to when it re-requests in a different mode.
+var sup = [8][8]Mode{
+	ModeNone: {ModeNone: ModeNone, ModeIS: ModeIS, ModeIX: ModeIX, ModeS: ModeS, ModeU: ModeU, ModeX: ModeX, ModeE: ModeE},
+	ModeIS:   {ModeNone: ModeIS, ModeIS: ModeIS, ModeIX: ModeIX, ModeS: ModeS, ModeU: ModeU, ModeX: ModeX, ModeE: ModeE},
+	ModeIX:   {ModeNone: ModeIX, ModeIS: ModeIX, ModeIX: ModeIX, ModeS: ModeX, ModeU: ModeX, ModeX: ModeX, ModeE: ModeE},
+	ModeS:    {ModeNone: ModeS, ModeIS: ModeS, ModeIX: ModeX, ModeS: ModeS, ModeU: ModeU, ModeX: ModeX, ModeE: ModeX},
+	ModeU:    {ModeNone: ModeU, ModeIS: ModeU, ModeIX: ModeX, ModeS: ModeU, ModeU: ModeU, ModeX: ModeX, ModeE: ModeX},
+	ModeX:    {ModeNone: ModeX, ModeIS: ModeX, ModeIX: ModeX, ModeS: ModeX, ModeU: ModeX, ModeX: ModeX, ModeE: ModeX},
+	ModeE:    {ModeNone: ModeE, ModeIS: ModeE, ModeIX: ModeE, ModeS: ModeX, ModeU: ModeX, ModeX: ModeX, ModeE: ModeE},
+}
+
+// Sup returns the least mode at least as strong as both a and b.
+func Sup(a, b Mode) Mode { return sup[a][b] }
+
+// Covers reports whether holding mode a already satisfies a request for b.
+func Covers(a, b Mode) bool { return Sup(a, b) == a }

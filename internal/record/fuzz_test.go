@@ -1,0 +1,71 @@
+package record
+
+import (
+	"math"
+	"testing"
+)
+
+// rowsEquivalent compares rows treating NaN as equal to NaN.
+func rowsEquivalent(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind() != b[i].Kind() {
+			return false
+		}
+		if a[i].Kind() == KindFloat64 &&
+			math.IsNaN(a[i].AsFloat()) && math.IsNaN(b[i].AsFloat()) {
+			continue
+		}
+		if Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzDecodeKey: arbitrary bytes must never panic the key decoder, and any
+// row that decodes must survive a re-encode/re-decode round trip (byte
+// identity is not required: non-minimal varints decode but re-encode
+// canonically).
+func FuzzDecodeKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeKey(Row{Int(42), Str("abc")}))
+	f.Add(EncodeKey(Row{Null(), Bool(true), Float(2.5), Bytes([]byte{0, 0xFF})}))
+	f.Add([]byte{tagString, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		row, err := DecodeKey(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeKey(EncodeKey(row))
+		if err != nil {
+			t.Fatalf("re-decode failed for %x: %v", data, err)
+		}
+		if !rowsEquivalent(row, again) {
+			t.Fatalf("round trip changed %v to %v", row, again)
+		}
+	})
+}
+
+// FuzzDecodeRow: arbitrary bytes must never panic the row decoder, and any
+// row that decodes must survive a re-encode/re-decode round trip.
+func FuzzDecodeRow(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeRow(Row{Int(42), Str("abc"), Null()}))
+	f.Add(EncodeRow(Row{Float(1.5), Bool(false), Bytes([]byte{1, 2})}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		row, err := DecodeRow(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeRow(EncodeRow(row))
+		if err != nil {
+			t.Fatalf("re-decode failed for %x: %v", data, err)
+		}
+		if !rowsEquivalent(row, again) {
+			t.Fatalf("round trip changed %v to %v", row, again)
+		}
+	})
+}

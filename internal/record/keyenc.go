@@ -1,0 +1,209 @@
+package record
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Key-encoding tag bytes. Tags are chosen so that encoded keys for values of
+// different kinds order the same way Compare orders the kinds.
+const (
+	tagNull   byte = 0x10
+	tagFalse  byte = 0x20
+	tagTrue   byte = 0x21
+	tagInt    byte = 0x30
+	tagFloat  byte = 0x40
+	tagString byte = 0x50
+	tagBytes  byte = 0x60
+)
+
+// ErrCorruptKey is returned when a key cannot be decoded.
+var ErrCorruptKey = errors.New("record: corrupt key encoding")
+
+// AppendKey appends the order-preserving encoding of v to dst and returns the
+// extended slice. For any values a, b:
+//
+//	bytes.Compare(AppendKey(nil,a), AppendKey(nil,b)) == Compare(a, b)
+func AppendKey(dst []byte, v Value) []byte {
+	switch v.Kind() {
+	case KindNull:
+		return append(dst, tagNull)
+	case KindBool:
+		if v.i != 0 {
+			return append(dst, tagTrue)
+		}
+		return append(dst, tagFalse)
+	case KindInt64:
+		dst = append(dst, tagInt)
+		u := uint64(v.i) ^ (1 << 63) // flip sign bit: negatives sort first
+		return appendUint64(dst, u)
+	case KindFloat64:
+		dst = append(dst, tagFloat)
+		return appendUint64(dst, floatKeyBits(v.f))
+	case KindString:
+		dst = append(dst, tagString)
+		return appendEscaped(dst, []byte(v.s))
+	case KindBytes:
+		dst = append(dst, tagBytes)
+		return appendEscaped(dst, v.b)
+	default:
+		panic(fmt.Sprintf("record: cannot key-encode kind %d", v.kind))
+	}
+}
+
+// floatKeyBits maps a float64 to a uint64 whose unsigned order matches
+// compareFloats (NaN first, then -Inf .. -0, +0 .. +Inf).
+func floatKeyBits(f float64) uint64 {
+	if math.IsNaN(f) {
+		return 0 // before every other encoded float
+	}
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		return ^u // negative: flip everything
+	}
+	return u | (1 << 63) // non-negative: set sign bit
+}
+
+func keyBitsToFloat(u uint64) float64 {
+	if u == 0 {
+		return math.NaN()
+	}
+	if u&(1<<63) != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+func appendUint64(dst []byte, u uint64) []byte {
+	return append(dst,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+// appendEscaped writes b with 0x00 escaped as (0x00,0xFF) and a terminator
+// (0x00,0x01). The terminator sorts below any continuation, so prefixes sort
+// first, and below the escape so embedded zero bytes sort correctly.
+func appendEscaped(dst, b []byte) []byte {
+	for _, c := range b {
+		if c == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+// AppendKeyRow appends the encodings of every value in the row.
+func AppendKeyRow(dst []byte, r Row) []byte {
+	for _, v := range r {
+		dst = AppendKey(dst, v)
+	}
+	return dst
+}
+
+// EncodeKey returns the key encoding of a row in a fresh slice.
+func EncodeKey(r Row) []byte { return AppendKeyRow(nil, r) }
+
+// DecodeKeyValue decodes one value from the front of key, returning the value
+// and the remaining bytes.
+func DecodeKeyValue(key []byte) (Value, []byte, error) {
+	if len(key) == 0 {
+		return Value{}, nil, ErrCorruptKey
+	}
+	tag, rest := key[0], key[1:]
+	switch tag {
+	case tagNull:
+		return Null(), rest, nil
+	case tagFalse:
+		return Bool(false), rest, nil
+	case tagTrue:
+		return Bool(true), rest, nil
+	case tagInt:
+		u, rest, err := takeUint64(rest)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return Int(int64(u ^ (1 << 63))), rest, nil
+	case tagFloat:
+		u, rest, err := takeUint64(rest)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return Float(keyBitsToFloat(u)), rest, nil
+	case tagString:
+		b, rest, err := takeEscaped(rest)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return Str(string(b)), rest, nil
+	case tagBytes:
+		b, rest, err := takeEscaped(rest)
+		if err != nil {
+			return Value{}, nil, err
+		}
+		return Bytes(b), rest, nil
+	default:
+		return Value{}, nil, fmt.Errorf("%w: unknown tag 0x%02x", ErrCorruptKey, tag)
+	}
+}
+
+func takeUint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrCorruptKey
+	}
+	u := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+	return u, b[8:], nil
+}
+
+func takeEscaped(b []byte) ([]byte, []byte, error) {
+	var out []byte
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c != 0x00 {
+			out = append(out, c)
+			continue
+		}
+		if i+1 >= len(b) {
+			return nil, nil, ErrCorruptKey
+		}
+		switch b[i+1] {
+		case 0xFF:
+			out = append(out, 0x00)
+			i++
+		case 0x01:
+			return out, b[i+2:], nil
+		default:
+			return nil, nil, ErrCorruptKey
+		}
+	}
+	return nil, nil, ErrCorruptKey
+}
+
+// DecodeKey decodes a full key back into a row.
+func DecodeKey(key []byte) (Row, error) {
+	var r Row
+	for len(key) > 0 {
+		v, rest, err := DecodeKeyValue(key)
+		if err != nil {
+			return nil, err
+		}
+		r = append(r, v)
+		key = rest
+	}
+	return r, nil
+}
+
+// KeySuccessor returns the smallest key strictly greater than every key with
+// the given prefix; used to build [prefix, successor) range scans.
+func KeySuccessor(prefix []byte) []byte {
+	out := make([]byte, len(prefix), len(prefix)+1)
+	copy(out, prefix)
+	return append(out, 0xFF)
+}
+
+// CompareKeys compares two encoded keys.
+func CompareKeys(a, b []byte) int { return bytes.Compare(a, b) }

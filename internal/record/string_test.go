@@ -1,0 +1,28 @@
+package record
+
+import "testing"
+
+func TestRowString(t *testing.T) {
+	r := Row{Int(1), Str("a"), Null()}
+	if got := r.String(); got != `(1, "a", NULL)` {
+		t.Fatalf("Row.String = %q", got)
+	}
+	if got := (Row{}).String(); got != "()" {
+		t.Fatalf("empty Row.String = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindBool: "BOOL", KindInt64: "BIGINT",
+		KindFloat64: "DOUBLE", KindString: "VARCHAR", KindBytes: "VARBINARY",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}

@@ -1,0 +1,305 @@
+// Package record implements typed tuple values, an order-preserving key
+// encoding, and a compact row (value) encoding.
+//
+// Keys encode so that bytes.Compare on encoded forms agrees with the typed
+// comparison order defined by Compare. Rows encode with per-column type tags
+// and varint lengths; they round-trip exactly.
+package record
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// Value kinds, in key-encoding sort order: NULL sorts before everything.
+const (
+	KindNull Kind = iota + 1
+	KindBool
+	KindInt64
+	KindFloat64
+	KindString
+	KindBytes
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOL"
+	case KindInt64:
+		return "BIGINT"
+	case KindFloat64:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindBytes:
+		return "VARBINARY"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single typed column value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64   // bool (0/1) and int64 payloads
+	f    float64 // float64 payload
+	s    string  // string payload
+	b    []byte  // bytes payload
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{kind: KindNull} }
+
+// Bool returns a BOOL value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Int returns a BIGINT value.
+func Int(v int64) Value { return Value{kind: KindInt64, i: v} }
+
+// Float returns a DOUBLE value.
+func Float(v float64) Value { return Value{kind: KindFloat64, f: v} }
+
+// String_ returns a VARCHAR value. (Named with a trailing underscore because
+// String is the Stringer method.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Str is shorthand for String_.
+func Str(v string) Value { return String_(v) }
+
+// Bytes returns a VARBINARY value. The slice is not copied; callers must not
+// mutate it afterwards.
+func Bytes(v []byte) Value { return Value{kind: KindBytes, b: v} }
+
+// Kind reports the value's dynamic type.
+func (v Value) Kind() Kind {
+	if v.kind == 0 {
+		return KindNull
+	}
+	return v.kind
+}
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Kind() == KindNull }
+
+// AsBool returns the BOOL payload; it panics on other kinds.
+func (v Value) AsBool() bool {
+	v.mustBe(KindBool)
+	return v.i != 0
+}
+
+// AsInt returns the BIGINT payload; it panics on other kinds.
+func (v Value) AsInt() int64 {
+	v.mustBe(KindInt64)
+	return v.i
+}
+
+// AsFloat returns the DOUBLE payload; it panics on other kinds.
+func (v Value) AsFloat() float64 {
+	v.mustBe(KindFloat64)
+	return v.f
+}
+
+// AsString returns the VARCHAR payload; it panics on other kinds.
+func (v Value) AsString() string {
+	v.mustBe(KindString)
+	return v.s
+}
+
+// AsBytes returns the VARBINARY payload; it panics on other kinds.
+func (v Value) AsBytes() []byte {
+	v.mustBe(KindBytes)
+	return v.b
+}
+
+// Numeric returns the value as a float64 for arithmetic, accepting BIGINT and
+// DOUBLE. ok is false for other kinds.
+func (v Value) Numeric() (f float64, ok bool) {
+	switch v.Kind() {
+	case KindInt64:
+		return float64(v.i), true
+	case KindFloat64:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+func (v Value) mustBe(k Kind) {
+	if v.Kind() != k {
+		panic(fmt.Sprintf("record: value is %s, not %s", v.Kind(), k))
+	}
+}
+
+// String renders the value for debugging and shell output.
+func (v Value) String() string {
+	switch v.Kind() {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt64:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat64:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBytes:
+		return fmt.Sprintf("0x%x", v.b)
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// Compare orders two values. NULL sorts before every non-NULL value; values
+// of different kinds order by kind; within a kind the natural order applies.
+// Float NaN sorts before all other floats so the order is total.
+func Compare(a, b Value) int {
+	ak, bk := a.Kind(), b.Kind()
+	if ak != bk {
+		if ak < bk {
+			return -1
+		}
+		return 1
+	}
+	switch ak {
+	case KindNull:
+		return 0
+	case KindBool, KindInt64:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	case KindFloat64:
+		return compareFloats(a.f, b.f)
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		}
+		return 0
+	case KindBytes:
+		return compareBytes(a.b, b.b)
+	default:
+		panic(fmt.Sprintf("record: compare of invalid kind %d", ak))
+	}
+}
+
+func compareFloats(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	// Order -0 before +0 so the order matches the key encoding exactly.
+	as, bs := math.Signbit(a), math.Signbit(b)
+	switch {
+	case as && !bs:
+		return -1
+	case !as && bs:
+		return 1
+	}
+	return 0
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Equal reports whether two values compare equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Row is an ordered tuple of values.
+type Row []Value
+
+// Clone returns a deep-enough copy of the row (byte payloads are copied).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	for i, v := range r {
+		if v.Kind() == KindBytes {
+			b := make([]byte, len(v.b))
+			copy(b, v.b)
+			v.b = b
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// CompareRows orders two rows column-by-column, shorter rows first on ties.
+func CompareRows(a, b Row) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// String renders the row as a parenthesized tuple.
+func (r Row) String() string {
+	out := "("
+	for i, v := range r {
+		if i > 0 {
+			out += ", "
+		}
+		out += v.String()
+	}
+	return out + ")"
+}

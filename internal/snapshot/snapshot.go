@@ -1,0 +1,226 @@
+// Package snapshot reads and writes checkpoint snapshots: a CRC-protected
+// image of the catalog, every tree's entries (including ghost bits), and the
+// transaction-ID high-water mark. A snapshot is written quiesced (no active
+// transactions), so it is transactionally consistent by construction; the
+// log of the same generation replays everything after it.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/id"
+)
+
+var magic = []byte("VTXNSNAP1")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports an unreadable snapshot.
+var ErrCorrupt = errors.New("snapshot: corrupt file")
+
+// Write atomically writes a snapshot to path (temp file + rename).
+func Write(path string, cat *catalog.Catalog, trees map[id.Tree]*btree.Tree, nextTxn id.Txn) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("snapshot: create: %w", err)
+	}
+	crc := crc32.New(crcTable)
+	w := bufio.NewWriterSize(io.MultiWriter(f, crc), 1<<20)
+
+	var scratch []byte
+	put := func(p []byte) error {
+		_, err := w.Write(p)
+		return err
+	}
+	putUvarint := func(v uint64) error {
+		scratch = binary.AppendUvarint(scratch[:0], v)
+		return put(scratch)
+	}
+	putFramed := func(p []byte) error {
+		if err := putUvarint(uint64(len(p))); err != nil {
+			return err
+		}
+		return put(p)
+	}
+
+	write := func() error {
+		if err := put(magic); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(nextTxn)); err != nil {
+			return err
+		}
+		if err := putFramed(cat.Encode()); err != nil {
+			return err
+		}
+		ids := make([]id.Tree, 0, len(trees))
+		for tid := range trees {
+			ids = append(ids, tid)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if err := putUvarint(uint64(len(ids))); err != nil {
+			return err
+		}
+		for _, tid := range ids {
+			if err := putUvarint(uint64(tid)); err != nil {
+				return err
+			}
+			items := trees[tid].Items(nil, nil, true)
+			if err := putUvarint(uint64(len(items))); err != nil {
+				return err
+			}
+			for _, it := range items {
+				if err := putFramed(it.Key); err != nil {
+					return err
+				}
+				if err := putFramed(it.Val); err != nil {
+					return err
+				}
+				g := byte(0)
+				if it.Ghost {
+					g = 1
+				}
+				if err := put([]byte{g}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := write(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: write: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: flush: %w", err)
+	}
+	// Trailer: CRC of everything before it, written directly to the file.
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], crc.Sum32())
+	if _, err := f.Write(tr[:]); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: trailer: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: install: %w", err)
+	}
+	return nil
+}
+
+// Read loads a snapshot.
+func Read(path string) (cat *catalog.Catalog, trees map[id.Tree]*btree.Tree, nextTxn id.Txn, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("snapshot: read: %w", err)
+	}
+	if len(data) < len(magic)+4 {
+		return nil, nil, 0, ErrCorrupt
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(trailer) {
+		return nil, nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if string(body[:len(magic)]) != string(magic) {
+		return nil, nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	d := &cursor{buf: body[len(magic):]}
+	nextTxn = id.Txn(d.uvarint())
+	catBlob := d.framed()
+	if d.err != nil {
+		return nil, nil, 0, d.err
+	}
+	cat, err = catalog.Decode(catBlob)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("%w: catalog: %v", ErrCorrupt, err)
+	}
+	trees = make(map[id.Tree]*btree.Tree)
+	for n := d.uvarint(); n > 0 && d.err == nil; n-- {
+		tid := id.Tree(d.uvarint())
+		tree := btree.New()
+		for m := d.uvarint(); m > 0 && d.err == nil; m-- {
+			key := d.framed()
+			val := d.framed()
+			ghost := d.byte_() != 0
+			if d.err == nil {
+				tree.Put(key, val, ghost)
+			}
+		}
+		trees[tid] = tree
+	}
+	if d.err != nil {
+		return nil, nil, 0, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, nil, 0, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf))
+	}
+	return cat, trees, nextTxn, nil
+}
+
+type cursor struct {
+	buf []byte
+	err error
+}
+
+func (c *cursor) fail() {
+	if c.err == nil {
+		c.err = ErrCorrupt
+	}
+}
+
+func (c *cursor) uvarint() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.buf)
+	if n <= 0 {
+		c.fail()
+		return 0
+	}
+	c.buf = c.buf[n:]
+	return v
+}
+
+func (c *cursor) framed() []byte {
+	n := c.uvarint()
+	if c.err != nil || n > uint64(len(c.buf)) {
+		c.fail()
+		return nil
+	}
+	out := c.buf[:n]
+	c.buf = c.buf[n:]
+	return out
+}
+
+func (c *cursor) byte_() byte {
+	if c.err != nil || len(c.buf) == 0 {
+		c.fail()
+		return 0
+	}
+	b := c.buf[0]
+	c.buf = c.buf[1:]
+	return b
+}

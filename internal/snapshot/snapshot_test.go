@@ -1,0 +1,151 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/id"
+	"repro/internal/record"
+)
+
+func buildFixture(t *testing.T) (*catalog.Catalog, map[id.Tree]*btree.Tree) {
+	t.Helper()
+	cat := catalog.New()
+	tbl, err := cat.AddTable("accounts", []catalog.Column{
+		{Name: "id", Kind: record.KindInt64},
+		{Name: "branch", Kind: record.KindInt64},
+	}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cat.AddView(catalog.View{
+		Name: "totals", Kind: catalog.ViewAggregate, Left: "accounts",
+		GroupBy: []int{1},
+		Aggs:    []expr.AggSpec{{Func: expr.AggCountRows}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := map[id.Tree]*btree.Tree{
+		tbl.ID: btree.New(),
+		v.ID:   btree.New(),
+	}
+	for i := 0; i < 500; i++ {
+		key := record.EncodeKey(record.Row{record.Int(int64(i))})
+		val := record.EncodeRow(record.Row{record.Int(int64(i)), record.Int(int64(i % 7))})
+		trees[tbl.ID].Put(key, val, false)
+	}
+	// A ghost entry must survive the round trip.
+	trees[v.ID].Put([]byte("ghost-key"), []byte("ghost-val"), true)
+	trees[v.ID].Put([]byte("live-key"), []byte("live-val"), false)
+	return cat, trees
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cat, trees := buildFixture(t)
+	path := filepath.Join(t.TempDir(), "snap")
+	if err := Write(path, cat, trees, 12345); err != nil {
+		t.Fatal(err)
+	}
+	cat2, trees2, nextTxn, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nextTxn != 12345 {
+		t.Fatalf("nextTxn = %d", nextTxn)
+	}
+	if len(cat2.Tables()) != 1 || len(cat2.Views()) != 1 {
+		t.Fatalf("catalog lost objects")
+	}
+	if len(trees2) != len(trees) {
+		t.Fatalf("tree count %d != %d", len(trees2), len(trees))
+	}
+	for tid, tr := range trees {
+		tr2 := trees2[tid]
+		if tr2 == nil {
+			t.Fatalf("tree %s missing", tid)
+		}
+		a := tr.Items(nil, nil, true)
+		b := tr2.Items(nil, nil, true)
+		if len(a) != len(b) {
+			t.Fatalf("tree %s: %d items != %d", tid, len(a), len(b))
+		}
+		for i := range a {
+			if string(a[i].Key) != string(b[i].Key) ||
+				string(a[i].Val) != string(b[i].Val) ||
+				a[i].Ghost != b[i].Ghost {
+				t.Fatalf("tree %s item %d mismatch", tid, i)
+			}
+		}
+		if err := tr2.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadCorruption(t *testing.T) {
+	cat, trees := buildFixture(t)
+	path := filepath.Join(t.TempDir(), "snap")
+	if err := Write(path, cat, trees, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+
+	// Flip a byte anywhere: the CRC must catch it.
+	for _, pos := range []int{0, 5, len(data) / 2, len(data) - 5} {
+		bad := append([]byte(nil), data...)
+		bad[pos] ^= 0xFF
+		badPath := filepath.Join(t.TempDir(), "bad")
+		os.WriteFile(badPath, bad, 0o644)
+		if _, _, _, err := Read(badPath); err == nil {
+			t.Errorf("corruption at %d accepted", pos)
+		}
+	}
+	// Truncations at every length fail cleanly.
+	for cut := 0; cut < len(data); cut += 97 {
+		cutPath := filepath.Join(t.TempDir(), "cut")
+		os.WriteFile(cutPath, data[:cut], 0o644)
+		if _, _, _, err := Read(cutPath); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, _, _, err := Read(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWriteAtomicNoTempLeftover(t *testing.T) {
+	cat, trees := buildFixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := Write(path, cat, trees, 1); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 || entries[0].Name() != "snap" {
+		t.Fatalf("directory contents: %v", entries)
+	}
+	// Overwriting an existing snapshot works (rename replaces).
+	if err := Write(path, cat, trees, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, _, nextTxn, err := Read(path)
+	if err != nil || nextTxn != 2 {
+		t.Fatalf("overwrite: %d %v", nextTxn, err)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	if err := Write(path, catalog.New(), nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	cat, trees, nextTxn, err := Read(path)
+	if err != nil || nextTxn != 1 || len(trees) != 0 || len(cat.Tables()) != 0 {
+		t.Fatalf("empty snapshot: %v %v %d %v", cat, trees, nextTxn, err)
+	}
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 45*time.Millisecond || mean > 56*time.Millisecond {
+		t.Fatalf("mean = %v", mean)
+	}
+	p50 := h.Percentile(0.50)
+	if p50 < 40*time.Millisecond || p50 > 60*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := h.Percentile(0.99)
+	if p99 < 90*time.Millisecond || p99 > 110*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	// Quantile monotonicity.
+	prev := time.Duration(0)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		v := h.Percentile(q)
+		if v < prev {
+			t.Fatalf("percentiles not monotonic at %v", q)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramResolution(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Microsecond)
+	got := h.Percentile(0.5)
+	// Log buckets guarantee ~5% resolution.
+	if got < 9*time.Microsecond || got > 11*time.Microsecond {
+		t.Fatalf("10µs recorded as %v", got)
+	}
+	// Extremes clamp without panicking.
+	h.Observe(1)
+	h.Observe(10 * time.Minute)
+	if h.Count() != 3 {
+		t.Fatal("count")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 10000; i++ {
+				h.Observe(time.Duration(rng.Intn(1000)+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestRunsThroughput(t *testing.T) {
+	r := Runs{Ops: 500, Elapsed: 2 * time.Second}
+	if got := r.Throughput(); got != 250 {
+		t.Fatalf("throughput = %v", got)
+	}
+	if (Runs{}).Throughput() != 0 {
+		t.Fatal("zero elapsed should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:     "F2",
+		Title:  "Escrow scaling",
+		Header: []string{"writers", "escrow tx/s", "xlock tx/s"},
+	}
+	tb.AddRow("1", "1000", "990")
+	tb.AddRow("32", "9000", "1001")
+	tb.Notes = append(tb.Notes, "SyncNone")
+	out := tb.String()
+	for _, want := range []string{"F2", "Escrow scaling", "writers", "9000", "note: SyncNone"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0) != "0" || F(1234.5) != "1234" || F(42.25) != "42.2" || F(1.5) != "1.500" {
+		t.Fatalf("F: %s %s %s %s", F(0), F(1234.5), F(42.25), F(1.5))
+	}
+	if D(0) != "0" || D(500*time.Nanosecond) != "500ns" || D(10500*time.Nanosecond) != "10.5µs" {
+		t.Fatalf("D small: %s %s %s", D(0), D(500*time.Nanosecond), D(10500*time.Nanosecond))
+	}
+	if D(25*time.Millisecond) != "25.00ms" || D(1500*time.Millisecond) != "1.50s" {
+		t.Fatalf("D big: %s %s", D(25*time.Millisecond), D(1500*time.Millisecond))
+	}
+}

@@ -1,0 +1,133 @@
+package view
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/record"
+	"repro/internal/wal"
+)
+
+func avgMaintainer(t *testing.T) *Maintainer {
+	t.Helper()
+	c, accounts, _ := fixtures(t)
+	v, err := c.AddView(catalog.View{
+		Name: "avg_view", Kind: catalog.ViewAggregate, Left: "accounts",
+		GroupBy: []int{1},
+		Aggs:    []expr.AggSpec{{Func: expr.AggAvg, Arg: expr.Col(2)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(v, accounts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAvgLayoutAndContributions(t *testing.T) {
+	m := avgMaintainer(t)
+	// Hidden count + AVG's (count, sum) pair.
+	if m.Cells() != 3 {
+		t.Fatalf("Cells = %d", m.Cells())
+	}
+	if m.HasMinMax() {
+		t.Fatal("AVG must be escrowable")
+	}
+	_, contribs, err := m.Contributions(acct(1, 7, 100), +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := contribs[0]
+	if !c.Escrowable || len(c.Cells) != 2 ||
+		c.Cells[0].Cell != 1 || c.Cells[0].Delta.Int != 1 ||
+		c.Cells[1].Cell != 2 || c.Cells[1].Delta.Int != 100 {
+		t.Fatalf("avg contrib = %+v", c)
+	}
+}
+
+func TestAvgFoldAndResult(t *testing.T) {
+	m := avgMaintainer(t)
+	stored := m.NewGroupRow()
+	stored, err := m.ApplyFold(stored, []wal.ColDelta{
+		{Col: 0, Int: 3}, {Col: 1, Int: 2}, {Col: 2, Int: 150},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Result(stored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two non-NULL inputs summing 150: AVG = 75.
+	if res[0].Kind() != record.KindFloat64 || res[0].AsFloat() != 75 {
+		t.Fatalf("AVG = %v", res[0])
+	}
+	// Remove both contributions: AVG reads NULL while COUNT(*) stays 3.
+	stored, err = m.ApplyFold(stored, []wal.ColDelta{{Col: 1, Int: -2}, {Col: 2, Int: -150}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ = m.Result(stored)
+	if !res[0].IsNull() {
+		t.Fatalf("AVG over zero non-NULL rows = %v", res[0])
+	}
+}
+
+func TestAvgRecomputeAgreement(t *testing.T) {
+	m := avgMaintainer(t)
+	rows := []record.Row{
+		acct(1, 7, 100), acct(2, 7, 50),
+		{record.Int(3), record.Int(7), record.Null(), record.Str("n")},
+	}
+	entries, err := m.Recompute(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Result(entries[0].Val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].AsFloat() != 75 {
+		t.Fatalf("recomputed AVG = %v", res[0])
+	}
+}
+
+func TestProbeTypesRejectsBadViews(t *testing.T) {
+	c, accounts, _ := fixtures(t)
+	bad := []catalog.View{
+		{Name: "v1", Kind: catalog.ViewAggregate, Left: "accounts",
+			Aggs: []expr.AggSpec{{Func: expr.AggSum, Arg: expr.Col(3)}}}, // SUM over string
+		{Name: "v2", Kind: catalog.ViewAggregate, Left: "accounts",
+			Aggs: []expr.AggSpec{{Func: expr.AggAvg, Arg: expr.Col(3)}}}, // AVG over string
+		{Name: "v3", Kind: catalog.ViewAggregate, Left: "accounts",
+			Where: expr.Add(expr.Col(0), expr.ConstInt(1)), // non-boolean WHERE
+			Aggs:  []expr.AggSpec{{Func: expr.AggCountRows}}},
+		{Name: "v4", Kind: catalog.ViewAggregate, Left: "accounts",
+			Where: expr.Eq(expr.Col(3), expr.ConstInt(1)), // string = int
+			Aggs:  []expr.AggSpec{{Func: expr.AggCountRows}}},
+	}
+	for _, def := range bad {
+		v, err := c.AddView(def)
+		if err != nil {
+			t.Fatalf("%s: catalog rejected (want Compile to reject): %v", def.Name, err)
+		}
+		if _, err := Compile(v, accounts, nil); err == nil {
+			t.Errorf("%s: Compile accepted a type-broken view", def.Name)
+		}
+	}
+	// A sound view still compiles.
+	v, err := c.AddView(catalog.View{
+		Name: "good", Kind: catalog.ViewAggregate, Left: "accounts",
+		Where: expr.Gt(expr.Col(2), expr.ConstInt(0)),
+		Aggs:  []expr.AggSpec{{Func: expr.AggAvg, Arg: expr.Mul(expr.Col(2), expr.ConstInt(2))}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(v, accounts, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+package view
+
+import (
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/record"
+)
+
+// Entry is one (key, stored value) pair of a fully recomputed view.
+type Entry struct {
+	Key []byte
+	Val record.Row
+}
+
+// Recompute builds the view's exact contents from base-table rows: the
+// oracle for deferred maintenance, the no-view query baseline, and the
+// consistency checker. rightRows is ignored for single-table views.
+func (m *Maintainer) Recompute(leftRows, rightRows []record.Row) ([]Entry, error) {
+	src, err := m.sourceRowsFull(leftRows, rightRows)
+	if err != nil {
+		return nil, err
+	}
+	if m.V.Kind == catalog.ViewProjection {
+		out := make([]Entry, 0, len(src))
+		for _, s := range src {
+			e, err := m.ProjectEntry(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Entry{Key: e.Key, Val: e.Val})
+		}
+		sortEntries(out)
+		return out, nil
+	}
+	// Aggregate view: group, then accumulate each group with the stored
+	// cell layout (hidden count, SUM pairs, extrema).
+	groups := map[string][]record.Row{}
+	var keys []string
+	for _, s := range src {
+		k, err := m.GroupKey(s)
+		if err != nil {
+			return nil, err
+		}
+		ks := string(k)
+		if _, ok := groups[ks]; !ok {
+			keys = append(keys, ks)
+		}
+		groups[ks] = append(groups[ks], s)
+	}
+	sort.Strings(keys)
+	out := make([]Entry, 0, len(keys))
+	for _, ks := range keys {
+		rows := groups[ks]
+		stored := m.NewGroupRow()
+		stored[0] = record.Int(int64(len(rows)))
+		for i, a := range m.V.Aggs {
+			off := m.aggOffsets[i]
+			switch a.Func {
+			case expr.AggCountRows:
+				stored[off] = record.Int(int64(len(rows)))
+			case expr.AggCount:
+				n := int64(0)
+				for _, r := range rows {
+					v, err := a.Arg.Eval(r)
+					if err != nil {
+						return nil, err
+					}
+					if !v.IsNull() {
+						n++
+					}
+				}
+				stored[off] = record.Int(n)
+			case expr.AggSum, expr.AggAvg:
+				n := int64(0)
+				sumI := int64(0)
+				sumF := 0.0
+				isFloat := false
+				for _, r := range rows {
+					v, err := a.Arg.Eval(r)
+					if err != nil {
+						return nil, err
+					}
+					if v.IsNull() {
+						continue
+					}
+					n++
+					switch v.Kind() {
+					case record.KindInt64:
+						sumI += v.AsInt()
+					default:
+						sumF += v.AsFloat()
+						isFloat = true
+					}
+				}
+				stored[off] = record.Int(n)
+				if isFloat {
+					stored[off+1] = record.Float(sumF + float64(sumI))
+				} else {
+					stored[off+1] = record.Int(sumI)
+				}
+			default: // MIN / MAX
+				acc := expr.NewAccumulator(a)
+				for _, r := range rows {
+					if err := acc.Add(r); err != nil {
+						return nil, err
+					}
+				}
+				stored[off] = acc.Result()
+			}
+		}
+		out = append(out, Entry{Key: []byte(ks), Val: stored})
+	}
+	return out, nil
+}
+
+// sourceRowsFull joins and filters the full base contents into source rows.
+func (m *Maintainer) sourceRowsFull(leftRows, rightRows []record.Row) ([]record.Row, error) {
+	var src []record.Row
+	if m.Right == nil {
+		for _, l := range leftRows {
+			ok, err := m.Matches(l)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				src = append(src, l)
+			}
+		}
+		return src, nil
+	}
+	leftCol, rightCol := m.JoinCols()
+	byJoin := map[string][]record.Row{}
+	for _, r := range rightRows {
+		v := r[rightCol]
+		if v.IsNull() {
+			continue
+		}
+		k := string(record.AppendKey(nil, v))
+		byJoin[k] = append(byJoin[k], r)
+	}
+	for _, l := range leftRows {
+		v := l[leftCol]
+		if v.IsNull() {
+			continue
+		}
+		k := string(record.AppendKey(nil, v))
+		for _, r := range byJoin[k] {
+			s := m.CombineRows(l, r)
+			ok, err := m.Matches(s)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				src = append(src, s)
+			}
+		}
+	}
+	return src, nil
+}
+
+func sortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		return record.CompareKeys(es[i].Key, es[j].Key) < 0
+	})
+}

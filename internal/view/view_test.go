@@ -1,0 +1,539 @@
+package view
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/record"
+	"repro/internal/wal"
+)
+
+// fixtures returns a catalog with accounts(id, branch, balance, note) and
+// branches(id, region).
+func fixtures(t *testing.T) (*catalog.Catalog, *catalog.Table, *catalog.Table) {
+	t.Helper()
+	c := catalog.New()
+	accounts, err := c.AddTable("accounts", []catalog.Column{
+		{Name: "id", Kind: record.KindInt64},
+		{Name: "branch", Kind: record.KindInt64},
+		{Name: "balance", Kind: record.KindInt64},
+		{Name: "note", Kind: record.KindString},
+	}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches, err := c.AddTable("branches", []catalog.Column{
+		{Name: "id", Kind: record.KindInt64},
+		{Name: "region", Kind: record.KindString},
+	}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, accounts, branches
+}
+
+func aggMaintainer(t *testing.T) *Maintainer {
+	t.Helper()
+	c, accounts, _ := fixtures(t)
+	v, err := c.AddView(catalog.View{
+		Name:    "branch_totals",
+		Kind:    catalog.ViewAggregate,
+		Left:    "accounts",
+		GroupBy: []int{1},
+		Aggs: []expr.AggSpec{
+			{Func: expr.AggCountRows},
+			{Func: expr.AggSum, Arg: expr.Col(2)},
+			{Func: expr.AggMax, Arg: expr.Col(2)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(v, accounts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func acct(id, branch, balance int64) record.Row {
+	return record.Row{record.Int(id), record.Int(branch), record.Int(balance), record.Str("n")}
+}
+
+func TestCompileLayout(t *testing.T) {
+	m := aggMaintainer(t)
+	// Cells: hidden count, COUNT(*) (1), SUM (2), MAX (1) = 5.
+	if m.Cells() != 5 {
+		t.Fatalf("Cells = %d", m.Cells())
+	}
+	if m.AggOffset(0) != 1 || m.AggOffset(1) != 2 || m.AggOffset(2) != 4 {
+		t.Fatalf("offsets = %d %d %d", m.AggOffset(0), m.AggOffset(1), m.AggOffset(2))
+	}
+	if !m.HasMinMax() {
+		t.Fatal("HasMinMax should be true (MAX present)")
+	}
+	if m.SourceWidth() != 4 {
+		t.Fatalf("SourceWidth = %d", m.SourceWidth())
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	c, accounts, branches := fixtures(t)
+	v, _ := c.AddView(catalog.View{
+		Name: "v", Kind: catalog.ViewAggregate, Left: "accounts",
+		Aggs: []expr.AggSpec{{Func: expr.AggCountRows}},
+	})
+	if _, err := Compile(v, branches, nil); err == nil {
+		t.Fatal("wrong left table accepted")
+	}
+	if _, err := Compile(v, accounts, branches); err == nil {
+		t.Fatal("spurious right table accepted")
+	}
+	jv, _ := c.AddView(catalog.View{
+		Name: "jv", Kind: catalog.ViewProjection, Left: "accounts", Right: "branches",
+		JoinLeftCol: 1, JoinRightCol: 4, Project: []int{0, 5},
+	})
+	if _, err := Compile(jv, accounts, nil); err == nil {
+		t.Fatal("missing right table accepted")
+	}
+	if _, err := Compile(jv, accounts, branches); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupKeyAndMatches(t *testing.T) {
+	m := aggMaintainer(t)
+	k1, err := m.GroupKey(acct(1, 7, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := m.GroupKey(acct(2, 7, 50))
+	k3, _ := m.GroupKey(acct(3, 8, 50))
+	if string(k1) != string(k2) {
+		t.Fatal("same branch should share a group key")
+	}
+	if string(k1) == string(k3) {
+		t.Fatal("different branches should differ")
+	}
+	ok, err := m.Matches(acct(1, 7, 100))
+	if err != nil || !ok {
+		t.Fatal("nil WHERE should match everything")
+	}
+}
+
+func TestContributionsInsert(t *testing.T) {
+	m := aggMaintainer(t)
+	hidden, contribs, err := m.Contributions(acct(1, 7, 100), +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hidden.Cell != 0 || hidden.Delta.Int != 1 {
+		t.Fatalf("hidden = %+v", hidden)
+	}
+	if len(contribs) != 3 {
+		t.Fatalf("%d contribs", len(contribs))
+	}
+	// COUNT(*): +1 at cell 1.
+	if c := contribs[0]; !c.Escrowable || len(c.Cells) != 1 || c.Cells[0].Cell != 1 || c.Cells[0].Delta.Int != 1 {
+		t.Fatalf("count contrib = %+v", c)
+	}
+	// SUM: +1 non-null count at cell 2, +100 at cell 3.
+	if c := contribs[1]; !c.Escrowable || len(c.Cells) != 2 ||
+		c.Cells[0].Cell != 2 || c.Cells[0].Delta.Int != 1 ||
+		c.Cells[1].Cell != 3 || c.Cells[1].Delta.Int != 100 {
+		t.Fatalf("sum contrib = %+v", c)
+	}
+	// MAX: not escrowable, carries the value.
+	if c := contribs[2]; c.Escrowable || c.Value.AsInt() != 100 {
+		t.Fatalf("max contrib = %+v", c)
+	}
+
+	// Delete is the negation.
+	_, del, _ := m.Contributions(acct(1, 7, 100), -1)
+	if del[1].Cells[1].Delta.Int != -100 {
+		t.Fatalf("delete sum delta = %+v", del[1].Cells[1])
+	}
+	if _, _, err := m.Contributions(acct(1, 7, 100), 2); err == nil {
+		t.Fatal("bad sign accepted")
+	}
+}
+
+func TestContributionsNullArg(t *testing.T) {
+	m := aggMaintainer(t)
+	row := record.Row{record.Int(1), record.Int(7), record.Null(), record.Str("n")}
+	hidden, contribs, err := m.Contributions(row, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hidden.Delta.Int != 1 {
+		t.Fatal("hidden count must still tick for NULL args")
+	}
+	if len(contribs[1].Cells) != 0 {
+		t.Fatalf("SUM of NULL contributed: %+v", contribs[1].Cells)
+	}
+	if !contribs[2].Value.IsNull() {
+		t.Fatal("MAX value should be NULL")
+	}
+}
+
+func TestApplyFoldAndResult(t *testing.T) {
+	m := aggMaintainer(t)
+	stored := m.NewGroupRow()
+	empty, err := m.GroupEmpty(stored)
+	if err != nil || !empty {
+		t.Fatal("new group should be empty")
+	}
+	// Fold two inserts: balances 100 and 50.
+	deltas := []wal.ColDelta{
+		{Col: 0, Int: 2}, {Col: 1, Int: 2}, {Col: 2, Int: 2}, {Col: 3, Int: 150},
+	}
+	stored, err = m.ApplyFold(stored, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, _ = m.GroupEmpty(stored)
+	if empty {
+		t.Fatal("group with rows reported empty")
+	}
+	res, err := m.Result(stored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].AsInt() != 2 || res[1].AsInt() != 150 {
+		t.Fatalf("result = %v", res)
+	}
+	// Fold the inverse: back to empty; SUM reads as NULL again.
+	stored, err = m.ApplyFold(stored, []wal.ColDelta{
+		{Col: 0, Int: -2}, {Col: 1, Int: -2}, {Col: 2, Int: -2}, {Col: 3, Int: -150},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty, _ = m.GroupEmpty(stored); !empty {
+		t.Fatal("group not empty after inverse fold")
+	}
+	res, _ = m.Result(stored)
+	if !res[1].IsNull() {
+		t.Fatalf("SUM over empty group = %v, want NULL", res[1])
+	}
+}
+
+func TestApplyFoldFloatPromotion(t *testing.T) {
+	m := aggMaintainer(t)
+	stored := m.NewGroupRow()
+	stored, err := m.ApplyFold(stored, []wal.ColDelta{
+		{Col: 0, Int: 1}, {Col: 2, Int: 1}, {Col: 3, IsFloat: true, Float: 2.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored[3].Kind() != record.KindFloat64 || stored[3].AsFloat() != 2.5 {
+		t.Fatalf("promoted cell = %v", stored[3])
+	}
+	// Int delta onto a float cell accumulates as float.
+	stored, err = m.ApplyFold(stored, []wal.ColDelta{{Col: 3, Int: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored[3].AsFloat() != 4.5 {
+		t.Fatalf("mixed fold = %v", stored[3])
+	}
+	// Fold out of range errors.
+	if _, err := m.ApplyFold(stored, []wal.ColDelta{{Col: 99, Int: 1}}); err == nil {
+		t.Fatal("out-of-range cell accepted")
+	}
+}
+
+func TestProjectionEntry(t *testing.T) {
+	c, accounts, branches := fixtures(t)
+	v, err := c.AddView(catalog.View{
+		Name: "rich", Kind: catalog.ViewProjection, Left: "accounts",
+		Where:   expr.Gt(expr.Col(2), expr.ConstInt(1000)),
+		Project: []int{0, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(v, accounts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := acct(5, 1, 2000)
+	ok, _ := m.Matches(row)
+	if !ok {
+		t.Fatal("row should match")
+	}
+	ok, _ = m.Matches(acct(6, 1, 10))
+	if ok {
+		t.Fatal("poor row should not match")
+	}
+	e, err := m.ProjectEntry(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKey := record.EncodeKey(record.Row{record.Int(5)})
+	if string(e.Key) != string(wantKey) {
+		t.Fatal("projection key should be the PK")
+	}
+	if len(e.Val) != 2 || e.Val[0].AsInt() != 5 || e.Val[1].AsInt() != 2000 {
+		t.Fatalf("projection val = %v", e.Val)
+	}
+	_ = branches
+}
+
+func TestJoinSourceRows(t *testing.T) {
+	c, accounts, branches := fixtures(t)
+	v, err := c.AddView(catalog.View{
+		Name: "joined", Kind: catalog.ViewProjection, Left: "accounts", Right: "branches",
+		JoinLeftCol: 1, JoinRightCol: 4, // accounts.branch = branches.id
+		Project: []int{0, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(v, accounts, branches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branch := record.Row{record.Int(7), record.Str("west")}
+	lookup := func(joinVal record.Value) ([]record.Row, error) {
+		if joinVal.AsInt() == 7 {
+			return []record.Row{branch}, nil
+		}
+		return nil, nil
+	}
+	src, err := m.SourceRows(SideLeft, acct(1, 7, 10), lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src) != 1 || len(src[0]) != 6 || src[0][5].AsString() != "west" {
+		t.Fatalf("src = %v", src)
+	}
+	// Right-side change: combine with matching left rows.
+	leftLookup := func(joinVal record.Value) ([]record.Row, error) {
+		return []record.Row{acct(1, 7, 10), acct(2, 7, 20)}, nil
+	}
+	src, err = m.SourceRows(SideRight, branch, leftLookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src) != 2 || src[1][0].AsInt() != 2 {
+		t.Fatalf("right-side src = %v", src)
+	}
+	// NULL join values never join.
+	nullRow := record.Row{record.Int(1), record.Null(), record.Int(5), record.Str("")}
+	src, err = m.SourceRows(SideLeft, nullRow, lookup)
+	if err != nil || src != nil {
+		t.Fatalf("NULL join: %v, %v", src, err)
+	}
+	// Single-table views reject SideRight.
+	am := aggMaintainer(t)
+	if _, err := am.SourceRows(SideRight, branch, nil); err == nil {
+		t.Fatal("single-table view accepted SideRight")
+	}
+}
+
+func TestRecomputeAggregate(t *testing.T) {
+	m := aggMaintainer(t)
+	rows := []record.Row{
+		acct(1, 7, 100), acct(2, 7, 50), acct(3, 8, 25),
+		{record.Int(4), record.Int(8), record.Null(), record.Str("n")},
+	}
+	entries, err := m.Recompute(rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d groups", len(entries))
+	}
+	// Group 7: count 2, sum 150, max 100.
+	res, _ := m.Result(entries[0].Val)
+	if res[0].AsInt() != 2 || res[1].AsInt() != 150 || res[2].AsInt() != 100 {
+		t.Fatalf("group 7 = %v", res)
+	}
+	// Group 8: count 2 (NULL balance still counts rows), sum 25, max 25.
+	res, _ = m.Result(entries[1].Val)
+	if res[0].AsInt() != 2 || res[1].AsInt() != 25 || res[2].AsInt() != 25 {
+		t.Fatalf("group 8 = %v", res)
+	}
+}
+
+// TestIncrementalMatchesRecompute is the package's core property: a random
+// history of inserts and deletes maintained via Contributions + ApplyFold
+// produces exactly Recompute of the surviving rows (for escrowable
+// aggregates; MIN/MAX maintenance lives in the engine).
+func TestIncrementalMatchesRecompute(t *testing.T) {
+	c, accounts, _ := fixtures(t)
+	v, err := c.AddView(catalog.View{
+		Name:    "totals",
+		Kind:    catalog.ViewAggregate,
+		Left:    "accounts",
+		Where:   expr.Ge(expr.Col(2), expr.ConstInt(0)), // filter: non-negative balances
+		GroupBy: []int{1},
+		Aggs: []expr.AggSpec{
+			{Func: expr.AggCountRows},
+			{Func: expr.AggSum, Arg: expr.Col(2)},
+			{Func: expr.AggCount, Arg: expr.Col(2)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(v, accounts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		live := map[int64]record.Row{}
+		stored := map[string]record.Row{}
+		apply := func(row record.Row, sign int) {
+			ok, err := m.Matches(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				return
+			}
+			key, _ := m.GroupKey(row)
+			hidden, contribs, err := m.Contributions(row, sign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var deltas []wal.ColDelta
+			deltas = append(deltas, wal.ColDelta{Col: hidden.Cell, Int: hidden.Delta.Int, IsFloat: false})
+			for _, ct := range contribs {
+				for _, cd := range ct.Cells {
+					d := wal.ColDelta{Col: cd.Cell, Int: cd.Delta.Int}
+					if cd.Delta.Float != 0 {
+						d = wal.ColDelta{Col: cd.Cell, IsFloat: true, Float: cd.Delta.Float}
+					}
+					deltas = append(deltas, d)
+				}
+			}
+			cur, ok := stored[string(key)]
+			if !ok {
+				cur = m.NewGroupRow()
+			}
+			next, err := m.ApplyFold(cur, deltas)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if empty, _ := m.GroupEmpty(next); empty {
+				delete(stored, string(key))
+			} else {
+				stored[string(key)] = next
+			}
+		}
+		for step := 0; step < 400; step++ {
+			id := int64(rng.Intn(60))
+			if old, ok := live[id]; ok && rng.Intn(2) == 0 {
+				apply(old, -1)
+				delete(live, id)
+				continue
+			}
+			if _, ok := live[id]; ok {
+				continue
+			}
+			var bal record.Value
+			switch rng.Intn(4) {
+			case 0:
+				bal = record.Null()
+			case 1:
+				bal = record.Int(int64(rng.Intn(100) - 20)) // some negative: filtered out
+			default:
+				bal = record.Int(int64(rng.Intn(1000)))
+			}
+			row := record.Row{record.Int(id), record.Int(int64(rng.Intn(5))), bal, record.Str("x")}
+			live[id] = row
+			apply(row, +1)
+		}
+		// Compare to recompute.
+		var rows []record.Row
+		for _, r := range live {
+			rows = append(rows, r)
+		}
+		want, err := m.Recompute(rows, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(stored) {
+			t.Fatalf("trial %d: %d groups maintained, %d recomputed", trial, len(stored), len(want))
+		}
+		for _, e := range want {
+			got, ok := stored[string(e.Key)]
+			if !ok {
+				t.Fatalf("trial %d: group missing", trial)
+			}
+			if record.CompareRows(got, e.Val) != 0 {
+				t.Fatalf("trial %d: group mismatch: got %v want %v", trial, got, e.Val)
+			}
+		}
+	}
+}
+
+func TestRecomputeJoin(t *testing.T) {
+	c, accounts, branches := fixtures(t)
+	v, err := c.AddView(catalog.View{
+		Name: "per_region", Kind: catalog.ViewAggregate,
+		Left: "accounts", Right: "branches",
+		JoinLeftCol: 1, JoinRightCol: 4, // accounts.branch = branches.id
+		GroupBy: []int{5}, // region
+		Aggs:    []expr.AggSpec{{Func: expr.AggSum, Arg: expr.Col(2)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compile(v, accounts, branches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := []record.Row{acct(1, 7, 100), acct(2, 7, 50), acct(3, 8, 30), acct(4, 9, 1)}
+	right := []record.Row{
+		{record.Int(7), record.Str("west")},
+		{record.Int(8), record.Str("east")},
+		// branch 9 missing: account 4 joins nothing
+	}
+	entries, err := m.Recompute(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d groups", len(entries))
+	}
+	// Keys sort: "east" < "west".
+	res, _ := m.Result(entries[0].Val)
+	if res[0].AsInt() != 30 {
+		t.Fatalf("east sum = %v", res[0])
+	}
+	res, _ = m.Result(entries[1].Val)
+	if res[0].AsInt() != 150 {
+		t.Fatalf("west sum = %v", res[0])
+	}
+}
+
+func BenchmarkContributions(b *testing.B) {
+	c := catalog.New()
+	accounts, _ := c.AddTable("accounts", []catalog.Column{
+		{Name: "id", Kind: record.KindInt64},
+		{Name: "branch", Kind: record.KindInt64},
+		{Name: "balance", Kind: record.KindInt64},
+	}, []int{0})
+	v, _ := c.AddView(catalog.View{
+		Name: "t", Kind: catalog.ViewAggregate, Left: "accounts",
+		GroupBy: []int{1},
+		Aggs: []expr.AggSpec{
+			{Func: expr.AggCountRows},
+			{Func: expr.AggSum, Arg: expr.Col(2)},
+		},
+	})
+	m, _ := Compile(v, accounts, nil)
+	row := record.Row{record.Int(1), record.Int(2), record.Int(300)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Contributions(row, 1)
+	}
+}

@@ -1,0 +1,87 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Dir manages a database directory's generations: each checkpoint produces a
+// new generation consisting of a snapshot file plus the log of everything
+// after it. The MANIFEST file names the current generation and is replaced
+// atomically (write-temp + rename), so a crash during checkpoint leaves
+// either the old or the new generation fully intact.
+type Dir struct {
+	Path string
+}
+
+const manifestName = "MANIFEST"
+
+// LogPath returns the log file path for a generation.
+func (d Dir) LogPath(gen uint64) string {
+	return filepath.Join(d.Path, fmt.Sprintf("log-%06d", gen))
+}
+
+// SnapPath returns the snapshot file path for a generation.
+func (d Dir) SnapPath(gen uint64) string {
+	return filepath.Join(d.Path, fmt.Sprintf("snap-%06d", gen))
+}
+
+// Current returns the generation named by MANIFEST. A missing MANIFEST means
+// a fresh database: generation 1 with no snapshot.
+func (d Dir) Current() (gen uint64, fresh bool, err error) {
+	b, err := os.ReadFile(filepath.Join(d.Path, manifestName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 1, true, nil
+		}
+		return 0, false, fmt.Errorf("wal: read manifest: %w", err)
+	}
+	s := strings.TrimSpace(string(b))
+	g, err := strconv.ParseUint(s, 10, 64)
+	if err != nil || g == 0 {
+		return 0, false, fmt.Errorf("wal: corrupt manifest %q", s)
+	}
+	return g, false, nil
+}
+
+// Commit atomically makes gen the current generation and removes files of
+// older generations.
+func (d Dir) Commit(gen uint64) error {
+	tmp := filepath.Join(d.Path, manifestName+".tmp")
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(gen, 10)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("wal: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.Path, manifestName)); err != nil {
+		return fmt.Errorf("wal: install manifest: %w", err)
+	}
+	d.removeOlder(gen)
+	return nil
+}
+
+// removeOlder deletes snapshot and log files from generations before gen.
+// Failures are ignored: stale files are garbage, not corruption.
+func (d Dir) removeOlder(gen uint64) {
+	entries, err := os.ReadDir(d.Path)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		var g uint64
+		switch {
+		case strings.HasPrefix(name, "log-"):
+			g, _ = strconv.ParseUint(strings.TrimPrefix(name, "log-"), 10, 64)
+		case strings.HasPrefix(name, "snap-"):
+			g, _ = strconv.ParseUint(strings.TrimPrefix(name, "snap-"), 10, 64)
+		default:
+			continue
+		}
+		if g != 0 && g < gen {
+			os.Remove(filepath.Join(d.Path, name))
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// maxRecordSize bounds a single record; larger length prefixes are treated
+// as corruption (a torn or garbage tail).
+const maxRecordSize = 64 << 20
+
+// ScanResult summarizes a log scan.
+type ScanResult struct {
+	// LastLSN is the LSN of the last good record (0 if none).
+	LastLSN uint64
+	// GoodBytes is the file offset just past the last good record; a torn
+	// tail begins there.
+	GoodBytes int64
+	// Torn reports whether trailing bytes after the last good record were
+	// discarded (truncated or CRC-mismatched tail).
+	Torn bool
+}
+
+// Scan reads every intact record in the log file in order, invoking fn for
+// each. A torn or corrupt tail ends the scan cleanly (Torn=true); an error
+// from fn aborts the scan and is returned.
+func Scan(path string, fn func(*Record) error) (ScanResult, error) {
+	var res ScanResult
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return res, nil // no log yet: empty generation
+		}
+		return res, fmt.Errorf("wal: open for scan: %w", err)
+	}
+	defer f.Close()
+
+	var off int64
+	hdr := make([]byte, 8)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			if errors.Is(err, io.EOF) {
+				return res, nil // clean end
+			}
+			res.Torn = true // partial header
+			return res, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxRecordSize {
+			res.Torn = true
+			return res, nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			res.Torn = true
+			return res, nil
+		}
+		if crc32.Checksum(payload, crcTable) != crc {
+			res.Torn = true
+			return res, nil
+		}
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			res.Torn = true
+			return res, nil
+		}
+		off += 8 + int64(length)
+		res.LastLSN = rec.LSN
+		res.GoodBytes = off
+		if err := fn(rec); err != nil {
+			return res, err
+		}
+	}
+}
+
+// Repair truncates the log file just past its last intact record so a Writer
+// can append safely. It returns the scan result describing what survived.
+func Repair(path string) (ScanResult, error) {
+	res, err := Scan(path, func(*Record) error { return nil })
+	if err != nil {
+		return res, err
+	}
+	if !res.Torn {
+		return res, nil
+	}
+	if err := os.Truncate(path, res.GoodBytes); err != nil {
+		return res, fmt.Errorf("wal: repair truncate: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,189 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrInjectedFault is returned by writes once the fault-injection budget is
+// exhausted (tests only).
+var ErrInjectedFault = errors.New("wal: injected write fault")
+
+// SyncMode selects the durability of commits.
+type SyncMode int
+
+const (
+	// SyncNone flushes to the OS on commit but never calls fsync. Fast;
+	// survives process crash but not machine crash. The default for tests
+	// and benchmarks (the paper's experiments study concurrency, not disks).
+	SyncNone SyncMode = iota
+	// SyncData calls fsync on every group commit.
+	SyncData
+)
+
+// Writer appends records to one log generation file.
+//
+// Append is cheap and buffered; Sync implements group commit: concurrent
+// committers coalesce onto one flush+fsync, and a committer whose LSN is
+// already durable returns immediately.
+type Writer struct {
+	mu        sync.Mutex // guards buf, nextLSN, appendedLSN, written budget
+	f         *os.File
+	buf       []byte
+	nextLSN   uint64
+	appended  uint64 // LSN of last record placed in buf
+	mode      SyncMode
+	failAfter int64 // bytes remaining before injected failure; -1 = disabled
+	failed    bool
+
+	flushMu sync.Mutex // serializes flush+fsync
+	durable uint64     // LSN of last record known flushed (and fsynced in SyncData)
+	durMu   sync.Mutex // guards durable reads outside flushMu
+}
+
+// Create creates (truncating) the log file at path. firstLSN is the LSN the
+// next appended record receives (1 for a fresh generation).
+func Create(path string, firstLSN uint64, mode SyncMode) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	return &Writer{f: f, nextLSN: firstLSN, appended: firstLSN - 1, durable: firstLSN - 1, mode: mode, failAfter: -1}, nil
+}
+
+// OpenAppend opens an existing log file for appending after recovery. The
+// file must already be truncated to its last good record (see Repair);
+// nextLSN is the LSN to assign to the next record.
+func OpenAppend(path string, nextLSN uint64, mode SyncMode) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open append: %w", err)
+	}
+	return &Writer{f: f, nextLSN: nextLSN, appended: nextLSN - 1, durable: nextLSN - 1, mode: mode, failAfter: -1}, nil
+}
+
+// Append assigns the record an LSN and buffers it. The record is not durable
+// until a subsequent Sync covers its LSN.
+func (w *Writer) Append(r *Record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed {
+		return 0, ErrInjectedFault
+	}
+	r.LSN = w.nextLSN
+	w.nextLSN++
+	payload := r.Encode(nil)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, payload...)
+	w.appended = r.LSN
+	return r.LSN, nil
+}
+
+// Sync makes every appended record durable (group commit). It returns once
+// the record with LSN upTo (or newer) is flushed — and fsynced under
+// SyncData. Pass 0 to sync everything appended so far.
+func (w *Writer) Sync(upTo uint64) error {
+	if upTo == 0 {
+		w.mu.Lock()
+		upTo = w.appended
+		w.mu.Unlock()
+	}
+	if w.durableLSN() >= upTo {
+		return nil
+	}
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	if w.durableLSN() >= upTo { // another committer covered us while we waited
+		return nil
+	}
+	// Steal the buffer.
+	w.mu.Lock()
+	buf := w.buf
+	w.buf = nil
+	target := w.appended
+	w.mu.Unlock()
+	if len(buf) > 0 {
+		if err := w.write(buf); err != nil {
+			return err
+		}
+	}
+	if w.mode == SyncData {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	w.durMu.Lock()
+	w.durable = target
+	w.durMu.Unlock()
+	return nil
+}
+
+func (w *Writer) durableLSN() uint64 {
+	w.durMu.Lock()
+	defer w.durMu.Unlock()
+	return w.durable
+}
+
+// write sends bytes to the file honoring the fault-injection budget: when the
+// budget ends mid-buffer the prefix is written (a torn tail) and the writer
+// enters a permanent failed state.
+func (w *Writer) write(p []byte) error {
+	w.mu.Lock()
+	budget := w.failAfter
+	w.mu.Unlock()
+	if budget >= 0 && int64(len(p)) > budget {
+		p = p[:budget]
+		if len(p) > 0 {
+			w.f.Write(p) // best-effort torn write
+		}
+		w.mu.Lock()
+		w.failed = true
+		w.failAfter = 0
+		w.mu.Unlock()
+		return ErrInjectedFault
+	}
+	if budget >= 0 {
+		w.mu.Lock()
+		w.failAfter -= int64(len(p))
+		w.mu.Unlock()
+	}
+	if _, err := w.f.Write(p); err != nil {
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	return nil
+}
+
+// SetFailAfter arms fault injection: after n more bytes reach the file, every
+// further write fails and the record stream is torn mid-record. Tests only.
+func (w *Writer) SetFailAfter(n int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.failAfter = n
+	w.failed = false
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (w *Writer) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// Close flushes buffered records and closes the file.
+func (w *Writer) Close() error {
+	syncErr := w.Sync(0)
+	closeErr := w.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -1,0 +1,234 @@
+// Package vtxn is an embedded transactional storage engine with indexed
+// (materialized) views maintained immediately inside user transactions — a
+// from-scratch reproduction of Graefe & Zwilling, "Transaction support for
+// indexed views" (SIGMOD 2004).
+//
+// The engine provides:
+//
+//   - base tables stored as B-trees, with secondary indexes;
+//   - indexed views — projection/join views and GROUP BY aggregate views —
+//     kept exactly consistent with their base tables at every commit;
+//   - the paper's escrow ("IncDec") locking protocol for aggregate views:
+//     concurrent transactions update the same SUM/COUNT view row without
+//     blocking each other, with commit-time folds and logical undo;
+//   - ghost records managed by system transactions for group creation and
+//     removal, cleaned asynchronously;
+//   - a write-ahead log with group commit, snapshot checkpoints, and
+//     ARIES-style crash recovery (redo + compensated logical undo);
+//   - lock-based isolation levels (ReadCommitted, RepeatableRead,
+//     Serializable) with deadlock detection and lock escalation.
+//
+// Quickstart:
+//
+//	db, err := vtxn.Open(dir, vtxn.Options{})
+//	...
+//	db.CreateTable("accounts", []vtxn.Column{
+//	    {Name: "id", Kind: vtxn.KindInt64},
+//	    {Name: "branch", Kind: vtxn.KindInt64},
+//	    {Name: "balance", Kind: vtxn.KindInt64},
+//	}, []int{0})
+//	db.CreateIndexedView(vtxn.ViewDef{
+//	    Name: "branch_totals", Kind: vtxn.ViewAggregate, Left: "accounts",
+//	    GroupBy: []int{1},
+//	    Aggs: []vtxn.AggSpec{
+//	        {Func: vtxn.AggCountRows},
+//	        {Func: vtxn.AggSum, Arg: vtxn.Col(2)},
+//	    },
+//	})
+//	tx, _ := db.Begin(vtxn.ReadCommitted)
+//	tx.Insert("accounts", vtxn.Row{vtxn.Int(1), vtxn.Int(7), vtxn.Int(100)})
+//	tx.Commit()
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
+// evaluation.
+package vtxn
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/record"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Core engine types.
+type (
+	// DB is a database instance. Open one with Open.
+	DB = core.DB
+	// Tx is a transaction handle (not safe for concurrent goroutines).
+	Tx = core.Tx
+	// Options configure Open.
+	Options = core.Options
+	// Stats are cumulative engine counters (DB.Stats).
+	Stats = core.Stats
+	// ViewRow is one scanned view row: key columns plus results.
+	ViewRow = core.ViewRow
+	// Savepoint marks a statement-level rollback point (Tx.Savepoint /
+	// Tx.RollbackTo).
+	Savepoint = core.Savepoint
+	// ViewInfo describes a view's maintenance plan (DB.DescribeView).
+	ViewInfo = core.ViewInfo
+)
+
+// Schema types.
+type (
+	// Column is one typed table column.
+	Column = catalog.Column
+	// ViewDef defines an indexed view (see catalog.View).
+	ViewDef = catalog.View
+	// Strategy selects a view's maintenance protocol.
+	Strategy = catalog.Strategy
+	// ViewKind distinguishes projection from aggregate views.
+	ViewKind = catalog.ViewKind
+)
+
+// Value types.
+type (
+	// Value is a typed column value.
+	Value = record.Value
+	// Row is a tuple of values.
+	Row = record.Row
+	// Kind identifies a value's type.
+	Kind = record.Kind
+)
+
+// Expression and aggregate types.
+type (
+	// Expr is a scalar expression over a source row.
+	Expr = expr.Expr
+	// AggSpec is one aggregate column of a view.
+	AggSpec = expr.AggSpec
+	// AggFunc identifies an aggregate function.
+	AggFunc = expr.AggFunc
+)
+
+// IsolationLevel selects a transaction's isolation.
+type IsolationLevel = txn.Level
+
+// SyncMode selects commit durability.
+type SyncMode = wal.SyncMode
+
+// Value kinds.
+const (
+	KindNull    = record.KindNull
+	KindBool    = record.KindBool
+	KindInt64   = record.KindInt64
+	KindFloat64 = record.KindFloat64
+	KindString  = record.KindString
+	KindBytes   = record.KindBytes
+)
+
+// View kinds.
+const (
+	ViewProjection = catalog.ViewProjection
+	ViewAggregate  = catalog.ViewAggregate
+)
+
+// Maintenance strategies.
+const (
+	// StrategyEscrow is the paper's protocol: E locks, commit-time folds,
+	// ghost rows via system transactions. The default.
+	StrategyEscrow = catalog.StrategyEscrow
+	// StrategyXLock is the conventional baseline: transaction-duration X
+	// locks on view rows.
+	StrategyXLock = catalog.StrategyXLock
+	// StrategyDeferred leaves the view stale until DB.RefreshView runs.
+	StrategyDeferred = catalog.StrategyDeferred
+)
+
+// Isolation levels.
+const (
+	ReadCommitted  = txn.ReadCommitted
+	RepeatableRead = txn.RepeatableRead
+	Serializable   = txn.Serializable
+)
+
+// Aggregate functions.
+const (
+	AggCountRows = expr.AggCountRows
+	AggCount     = expr.AggCount
+	AggSum       = expr.AggSum
+	AggAvg       = expr.AggAvg
+	AggMin       = expr.AggMin
+	AggMax       = expr.AggMax
+)
+
+// Durability modes.
+const (
+	// SyncNone flushes commits to the OS without fsync (default).
+	SyncNone = wal.SyncNone
+	// SyncData fsyncs every group commit.
+	SyncData = wal.SyncData
+)
+
+// Errors (see the core package for semantics).
+var (
+	ErrClosed       = core.ErrClosed
+	ErrTxnDone      = core.ErrTxnDone
+	ErrDuplicateKey = core.ErrDuplicateKey
+	ErrNotFound     = core.ErrNotFound
+	ErrSchema       = core.ErrSchema
+)
+
+// Open recovers (or creates) the database at path.
+func Open(path string, opts Options) (*DB, error) { return core.Open(path, opts) }
+
+// Value constructors.
+
+// Null returns the NULL value.
+func Null() Value { return record.Null() }
+
+// Bool returns a BOOL value.
+func Bool(v bool) Value { return record.Bool(v) }
+
+// Int returns a BIGINT value.
+func Int(v int64) Value { return record.Int(v) }
+
+// Float returns a DOUBLE value.
+func Float(v float64) Value { return record.Float(v) }
+
+// Str returns a VARCHAR value.
+func Str(v string) Value { return record.Str(v) }
+
+// Bytes returns a VARBINARY value (the slice is not copied).
+func Bytes(v []byte) Value { return record.Bytes(v) }
+
+// Expression constructors (see the expr package for semantics).
+
+// Col references column idx of the view's source row.
+func Col(idx int) Expr { return expr.Col(idx) }
+
+// Const returns a literal expression.
+func Const(v Value) Expr { return expr.Const(v) }
+
+// ConstInt returns a BIGINT literal.
+func ConstInt(v int64) Expr { return expr.ConstInt(v) }
+
+// ConstFloat returns a DOUBLE literal.
+func ConstFloat(v float64) Expr { return expr.ConstFloat(v) }
+
+// ConstStr returns a VARCHAR literal.
+func ConstStr(v string) Expr { return expr.ConstStr(v) }
+
+// Arithmetic over numeric expressions (Add also concatenates strings).
+func Add(l, r Expr) Expr { return expr.Add(l, r) }
+func Sub(l, r Expr) Expr { return expr.Sub(l, r) }
+func Mul(l, r Expr) Expr { return expr.Mul(l, r) }
+func Div(l, r Expr) Expr { return expr.Div(l, r) }
+
+// Comparisons.
+func Eq(l, r Expr) Expr { return expr.Eq(l, r) }
+func Ne(l, r Expr) Expr { return expr.Ne(l, r) }
+func Lt(l, r Expr) Expr { return expr.Lt(l, r) }
+func Le(l, r Expr) Expr { return expr.Le(l, r) }
+func Gt(l, r Expr) Expr { return expr.Gt(l, r) }
+func Ge(l, r Expr) Expr { return expr.Ge(l, r) }
+
+// Boolean connectives.
+func And(l, r Expr) Expr { return expr.And(l, r) }
+func Or(l, r Expr) Expr  { return expr.Or(l, r) }
+func Not(x Expr) Expr    { return expr.Not(x) }
+
+// IsNull tests for NULL.
+func IsNull(x Expr) Expr { return expr.IsNull(x) }
