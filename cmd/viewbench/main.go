@@ -6,9 +6,15 @@
 //	viewbench -list
 //	viewbench -exp F2            # one experiment, full scale
 //	viewbench -exp all -quick    # every experiment at ~1/8 scale
+//
+// Each experiment reports one headline metric (e.g. peak escrow throughput);
+// viewbench merges them into a machine-readable JSON file (-json, default
+// BENCH_results.json) so the performance trajectory across changes is
+// tracked, not just printed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,11 +24,19 @@ import (
 	"repro/internal/bench"
 )
 
+// headlineResult is one experiment's tracked metric in the results file.
+type headlineResult struct {
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Ran    string  `json:"ran"` // RFC 3339
+}
+
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "experiment ID (T1,F2,...) or comma list or 'all'")
-		quick   = flag.Bool("quick", false, "run at reduced scale")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		expFlag  = flag.String("exp", "all", "experiment ID (T1,F2,...) or comma list or 'all'")
+		quick    = flag.Bool("quick", false, "run at reduced scale")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonPath = flag.String("json", "BENCH_results.json", "merge headline metrics into this file ('' disables)")
 	)
 	flag.Parse()
 
@@ -52,6 +66,7 @@ func main() {
 		}
 	}
 
+	results := make(map[string]headlineResult)
 	for _, r := range runners {
 		fmt.Printf("running %s (%s)...\n", r.ID, r.Name)
 		start := time.Now()
@@ -61,5 +76,39 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%s(took %s)\n\n", tb, time.Since(start).Round(time.Millisecond))
+		if tb.HeadlineName != "" {
+			results[tb.ID] = headlineResult{
+				Metric: tb.HeadlineName,
+				Value:  tb.Headline,
+				Ran:    time.Now().UTC().Format(time.RFC3339),
+			}
+		}
 	}
+
+	if *jsonPath != "" && len(results) > 0 {
+		if err := mergeResults(*jsonPath, results); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("headline metrics merged into %s\n", *jsonPath)
+	}
+}
+
+// mergeResults folds new headline metrics into the results file, keeping
+// entries for experiments not run this time.
+func mergeResults(path string, fresh map[string]headlineResult) error {
+	all := make(map[string]headlineResult)
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &all); err != nil {
+			return fmt.Errorf("existing file is not a results map: %w", err)
+		}
+	}
+	for id, r := range fresh {
+		all[id] = r
+	}
+	out, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

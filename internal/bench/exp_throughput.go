@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/catalog"
@@ -60,6 +61,9 @@ func RunT1Overhead(s Scale) (*stats.Table, error) {
 		if baseline == 0 {
 			baseline = tp
 		}
+		if cfg.name == "aggregate view (escrow)" {
+			tb.HeadlineName, tb.Headline = "escrow_view_ops_per_sec", tp
+		}
 		overhead := "1.00x"
 		if tp > 0 && baseline > 0 {
 			overhead = stats.F(baseline/tp) + "x"
@@ -115,6 +119,15 @@ func RunF2EscrowScaling(s Scale) (*stats.Table, error) {
 				return nil, err
 			}
 			runs := workload.RunConcurrent(db, writers, perWriter, 7, w.DepositOp)
+			if strat == catalog.StrategyEscrow {
+				if writers == writersSweep[len(writersSweep)-1] {
+					tb.HeadlineName, tb.Headline = "escrow_tx_per_sec_max_writers", runs.Throughput()
+					ls := db.Stats().Lock
+					tb.Notes = append(tb.Notes, fmt.Sprintf(
+						"lock manager at %d writers: %d shards, %d collisions, max queue depth %d, %d detector sweeps (max %v)",
+						writers, ls.Shards, ls.Collisions, ls.MaxQueueDepth, ls.Sweeps, ls.MaxSweep))
+				}
+			}
 			cleanup()
 			tps[i] = runs.Throughput()
 			row = append(row, stats.F(tps[i]))
@@ -158,6 +171,13 @@ func RunF3Contention(s Scale) (*stats.Table, error) {
 				return nil, err
 			}
 			runs := runOrderClients(db, w, writers, perWriter)
+			if strat == catalog.StrategyEscrow && groups == 1 {
+				tb.HeadlineName, tb.Headline = "escrow_tx_per_sec_1_group", runs.Throughput()
+				ls := db.Stats().Lock
+				tb.Notes = append(tb.Notes, fmt.Sprintf(
+					"lock manager at 1 group: %d collisions, max queue depth %d, %d detector sweeps",
+					ls.Collisions, ls.MaxQueueDepth, ls.Sweeps))
+			}
 			cleanup()
 			tps[i] = runs.Throughput()
 			row = append(row, stats.F(tps[i]))

@@ -111,15 +111,26 @@ func (t *Tree) Get(key []byte) (val []byte, ghost, ok bool) {
 	return out, n.ghost[i], true
 }
 
+// Has reports whether an entry (live or ghost) exists under key, without
+// copying its value.
+func (t *Tree) Has(key []byte) (ghost, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.findLeaf(key)
+	i, exact := search(n.keys, key)
+	if !exact {
+		return false, false
+	}
+	return n.ghost[i], true
+}
+
 // Put inserts or replaces the entry for key, setting its value and ghost bit.
 // It returns true when an entry (live or ghost) already existed. Key and
 // value bytes are copied.
 func (t *Tree) Put(key, val []byte, ghost bool) (replaced bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	k := append([]byte(nil), key...)
-	v := append([]byte(nil), val...)
-	replaced = t.insert(t.root, k, v, ghost)
+	replaced = t.insert(t.root, key, val, ghost)
 	if len(t.root.keys) > order {
 		t.splitRoot()
 	}
@@ -127,18 +138,23 @@ func (t *Tree) Put(key, val []byte, ghost bool) (replaced bool) {
 }
 
 // insert descends to the leaf and inserts/replaces; it splits full children
-// on the way back up. Returns whether an existing entry was replaced.
+// on the way back up. Returns whether an existing entry was replaced. k and v
+// remain caller-owned: they are copied only when a fresh entry is created,
+// and a replace recycles the stored key and (capacity permitting) the stored
+// value slice. Readers never retain aliases into the tree (Get copies out;
+// Scan's Item contract requires Clone), so overwriting the backing array is
+// safe.
 func (t *Tree) insert(n *node, k, v []byte, ghost bool) bool {
 	if n.leaf {
 		i, exact := search(n.keys, k)
 		if exact {
 			t.adjustCounts(n.ghost[i], ghost)
-			n.vals[i] = v
+			n.vals[i] = append(n.vals[i][:0], v...)
 			n.ghost[i] = ghost
 			return true
 		}
-		n.keys = insertAt(n.keys, i, k)
-		n.vals = insertAt(n.vals, i, v)
+		n.keys = insertAt(n.keys, i, append([]byte(nil), k...))
+		n.vals = insertAt(n.vals, i, append([]byte(nil), v...))
 		n.ghost = insertBoolAt(n.ghost, i, ghost)
 		if ghost {
 			t.ghosts++

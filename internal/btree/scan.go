@@ -97,6 +97,13 @@ func (t *Tree) ScanReverse(lo, hi []byte, includeGhosts bool, fn func(Item) bool
 // including ghost entries (key-range locking anchors on physical keys, and
 // ghosts are physical). ok is false when no such key exists.
 func (t *Tree) Successor(key []byte) (succ []byte, ok bool) {
+	return t.SuccessorAppend(nil, key)
+}
+
+// SuccessorAppend is Successor appending the found key to dst (which may be
+// nil), avoiding a separate allocation when the caller is building a larger
+// buffer around the key.
+func (t *Tree) SuccessorAppend(dst, key []byte) (succ []byte, ok bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	n := t.findLeaf(key)
@@ -106,12 +113,12 @@ func (t *Tree) Successor(key []byte) (succ []byte, ok bool) {
 	}
 	for n != nil {
 		if i < len(n.keys) {
-			return append([]byte(nil), n.keys[i]...), true
+			return append(dst, n.keys[i]...), true
 		}
 		n = n.next
 		i = 0
 	}
-	return nil, false
+	return dst, false
 }
 
 // Ceiling returns a copy of the smallest key greater than or equal to key,

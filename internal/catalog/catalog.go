@@ -125,6 +125,7 @@ type Catalog struct {
 	tables   map[string]*Table
 	indexes  map[string]*Index
 	views    map[string]*View
+	viewsOn  map[string][]*View // lazy per-table cache, reset on view DDL
 	nextTree id.Tree
 }
 
@@ -304,6 +305,7 @@ func (c *Catalog) AddView(v View) (*View, error) {
 	nv.ID = c.nextTree
 	c.nextTree++
 	c.views[v.Name] = &nv
+	c.viewsOn = nil
 	return &nv, nil
 }
 
@@ -315,6 +317,7 @@ func (c *Catalog) DropView(name string) error {
 		return fmt.Errorf("%w: view %q", ErrNotFound, name)
 	}
 	delete(c.views, name)
+	c.viewsOn = nil
 	return nil
 }
 
@@ -390,14 +393,29 @@ func (c *Catalog) Indexes() []*Index {
 // ViewsOn returns every view whose source includes the table, sorted by name.
 func (c *Catalog) ViewsOn(table string) []*View {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	var out []*View
+	out, ok := c.viewsOn[table]
+	c.mu.RUnlock()
+	if ok {
+		return out
+	}
+	// Miss: build and cache under the write lock. Callers must not mutate
+	// the returned slice; it is shared until the next view DDL.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if out, ok := c.viewsOn[table]; ok {
+		return out
+	}
+	out = make([]*View, 0, 2)
 	for _, v := range c.views {
 		if v.Left == table || v.Right == table {
 			out = append(out, v)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	if c.viewsOn == nil {
+		c.viewsOn = make(map[string][]*View)
+	}
+	c.viewsOn[table] = out
 	return out
 }
 

@@ -38,6 +38,16 @@ type Options struct {
 	// ghost-structure latches (default 128). 1 reproduces a single global
 	// fold latch — the T10 ablation showing why striping matters.
 	FoldLatchStripes int
+	// LockShards sets the lock-manager stripe count (rounded up to a power
+	// of two; 0 scales with GOMAXPROCS). 1 reproduces the global-mutex
+	// manager for ablations.
+	LockShards int
+	// DeadlockSweepInterval throttles the background deadlock detector (at
+	// most one sweep per interval while lock waiters exist; default 1ms).
+	DeadlockSweepInterval time.Duration
+	// EscrowShards sets the escrow-ledger stripe count (rounded up to a
+	// power of two; 0 selects the default).
+	EscrowShards int
 }
 
 // Stats are cumulative engine counters.
@@ -133,19 +143,22 @@ func Open(path string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		path:      path,
-		opts:      opts,
-		reg:       st.Reg,
-		trees:     st.Trees,
-		log:       st.Log,
-		gen:       st.Gen,
-		lm:        lock.NewManager(),
-		ledger:    escrow.NewLedger(),
+		path:  path,
+		opts:  opts,
+		reg:   st.Reg,
+		trees: st.Trees,
+		log:   st.Log,
+		gen:   st.Gen,
+		lm: lock.NewManagerOpts(lock.Options{
+			Shards:         opts.LockShards,
+			DefaultTimeout: opts.LockTimeout,
+			SweepInterval:  opts.DeadlockSweepInterval,
+		}),
+		ledger:    escrow.NewLedgerShards(opts.EscrowShards),
 		tm:        txn.NewManager(st.NextTxn),
 		structMu:  make([]sync.Mutex, opts.FoldLatchStripes),
 		recovered: st.Summary,
 	}
-	db.lm.DefaultTimeout = opts.LockTimeout
 	if opts.GhostCleanInterval > 0 {
 		db.cleanerStop = make(chan struct{})
 		db.cleanerDone = make(chan struct{})
@@ -167,6 +180,7 @@ func (db *DB) Close() error {
 	// Wait for in-flight transactions to drain.
 	db.gate.Lock()
 	defer db.gate.Unlock()
+	db.lm.Close()
 	return db.log.Close()
 }
 
@@ -185,6 +199,7 @@ func (db *DB) Crash(flush bool) {
 	if flush {
 		db.log.Sync(0)
 	}
+	db.lm.Close()
 }
 
 // Catalog returns the current catalog.

@@ -69,6 +69,37 @@ func kindName(k catalog.ViewKind) string {
 	return "aggregate"
 }
 
+// Describe renders an engine-level report: concurrency-control layout
+// (lock-manager stripes, escrow-ledger stripes) and contention counters.
+// It complements DescribeView, which reports per-view maintenance plans.
+func (db *DB) Describe() string {
+	st := db.Stats()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "engine: %d lock shards, %d escrow shards", st.Lock.Shards, db.ledger.Shards())
+	fmt.Fprintf(&sb, "\n  txns: %d commits, %d aborts, %d system", st.Commits, st.Aborts, st.SysTxns)
+	fmt.Fprintf(&sb, "\n  locks: %d requests, %d waits, %d deadlocks, %d timeouts, %d escalations",
+		st.Lock.Requests, st.Lock.Waits, st.Lock.Deadlocks, st.Lock.Timeouts, st.Escalations)
+	fmt.Fprintf(&sb, "\n  contention: %d shard collisions, max queue depth %d",
+		st.Lock.Collisions, st.Lock.MaxQueueDepth)
+	fmt.Fprintf(&sb, "\n  deadlock detector: %d sweeps, last %v, max %v",
+		st.Lock.Sweeps, st.Lock.LastSweep, st.Lock.MaxSweep)
+	busiest, resources := -1, 0
+	var busiestCollisions int64
+	for i, ss := range st.Lock.PerShard {
+		resources += ss.Resources
+		if busiest < 0 || ss.Collisions > busiestCollisions {
+			busiest, busiestCollisions = i, ss.Collisions
+		}
+	}
+	if busiest >= 0 {
+		fmt.Fprintf(&sb, "\n  lock table: %d resident resources, busiest shard #%d (%d collisions)",
+			resources, busiest, busiestCollisions)
+	}
+	fmt.Fprintf(&sb, "\n  escrow: %d folds; ghosts %d created, %d erased",
+		st.Folds, st.GhostsCreated, st.GhostsErased)
+	return sb.String()
+}
+
 // DescribeView returns the maintenance-plan description of a view.
 func (db *DB) DescribeView(name string) (ViewInfo, error) {
 	if db.closed.Load() {

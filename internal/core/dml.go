@@ -32,7 +32,7 @@ func (tx *Tx) Insert(table string, row record.Row) error {
 	if err := db.lockKey(tx.t, tbl.ID, key, lock.ModeX); err != nil {
 		return err
 	}
-	if _, ghost, ok := db.tree(tbl.ID).Get(key); ok && !ghost {
+	if ghost, ok := db.tree(tbl.ID).Has(key); ok && !ghost {
 		return fmt.Errorf("%w: %s in %q", ErrDuplicateKey, row, table)
 	}
 	// Unique secondary indexes first, so a violation aborts before any write.
@@ -233,9 +233,10 @@ func validateRow(tbl *catalog.Table, row record.Row) error {
 	return nil
 }
 
-// primaryKey encodes a full row's primary key.
+// primaryKey encodes a full row's primary key, pre-sized for the common
+// fixed-width kinds (tag byte plus eight payload bytes).
 func primaryKey(tbl *catalog.Table, row record.Row) []byte {
-	var key []byte
+	key := make([]byte, 0, 9*len(tbl.PK))
 	for _, p := range tbl.PK {
 		key = record.AppendKey(key, row[p])
 	}

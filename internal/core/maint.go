@@ -184,7 +184,7 @@ func (db *DB) maintainEscrow(tx *Tx, v *catalog.View, m *view.Maintainer, src re
 	}
 	// Ensure the view row exists, creating a ghost via a system transaction
 	// that commits immediately (independent of this transaction's fate).
-	if _, _, ok := db.tree(v.ID).Get(key); !ok {
+	if _, ok := db.tree(v.ID).Has(key); !ok {
 		if err := db.createGhost(v, m, key); err != nil {
 			return err
 		}

@@ -37,10 +37,14 @@ func gapResource(tree id.Tree, key []byte) lock.Resource {
 }
 
 // successorGap returns the gap resource an insert of key must probe: the
-// gap of the next physical key (ghosts included), or the infinity gap.
+// gap of the next physical key (ghosts included), or the infinity gap. The
+// gap key is built in one buffer: prefix byte, then the successor appended
+// directly by the tree.
 func (db *DB) successorGap(tree id.Tree, key []byte) lock.Resource {
-	if succ, ok := db.tree(tree).Successor(key); ok {
-		return gapResource(tree, succ)
+	gk := make([]byte, 1, len(key)+9)
+	gk[0] = gapPrefix
+	if gk, ok := db.tree(tree).SuccessorAppend(gk, key); ok {
+		return lock.KeyResource(tree, gk)
 	}
 	return gapResource(tree, infinityKey)
 }

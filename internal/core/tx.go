@@ -155,12 +155,6 @@ func (tx *Tx) finish(committed bool) {
 	db.gate.RUnlock()
 }
 
-// rowFold is one view row's worth of deltas to fold at commit.
-type rowFold struct {
-	row    escrow.RowID
-	deltas []wal.ColDelta
-}
-
 // foldEscrow applies the transaction's pending deltas to the view rows under
 // the short structure latch, logging one logical EscrowFold per row.
 func (db *DB) foldEscrow(t *txn.Txn) error {
@@ -168,30 +162,35 @@ func (db *DB) foldEscrow(t *txn.Txn) error {
 	if len(cds) == 0 {
 		return nil
 	}
-	// Group cell deltas by row (TxnDeltas is already row-ordered).
-	var folds []rowFold
-	add := func(row escrow.RowID, d wal.ColDelta) {
-		if n := len(folds); n > 0 && folds[n-1].row == row {
-			folds[n-1].deltas = append(folds[n-1].deltas, d)
-			return
-		}
-		folds = append(folds, rowFold{row: row, deltas: []wal.ColDelta{d}})
+	// Flatten cell deltas into one backing array (splitting mixed int/float
+	// cells to stay exact) and group by row as index ranges — TxnDeltas is
+	// already row-ordered, and one array serves every row's slice.
+	flat := make([]wal.ColDelta, 0, len(cds)+2)
+	type span struct {
+		row        escrow.RowID
+		start, end int
 	}
+	var spanBuf [4]span
+	spans := spanBuf[:0]
 	for _, cd := range cds {
+		from := len(flat)
 		if cd.Delta.Float != 0 && cd.Delta.Int != 0 {
-			// Mixed cell: split into two deltas to stay exact.
-			add(cd.Cell.Row, wal.ColDelta{Col: cd.Cell.Col, Int: cd.Delta.Int})
-			add(cd.Cell.Row, wal.ColDelta{Col: cd.Cell.Col, IsFloat: true, Float: cd.Delta.Float})
-			continue
-		}
-		if cd.Delta.Float != 0 {
-			add(cd.Cell.Row, wal.ColDelta{Col: cd.Cell.Col, IsFloat: true, Float: cd.Delta.Float})
+			flat = append(flat,
+				wal.ColDelta{Col: cd.Cell.Col, Int: cd.Delta.Int},
+				wal.ColDelta{Col: cd.Cell.Col, IsFloat: true, Float: cd.Delta.Float})
+		} else if cd.Delta.Float != 0 {
+			flat = append(flat, wal.ColDelta{Col: cd.Cell.Col, IsFloat: true, Float: cd.Delta.Float})
 		} else {
-			add(cd.Cell.Row, wal.ColDelta{Col: cd.Cell.Col, Int: cd.Delta.Int})
+			flat = append(flat, wal.ColDelta{Col: cd.Cell.Col, Int: cd.Delta.Int})
+		}
+		if n := len(spans); n > 0 && spans[n-1].row == cd.Cell.Row {
+			spans[n-1].end = len(flat)
+		} else {
+			spans = append(spans, span{row: cd.Cell.Row, start: from, end: len(flat)})
 		}
 	}
-	for _, f := range folds {
-		if err := db.foldRow(t, f.row, f.deltas); err != nil {
+	for _, sp := range spans {
+		if err := db.foldRow(t, sp.row, flat[sp.start:sp.end:sp.end]); err != nil {
 			return err
 		}
 	}
@@ -237,7 +236,16 @@ func (db *DB) foldRow(t *txn.Txn, row escrow.RowID, deltas []wal.ColDelta) error
 		OldGhost: oldGhost,
 		NewGhost: empty,
 	}
-	if err := db.logOp(t, rec); err != nil {
+	// Inline logOp's append/apply/record sequence, applying the fold we just
+	// computed instead of re-running the generic redo (which would decode and
+	// fold the row a second time).
+	rec.Txn = t.ID
+	rec.Sys = t.Sys
+	if _, err := db.log.Append(rec); err != nil {
+		return err
+	}
+	tree.Put(key, record.EncodeRow(next), empty)
+	if err := t.RecordOp(rec); err != nil {
 		return err
 	}
 	db.folds.Add(1)

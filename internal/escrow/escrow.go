@@ -7,10 +7,18 @@
 // (logging one EscrowFold record per row) and at abort they are simply
 // discarded — the logical undo of the paper realized without ever exposing
 // uncommitted values to readers.
+//
+// The ledger is striped the same way as the lock manager (ISSUE 1): a
+// transaction's private delta state lives in a txn stripe selected by its
+// ID, and the cross-transaction row reference counts live in row stripes
+// selected by hashing the RowID. Independent transactions touching
+// independent rows share no mutex. Stripe lock order is always txn stripe →
+// row stripe; PendingTxns takes only a row stripe.
 package escrow
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"sync"
 
 	"repro/internal/id"
@@ -53,20 +61,88 @@ type txnState struct {
 	journal []CellDelta   // append order, for savepoint rollback
 }
 
-// Ledger tracks every transaction's pending escrow deltas. The zero value is
-// not usable; call NewLedger.
-type Ledger struct {
+// txnShard holds the private delta state of the transactions striped to it,
+// plus a free list recycling emptied txnStates so the add/fold/discard hot
+// cycle stays allocation-free.
+type txnShard struct {
+	mu    sync.Mutex
+	byTxn map[id.Txn]*txnState
+	free  []*txnState
+}
+
+// rowShard holds the row reference counts for the rows striped to it.
+type rowShard struct {
 	mu     sync.Mutex
-	byTxn  map[id.Txn]*txnState
 	rowRef map[RowID]int // number of transactions with pending deltas per row
 }
 
-// NewLedger returns an empty ledger.
-func NewLedger() *Ledger {
-	return &Ledger{
-		byTxn:  make(map[id.Txn]*txnState),
-		rowRef: make(map[RowID]int),
+// Ledger tracks every transaction's pending escrow deltas. The zero value is
+// not usable; call NewLedger.
+type Ledger struct {
+	txns []*txnShard
+	rows []*rowShard
+	mask uint32
+}
+
+// NewLedger returns an empty ledger with a default stripe count.
+func NewLedger() *Ledger { return NewLedgerShards(0) }
+
+// NewLedgerShards returns an empty ledger with n stripes (rounded up to a
+// power of two; n <= 0 selects the default).
+func NewLedgerShards(n int) *Ledger {
+	if n <= 0 {
+		n = 16
 	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	l := &Ledger{
+		txns: make([]*txnShard, p),
+		rows: make([]*rowShard, p),
+		mask: uint32(p - 1),
+	}
+	for i := 0; i < p; i++ {
+		l.txns[i] = &txnShard{byTxn: make(map[id.Txn]*txnState)}
+		l.rows[i] = &rowShard{rowRef: make(map[RowID]int)}
+	}
+	return l
+}
+
+// Shards reports the stripe count, for Describe output.
+func (l *Ledger) Shards() int { return len(l.txns) }
+
+// txnShardOf stripes by transaction ID. IDs are assigned sequentially, so
+// the low bits alone spread concurrent transactions across stripes.
+func (l *Ledger) txnShardOf(txn id.Txn) *txnShard {
+	return l.txns[uint32(txn)&l.mask]
+}
+
+// rowShardOf stripes by RowID (FNV-1a over tree id and key bytes).
+func (l *Ledger) rowShardOf(row RowID) *rowShard {
+	h := uint32(2166136261)
+	t := uint32(row.Tree)
+	h = (h ^ (t & 0xff)) * 16777619
+	h = (h ^ ((t >> 8) & 0xff)) * 16777619
+	h = (h ^ ((t >> 16) & 0xff)) * 16777619
+	h = (h ^ (t >> 24)) * 16777619
+	for i := 0; i < len(row.Key); i++ {
+		h = (h ^ uint32(row.Key[i])) * 16777619
+	}
+	return l.rows[h&l.mask]
+}
+
+// refRow adjusts row's cross-transaction reference count by delta.
+func (l *Ledger) refRow(row RowID, delta int) {
+	rs := l.rowShardOf(row)
+	rs.mu.Lock()
+	next := rs.rowRef[row] + delta
+	if next <= 0 {
+		delete(rs.rowRef, row)
+	} else {
+		rs.rowRef[row] = next
+	}
+	rs.mu.Unlock()
 }
 
 // Add accumulates a pending delta for txn against cell.
@@ -74,28 +150,34 @@ func (l *Ledger) Add(txn id.Txn, cell CellID, d Delta) {
 	if d.IsZero() {
 		return
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	st := l.byTxn[txn]
+	ts := l.txnShardOf(txn)
+	ts.mu.Lock()
+	st := ts.byTxn[txn]
 	if st == nil {
-		st = &txnState{cells: make(map[CellID]Delta), rows: make(map[RowID]int)}
-		l.byTxn[txn] = st
+		st = ts.newTxnState()
+		ts.byTxn[txn] = st
 	}
+	newRow := false
 	if _, seen := st.cells[cell]; !seen {
 		if st.rows[cell.Row] == 0 {
-			l.rowRef[cell.Row]++
+			newRow = true
 		}
 		st.rows[cell.Row]++
 	}
 	st.cells[cell] = st.cells[cell].Add(d)
 	st.journal = append(st.journal, CellDelta{Cell: cell, Delta: d})
+	if newRow {
+		l.refRow(cell.Row, 1) // txn stripe → row stripe, never the reverse
+	}
+	ts.mu.Unlock()
 }
 
 // Mark returns a savepoint position in txn's delta journal.
 func (l *Ledger) Mark(txn id.Txn) int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	st := l.byTxn[txn]
+	ts := l.txnShardOf(txn)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	st := ts.byTxn[txn]
 	if st == nil {
 		return 0
 	}
@@ -106,9 +188,10 @@ func (l *Ledger) Mark(txn id.Txn) int {
 // rollback to a savepoint). Cells whose pending delta returns to zero are
 // forgotten entirely, releasing their row references.
 func (l *Ledger) RollbackTo(txn id.Txn, mark int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	st := l.byTxn[txn]
+	ts := l.txnShardOf(txn)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	st := ts.byTxn[txn]
 	if st == nil || mark < 0 || mark >= len(st.journal) {
 		return
 	}
@@ -120,10 +203,7 @@ func (l *Ledger) RollbackTo(txn id.Txn, mark int) {
 			st.rows[cd.Cell.Row]--
 			if st.rows[cd.Cell.Row] <= 0 {
 				delete(st.rows, cd.Cell.Row)
-				l.rowRef[cd.Cell.Row]--
-				if l.rowRef[cd.Cell.Row] <= 0 {
-					delete(l.rowRef, cd.Cell.Row)
-				}
+				l.refRow(cd.Cell.Row, -1)
 			}
 		} else {
 			st.cells[cd.Cell] = next
@@ -131,7 +211,8 @@ func (l *Ledger) RollbackTo(txn id.Txn, mark int) {
 	}
 	st.journal = st.journal[:mark]
 	if len(st.cells) == 0 {
-		delete(l.byTxn, txn)
+		delete(ts.byTxn, txn)
+		ts.freeTxnState(st)
 	}
 }
 
@@ -144,9 +225,10 @@ type CellDelta struct {
 // TxnDeltas returns txn's pending deltas grouped by row, deterministically
 // ordered (by tree, key, column) so commit logging is reproducible.
 func (l *Ledger) TxnDeltas(txn id.Txn) []CellDelta {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	st := l.byTxn[txn]
+	ts := l.txnShardOf(txn)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	st := ts.byTxn[txn]
 	if st == nil {
 		return nil
 	}
@@ -154,15 +236,14 @@ func (l *Ledger) TxnDeltas(txn id.Txn) []CellDelta {
 	for cell, d := range st.cells {
 		out = append(out, CellDelta{Cell: cell, Delta: d})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Cell, out[j].Cell
-		if a.Row.Tree != b.Row.Tree {
-			return a.Row.Tree < b.Row.Tree
+	slices.SortFunc(out, func(a, b CellDelta) int {
+		if a.Cell.Row.Tree != b.Cell.Row.Tree {
+			return cmp.Compare(a.Cell.Row.Tree, b.Cell.Row.Tree)
 		}
-		if a.Row.Key != b.Row.Key {
-			return a.Row.Key < b.Row.Key
+		if a.Cell.Row.Key != b.Cell.Row.Key {
+			return cmp.Compare(a.Cell.Row.Key, b.Cell.Row.Key)
 		}
-		return a.Col < b.Col
+		return cmp.Compare(a.Cell.Col, b.Cell.Col)
 	})
 	return out
 }
@@ -170,32 +251,69 @@ func (l *Ledger) TxnDeltas(txn id.Txn) []CellDelta {
 // PendingTxns reports how many transactions currently have pending deltas
 // against row. The ghost cleaner must not erase a row while this is nonzero.
 func (l *Ledger) PendingTxns(row RowID) int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.rowRef[row]
+	rs := l.rowShardOf(row)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.rowRef[row]
 }
 
 // Discard drops every pending delta of txn (commit after fold, or abort).
 func (l *Ledger) Discard(txn id.Txn) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	st := l.byTxn[txn]
+	ts := l.txnShardOf(txn)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	st := ts.byTxn[txn]
 	if st == nil {
 		return
 	}
 	for row := range st.rows {
-		l.rowRef[row]--
-		if l.rowRef[row] <= 0 {
-			delete(l.rowRef, row)
-		}
+		l.refRow(row, -1)
 	}
-	delete(l.byTxn, txn)
+	delete(ts.byTxn, txn)
+	ts.freeTxnState(st)
 }
 
 // Empty reports whether the ledger holds no pending deltas at all; the
 // consistency checker asserts this at quiescence.
 func (l *Ledger) Empty() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.byTxn) == 0 && len(l.rowRef) == 0
+	for _, ts := range l.txns {
+		ts.mu.Lock()
+		n := len(ts.byTxn)
+		ts.mu.Unlock()
+		if n != 0 {
+			return false
+		}
+	}
+	for _, rs := range l.rows {
+		rs.mu.Lock()
+		n := len(rs.rowRef)
+		rs.mu.Unlock()
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// txnState free list. Callers hold ts.mu.
+
+const maxFreeStates = 64
+
+func (ts *txnShard) newTxnState() *txnState {
+	if n := len(ts.free); n > 0 {
+		st := ts.free[n-1]
+		ts.free = ts.free[:n-1]
+		return st
+	}
+	return &txnState{cells: make(map[CellID]Delta, 4), rows: make(map[RowID]int, 2)}
+}
+
+func (ts *txnShard) freeTxnState(st *txnState) {
+	if len(ts.free) >= maxFreeStates {
+		return
+	}
+	clear(st.cells)
+	clear(st.rows)
+	st.journal = st.journal[:0]
+	ts.free = append(ts.free, st)
 }

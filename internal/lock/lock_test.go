@@ -393,10 +393,9 @@ func TestStressNoIncompatibleGrants(t *testing.T) {
 		t.Fatalf("%d incompatible co-grants observed", v)
 	}
 	// The lock table must be empty at the end.
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.table) != 0 || len(m.held) != 0 {
-		t.Fatalf("leaked state: %d resources, %d holders", len(m.table), len(m.held))
+	resources, holders := m.residentState()
+	if resources != 0 || holders != 0 {
+		t.Fatalf("leaked state: %d resources, %d holders", resources, holders)
 	}
 }
 

@@ -41,7 +41,22 @@ func AppendRow(dst []byte, r Row) []byte {
 }
 
 // EncodeRow returns the encoding of r in a fresh slice.
-func EncodeRow(r Row) []byte { return AppendRow(nil, r) }
+func EncodeRow(r Row) []byte {
+	// Size the buffer once: varint count plus per-value worst cases, so
+	// AppendRow never reallocates mid-encode.
+	size := binary.MaxVarintLen64
+	for _, v := range r {
+		switch v.Kind() {
+		case KindString:
+			size += 1 + binary.MaxVarintLen64 + len(v.s)
+		case KindBytes:
+			size += 1 + binary.MaxVarintLen64 + len(v.b)
+		default:
+			size += 1 + binary.MaxVarintLen64
+		}
+	}
+	return AppendRow(make([]byte, 0, size), r)
+}
 
 // DecodeRow decodes an encoded row. The returned row does not alias buf.
 func DecodeRow(buf []byte) (Row, error) {

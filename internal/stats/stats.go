@@ -122,6 +122,12 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+
+	// HeadlineName and Headline identify the experiment's single scalar
+	// result (e.g. peak escrow throughput) for machine-readable tracking
+	// across runs — cmd/viewbench collects them into BENCH_results.json.
+	HeadlineName string
+	Headline     float64
 }
 
 // AddRow appends a formatted row.

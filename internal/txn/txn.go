@@ -80,9 +80,10 @@ type Txn struct {
 	Sys       bool
 	Isolation Level
 
-	mu    sync.Mutex
-	state State
-	ops   []*wal.Record // logged operations, in LSN order, for rollback
+	mu     sync.Mutex
+	state  State
+	ops    []*wal.Record  // logged operations, in LSN order, for rollback
+	opsBuf [4]*wal.Record // inline first ops, so short transactions never grow
 }
 
 // State returns the current lifecycle state.
@@ -101,6 +102,9 @@ func (t *Txn) RecordOp(rec *wal.Record) error {
 	defer t.mu.Unlock()
 	if t.state != StateActive {
 		return fmt.Errorf("%w: %s is %s", ErrNotActive, t.ID, t.state)
+	}
+	if t.ops == nil {
+		t.ops = t.opsBuf[:0]
 	}
 	t.ops = append(t.ops, rec)
 	return nil
@@ -149,6 +153,7 @@ func (t *Txn) markFinished(s State) error {
 	}
 	t.state = s
 	t.ops = nil
+	t.opsBuf = [4]*wal.Record{} // release record references for GC
 	return nil
 }
 

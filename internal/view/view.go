@@ -159,13 +159,18 @@ func (m *Maintainer) GroupRow(src record.Row) (record.Row, error) {
 	return out, nil
 }
 
-// GroupKey returns the encoded view key for a source row's group.
+// GroupKey returns the encoded view key for a source row's group. It encodes
+// straight from the source columns (no intermediate group row), pre-sizing
+// for the common fixed-width kinds.
 func (m *Maintainer) GroupKey(src record.Row) ([]byte, error) {
-	g, err := m.GroupRow(src)
-	if err != nil {
-		return nil, err
+	key := make([]byte, 0, 9*len(m.V.GroupBy))
+	for _, c := range m.V.GroupBy {
+		if c < 0 || c >= len(src) {
+			return nil, fmt.Errorf("%w: group column %d of %d", ErrSchema, c, len(src))
+		}
+		key = record.AppendKey(key, src[c])
 	}
-	return record.EncodeKey(g), nil
+	return key, nil
 }
 
 // Contribution is the effect of one source-row change on one aggregate.
@@ -196,19 +201,23 @@ func (m *Maintainer) Contributions(src record.Row, sign int) (CellDelta, []Contr
 	}
 	hidden := CellDelta{Cell: 0, Delta: escrow.Delta{Int: int64(sign)}}
 	out := make([]Contribution, 0, len(m.V.Aggs))
+	// One flat backing array serves every aggregate's Cells slice (at most
+	// two cells per aggregate), so the loop never allocates per aggregate.
+	flat := make([]CellDelta, 0, 2*len(m.V.Aggs))
 	for i, a := range m.V.Aggs {
 		off := uint32(m.aggOffsets[i])
+		from := len(flat)
 		c := Contribution{AggIndex: i, Escrowable: a.Func.Escrowable()}
 		switch a.Func {
 		case expr.AggCountRows:
-			c.Cells = []CellDelta{{Cell: off, Delta: escrow.Delta{Int: int64(sign)}}}
+			flat = append(flat, CellDelta{Cell: off, Delta: escrow.Delta{Int: int64(sign)}})
 		case expr.AggCount:
 			v, err := a.Arg.Eval(src)
 			if err != nil {
 				return CellDelta{}, nil, err
 			}
 			if !v.IsNull() {
-				c.Cells = []CellDelta{{Cell: off, Delta: escrow.Delta{Int: int64(sign)}}}
+				flat = append(flat, CellDelta{Cell: off, Delta: escrow.Delta{Int: int64(sign)}})
 			}
 		case expr.AggSum, expr.AggAvg:
 			v, err := a.Arg.Eval(src)
@@ -225,10 +234,9 @@ func (m *Maintainer) Contributions(src record.Row, sign int) (CellDelta, []Contr
 				default:
 					return CellDelta{}, nil, fmt.Errorf("%w: %s over %s", ErrSchema, a.Func, v.Kind())
 				}
-				c.Cells = []CellDelta{
-					{Cell: off, Delta: escrow.Delta{Int: int64(sign)}}, // non-NULL count
-					{Cell: off + 1, Delta: d},                          // running sum
-				}
+				flat = append(flat,
+					CellDelta{Cell: off, Delta: escrow.Delta{Int: int64(sign)}}, // non-NULL count
+					CellDelta{Cell: off + 1, Delta: d})                          // running sum
 			}
 		case expr.AggMin, expr.AggMax:
 			v, err := a.Arg.Eval(src)
@@ -238,6 +246,9 @@ func (m *Maintainer) Contributions(src record.Row, sign int) (CellDelta, []Contr
 			c.Value = v
 		default:
 			return CellDelta{}, nil, fmt.Errorf("view: unknown aggregate %v", a.Func)
+		}
+		if len(flat) > from {
+			c.Cells = flat[from:len(flat):len(flat)]
 		}
 		out = append(out, c)
 	}
@@ -283,9 +294,11 @@ func (m *Maintainer) NewGroupRow() record.Row {
 
 // ApplyFold applies logged fold deltas to a stored value row, returning the
 // new row. It is the single definition of fold arithmetic, used by the
-// commit path, rollback (with negated deltas), and recovery redo.
+// commit path, rollback (with negated deltas), and recovery redo. ApplyFold
+// takes ownership of stored: cells are updated in place and the same slice
+// is returned, so callers must pass a row they do not reuse.
 func (m *Maintainer) ApplyFold(stored record.Row, deltas []wal.ColDelta) (record.Row, error) {
-	out := stored.Clone()
+	out := stored
 	for _, d := range deltas {
 		if int(d.Col) >= len(out) {
 			return nil, fmt.Errorf("%w: fold cell %d of %d", ErrSchema, d.Col, len(out))

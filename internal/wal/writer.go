@@ -36,6 +36,7 @@ type Writer struct {
 	mu        sync.Mutex // guards buf, nextLSN, appendedLSN, written budget
 	f         *os.File
 	buf       []byte
+	spare     []byte // flushed buffer recycled by Sync (double buffering)
 	nextLSN   uint64
 	appended  uint64 // LSN of last record placed in buf
 	mode      SyncMode
@@ -78,12 +79,14 @@ func (w *Writer) Append(r *Record) (uint64, error) {
 	}
 	r.LSN = w.nextLSN
 	w.nextLSN++
-	payload := r.Encode(nil)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
-	w.buf = append(w.buf, hdr[:]...)
-	w.buf = append(w.buf, payload...)
+	// Encode in place after a reserved 8-byte frame header, so no per-record
+	// payload slice is allocated.
+	start := len(w.buf)
+	w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	w.buf = r.Encode(w.buf)
+	payload := w.buf[start+8:]
+	binary.LittleEndian.PutUint32(w.buf[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.buf[start+4:start+8], crc32.Checksum(payload, crcTable))
 	w.appended = r.LSN
 	return r.LSN, nil
 }
@@ -105,10 +108,12 @@ func (w *Writer) Sync(upTo uint64) error {
 	if w.durableLSN() >= upTo { // another committer covered us while we waited
 		return nil
 	}
-	// Steal the buffer.
+	// Steal the buffer; appenders continue into the spare one (double
+	// buffering keeps the steady state allocation-free).
 	w.mu.Lock()
 	buf := w.buf
-	w.buf = nil
+	w.buf = w.spare
+	w.spare = nil
 	target := w.appended
 	w.mu.Unlock()
 	if len(buf) > 0 {
@@ -116,6 +121,9 @@ func (w *Writer) Sync(upTo uint64) error {
 			return err
 		}
 	}
+	w.mu.Lock()
+	w.spare = buf[:0]
+	w.mu.Unlock()
 	if w.mode == SyncData {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
