@@ -1,0 +1,45 @@
+GO ?= go
+
+# Seeds for the full torture tier; the smoke tier is what CI runs per push.
+TORTURE_SEEDS ?= 100
+TORTURE_SMOKE_SEEDS ?= 25
+
+.PHONY: all verify race vet fmt lint torture torture-smoke bench-smoke baseline
+
+all: verify
+
+# Tier-1: must stay green on every commit.
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Race tier: the short test set under the race detector.
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+lint: vet fmt
+
+# Crash-torture tier: seeded fault-injection episodes through crash,
+# recovery, and the recompute-from-base consistency check.
+torture:
+	$(GO) run ./cmd/vtxntorture -seeds $(TORTURE_SEEDS)
+
+torture-smoke:
+	$(GO) run ./cmd/vtxntorture -seeds $(TORTURE_SMOKE_SEEDS)
+
+# Bench-smoke tier: run the headline experiment (F2) at smoke scale and
+# gate its throughput against the committed baseline (>30% regression fails).
+bench-smoke:
+	$(GO) run ./cmd/viewbench -exp F2 -smoke -json BENCH_results.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -fresh BENCH_results.json
+
+# Refresh the committed bench-smoke baseline (run on an idle machine).
+baseline:
+	$(GO) run ./cmd/viewbench -exp F2 -smoke -json BENCH_baseline.json

@@ -1,0 +1,91 @@
+// Command benchgate guards the benchmark trajectory in CI: it compares a
+// fresh viewbench results file against the baseline committed in the repo and
+// fails when any shared headline metric regressed more than the threshold.
+//
+//	benchgate -baseline BENCH_baseline.json -fresh BENCH_results.json
+//
+// Only experiments present in both files are gated, so adding a new
+// experiment never breaks the gate; refresh the baseline by re-running
+// viewbench with -json pointed at it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// metric mirrors the subset of viewbench's result schema the gate reads.
+type metric struct {
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline results file")
+	freshPath := flag.String("fresh", "BENCH_results.json", "results file from this run")
+	threshold := flag.Float64("threshold", 0.30, "max allowed fractional regression (0.30 = 30%)")
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	failures, checked := gate(baseline, fresh, *threshold)
+	for _, f := range failures {
+		fmt.Println("FAIL " + f)
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no experiment appears in both %s and %s\n", *baselinePath, *freshPath)
+		os.Exit(2)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d metric(s) within %.0f%% of baseline\n", checked, *threshold*100)
+}
+
+func load(path string) (map[string]metric, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	m := make(map[string]metric)
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// gate compares every experiment present in both maps and returns a message
+// per regression beyond threshold, plus how many metrics it checked.
+func gate(baseline, fresh map[string]metric, threshold float64) (failures []string, checked int) {
+	ids := make([]string, 0, len(baseline))
+	for id := range baseline {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		base := baseline[id]
+		got, ok := fresh[id]
+		if !ok || base.Value <= 0 {
+			continue
+		}
+		checked++
+		floor := base.Value * (1 - threshold)
+		if got.Value < floor {
+			failures = append(failures, fmt.Sprintf(
+				"%s %s: %.2f is %.1f%% below baseline %.2f (floor %.2f)",
+				id, base.Metric, got.Value, 100*(1-got.Value/base.Value), base.Value, floor))
+		}
+	}
+	return failures, checked
+}

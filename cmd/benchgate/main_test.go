@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestGate(t *testing.T) {
+	baseline := map[string]metric{
+		"F2": {Metric: "escrow_tx_per_sec_max_writers", Value: 1000},
+		"T1": {Metric: "escrow_view_ops_per_sec", Value: 500},
+		"F9": {Metric: "only_in_baseline", Value: 10},
+	}
+	fresh := map[string]metric{
+		"F2": {Metric: "escrow_tx_per_sec_max_writers", Value: 800}, // -20%: ok
+		"T1": {Metric: "escrow_view_ops_per_sec", Value: 300},       // -40%: regression
+		"T7": {Metric: "only_in_fresh", Value: 1},
+	}
+	failures, checked := gate(baseline, fresh, 0.30)
+	if checked != 2 {
+		t.Errorf("checked = %d, want 2 (F2 and T1 are shared)", checked)
+	}
+	if len(failures) != 1 {
+		t.Fatalf("failures = %v, want exactly the T1 regression", failures)
+	}
+
+	// At the boundary: exactly -30% passes, a hair more fails.
+	fresh["T1"] = metric{Metric: "escrow_view_ops_per_sec", Value: 350}
+	if failures, _ := gate(baseline, fresh, 0.30); len(failures) != 0 {
+		t.Errorf("-30%% exactly should pass, got %v", failures)
+	}
+	fresh["T1"] = metric{Metric: "escrow_view_ops_per_sec", Value: 349}
+	if failures, _ := gate(baseline, fresh, 0.30); len(failures) != 1 {
+		t.Errorf("-30.2%% should fail, got %v", failures)
+	}
+}

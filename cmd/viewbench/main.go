@@ -25,16 +25,23 @@ import (
 )
 
 // headlineResult is one experiment's tracked metric in the results file.
+// Experiments that instrument their headline run additionally report its
+// allocation cost and lock-manager shard statistics.
 type headlineResult struct {
-	Metric string  `json:"metric"`
-	Value  float64 `json:"value"`
-	Ran    string  `json:"ran"` // RFC 3339
+	Metric       string  `json:"metric"`
+	Value        float64 `json:"value"`
+	Ran          string  `json:"ran"` // RFC 3339
+	AllocsPerOp  float64 `json:"allocs_per_op,omitempty"`
+	LockShards   int     `json:"lock_shards,omitempty"`
+	LockColls    int64   `json:"lock_collisions,omitempty"`
+	LockMaxQueue int64   `json:"lock_max_queue_depth,omitempty"`
 }
 
 func main() {
 	var (
 		expFlag  = flag.String("exp", "all", "experiment ID (T1,F2,...) or comma list or 'all'")
 		quick    = flag.Bool("quick", false, "run at reduced scale")
+		smoke    = flag.Bool("smoke", false, "run at minimal scale (CI bench-smoke gate)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		jsonPath = flag.String("json", "BENCH_results.json", "merge headline metrics into this file ('' disables)")
 	)
@@ -50,6 +57,9 @@ func main() {
 	scale := bench.Full
 	if *quick {
 		scale = bench.Quick
+	}
+	if *smoke {
+		scale = bench.Smoke
 	}
 
 	var runners []bench.Runner
@@ -78,9 +88,13 @@ func main() {
 		fmt.Printf("%s(took %s)\n\n", tb, time.Since(start).Round(time.Millisecond))
 		if tb.HeadlineName != "" {
 			results[tb.ID] = headlineResult{
-				Metric: tb.HeadlineName,
-				Value:  tb.Headline,
-				Ran:    time.Now().UTC().Format(time.RFC3339),
+				Metric:       tb.HeadlineName,
+				Value:        tb.Headline,
+				Ran:          time.Now().UTC().Format(time.RFC3339),
+				AllocsPerOp:  tb.HeadlineAllocsPerOp,
+				LockShards:   tb.HeadlineShards,
+				LockColls:    tb.HeadlineCollisions,
+				LockMaxQueue: tb.HeadlineMaxQueue,
 			}
 		}
 	}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// TestResultsSchema is the golden-schema check for BENCH_results.json: it
+// runs the headline experiment (F2) at smoke scale, merges its metrics the
+// way main does, and asserts the fields downstream tooling (the CI bench
+// gate, trend dashboards) depends on parse and carry real values.
+func TestResultsSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke bench run not worth the race-detector time")
+	}
+	r, err := bench.Find("F2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := r.Run(bench.Smoke)
+	if err != nil {
+		t.Fatalf("F2 smoke run: %v", err)
+	}
+	if tb.HeadlineName == "" {
+		t.Fatal("F2 produced no headline metric")
+	}
+	results := map[string]headlineResult{
+		tb.ID: {
+			Metric:       tb.HeadlineName,
+			Value:        tb.Headline,
+			Ran:          time.Now().UTC().Format(time.RFC3339),
+			AllocsPerOp:  tb.HeadlineAllocsPerOp,
+			LockShards:   tb.HeadlineShards,
+			LockColls:    tb.HeadlineCollisions,
+			LockMaxQueue: tb.HeadlineMaxQueue,
+		},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	if err := mergeResults(path, results); err != nil {
+		t.Fatalf("mergeResults: %v", err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]headlineResult
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("results file does not parse: %v", err)
+	}
+	got, ok := parsed["F2"]
+	if !ok {
+		t.Fatalf("results file lacks F2 entry: %s", raw)
+	}
+	if got.Metric != "escrow_tx_per_sec_max_writers" {
+		t.Errorf("F2 metric = %q, want escrow_tx_per_sec_max_writers", got.Metric)
+	}
+	if got.Value <= 0 {
+		t.Errorf("F2 throughput = %v, want > 0", got.Value)
+	}
+	if got.AllocsPerOp <= 0 {
+		t.Errorf("F2 allocs_per_op = %v, want > 0", got.AllocsPerOp)
+	}
+	if got.LockShards <= 0 {
+		t.Errorf("F2 lock_shards = %d, want > 0", got.LockShards)
+	}
+	if got.LockColls < 0 || got.LockMaxQueue < 0 {
+		t.Errorf("negative lock stats: collisions=%d max_queue=%d", got.LockColls, got.LockMaxQueue)
+	}
+	if _, err := time.Parse(time.RFC3339, got.Ran); err != nil {
+		t.Errorf("ran timestamp %q is not RFC 3339: %v", got.Ran, err)
+	}
+
+	// Merging again must keep the existing entry for experiments not re-run.
+	if err := mergeResults(path, map[string]headlineResult{
+		"T1": {Metric: "escrow_view_ops_per_sec", Value: 1, Ran: got.Ran},
+	}); err != nil {
+		t.Fatalf("second merge: %v", err)
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed = nil
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("merged results file does not parse: %v", err)
+	}
+	if _, ok := parsed["F2"]; !ok {
+		t.Error("merge dropped the F2 entry")
+	}
+	if _, ok := parsed["T1"]; !ok {
+		t.Error("merge lost the fresh T1 entry")
+	}
+}

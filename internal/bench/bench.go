@@ -26,6 +26,10 @@ var Full = Scale{Factor: 1}
 // Quick runs experiments at roughly 1/8 scale.
 var Quick = Scale{Factor: 8}
 
+// Smoke runs experiments at ~1/64 scale: just enough work to produce a
+// headline metric for the CI bench-smoke gate and the results-schema test.
+var Smoke = Scale{Factor: 64}
+
 func (s Scale) div(n int) int {
 	if s.Factor <= 1 {
 		return n

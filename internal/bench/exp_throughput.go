@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/catalog"
@@ -118,15 +119,26 @@ func RunF2EscrowScaling(s Scale) (*stats.Table, error) {
 				cleanup()
 				return nil, err
 			}
+			headline := strat == catalog.StrategyEscrow && writers == writersSweep[len(writersSweep)-1]
+			var m0 runtime.MemStats
+			if headline {
+				runtime.ReadMemStats(&m0)
+			}
 			runs := workload.RunConcurrent(db, writers, perWriter, 7, w.DepositOp)
-			if strat == catalog.StrategyEscrow {
-				if writers == writersSweep[len(writersSweep)-1] {
-					tb.HeadlineName, tb.Headline = "escrow_tx_per_sec_max_writers", runs.Throughput()
-					ls := db.Stats().Lock
-					tb.Notes = append(tb.Notes, fmt.Sprintf(
-						"lock manager at %d writers: %d shards, %d collisions, max queue depth %d, %d detector sweeps (max %v)",
-						writers, ls.Shards, ls.Collisions, ls.MaxQueueDepth, ls.Sweeps, ls.MaxSweep))
+			if headline {
+				var m1 runtime.MemStats
+				runtime.ReadMemStats(&m1)
+				tb.HeadlineName, tb.Headline = "escrow_tx_per_sec_max_writers", runs.Throughput()
+				if runs.Ops > 0 {
+					tb.HeadlineAllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(runs.Ops)
 				}
+				ls := db.Stats().Lock
+				tb.HeadlineShards = ls.Shards
+				tb.HeadlineCollisions = ls.Collisions
+				tb.HeadlineMaxQueue = ls.MaxQueueDepth
+				tb.Notes = append(tb.Notes, fmt.Sprintf(
+					"lock manager at %d writers: %d shards, %d collisions, max queue depth %d, %d detector sweeps (max %v)",
+					writers, ls.Shards, ls.Collisions, ls.MaxQueueDepth, ls.Sweeps, ls.MaxSweep))
 			}
 			cleanup()
 			tps[i] = runs.Throughput()

@@ -15,6 +15,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/catalog"
 	"repro/internal/escrow"
+	"repro/internal/fault"
 	"repro/internal/id"
 	"repro/internal/lock"
 	"repro/internal/recovery"
@@ -48,6 +49,14 @@ type Options struct {
 	// EscrowShards sets the escrow-ledger stripe count (rounded up to a
 	// power of two; 0 selects the default).
 	EscrowShards int
+	// FS is the filesystem under the WAL, snapshot, and manifest I/O.
+	// nil selects the real filesystem; the crash-torture harness passes a
+	// fault.Injector to exercise torn writes, failed fsyncs, and crashes.
+	FS fault.FS
+	// Hooks receives the engine's named crash points (fault.Point) when
+	// non-nil. Torture/testing only; a returned error aborts the operation
+	// that hit the point.
+	Hooks fault.Hooks
 }
 
 // Stats are cumulative engine counters.
@@ -138,7 +147,10 @@ func Open(path string, opts Options) (*DB, error) {
 	if opts.FoldLatchStripes <= 0 {
 		opts.FoldLatchStripes = defaultFoldStripes
 	}
-	st, err := recovery.Run(path, opts.SyncMode)
+	if opts.FS == nil {
+		opts.FS = fault.OS{}
+	}
+	st, err := recovery.RunFS(opts.FS, path, opts.SyncMode)
 	if err != nil {
 		return nil, err
 	}
@@ -239,9 +251,21 @@ func (db *DB) tree(tid id.Tree) *btree.Tree {
 	return t
 }
 
+// hit notifies the fault hooks (when armed) that the engine reached a named
+// crash point; a non-nil error must abort the surrounding operation.
+func (db *DB) hit(p fault.Point) error {
+	if db.opts.Hooks == nil {
+		return nil
+	}
+	return db.opts.Hooks.Hit(p)
+}
+
 // logOp logs a record for t and applies it to the trees (write-ahead
 // discipline: the record reaches the log buffer before the trees change).
 func (db *DB) logOp(t *txn.Txn, rec *wal.Record) error {
+	if err := db.hit(fault.PointWALAppend); err != nil {
+		return err
+	}
 	rec.Txn = t.ID
 	rec.Sys = t.Sys
 	if _, err := db.log.Append(rec); err != nil {
@@ -261,13 +285,16 @@ func (db *DB) Checkpoint() error {
 	}
 	db.gate.Lock()
 	defer db.gate.Unlock()
+	if err := db.hit(fault.PointCheckpoint); err != nil {
+		return err
+	}
 	db.treesMu.RLock()
 	trees := make(map[id.Tree]*btree.Tree, len(db.trees))
 	for k, v := range db.trees {
 		trees[k] = v
 	}
 	db.treesMu.RUnlock()
-	writer, gen, err := recovery.Checkpoint(db.path, db.gen, db.log, db.Catalog(), trees, db.tm.NextID(), db.opts.SyncMode)
+	writer, gen, err := recovery.CheckpointFS(db.opts.FS, db.path, db.gen, db.log, db.Catalog(), trees, db.tm.NextID(), db.opts.SyncMode)
 	if err != nil {
 		return err
 	}
@@ -288,6 +315,13 @@ func (db *DB) runSysTxn(fn func(st *txn.Txn) error) error {
 		return err
 	}
 	if err := fn(st); err != nil {
+		db.rollbackOps(st)
+		db.log.Append(&wal.Record{Type: wal.TAbortEnd, Txn: st.ID, Sys: true})
+		db.tm.Abort(st)
+		db.lm.ReleaseAll(st.ID)
+		return err
+	}
+	if err := db.hit(fault.PointSysCommit); err != nil {
 		db.rollbackOps(st)
 		db.log.Append(&wal.Record{Type: wal.TAbortEnd, Txn: st.ID, Sys: true})
 		db.tm.Abort(st)

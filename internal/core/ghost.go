@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/escrow"
+	"repro/internal/fault"
 	"repro/internal/lock"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -77,6 +78,9 @@ func (db *DB) cleanViewGhosts(v *catalog.View) int {
 			cur, ghost, ok := tree.Get(key)
 			if !ok || !ghost || db.ledger.PendingTxns(row) > 0 {
 				return errSkipGhost
+			}
+			if err := db.hit(fault.PointGhostErase); err != nil {
+				return err
 			}
 			rec := &wal.Record{Type: wal.TDelete, Tree: v.ID, Key: key, OldVal: cur, OldGhost: true}
 			return db.logOp(st, rec)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/apply"
 
 	"repro/internal/escrow"
+	"repro/internal/fault"
 	"repro/internal/id"
 	"repro/internal/lock"
 	"repro/internal/record"
@@ -199,6 +200,9 @@ func (db *DB) foldEscrow(t *txn.Txn) error {
 
 // foldRow folds one view row under the structure latch.
 func (db *DB) foldRow(t *txn.Txn, row escrow.RowID, deltas []wal.ColDelta) error {
+	if err := db.hit(fault.PointFold); err != nil {
+		return err
+	}
 	m := db.reg.Maintainer(row.Tree)
 	if m == nil {
 		return fmt.Errorf("core: fold against unknown view %s", row.Tree)

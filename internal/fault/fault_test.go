@@ -1,0 +1,275 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// stubClock records requested sleeps without sleeping.
+type stubClock struct{ slept []time.Duration }
+
+func (c *stubClock) Sleep(d time.Duration) { c.slept = append(c.slept, d) }
+
+// TestScheduleDeterminism: the same seed must yield the same schedule and
+// fire at the same operation, independent of wall-clock or filesystem state.
+func TestScheduleDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		a := NewInjectorOn(seed, OS{}, &stubClock{})
+		b := NewInjectorOn(seed, OS{}, &stubClock{})
+		if a.Describe() != b.Describe() {
+			t.Fatalf("seed %d: schedules differ: %q vs %q", seed, a.Describe(), b.Describe())
+		}
+	}
+	// Distinct seeds should not all share one schedule.
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 50; seed++ {
+		seen[NewInjectorOn(seed, OS{}, &stubClock{}).Describe()] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("only %d distinct schedules across 50 seeds", len(seen))
+	}
+}
+
+// findSeed returns a seed whose schedule description contains want.
+func findSeed(t *testing.T, want string) int64 {
+	t.Helper()
+	for seed := int64(0); seed < 10_000; seed++ {
+		in := NewInjectorOn(seed, OS{}, &stubClock{})
+		if s := in.Describe(); len(s) >= len(want) && contains(s, want) {
+			return seed
+		}
+	}
+	t.Fatalf("no seed with schedule %q in range", want)
+	return 0
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPointCrash: the scheduled hit of the scheduled point crashes; every
+// later operation fails with ErrCrashed.
+func TestPointCrash(t *testing.T) {
+	seed := findSeed(t, "crash at point")
+	in := NewInjectorOn(seed, OS{}, &stubClock{})
+	crashedAt := -1
+	for i := 0; i < 10_000 && crashedAt < 0; i++ {
+		for _, p := range Points {
+			if err := in.Hit(p); err != nil {
+				if !errors.Is(err, ErrCrashed) {
+					t.Fatalf("unexpected error %v", err)
+				}
+				crashedAt = i
+				break
+			}
+		}
+	}
+	if crashedAt < 0 {
+		t.Fatal("point crash never fired")
+	}
+	if !in.Crashed() || in.Cause() == "" {
+		t.Fatalf("crashed=%v cause=%q", in.Crashed(), in.Cause())
+	}
+	if err := in.WriteFile(filepath.Join(t.TempDir(), "x"), []byte("y"), 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash WriteFile: %v", err)
+	}
+	if _, err := in.OpenFile(filepath.Join(t.TempDir(), "x"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash OpenFile: %v", err)
+	}
+}
+
+// TestTornWrite: a tear schedule persists exactly the torn prefix and then
+// fails everything.
+func TestTornWrite(t *testing.T) {
+	seed := findSeed(t, "tear write op")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	in := NewInjectorOn(seed, OS{}, &stubClock{})
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := make([]byte, 64)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+	wrote := 0
+	var failedAt int = -1
+	for i := 0; i < 5_000; i++ {
+		if _, err := f.Write(chunk); err != nil {
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("want ErrCrashed, got %v", err)
+			}
+			failedAt = i
+			break
+		}
+		wrote += len(chunk)
+	}
+	if failedAt < 0 {
+		t.Fatal("tear never fired")
+	}
+	in.CloseAll()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < wrote || len(data) >= wrote+len(chunk) {
+		t.Fatalf("file has %d bytes; torn write should leave [%d,%d)", len(data), wrote, wrote+len(chunk))
+	}
+	// Everything before the torn tail must be intact.
+	for i := 0; i < wrote; i++ {
+		if data[i] != byte(i%64) {
+			t.Fatalf("byte %d corrupted: %d", i, data[i])
+		}
+	}
+	if _, err := f.Write(chunk); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+}
+
+// TestSyncFault: the scheduled fsync fails and crashes the injector.
+func TestSyncFault(t *testing.T) {
+	seed := findSeed(t, "fail fsync op")
+	path := filepath.Join(t.TempDir(), "log")
+	in := NewInjectorOn(seed, OS{}, &stubClock{})
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	for i := 0; i < 1_000; i++ {
+		if err := f.Sync(); err != nil {
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("want ErrCrashed, got %v", err)
+			}
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("fsync fault never fired")
+	}
+	in.CloseAll()
+}
+
+// TestDelayInjection: schedules with jitter route their sleeps through the
+// injected clock.
+func TestDelayInjection(t *testing.T) {
+	var seed int64 = -1
+	for s := int64(0); s < 10_000; s++ {
+		if contains(NewInjectorOn(s, OS{}, &stubClock{}).Describe(), "delays up to") {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no jittering schedule found")
+	}
+	clock := &stubClock{}
+	in := NewInjectorOn(seed, OS{}, clock)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2_000; i++ {
+		f.Write([]byte("x")) // faults fine; delays are what we count
+	}
+	in.CloseAll()
+	if in.Delays() == 0 || len(clock.slept) != in.Delays() {
+		t.Fatalf("delays=%d, clock saw %d", in.Delays(), len(clock.slept))
+	}
+}
+
+// TestCorruptWrite: a flip schedule persists the full chunk with one bit
+// changed.
+func TestCorruptWrite(t *testing.T) {
+	seed := findSeed(t, "corrupt write op")
+	path := filepath.Join(t.TempDir(), "log")
+	in := NewInjectorOn(seed, OS{}, &stubClock{})
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := make([]byte, 32) // all zero
+	wrote := 0
+	for i := 0; i < 5_000; i++ {
+		if _, err := f.Write(chunk); err != nil {
+			break
+		}
+		wrote += len(chunk)
+	}
+	if !in.Crashed() {
+		t.Fatal("flip never fired")
+	}
+	in.CloseAll()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != wrote+len(chunk) {
+		t.Fatalf("corrupt write should persist the full chunk: %d vs %d", len(data), wrote+len(chunk))
+	}
+	diff := 0
+	for _, b := range data {
+		for ; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("want exactly 1 flipped bit, found %d", diff)
+	}
+}
+
+// TestOSRoundTrip sanity-checks the real-filesystem implementation.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fsys FS = OS{}
+	sub := filepath.Join(dir, "a", "b")
+	if err := fsys.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(sub, "f")
+	if err := fsys.WriteFile(p, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Truncate(p, 4); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fsys.ReadFile(p)
+	if err != nil || string(b) != "hell" {
+		t.Fatalf("read %q, %v", b, err)
+	}
+	q := filepath.Join(sub, "g")
+	if err := fsys.Rename(p, q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat(q); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fsys.ReadDir(sub)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("readdir: %v, %d entries", err, len(ents))
+	}
+	f, err := fsys.OpenFile(q, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, _ := f.Read(buf)
+	if string(buf[:n]) != "hell" {
+		t.Fatalf("file read %q", buf[:n])
+	}
+	f.Close()
+	if err := fsys.Remove(q); err != nil {
+		t.Fatal(err)
+	}
+}

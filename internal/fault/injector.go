@@ -1,0 +1,409 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// fault modes a schedule can select.
+const (
+	modePoint     = iota // crash at the Nth hit of a named point
+	modeWriteStop        // the Nth file write fails writing nothing
+	modeWriteTear        // the Nth file write persists only a prefix
+	modeWriteFlip        // the Nth file write persists with a flipped byte
+	modeSyncFail         // the Nth fsync fails
+)
+
+// plan is the seeded fault schedule: exactly one fault, fired
+// deterministically, plus an optional seeded delay distribution.
+type plan struct {
+	mode     int
+	point    Point // modePoint
+	pointHit int   // 1-based hit count of point that crashes
+	opIndex  int   // modeWrite*/modeSyncFail: 1-based write/sync op that crashes
+	tearFrac float64
+	flipBit  int // modeWriteFlip: which bit of which byte (seeded below)
+
+	delayProb float64       // chance a write/fsync is delayed
+	delayMax  time.Duration // maximum injected delay
+}
+
+// Injector is a deterministic fault-injecting FS and Hooks implementation.
+// One Injector simulates one process lifetime: its schedule fires at most one
+// terminal fault, after which the injector is crashed and everything fails.
+type Injector struct {
+	base  FS
+	clock Clock
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	plan      plan
+	writeOps  int
+	syncOps   int
+	pointHits map[Point]int
+	crashed   bool
+	cause     string
+	delays    int
+	open      map[*injFile]struct{}
+}
+
+// NewInjector builds an injector whose schedule is derived entirely from
+// seed, layered over the real filesystem and wall clock.
+func NewInjector(seed int64) *Injector {
+	return NewInjectorOn(seed, OS{}, RealClock{})
+}
+
+// NewInjectorOn is NewInjector with an explicit base FS and clock.
+func NewInjectorOn(seed int64, base FS, clock Clock) *Injector {
+	rng := rand.New(rand.NewSource(seed ^ 0x7061706572_5eed)) // decorrelate tiny seeds
+	p := plan{}
+	switch pick := rng.Intn(10); {
+	case pick < 4:
+		p.mode = modePoint
+		p.point = Points[rng.Intn(len(Points))]
+		p.pointHit = 1 + rng.Intn(40)
+	case pick < 6:
+		p.mode = modeWriteStop
+		p.opIndex = 1 + rng.Intn(250)
+	case pick < 8:
+		p.mode = modeWriteTear
+		p.opIndex = 1 + rng.Intn(250)
+		p.tearFrac = rng.Float64()
+	case pick < 9:
+		p.mode = modeWriteFlip
+		p.opIndex = 1 + rng.Intn(250)
+		p.flipBit = rng.Intn(1 << 30)
+	default:
+		p.mode = modeSyncFail
+		p.opIndex = 1 + rng.Intn(60)
+	}
+	if rng.Intn(3) == 0 { // a third of schedules also jitter I/O timing
+		p.delayProb = 0.02 + 0.08*rng.Float64()
+		p.delayMax = time.Duration(1+rng.Intn(200)) * time.Microsecond
+	}
+	return &Injector{
+		base:      base,
+		clock:     clock,
+		rng:       rng,
+		plan:      p,
+		pointHits: make(map[Point]int),
+		open:      make(map[*injFile]struct{}),
+	}
+}
+
+// Hit implements Hooks: it fires the scheduled point crash.
+func (in *Injector) Hit(p Point) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	in.pointHits[p]++
+	if in.plan.mode == modePoint && p == in.plan.point && in.pointHits[p] == in.plan.pointHit {
+		in.crash(fmt.Sprintf("point %s hit %d", p, in.plan.pointHit))
+		return ErrCrashed
+	}
+	return nil
+}
+
+// crash flips the terminal state; callers hold in.mu.
+func (in *Injector) crash(cause string) {
+	in.crashed = true
+	in.cause = cause
+}
+
+// Crashed reports whether the scheduled fault has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Cause describes the fault that fired ("" if still alive).
+func (in *Injector) Cause() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.cause
+}
+
+// Delays reports how many injected I/O delays have been applied.
+func (in *Injector) Delays() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.delays
+}
+
+// Describe renders the schedule for logging.
+func (in *Injector) Describe() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	p := in.plan
+	var s string
+	switch p.mode {
+	case modePoint:
+		s = fmt.Sprintf("crash at point %s hit %d", p.point, p.pointHit)
+	case modeWriteStop:
+		s = fmt.Sprintf("fail write op %d", p.opIndex)
+	case modeWriteTear:
+		s = fmt.Sprintf("tear write op %d at %.0f%%", p.opIndex, 100*p.tearFrac)
+	case modeWriteFlip:
+		s = fmt.Sprintf("corrupt write op %d", p.opIndex)
+	case modeSyncFail:
+		s = fmt.Sprintf("fail fsync op %d", p.opIndex)
+	}
+	if p.delayProb > 0 {
+		s += fmt.Sprintf(" (+%.0f%% delays up to %v)", 100*p.delayProb, p.delayMax)
+	}
+	return s
+}
+
+// CloseAll closes every file still open through the injector: the torture
+// runner calls it after abandoning a crashed instance, standing in for the
+// file-table teardown of a real process exit.
+func (in *Injector) CloseAll() {
+	in.mu.Lock()
+	files := make([]*injFile, 0, len(in.open))
+	for f := range in.open {
+		files = append(files, f)
+	}
+	in.mu.Unlock()
+	for _, f := range files {
+		f.closeUnderlying()
+	}
+}
+
+// maybeDelay sleeps per the schedule's jitter distribution; never after a
+// crash. Callers must NOT hold in.mu.
+func (in *Injector) maybeDelay() {
+	in.mu.Lock()
+	if in.crashed || in.plan.delayProb == 0 || in.rng.Float64() >= in.plan.delayProb {
+		in.mu.Unlock()
+		return
+	}
+	d := time.Duration(in.rng.Int63n(int64(in.plan.delayMax) + 1))
+	in.delays++
+	in.mu.Unlock()
+	in.clock.Sleep(d)
+}
+
+// writeFault consumes one write op and decides this write's fate. It returns
+// keep >= 0 when the write must crash persisting only p[:keep] (possibly
+// corrupted first — the returned flip index is >= 0 then), or keep == -1 for
+// a normal write.
+func (in *Injector) writeFault(n int) (keep, flip int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return 0, -1, ErrCrashed
+	}
+	in.writeOps++
+	if in.writeOps != in.plan.opIndex {
+		return -1, -1, nil
+	}
+	switch in.plan.mode {
+	case modeWriteStop:
+		in.crash(fmt.Sprintf("write op %d failed", in.writeOps))
+		return 0, -1, ErrCrashed
+	case modeWriteTear:
+		k := int(in.plan.tearFrac * float64(n))
+		if k >= n {
+			k = n - 1
+		}
+		if k < 0 {
+			k = 0
+		}
+		in.crash(fmt.Sprintf("write op %d torn at %d/%d bytes", in.writeOps, k, n))
+		return k, -1, ErrCrashed
+	case modeWriteFlip:
+		if n == 0 {
+			in.crash(fmt.Sprintf("write op %d failed", in.writeOps))
+			return 0, -1, ErrCrashed
+		}
+		in.crash(fmt.Sprintf("write op %d corrupted", in.writeOps))
+		return n, in.plan.flipBit % (n * 8), ErrCrashed
+	}
+	return -1, -1, nil
+}
+
+// syncFault consumes one fsync op and decides its fate.
+func (in *Injector) syncFault() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	in.syncOps++
+	if in.plan.mode == modeSyncFail && in.syncOps == in.plan.opIndex {
+		in.crash(fmt.Sprintf("fsync op %d failed", in.syncOps))
+		return ErrCrashed
+	}
+	return nil
+}
+
+// mutable guards whole-file mutations (WriteFile, Rename, Remove, Truncate):
+// they count as one write op each, and tearing applies to WriteFile only.
+func (in *Injector) checkCrashed() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// --- FS implementation ---
+
+// OpenFile opens name on the base FS, wrapping the handle for injection.
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := in.checkCrashed(); err != nil {
+		return nil, err
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	inf := &injFile{in: in, f: f, name: name}
+	in.mu.Lock()
+	in.open[inf] = struct{}{}
+	in.mu.Unlock()
+	return inf, nil
+}
+
+// ReadFile reads through to the base FS (reads never fault: the schedule
+// models a dying writer, not bit rot at rest).
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if err := in.checkCrashed(); err != nil {
+		return nil, err
+	}
+	return in.base.ReadFile(name)
+}
+
+// WriteFile counts as one write op; a scheduled tear persists a prefix.
+func (in *Injector) WriteFile(name string, data []byte, perm os.FileMode) error {
+	in.maybeDelay()
+	keep, flip, err := in.writeFault(len(data))
+	if err != nil {
+		if keep > 0 || flip >= 0 {
+			in.base.WriteFile(name, mangle(data, keep, flip), perm) // best-effort torn write
+		}
+		return err
+	}
+	return in.base.WriteFile(name, data, perm)
+}
+
+// Rename passes through (atomic on the base FS); it fails only post-crash.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.checkCrashed(); err != nil {
+		return err
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+// Remove passes through; it fails only post-crash.
+func (in *Injector) Remove(name string) error {
+	if err := in.checkCrashed(); err != nil {
+		return err
+	}
+	return in.base.Remove(name)
+}
+
+// Truncate passes through; it fails only post-crash.
+func (in *Injector) Truncate(name string, size int64) error {
+	if err := in.checkCrashed(); err != nil {
+		return err
+	}
+	return in.base.Truncate(name, size)
+}
+
+// Stat passes through; it fails only post-crash.
+func (in *Injector) Stat(name string) (os.FileInfo, error) {
+	if err := in.checkCrashed(); err != nil {
+		return nil, err
+	}
+	return in.base.Stat(name)
+}
+
+// MkdirAll passes through; it fails only post-crash.
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err := in.checkCrashed(); err != nil {
+		return err
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+// ReadDir passes through; it fails only post-crash.
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := in.checkCrashed(); err != nil {
+		return nil, err
+	}
+	return in.base.ReadDir(name)
+}
+
+// mangle returns data[:keep] with bit flip flipped (flip < 0 skips the flip).
+func mangle(data []byte, keep, flip int) []byte {
+	out := append([]byte(nil), data[:keep]...)
+	if flip >= 0 && flip/8 < len(out) {
+		out[flip/8] ^= 1 << (flip % 8)
+	}
+	return out
+}
+
+// injFile is one fault-wrapped file handle.
+type injFile struct {
+	in   *Injector
+	f    File
+	name string
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Read passes through; it fails only post-crash.
+func (f *injFile) Read(p []byte) (int, error) {
+	if err := f.in.checkCrashed(); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+// Write applies the schedule: a scheduled stop/tear/corruption persists the
+// mangled prefix, crashes the injector, and errors.
+func (f *injFile) Write(p []byte) (int, error) {
+	f.in.maybeDelay()
+	keep, flip, err := f.in.writeFault(len(p))
+	if err != nil {
+		if keep > 0 || flip >= 0 {
+			f.f.Write(mangle(p, keep, flip)) // best-effort torn write
+		}
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+// Sync applies the schedule's fsync fault.
+func (f *injFile) Sync() error {
+	f.in.maybeDelay()
+	if err := f.in.syncFault(); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+// Close closes the underlying file (even post-crash: the dying process's file
+// table is torn down either way) and drops it from the open set.
+func (f *injFile) Close() error {
+	return f.closeUnderlying()
+}
+
+func (f *injFile) closeUnderlying() error {
+	f.closeOnce.Do(func() {
+		f.closeErr = f.f.Close()
+		f.in.mu.Lock()
+		delete(f.in.open, f)
+		f.in.mu.Unlock()
+	})
+	return f.closeErr
+}

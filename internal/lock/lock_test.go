@@ -103,7 +103,7 @@ func TestXBlocksUntilRelease(t *testing.T) {
 	select {
 	case err := <-acquired:
 		t.Fatalf("second X granted while first held: %v", err)
-	case <-time.After(30 * time.Millisecond):
+	case <-time.After(scaled(30 * time.Millisecond)):
 	}
 	m.ReleaseAll(1)
 	if err := <-acquired; err != nil {
@@ -124,7 +124,7 @@ func TestEscrowConcurrentGrants(t *testing.T) {
 	select {
 	case err := <-blocked:
 		t.Fatalf("S granted alongside E: %v", err)
-	case <-time.After(30 * time.Millisecond):
+	case <-time.After(scaled(30 * time.Millisecond)):
 	}
 	for txn := id.Txn(1); txn <= 32; txn++ {
 		m.ReleaseAll(txn)
@@ -161,7 +161,7 @@ func TestDeadlockDetection(t *testing.T) {
 
 	done1 := make(chan error, 1)
 	go func() { done1 <- m.Lock(1, resB, ModeX, 2*time.Second) }()
-	time.Sleep(30 * time.Millisecond) // let txn 1 block
+	settle(30 * time.Millisecond) // let txn 1 block
 	err2 := m.Lock(2, resA, ModeX, 2*time.Second)
 	if !errors.Is(err2, ErrDeadlock) {
 		t.Fatalf("txn 2 err = %v, want deadlock", err2)
@@ -189,10 +189,10 @@ func TestThreePartyDeadlockChain(t *testing.T) {
 
 	d1 := make(chan error, 1)
 	go func() { d1 <- m.Lock(1, resB, ModeX, 3*time.Second) }() // 1 waits on 2
-	time.Sleep(30 * time.Millisecond)
+	settle(30 * time.Millisecond)
 	d2 := make(chan error, 1)
 	go func() { d2 <- m.Lock(2, resC, ModeX, 3*time.Second) }() // 2 waits on 3
-	time.Sleep(30 * time.Millisecond)
+	settle(30 * time.Millisecond)
 	err3 := m.Lock(3, resA, ModeX, 3*time.Second) // closes the cycle
 	if !errors.Is(err3, ErrDeadlock) {
 		t.Fatalf("txn 3 err = %v, want deadlock", err3)
@@ -231,7 +231,7 @@ func TestConversionDeadlock(t *testing.T) {
 	m.Lock(2, res1, ModeS, 0)
 	done1 := make(chan error, 1)
 	go func() { done1 <- m.Lock(1, res1, ModeX, 2*time.Second) }()
-	time.Sleep(30 * time.Millisecond)
+	settle(30 * time.Millisecond)
 	err2 := m.Lock(2, res1, ModeX, 2*time.Second)
 	if !errors.Is(err2, ErrDeadlock) {
 		t.Fatalf("err = %v, want deadlock", err2)
@@ -252,11 +252,11 @@ func TestUpgradePriorityOverNewRequests(t *testing.T) {
 	// Txn 3 queues for X behind the two S holders.
 	got3 := make(chan error, 1)
 	go func() { got3 <- m.Lock(3, res1, ModeX, 2*time.Second) }()
-	time.Sleep(30 * time.Millisecond)
+	settle(30 * time.Millisecond)
 	// Txn 2 converts S->X: must be queued ahead of txn 3.
 	got2 := make(chan error, 1)
 	go func() { got2 <- m.Lock(2, res1, ModeX, 2*time.Second) }()
-	time.Sleep(30 * time.Millisecond)
+	settle(30 * time.Millisecond)
 	m.ReleaseAll(1)
 	if err := <-got2; err != nil {
 		t.Fatalf("conversion failed: %v", err)
@@ -279,11 +279,11 @@ func TestFIFOFairness(t *testing.T) {
 	m.Lock(1, res1, ModeS, 0)
 	gotX := make(chan error, 1)
 	go func() { gotX <- m.Lock(2, res1, ModeX, 2*time.Second) }()
-	time.Sleep(20 * time.Millisecond)
+	settle(20 * time.Millisecond)
 	// New S requests arrive while X waits; they must queue behind it.
 	gotS := make(chan error, 1)
 	go func() { gotS <- m.Lock(3, res1, ModeS, 2*time.Second) }()
-	time.Sleep(20 * time.Millisecond)
+	settle(20 * time.Millisecond)
 	select {
 	case <-gotS:
 		t.Fatal("late S overtook waiting X")

@@ -1,0 +1,7 @@
+//go:build !race
+
+package lock
+
+// raceEnabled reports whether this test binary was built with the race
+// detector.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package lock
+
+// raceEnabled reports that this test binary was built with the race
+// detector, which slows goroutine scheduling enough that the suite's
+// settle windows need stretching.
+const raceEnabled = true

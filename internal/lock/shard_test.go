@@ -42,7 +42,7 @@ func TestCrossShardDeadlock(t *testing.T) {
 
 	errs := make(chan error, 2)
 	go func() { errs <- m.Lock(1, r2, ModeX, 5*time.Second) }()
-	time.Sleep(20 * time.Millisecond) // let txn 1 block first
+	settle(20 * time.Millisecond) // let txn 1 block first
 	go func() { errs <- m.Lock(2, r1, ModeX, 5*time.Second) }()
 
 	first := <-errs
@@ -98,7 +98,7 @@ func TestConversionPriorityAcrossShards(t *testing.T) {
 				}
 				done <- struct{}{}
 			}()
-			time.Sleep(20 * time.Millisecond)
+			settle(20 * time.Millisecond)
 			go func() { // conversion arrives second but must win
 				if err := m.Lock(tConv, res, ModeX, 5*time.Second); err == nil {
 					mu.Lock()
@@ -108,7 +108,7 @@ func TestConversionPriorityAcrossShards(t *testing.T) {
 				}
 				done <- struct{}{}
 			}()
-			time.Sleep(20 * time.Millisecond)
+			settle(20 * time.Millisecond)
 			m.ReleaseAll(tHold) // unblocks the queue
 			<-done
 			<-done
@@ -137,8 +137,8 @@ func TestTimeoutVsGrantRace(t *testing.T) {
 			t.Fatal(err)
 		}
 		done := make(chan error, 1)
-		go func() { done <- m.Lock(waiter, res, ModeX, time.Millisecond) }()
-		time.Sleep(time.Millisecond) // land the release right on the timeout
+		go func() { done <- m.Lock(waiter, res, ModeX, scaled(time.Millisecond)) }()
+		settle(time.Millisecond) // land the release right on the timeout
 		m.ReleaseAll(holder)
 		err := <-done
 		if err == nil {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/apply"
 	"repro/internal/btree"
 	"repro/internal/catalog"
+	"repro/internal/fault"
 	"repro/internal/id"
 	"repro/internal/snapshot"
 	"repro/internal/wal"
@@ -52,23 +53,28 @@ type txnInfo struct {
 
 // Run recovers the database in dirPath, creating it if absent.
 func Run(dirPath string, mode wal.SyncMode) (*State, error) {
-	if err := os.MkdirAll(dirPath, 0o755); err != nil {
+	return RunFS(fault.OS{}, dirPath, mode)
+}
+
+// RunFS is Run on an injectable filesystem.
+func RunFS(fsys fault.FS, dirPath string, mode wal.SyncMode) (*State, error) {
+	if err := fsys.MkdirAll(dirPath, 0o755); err != nil {
 		return nil, fmt.Errorf("recovery: mkdir: %w", err)
 	}
-	dir := wal.Dir{Path: dirPath}
+	dir := wal.Dir{Path: dirPath, FS: fsys}
 	gen, fresh, err := dir.Current()
 	if err != nil {
 		return nil, err
 	}
 	if fresh {
-		return bootstrap(dir, mode)
+		return bootstrap(fsys, dir, mode)
 	}
 
 	cat := catalog.New()
 	trees := make(map[id.Tree]*btree.Tree)
 	var nextTxn id.Txn = 1
-	if _, err := os.Stat(dir.SnapPath(gen)); err == nil {
-		cat, trees, nextTxn, err = snapshot.Read(dir.SnapPath(gen))
+	if _, err := fsys.Stat(dir.SnapPath(gen)); err == nil {
+		cat, trees, nextTxn, err = snapshot.ReadFS(fsys, dir.SnapPath(gen))
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +95,7 @@ func Run(dirPath string, mode wal.SyncMode) (*State, error) {
 	}
 
 	// Redo pass: repair the torn tail, then replay every record in order.
-	scanRes, err := wal.Repair(dir.LogPath(gen))
+	scanRes, err := wal.RepairFS(fsys, dir.LogPath(gen))
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +110,7 @@ func Run(dirPath string, mode wal.SyncMode) (*State, error) {
 	}
 	sum := Summary{Gen: gen, Torn: scanRes.Torn}
 	maxTxn := id.Txn(0)
-	_, err = wal.Scan(dir.LogPath(gen), func(rec *wal.Record) error {
+	_, err = wal.ScanFS(fsys, dir.LogPath(gen), func(rec *wal.Record) error {
 		if rec.Txn > maxTxn {
 			maxTxn = rec.Txn
 		}
@@ -128,7 +134,7 @@ func Run(dirPath string, mode wal.SyncMode) (*State, error) {
 	}
 
 	// Open the log for appending undo records and new work.
-	writer, err := wal.OpenAppend(dir.LogPath(gen), scanRes.LastLSN+1, mode)
+	writer, err := wal.OpenAppendFS(fsys, dir.LogPath(gen), scanRes.LastLSN+1, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -180,12 +186,12 @@ func Run(dirPath string, mode wal.SyncMode) (*State, error) {
 	}, nil
 }
 
-func bootstrap(dir wal.Dir, mode wal.SyncMode) (*State, error) {
+func bootstrap(fsys fault.FS, dir wal.Dir, mode wal.SyncMode) (*State, error) {
 	reg, err := apply.NewRegistry(catalog.New())
 	if err != nil {
 		return nil, err
 	}
-	writer, err := wal.Create(dir.LogPath(1), 1, mode)
+	writer, err := wal.CreateFS(fsys, dir.LogPath(1), 1, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -210,15 +216,22 @@ func bootstrap(dir wal.Dir, mode wal.SyncMode) (*State, error) {
 func Checkpoint(dirPath string, oldGen uint64, oldLog *wal.Writer,
 	cat *catalog.Catalog, trees map[id.Tree]*btree.Tree, nextTxn id.Txn,
 	mode wal.SyncMode) (*wal.Writer, uint64, error) {
-	dir := wal.Dir{Path: dirPath}
+	return CheckpointFS(fault.OS{}, dirPath, oldGen, oldLog, cat, trees, nextTxn, mode)
+}
+
+// CheckpointFS is Checkpoint on an injectable filesystem.
+func CheckpointFS(fsys fault.FS, dirPath string, oldGen uint64, oldLog *wal.Writer,
+	cat *catalog.Catalog, trees map[id.Tree]*btree.Tree, nextTxn id.Txn,
+	mode wal.SyncMode) (*wal.Writer, uint64, error) {
+	dir := wal.Dir{Path: dirPath, FS: fsys}
 	if err := oldLog.Close(); err != nil {
 		return nil, 0, err
 	}
 	gen := oldGen + 1
-	if err := snapshot.Write(dir.SnapPath(gen), cat, trees, nextTxn); err != nil {
+	if err := snapshot.WriteFS(fsys, dir.SnapPath(gen), cat, trees, nextTxn); err != nil {
 		return nil, 0, err
 	}
-	writer, err := wal.Create(dir.LogPath(gen), 1, mode)
+	writer, err := wal.CreateFS(fsys, dir.LogPath(gen), 1, mode)
 	if err != nil {
 		return nil, 0, err
 	}

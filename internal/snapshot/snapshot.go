@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/catalog"
+	"repro/internal/fault"
 	"repro/internal/id"
 )
 
@@ -29,8 +30,13 @@ var ErrCorrupt = errors.New("snapshot: corrupt file")
 
 // Write atomically writes a snapshot to path (temp file + rename).
 func Write(path string, cat *catalog.Catalog, trees map[id.Tree]*btree.Tree, nextTxn id.Txn) error {
+	return WriteFS(fault.OS{}, path, cat, trees, nextTxn)
+}
+
+// WriteFS is Write on an injectable filesystem.
+func WriteFS(fsys fault.FS, path string, cat *catalog.Catalog, trees map[id.Tree]*btree.Tree, nextTxn id.Txn) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("snapshot: create: %w", err)
 	}
@@ -99,12 +105,12 @@ func Write(path string, cat *catalog.Catalog, trees map[id.Tree]*btree.Tree, nex
 	}
 	if err := write(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("snapshot: write: %w", err)
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("snapshot: flush: %w", err)
 	}
 	// Trailer: CRC of everything before it, written directly to the file.
@@ -112,20 +118,20 @@ func Write(path string, cat *catalog.Catalog, trees map[id.Tree]*btree.Tree, nex
 	binary.LittleEndian.PutUint32(tr[:], crc.Sum32())
 	if _, err := f.Write(tr[:]); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("snapshot: trailer: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("snapshot: sync: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("snapshot: close: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("snapshot: install: %w", err)
 	}
 	return nil
@@ -133,7 +139,12 @@ func Write(path string, cat *catalog.Catalog, trees map[id.Tree]*btree.Tree, nex
 
 // Read loads a snapshot.
 func Read(path string) (cat *catalog.Catalog, trees map[id.Tree]*btree.Tree, nextTxn id.Txn, err error) {
-	data, err := os.ReadFile(path)
+	return ReadFS(fault.OS{}, path)
+}
+
+// ReadFS is Read on an injectable filesystem.
+func ReadFS(fsys fault.FS, path string) (cat *catalog.Catalog, trees map[id.Tree]*btree.Tree, nextTxn id.Txn, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("snapshot: read: %w", err)
 	}

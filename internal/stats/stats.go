@@ -128,6 +128,13 @@ type Table struct {
 	// across runs — cmd/viewbench collects them into BENCH_results.json.
 	HeadlineName string
 	Headline     float64
+	// HeadlineAllocsPerOp and the lock-manager counters below annotate the
+	// headline run with its allocation cost and shard behavior when the
+	// experiment records them (0 = not measured).
+	HeadlineAllocsPerOp float64
+	HeadlineShards      int
+	HeadlineCollisions  int64
+	HeadlineMaxQueue    int64
 }
 
 // AddRow appends a formatted row.

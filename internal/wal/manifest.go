@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"repro/internal/fault"
 )
 
 // Dir manages a database directory's generations: each checkpoint produces a
@@ -16,6 +18,16 @@ import (
 // either the old or the new generation fully intact.
 type Dir struct {
 	Path string
+	// FS is the filesystem the directory lives on; nil means the real one.
+	FS fault.FS
+}
+
+// fs returns the directory's filesystem, defaulting to the real one.
+func (d Dir) fs() fault.FS {
+	if d.FS == nil {
+		return fault.OS{}
+	}
+	return d.FS
 }
 
 const manifestName = "MANIFEST"
@@ -33,7 +45,7 @@ func (d Dir) SnapPath(gen uint64) string {
 // Current returns the generation named by MANIFEST. A missing MANIFEST means
 // a fresh database: generation 1 with no snapshot.
 func (d Dir) Current() (gen uint64, fresh bool, err error) {
-	b, err := os.ReadFile(filepath.Join(d.Path, manifestName))
+	b, err := d.fs().ReadFile(filepath.Join(d.Path, manifestName))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return 1, true, nil
@@ -52,10 +64,10 @@ func (d Dir) Current() (gen uint64, fresh bool, err error) {
 // older generations.
 func (d Dir) Commit(gen uint64) error {
 	tmp := filepath.Join(d.Path, manifestName+".tmp")
-	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(gen, 10)+"\n"), 0o644); err != nil {
+	if err := d.fs().WriteFile(tmp, []byte(strconv.FormatUint(gen, 10)+"\n"), 0o644); err != nil {
 		return fmt.Errorf("wal: write manifest: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(d.Path, manifestName)); err != nil {
+	if err := d.fs().Rename(tmp, filepath.Join(d.Path, manifestName)); err != nil {
 		return fmt.Errorf("wal: install manifest: %w", err)
 	}
 	d.removeOlder(gen)
@@ -65,7 +77,7 @@ func (d Dir) Commit(gen uint64) error {
 // removeOlder deletes snapshot and log files from generations before gen.
 // Failures are ignored: stale files are garbage, not corruption.
 func (d Dir) removeOlder(gen uint64) {
-	entries, err := os.ReadDir(d.Path)
+	entries, err := d.fs().ReadDir(d.Path)
 	if err != nil {
 		return
 	}
@@ -81,7 +93,7 @@ func (d Dir) removeOlder(gen uint64) {
 			continue
 		}
 		if g != 0 && g < gen {
-			os.Remove(filepath.Join(d.Path, name))
+			d.fs().Remove(filepath.Join(d.Path, name))
 		}
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"repro/internal/fault"
 )
 
 // maxRecordSize bounds a single record; larger length prefixes are treated
@@ -29,8 +31,13 @@ type ScanResult struct {
 // each. A torn or corrupt tail ends the scan cleanly (Torn=true); an error
 // from fn aborts the scan and is returned.
 func Scan(path string, fn func(*Record) error) (ScanResult, error) {
+	return ScanFS(fault.OS{}, path, fn)
+}
+
+// ScanFS is Scan on an injectable filesystem.
+func ScanFS(fsys fault.FS, path string, fn func(*Record) error) (ScanResult, error) {
 	var res ScanResult
-	f, err := os.Open(path)
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return res, nil // no log yet: empty generation
@@ -85,14 +92,19 @@ func Scan(path string, fn func(*Record) error) (ScanResult, error) {
 // Repair truncates the log file just past its last intact record so a Writer
 // can append safely. It returns the scan result describing what survived.
 func Repair(path string) (ScanResult, error) {
-	res, err := Scan(path, func(*Record) error { return nil })
+	return RepairFS(fault.OS{}, path)
+}
+
+// RepairFS is Repair on an injectable filesystem.
+func RepairFS(fsys fault.FS, path string) (ScanResult, error) {
+	res, err := ScanFS(fsys, path, func(*Record) error { return nil })
 	if err != nil {
 		return res, err
 	}
 	if !res.Torn {
 		return res, nil
 	}
-	if err := os.Truncate(path, res.GoodBytes); err != nil {
+	if err := fsys.Truncate(path, res.GoodBytes); err != nil {
 		return res, fmt.Errorf("wal: repair truncate: %w", err)
 	}
 	return res, nil

@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -34,7 +36,7 @@ const (
 // already durable returns immediately.
 type Writer struct {
 	mu        sync.Mutex // guards buf, nextLSN, appendedLSN, written budget
-	f         *os.File
+	f         fault.File
 	buf       []byte
 	spare     []byte // flushed buffer recycled by Sync (double buffering)
 	nextLSN   uint64
@@ -51,7 +53,12 @@ type Writer struct {
 // Create creates (truncating) the log file at path. firstLSN is the LSN the
 // next appended record receives (1 for a fresh generation).
 func Create(path string, firstLSN uint64, mode SyncMode) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	return CreateFS(fault.OS{}, path, firstLSN, mode)
+}
+
+// CreateFS is Create on an injectable filesystem.
+func CreateFS(fsys fault.FS, path string, firstLSN uint64, mode SyncMode) (*Writer, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: create: %w", err)
 	}
@@ -62,7 +69,12 @@ func Create(path string, firstLSN uint64, mode SyncMode) (*Writer, error) {
 // file must already be truncated to its last good record (see Repair);
 // nextLSN is the LSN to assign to the next record.
 func OpenAppend(path string, nextLSN uint64, mode SyncMode) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return OpenAppendFS(fault.OS{}, path, nextLSN, mode)
+}
+
+// OpenAppendFS is OpenAppend on an injectable filesystem.
+func OpenAppendFS(fsys fault.FS, path string, nextLSN uint64, mode SyncMode) (*Writer, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open append: %w", err)
 	}
