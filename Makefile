@@ -4,7 +4,7 @@ GO ?= go
 TORTURE_SEEDS ?= 100
 TORTURE_SMOKE_SEEDS ?= 25
 
-.PHONY: all verify race vet fmt lint torture torture-smoke bench-smoke baseline
+.PHONY: all verify race vet fmt lint torture torture-smoke bench-smoke baseline metrics-smoke
 
 all: verify
 
@@ -34,11 +34,20 @@ torture:
 torture-smoke:
 	$(GO) run ./cmd/vtxntorture -seeds $(TORTURE_SMOKE_SEEDS)
 
-# Bench-smoke tier: run the headline experiment (F2) at smoke scale and
-# gate its throughput against the committed baseline (>30% regression fails).
+# Bench-smoke tier: run the headline experiment (F2) at smoke scale and gate
+# its throughput (>30% regression fails) and allocs/op (>20% growth fails)
+# against the committed baseline. Also captures the headline run's metrics
+# snapshot; CI uploads both JSON files as artifacts.
 bench-smoke:
-	$(GO) run ./cmd/viewbench -exp F2 -smoke -json BENCH_results.json
+	$(GO) run ./cmd/viewbench -exp F2 -smoke -json BENCH_results.json -metrics BENCH_metrics.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -fresh BENCH_results.json
+
+# Observability smoke: run the headline experiment with metrics + tracing on
+# and pretty-print the snapshot — a quick eyeball check that every series is
+# populated.
+metrics-smoke:
+	$(GO) run ./cmd/viewbench -exp F2 -smoke -json '' -metrics BENCH_metrics.json -trace-slow 50ms
+	@cat BENCH_metrics.json
 
 # Refresh the committed bench-smoke baseline (run on an idle machine).
 baseline:

@@ -19,14 +19,16 @@ import (
 
 // metric mirrors the subset of viewbench's result schema the gate reads.
 type metric struct {
-	Metric string  `json:"metric"`
-	Value  float64 `json:"value"`
+	Metric      string  `json:"metric"`
+	Value       float64 `json:"value"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline results file")
 	freshPath := flag.String("fresh", "BENCH_results.json", "results file from this run")
 	threshold := flag.Float64("threshold", 0.30, "max allowed fractional regression (0.30 = 30%)")
+	allocThreshold := flag.Float64("alloc-threshold", 0.20, "max allowed fractional allocs/op growth (0.20 = 20%)")
 	flag.Parse()
 
 	baseline, err := load(*baselinePath)
@@ -39,7 +41,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	failures, checked := gate(baseline, fresh, *threshold)
+	failures, checked := gate(baseline, fresh, *threshold, *allocThreshold)
 	for _, f := range failures {
 		fmt.Println("FAIL " + f)
 	}
@@ -66,8 +68,10 @@ func load(path string) (map[string]metric, error) {
 }
 
 // gate compares every experiment present in both maps and returns a message
-// per regression beyond threshold, plus how many metrics it checked.
-func gate(baseline, fresh map[string]metric, threshold float64) (failures []string, checked int) {
+// per regression beyond threshold, plus how many metrics it checked. Headline
+// values gate downward (lower is worse); allocs/op gates upward (higher is
+// worse) against its own threshold, for experiments whose baseline records it.
+func gate(baseline, fresh map[string]metric, threshold, allocThreshold float64) (failures []string, checked int) {
 	ids := make([]string, 0, len(baseline))
 	for id := range baseline {
 		ids = append(ids, id)
@@ -85,6 +89,15 @@ func gate(baseline, fresh map[string]metric, threshold float64) (failures []stri
 			failures = append(failures, fmt.Sprintf(
 				"%s %s: %.2f is %.1f%% below baseline %.2f (floor %.2f)",
 				id, base.Metric, got.Value, 100*(1-got.Value/base.Value), base.Value, floor))
+		}
+		if base.AllocsPerOp > 0 && got.AllocsPerOp > 0 {
+			checked++
+			ceil := base.AllocsPerOp * (1 + allocThreshold)
+			if got.AllocsPerOp > ceil {
+				failures = append(failures, fmt.Sprintf(
+					"%s allocs/op: %.2f is %.1f%% above baseline %.2f (ceiling %.2f)",
+					id, got.AllocsPerOp, 100*(got.AllocsPerOp/base.AllocsPerOp-1), base.AllocsPerOp, ceil))
+			}
 		}
 	}
 	return failures, checked

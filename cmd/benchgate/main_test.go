@@ -13,7 +13,7 @@ func TestGate(t *testing.T) {
 		"T1": {Metric: "escrow_view_ops_per_sec", Value: 300},       // -40%: regression
 		"T7": {Metric: "only_in_fresh", Value: 1},
 	}
-	failures, checked := gate(baseline, fresh, 0.30)
+	failures, checked := gate(baseline, fresh, 0.30, 0.20)
 	if checked != 2 {
 		t.Errorf("checked = %d, want 2 (F2 and T1 are shared)", checked)
 	}
@@ -23,11 +23,45 @@ func TestGate(t *testing.T) {
 
 	// At the boundary: exactly -30% passes, a hair more fails.
 	fresh["T1"] = metric{Metric: "escrow_view_ops_per_sec", Value: 350}
-	if failures, _ := gate(baseline, fresh, 0.30); len(failures) != 0 {
+	if failures, _ := gate(baseline, fresh, 0.30, 0.20); len(failures) != 0 {
 		t.Errorf("-30%% exactly should pass, got %v", failures)
 	}
 	fresh["T1"] = metric{Metric: "escrow_view_ops_per_sec", Value: 349}
-	if failures, _ := gate(baseline, fresh, 0.30); len(failures) != 1 {
+	if failures, _ := gate(baseline, fresh, 0.30, 0.20); len(failures) != 1 {
 		t.Errorf("-30.2%% should fail, got %v", failures)
+	}
+}
+
+func TestGateAllocsPerOp(t *testing.T) {
+	baseline := map[string]metric{
+		"F2": {Metric: "escrow_tx_per_sec_max_writers", Value: 1000, AllocsPerOp: 40},
+		"T1": {Metric: "escrow_view_ops_per_sec", Value: 500}, // no alloc data: not gated
+	}
+	fresh := map[string]metric{
+		"F2": {Metric: "escrow_tx_per_sec_max_writers", Value: 1000, AllocsPerOp: 48},
+		"T1": {Metric: "escrow_view_ops_per_sec", Value: 500, AllocsPerOp: 99},
+	}
+	// Exactly +20% passes; both throughput values and F2's allocs count as checked.
+	failures, checked := gate(baseline, fresh, 0.30, 0.20)
+	if checked != 3 {
+		t.Errorf("checked = %d, want 3 (two values + F2 allocs)", checked)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("+20%% allocs exactly should pass, got %v", failures)
+	}
+
+	// A hair above the ceiling fails, and throughput alone staying flat
+	// doesn't mask it.
+	fresh["F2"] = metric{Metric: "escrow_tx_per_sec_max_writers", Value: 1000, AllocsPerOp: 48.1}
+	failures, _ = gate(baseline, fresh, 0.30, 0.20)
+	if len(failures) != 1 {
+		t.Fatalf("+20.25%% allocs should fail, got %v", failures)
+	}
+
+	// Fresh results missing alloc data (older viewbench) are skipped, not failed.
+	fresh["F2"] = metric{Metric: "escrow_tx_per_sec_max_writers", Value: 1000}
+	failures, checked = gate(baseline, fresh, 0.30, 0.20)
+	if len(failures) != 0 || checked != 2 {
+		t.Fatalf("missing fresh allocs should skip the alloc gate: failures=%v checked=%d", failures, checked)
 	}
 }

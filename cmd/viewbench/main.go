@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/metrics"
 )
 
 // headlineResult is one experiment's tracked metric in the results file.
@@ -39,13 +40,33 @@ type headlineResult struct {
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "experiment ID (T1,F2,...) or comma list or 'all'")
-		quick    = flag.Bool("quick", false, "run at reduced scale")
-		smoke    = flag.Bool("smoke", false, "run at minimal scale (CI bench-smoke gate)")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		jsonPath = flag.String("json", "BENCH_results.json", "merge headline metrics into this file ('' disables)")
+		expFlag     = flag.String("exp", "all", "experiment ID (T1,F2,...) or comma list or 'all'")
+		quick       = flag.Bool("quick", false, "run at reduced scale")
+		smoke       = flag.Bool("smoke", false, "run at minimal scale (CI bench-smoke gate)")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		jsonPath    = flag.String("json", "BENCH_results.json", "merge headline metrics into this file ('' disables)")
+		metricsPath = flag.String("metrics", "", "write the headline run's DB.Metrics() snapshot to this JSON file")
+		traceSlow   = flag.Duration("trace-slow", 0, "log engine trace events slower than this to stderr (0 disables)")
 	)
 	flag.Parse()
+
+	if *traceSlow > 0 {
+		bench.Tracer = metrics.NewSlowLogger(os.Stderr, *traceSlow, "viewbench ")
+	}
+	if *metricsPath != "" {
+		bench.MetricsSink = func(s metrics.Snapshot) {
+			buf, err := json.MarshalIndent(s, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "encoding metrics snapshot: %v\n", err)
+				return
+			}
+			if err := os.WriteFile(*metricsPath, append(buf, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *metricsPath, err)
+				return
+			}
+			fmt.Printf("headline metrics snapshot written to %s\n", *metricsPath)
+		}
+	}
 
 	if *list {
 		for _, r := range bench.All() {

@@ -19,11 +19,14 @@
 //	view v
 //	describe v
 //	refresh v
+//	metrics                        engine observability snapshot (JSON)
 //	checkpoint | stats | ghosts | check | quit
 package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -76,7 +79,7 @@ func (s *shell) exec(line string) error {
 	}
 	switch fields[0] {
 	case "help":
-		fmt.Fprintln(s.out, "tables views describe insert delete get scan view refresh checkpoint stats ghosts check quit")
+		fmt.Fprintln(s.out, "tables views describe insert delete get scan view refresh checkpoint stats metrics ghosts check quit")
 		return nil
 	case "tables":
 		for _, t := range s.db.Catalog().Tables() {
@@ -184,6 +187,13 @@ func (s *shell) exec(line string) error {
 		return s.db.Checkpoint()
 	case "stats":
 		fmt.Fprintf(s.out, "%+v\n", s.db.Stats())
+		return nil
+	case "metrics", ".metrics":
+		buf, err := json.MarshalIndent(s.db.Metrics(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%s\n", buf)
 		return nil
 	case "ghosts":
 		fmt.Fprintf(s.out, "(%d erased)\n", s.db.CleanGhosts())
@@ -323,7 +333,7 @@ func parseKind(s string) (vtxn.Kind, error) {
 }
 
 func (s *shell) inTx(fn func(*vtxn.Tx) error) error {
-	tx, err := s.db.Begin(vtxn.ReadCommitted)
+	tx, err := s.db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 	if err != nil {
 		return err
 	}

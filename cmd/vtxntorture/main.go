@@ -13,7 +13,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"repro/internal/metrics"
 )
+
+// slowTracer, when set by -trace-slow, is installed as Options.Tracer on every
+// database an episode opens — torture and recovery alike — so recovery phases
+// and outlier lock waits are visible while hunting a seed.
+var slowTracer metrics.Tracer
 
 func main() {
 	seeds := flag.Int("seeds", 25, "number of consecutive seeds to run")
@@ -21,7 +28,11 @@ func main() {
 	one := flag.Int64("seed", -1, "run a single seed and exit (overrides -seeds/-start)")
 	ops := flag.Int("ops", 400, "workload operations per episode before the planned shutdown")
 	verbose := flag.Bool("v", false, "log each seed's schedule, crash, and recovery summary")
+	traceSlow := flag.Duration("trace-slow", 0, "log engine trace events slower than this to stderr (0 disables)")
 	flag.Parse()
+	if *traceSlow > 0 {
+		slowTracer = metrics.NewSlowLogger(os.Stderr, *traceSlow, "torture ")
+	}
 
 	lo, hi := *start, *start+int64(*seeds)
 	if *one >= 0 {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -121,6 +122,7 @@ func (e *episode) torture() error {
 		SyncMode: e.syncMode,
 		FS:       e.inj,
 		Hooks:    e.inj,
+		Tracer:   slowTracer,
 	})
 	if err != nil {
 		if e.inj.Crashed() {
@@ -187,7 +189,7 @@ func (e *episode) step(db *core.DB, rng *rand.Rand) error {
 // bankingTxn mutates 1–3 accounts: updates mostly, with inserts and deletes
 // (the deletes churn view ghosts), and a 1-in-6 chance of rolling back.
 func (e *episode) bankingTxn(db *core.DB, rng *rand.Rand) error {
-	tx, err := db.Begin(txn.ReadCommitted)
+	tx, err := db.BeginTx(context.Background(), core.TxOptions{Isolation: txn.ReadCommitted})
 	if err != nil {
 		return err
 	}
@@ -228,7 +230,7 @@ func (e *episode) bankingTxn(db *core.DB, rng *rand.Rand) error {
 // ordersTxn enters, cancels, and amends orders. Inserts probe the primary key
 // first so replays over recovered state never hit duplicate-key errors.
 func (e *episode) ordersTxn(db *core.DB, rng *rand.Rand) error {
-	tx, err := db.Begin(txn.ReadCommitted)
+	tx, err := db.BeginTx(context.Background(), core.TxOptions{Isolation: txn.ReadCommitted})
 	if err != nil {
 		return err
 	}
@@ -303,7 +305,7 @@ func (e *episode) verify() error {
 	if err := e.checkWAL(false); err != nil {
 		return fmt.Errorf("pre-recovery %w", err)
 	}
-	db, err := core.Open(e.dir, core.Options{SyncMode: e.syncMode})
+	db, err := core.Open(e.dir, core.Options{SyncMode: e.syncMode, Tracer: slowTracer})
 	if err != nil {
 		return fmt.Errorf("recovery open: %w", err)
 	}
@@ -323,7 +325,7 @@ func (e *episode) verify() error {
 		return fmt.Errorf("post-recovery workload: %w", err)
 	}
 	db.Crash(true)
-	db2, err := core.Open(e.dir, core.Options{SyncMode: e.syncMode})
+	db2, err := core.Open(e.dir, core.Options{SyncMode: e.syncMode, Tracer: slowTracer})
 	if err != nil {
 		return fmt.Errorf("second recovery open: %w", err)
 	}

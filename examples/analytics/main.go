@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -40,7 +41,7 @@ func main() {
 	kinds := []string{"click", "view", "purchase", "refund"}
 	start := time.Now()
 	for lo := 0; lo < events; lo += 500 {
-		tx, err := db.Begin(vtxn.ReadCommitted)
+		tx, err := db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func main() {
 	fmt.Printf("  done in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	// 1. The immediate view answers instantly and exactly.
-	tx, _ := db.Begin(vtxn.ReadCommitted)
+	tx, _ := db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 	t0 := time.Now()
 	rows, err := tx.ScanView("stats_live")
 	if err != nil {
@@ -83,7 +84,7 @@ func main() {
 	fmt.Printf("refresh: %d rows changed in %v\n", changed, time.Since(t0).Round(time.Microsecond))
 
 	// 3. The no-view plan rescans the base table.
-	tx, _ = db.Begin(vtxn.ReadCommitted)
+	tx, _ = db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 	t0 = time.Now()
 	scan, err := tx.AggregateNoView("events", nil, []int{1}, []vtxn.AggSpec{
 		{Func: vtxn.AggCountRows},

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -47,7 +48,7 @@ func main() {
 
 	// Leave an uncommitted transaction hanging and crash.
 	fmt.Println("\nphase 2: crash with one transaction in flight...")
-	loser, _ := db.Begin(vtxn.ReadCommitted)
+	loser, _ := db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 	loser.Insert("accounts", vtxn.Row{vtxn.Int(999_999), vtxn.Int(0), vtxn.Int(1_000_000)})
 	db.Crash(true) // like a kill -9: no clean shutdown
 
@@ -93,7 +94,7 @@ func setup(dir string) *vtxn.DB {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	tx, _ := db.Begin(vtxn.ReadCommitted)
+	tx, _ := db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 	for i := 0; i < accounts; i++ {
 		row := vtxn.Row{vtxn.Int(int64(i)), vtxn.Int(int64(i % branches)), vtxn.Int(100)}
 		if err := tx.Insert("accounts", row); err != nil {
@@ -114,7 +115,7 @@ func runTellers(db *vtxn.DB) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(tlr)))
 			for i := 0; i < deposits; i++ {
-				tx, err := db.Begin(vtxn.ReadCommitted)
+				tx, err := db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -139,7 +140,7 @@ func runTellers(db *vtxn.DB) {
 }
 
 func printTotals(db *vtxn.DB) {
-	tx, _ := db.Begin(vtxn.ReadCommitted)
+	tx, _ := db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 	defer tx.Commit()
 	rows, err := tx.ScanView("branch_totals")
 	if err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -62,7 +63,7 @@ func run(strategy vtxn.Strategy, withJoinView bool) float64 {
 			zipf := rand.NewZipf(rng, skew, 1, products-1)
 			next := int64((c + 1) * 1_000_000)
 			for i := 0; i < perClient; i++ {
-				tx, err := db.Begin(vtxn.ReadCommitted)
+				tx, err := db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -88,7 +89,7 @@ func run(strategy vtxn.Strategy, withJoinView bool) float64 {
 	tps := float64(clients*perClient) / elapsed.Seconds()
 
 	fmt.Printf("strategy %-8s  %6.0f tx/s  (%v total)\n", strategy, tps, elapsed.Round(time.Millisecond))
-	tx, _ := db.Begin(vtxn.ReadCommitted)
+	tx, _ := db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 	rows, err := tx.ScanView("sales_by_product")
 	if err != nil {
 		log.Fatal(err)
@@ -156,7 +157,7 @@ func mustSetup(db *vtxn.DB, strategy vtxn.Strategy, withJoinView bool) {
 			log.Fatal(err)
 		}
 	}
-	tx, _ := db.Begin(vtxn.ReadCommitted)
+	tx, _ := db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 	for p := 0; p < products; p++ {
 		row := vtxn.Row{vtxn.Int(int64(p)), vtxn.Str(fmt.Sprintf("product-%d", p)), vtxn.Int(int64(10 + p))}
 		if err := tx.Insert("products", row); err != nil {

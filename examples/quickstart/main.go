@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -51,7 +52,7 @@ func main() {
 	}
 
 	// Load some accounts in one transaction.
-	tx, err := db.Begin(vtxn.ReadCommitted)
+	tx, err := db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func main() {
 	}
 
 	// A transfer between branches: the view follows exactly.
-	tx, _ = db.Begin(vtxn.ReadCommitted)
+	tx, _ = db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 	if err := tx.Update("accounts", vtxn.Row{vtxn.Int(1)},
 		map[int]vtxn.Value{2: vtxn.Int(50)}); err != nil {
 		log.Fatal(err)
@@ -76,14 +77,14 @@ func main() {
 	}
 
 	// A rolled-back transaction leaves no trace in the view.
-	tx, _ = db.Begin(vtxn.ReadCommitted)
+	tx, _ = db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 	if err := tx.Insert("accounts", vtxn.Row{vtxn.Int(99), vtxn.Int(0), vtxn.Int(1_000_000)}); err != nil {
 		log.Fatal(err)
 	}
 	tx.Rollback()
 
 	// Read the view.
-	tx, _ = db.Begin(vtxn.ReadCommitted)
+	tx, _ = db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 	rows, err := tx.ScanView("branch_totals")
 	if err != nil {
 		log.Fatal(err)

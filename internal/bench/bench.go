@@ -10,8 +10,19 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
+
+// Tracer, when set (viewbench -trace-slow), is installed as Options.Tracer on
+// every database the harness opens, so slow lock waits, folds, and group
+// commits stream out of experiment runs.
+var Tracer metrics.Tracer
+
+// MetricsSink, when set (viewbench -metrics), receives the headline (F2
+// escrow, max writers) database's full metrics snapshot just before that
+// database is torn down. CI saves it as the bench-smoke artifact.
+var MetricsSink func(metrics.Snapshot)
 
 // Scale shrinks experiments for quick runs (tests, testing.B iterations);
 // Full is the cmd/viewbench default.
@@ -44,6 +55,9 @@ func (s Scale) div(n int) int {
 // tempDB creates a database in a fresh temporary directory; cleanup removes
 // it.
 func tempDB(opts core.Options) (*core.DB, func(), error) {
+	if opts.Tracer == nil {
+		opts.Tracer = Tracer
+	}
 	dir, err := os.MkdirTemp("", "vtxnbench-*")
 	if err != nil {
 		return nil, nil, err

@@ -139,6 +139,9 @@ func RunF2EscrowScaling(s Scale) (*stats.Table, error) {
 				tb.Notes = append(tb.Notes, fmt.Sprintf(
 					"lock manager at %d writers: %d shards, %d collisions, max queue depth %d, %d detector sweeps (max %v)",
 					writers, ls.Shards, ls.Collisions, ls.MaxQueueDepth, ls.Sweeps, ls.MaxSweep))
+				if MetricsSink != nil {
+					MetricsSink(db.Metrics())
+				}
 			}
 			cleanup()
 			tps[i] = runs.Throughput()

@@ -18,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/id"
 	"repro/internal/lock"
+	"repro/internal/metrics"
 	"repro/internal/recovery"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -57,6 +58,11 @@ type Options struct {
 	// non-nil. Torture/testing only; a returned error aborts the operation
 	// that hit the point.
 	Hooks fault.Hooks
+	// Tracer, when non-nil, receives engine trace events: transaction
+	// begin/end, resolved lock waits, commit folds, group commits, ghost
+	// sweeps, and recovery phases. Implementations must be concurrency-safe
+	// and fast — events fire inline on engine paths.
+	Tracer metrics.Tracer
 }
 
 // Stats are cumulative engine counters.
@@ -106,6 +112,11 @@ type DB struct {
 	ghostsErased  atomic.Int64
 	escalations   atomic.Int64
 
+	// met is the engine metrics registry (always non-nil); tracer is the
+	// optional event hook from Options.Tracer.
+	met    *metrics.Registry
+	tracer metrics.Tracer
+
 	closed      atomic.Bool
 	cleanerStop chan struct{}
 	cleanerDone chan struct{}
@@ -137,6 +148,12 @@ var (
 	ErrNotFound = errors.New("core: row not found")
 	// ErrSchema reports a row/DDL that does not fit the schema.
 	ErrSchema = errors.New("core: schema violation")
+	// ErrDeadlock aborts the transaction chosen as a deadlock victim. Lock
+	// errors carry the requesting transaction, mode, and resource as context
+	// and wrap this sentinel, so errors.Is works through the whole chain.
+	ErrDeadlock = lock.ErrDeadlock
+	// ErrLockTimeout reports a lock wait that exceeded its timeout.
+	ErrLockTimeout = lock.ErrTimeout
 )
 
 // Open recovers (or creates) the database at path.
@@ -154,6 +171,7 @@ func Open(path string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	met := metrics.NewRegistry()
 	db := &DB{
 		path:  path,
 		opts:  opts,
@@ -165,11 +183,22 @@ func Open(path string, opts Options) (*DB, error) {
 			Shards:         opts.LockShards,
 			DefaultTimeout: opts.LockTimeout,
 			SweepInterval:  opts.DeadlockSweepInterval,
+			Metrics:        &met.Lock,
+			Tracer:         opts.Tracer,
 		}),
 		ledger:    escrow.NewLedgerShards(opts.EscrowShards),
 		tm:        txn.NewManager(st.NextTxn),
 		structMu:  make([]sync.Mutex, opts.FoldLatchStripes),
 		recovered: st.Summary,
+		met:       met,
+		tracer:    opts.Tracer,
+	}
+	db.ledger.Metrics = &met.Escrow
+	db.log.SetObserver(&met.WAL, opts.Tracer)
+	if tr := opts.Tracer; tr != nil && !st.Summary.Fresh {
+		tr.TraceEvent(metrics.Event{Type: metrics.EventRecovery, Phase: "analysis", Dur: st.Summary.Analysis})
+		tr.TraceEvent(metrics.Event{Type: metrics.EventRecovery, Phase: "redo", Dur: st.Summary.Redo, Rows: st.Summary.Replayed})
+		tr.TraceEvent(metrics.Event{Type: metrics.EventRecovery, Phase: "undo", Dur: st.Summary.Undo, Rows: st.Summary.UndoneOps})
 	}
 	if opts.GhostCleanInterval > 0 {
 		db.cleanerStop = make(chan struct{})
@@ -234,6 +263,53 @@ func (db *DB) Stats() Stats {
 	}
 }
 
+// Metrics returns the full structured observability snapshot: engine
+// counters, per-phase transaction timing, lock wait attribution, escrow
+// contention, WAL group-commit behavior, ghost-cleaner backlog, and the
+// restart's recovery phases. Its JSON encoding is a stable schema.
+func (db *DB) Metrics() metrics.Snapshot {
+	s := db.met.Snap()
+	s.Engine = metrics.EngineSnapshot{
+		Commits:     db.commits.Load(),
+		Aborts:      db.aborts.Load(),
+		SysTxns:     db.sysTxns.Load(),
+		Escalations: db.escalations.Load(),
+	}
+	ls := db.lm.Snapshot()
+	s.Lock.Shards = ls.Shards
+	s.Lock.Requests = ls.Requests
+	s.Lock.Waits = ls.Waits
+	s.Lock.Deadlocks = ls.Deadlocks
+	s.Lock.Timeouts = ls.Timeouts
+	s.Lock.Collisions = ls.Collisions
+	s.Lock.MaxQueueDepth = ls.MaxQueueDepth
+	s.Lock.Sweeps = ls.Sweeps
+	s.Lock.LastSweepNs = ls.LastSweep.Nanoseconds()
+	s.Lock.MaxSweepNs = ls.MaxSweep.Nanoseconds()
+	for i := range s.Lock.PerShard {
+		if i < len(ls.PerShard) {
+			s.Lock.PerShard[i].Collisions = ls.PerShard[i].Collisions
+			s.Lock.PerShard[i].MaxQueueDepth = ls.PerShard[i].MaxQueueDepth
+			s.Lock.PerShard[i].Resources = ls.PerShard[i].Resources
+		}
+	}
+	s.Escrow.Shards = db.ledger.Shards()
+	s.Ghost.Created = db.ghostsCreated.Load()
+	s.Ghost.Erased = db.ghostsErased.Load()
+	s.Recovery = metrics.RecoverySnapshot{
+		Gen:        db.recovered.Gen,
+		Replayed:   db.recovered.Replayed,
+		Losers:     db.recovered.Losers,
+		UndoneOps:  db.recovered.UndoneOps,
+		Torn:       db.recovered.Torn,
+		Fresh:      db.recovered.Fresh,
+		AnalysisNs: db.recovered.Analysis.Nanoseconds(),
+		RedoNs:     db.recovered.Redo.Nanoseconds(),
+		UndoNs:     db.recovered.Undo.Nanoseconds(),
+	}
+	return s
+}
+
 // tree returns the tree for tid, creating it on demand.
 func (db *DB) tree(tid id.Tree) *btree.Tree {
 	db.treesMu.RLock()
@@ -266,6 +342,7 @@ func (db *DB) logOp(t *txn.Txn, rec *wal.Record) error {
 	if err := db.hit(fault.PointWALAppend); err != nil {
 		return err
 	}
+	start := time.Now()
 	rec.Txn = t.ID
 	rec.Sys = t.Sys
 	if _, err := db.log.Append(rec); err != nil {
@@ -274,7 +351,11 @@ func (db *DB) logOp(t *txn.Txn, rec *wal.Record) error {
 	if err := apply.Apply(db.reg, db.tree, rec); err != nil {
 		return err
 	}
-	return t.RecordOp(rec)
+	if err := t.RecordOp(rec); err != nil {
+		return err
+	}
+	db.met.Txn.Apply.Observe(time.Since(start))
+	return nil
 }
 
 // Checkpoint quiesces the database, writes a snapshot generation, and
@@ -298,6 +379,7 @@ func (db *DB) Checkpoint() error {
 	if err != nil {
 		return err
 	}
+	writer.SetObserver(&db.met.WAL, db.tracer)
 	db.log = writer
 	db.gen = gen
 	return nil

@@ -62,7 +62,7 @@ func (tx *Tx) Insert(table string, row record.Row) error {
 	// readers never block inserts. Held only until the insert is applied.
 	succ := db.successorGap(tbl.ID, key)
 	prior := db.lm.HeldMode(tx.t.ID, succ)
-	if err := db.lm.Lock(tx.t.ID, succ, lock.ModeX, db.opts.LockTimeout); err != nil {
+	if err := db.lockRes(tx.t, succ, lock.ModeX); err != nil {
 		return err
 	}
 	rec := &wal.Record{Type: wal.TInsert, Tree: tbl.ID, Key: key, NewVal: record.EncodeRow(row)}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/escrow"
 	"repro/internal/fault"
 	"repro/internal/lock"
+	"repro/internal/metrics"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
@@ -37,15 +38,24 @@ func (db *DB) CleanGhosts() int {
 	}
 	db.gate.RLock()
 	defer db.gate.RUnlock()
-	erased := 0
+	start := time.Now()
+	erased, backlog := 0, 0
 	for _, v := range db.Catalog().Views() {
 		if v.Kind != catalog.ViewAggregate {
 			continue
 		}
-		if db.tree(v.ID).GhostCount() == 0 {
+		tree := db.tree(v.ID)
+		if tree.GhostCount() == 0 {
 			continue
 		}
 		erased += db.cleanViewGhosts(v)
+		// Whatever survives the sweep (pending deltas, held E locks) is the
+		// cleaner's backlog.
+		backlog += tree.GhostCount()
+	}
+	db.met.Ghost.ObservePass(backlog)
+	if db.tracer != nil {
+		db.tracer.TraceEvent(metrics.Event{Type: metrics.EventGhostClean, Dur: time.Since(start), Rows: erased})
 	}
 	return erased
 }

@@ -121,7 +121,7 @@ func (db *DB) serializableScan(tx *Tx, tree id.Tree, lo, hi []byte, fn func(key,
 			if err := db.lockKey(tx.t, tree, key, lock.ModeS); err != nil {
 				return err
 			}
-			if err := db.lm.Lock(tx.t.ID, gapResource(tree, key), lock.ModeS, db.opts.LockTimeout); err != nil {
+			if err := db.lockRes(tx.t, gapResource(tree, key), lock.ModeS); err != nil {
 				return err
 			}
 			locked[string(key)] = true
@@ -129,7 +129,7 @@ func (db *DB) serializableScan(tx *Tx, tree id.Tree, lo, hi []byte, fn func(key,
 		// (Re-)acquire the end anchor; it may have moved closer after an
 		// insert landed ahead of it, and holding the superseded anchor's
 		// gap is merely extra coverage.
-		if err := db.lm.Lock(tx.t.ID, db.ceilingGap(tree, hi), lock.ModeS, db.opts.LockTimeout); err != nil {
+		if err := db.lockRes(tx.t, db.ceilingGap(tree, hi), lock.ModeS); err != nil {
 			return err
 		}
 		if pass > 0 && fresh == 0 {

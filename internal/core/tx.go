@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/id"
 	"repro/internal/lock"
+	"repro/internal/metrics"
 	"repro/internal/record"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -23,10 +25,33 @@ type Tx struct {
 	done bool
 }
 
-// Begin starts a user transaction at the given isolation level.
+// TxOptions configure one transaction started with BeginTx. The zero value
+// selects ReadCommitted isolation and the engine-wide lock timeout.
+type TxOptions struct {
+	// Isolation is the transaction's isolation level (default ReadCommitted).
+	Isolation txn.Level
+	// LockTimeout, when positive, overrides Options.LockTimeout for this
+	// transaction's lock waits.
+	LockTimeout time.Duration
+}
+
+// Begin starts a user transaction at the given isolation level. It is
+// equivalent to BeginTx with a background context.
 func (db *DB) Begin(level txn.Level) (*Tx, error) {
+	return db.BeginTx(context.Background(), TxOptions{Isolation: level})
+}
+
+// BeginTx starts a user transaction governed by ctx: cancelling ctx aborts
+// the transaction's in-flight lock waits (the wait returns a wrapped
+// ctx.Err()). The ctx does not otherwise interrupt running statements.
+func (db *DB) BeginTx(ctx context.Context, opts TxOptions) (*Tx, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
+	}
+	start := time.Now()
+	level := opts.Isolation
+	if level == 0 {
+		level = txn.ReadCommitted
 	}
 	db.gate.RLock()
 	if db.closed.Load() {
@@ -34,10 +59,17 @@ func (db *DB) Begin(level txn.Level) (*Tx, error) {
 		return nil, ErrClosed
 	}
 	t := db.tm.Begin(false, level)
+	t.Ctx = ctx
+	t.LockTimeout = opts.LockTimeout
+	t.Started = start
 	if _, err := db.log.Append(&wal.Record{Type: wal.TBegin, Txn: t.ID}); err != nil {
 		db.tm.Abort(t)
 		db.gate.RUnlock()
 		return nil, err
+	}
+	db.met.Txn.Begin.Observe(time.Since(start))
+	if db.tracer != nil {
+		db.tracer.TraceEvent(metrics.Event{Type: metrics.EventTxBegin, Txn: t.ID})
 	}
 	return &Tx{db: db, t: t}, nil
 }
@@ -66,6 +98,7 @@ func (tx *Tx) Commit() error {
 	if err := db.foldEscrow(tx.t); err != nil {
 		// Fold failure (e.g. a log fault) aborts the transaction; already-
 		// applied folds are compensated by the generic rollback.
+		db.met.Escrow.FoldAborts.Add(1)
 		tx.rollback()
 		return fmt.Errorf("core: commit failed, transaction rolled back: %w", err)
 	}
@@ -74,6 +107,7 @@ func (tx *Tx) Commit() error {
 		tx.rollback()
 		return fmt.Errorf("core: commit failed, transaction rolled back: %w", err)
 	}
+	syncStart := time.Now()
 	if err := db.log.Sync(lsn); err != nil {
 		// The commit record may or may not be durable; treat as failed and
 		// roll back in memory so the surviving state matches recovery's
@@ -81,6 +115,7 @@ func (tx *Tx) Commit() error {
 		tx.rollback()
 		return fmt.Errorf("core: commit sync failed, transaction rolled back: %w", err)
 	}
+	db.met.Txn.CommitWait.Observe(time.Since(syncStart))
 	tx.finish(true)
 	return nil
 }
@@ -153,6 +188,17 @@ func (tx *Tx) finish(committed bool) {
 	db.ledger.Discard(tx.t.ID)
 	db.lm.ReleaseAll(tx.t.ID)
 	tx.done = true
+	if db.tracer != nil {
+		outcome := "commit"
+		if !committed {
+			outcome = "abort"
+		}
+		var life time.Duration
+		if !tx.t.Started.IsZero() {
+			life = time.Since(tx.t.Started)
+		}
+		db.tracer.TraceEvent(metrics.Event{Type: metrics.EventTxEnd, Txn: tx.t.ID, Dur: life, Outcome: outcome})
+	}
 	db.gate.RUnlock()
 }
 
@@ -163,6 +209,7 @@ func (db *DB) foldEscrow(t *txn.Txn) error {
 	if len(cds) == 0 {
 		return nil
 	}
+	start := time.Now()
 	// Flatten cell deltas into one backing array (splitting mixed int/float
 	// cells to stay exact) and group by row as index ranges — TxnDeltas is
 	// already row-ordered, and one array serves every row's slice.
@@ -194,6 +241,12 @@ func (db *DB) foldEscrow(t *txn.Txn) error {
 		if err := db.foldRow(t, sp.row, flat[sp.start:sp.end:sp.end]); err != nil {
 			return err
 		}
+	}
+	dur := time.Since(start)
+	db.met.Txn.Fold.Observe(dur)
+	db.met.Escrow.ObserveFold(len(spans))
+	if db.tracer != nil {
+		db.tracer.TraceEvent(metrics.Event{Type: metrics.EventFold, Txn: t.ID, Dur: dur, Rows: len(spans)})
 	}
 	return nil
 }
@@ -256,10 +309,25 @@ func (db *DB) foldRow(t *txn.Txn, row escrow.RowID, deltas []wal.ColDelta) error
 	return nil
 }
 
+// lockRes acquires res for t honoring the transaction's context and lock
+// timeout (BeginTx's TxOptions); both fall back to engine-wide defaults.
+// Every user-transaction lock acquisition in the engine funnels through here.
+func (db *DB) lockRes(t *txn.Txn, res lock.Resource, mode lock.Mode) error {
+	ctx := t.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timeout := t.LockTimeout
+	if timeout <= 0 {
+		timeout = db.opts.LockTimeout
+	}
+	return db.lm.LockCtx(ctx, t.ID, res, mode, timeout)
+}
+
 // lockKey acquires a key lock with the engine's timeout and escalation
 // policy.
 func (db *DB) lockKey(t *txn.Txn, tree id.Tree, key []byte, mode lock.Mode) error {
-	if err := db.lm.Lock(t.ID, lock.KeyResource(tree, key), mode, db.opts.LockTimeout); err != nil {
+	if err := db.lockRes(t, lock.KeyResource(tree, key), mode); err != nil {
 		return err
 	}
 	if th := db.opts.EscalationThreshold; th > 0 && db.lm.CountKeyLocks(t.ID, tree) > th {
@@ -268,7 +336,7 @@ func (db *DB) lockKey(t *txn.Txn, tree id.Tree, key []byte, mode lock.Mode) erro
 		if mode == lock.ModeX || mode == lock.ModeE || mode == lock.ModeU {
 			treeMode = lock.ModeX
 		}
-		if err := db.lm.Lock(t.ID, lock.TreeResource(tree), treeMode, db.opts.LockTimeout); err != nil {
+		if err := db.lockRes(t, lock.TreeResource(tree), treeMode); err != nil {
 			return err
 		}
 		db.lm.ReleaseKeyLocks(t.ID, tree)
@@ -279,7 +347,7 @@ func (db *DB) lockKey(t *txn.Txn, tree id.Tree, key []byte, mode lock.Mode) erro
 
 // lockTree acquires a tree-level lock with the engine's timeout.
 func (db *DB) lockTree(t *txn.Txn, tree id.Tree, mode lock.Mode) error {
-	return db.lm.Lock(t.ID, lock.TreeResource(tree), mode, db.opts.LockTimeout)
+	return db.lockRes(t, lock.TreeResource(tree), mode)
 }
 
 // momentaryS takes and immediately releases an S key lock: the lock-based
@@ -287,7 +355,7 @@ func (db *DB) lockTree(t *txn.Txn, tree id.Tree, mode lock.Mode) error {
 func (db *DB) momentaryS(t *txn.Txn, tree id.Tree, key []byte) error {
 	res := lock.KeyResource(tree, key)
 	held := db.lm.HeldMode(t.ID, res)
-	if err := db.lm.Lock(t.ID, res, lock.ModeS, db.opts.LockTimeout); err != nil {
+	if err := db.lockRes(t, res, lock.ModeS); err != nil {
 		return err
 	}
 	if held == lock.ModeNone {

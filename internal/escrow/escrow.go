@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"repro/internal/id"
+	"repro/internal/metrics"
 )
 
 // RowID names one aggregate view row.
@@ -82,6 +83,10 @@ type Ledger struct {
 	txns []*txnShard
 	rows []*rowShard
 	mask uint32
+
+	// Metrics, when set, receives the per-row concurrent-holder high-water
+	// mark (the paper's hot-aggregate contention signal). Nil-safe.
+	Metrics *metrics.EscrowMetrics
 }
 
 // NewLedger returns an empty ledger with a default stripe count.
@@ -143,6 +148,9 @@ func (l *Ledger) refRow(row RowID, delta int) {
 		rs.rowRef[row] = next
 	}
 	rs.mu.Unlock()
+	if delta > 0 {
+		l.Metrics.ObservePending(next)
+	}
 }
 
 // Add accumulates a pending delta for txn against cell.

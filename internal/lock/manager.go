@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/id"
+	"repro/internal/metrics"
 )
 
 // Resource names a lockable object: a whole tree (Key == "") or one key
@@ -150,6 +152,11 @@ type Manager struct {
 	done       chan struct{}
 	closeOnce  sync.Once
 
+	// met and tracer receive wait-time attribution and lock-wait events; both
+	// may be nil (standalone managers) — observation paths are nil-safe.
+	met    *metrics.LockMetrics
+	tracer metrics.Tracer
+
 	// DefaultTimeout bounds waits when Lock is called with timeout 0.
 	DefaultTimeout time.Duration
 }
@@ -165,6 +172,12 @@ type Options struct {
 	// sweep per interval while waiters exist (default 1ms). It bounds how
 	// long a deadlocked transaction waits before its victim aborts.
 	SweepInterval time.Duration
+	// Metrics, when set, receives per-shard wait-time attribution and the
+	// global wait-latency histogram. Only blocked acquisitions observe it.
+	Metrics *metrics.LockMetrics
+	// Tracer, when set, receives an EventLockWait for every blocked
+	// acquisition when it resolves (granted, deadlock, timeout, or cancel).
+	Tracer metrics.Tracer
 }
 
 // NewManager returns an empty lock manager with default options.
@@ -190,7 +203,12 @@ func NewManagerOpts(o Options) *Manager {
 		kick:           make(chan struct{}, 1),
 		stop:           make(chan struct{}),
 		done:           make(chan struct{}),
+		met:            o.Metrics,
+		tracer:         o.Tracer,
 		DefaultTimeout: o.DefaultTimeout,
+	}
+	if m.met != nil {
+		m.met.InitShards(n)
 	}
 	for i := range m.shards {
 		m.shards[i] = newShard()
@@ -282,12 +300,19 @@ func (m *Manager) Snapshot() Stats {
 // requests. Deadlock victims are chosen by the background detector (the
 // youngest transaction in a cycle aborts).
 func (m *Manager) Lock(txn id.Txn, res Resource, mode Mode, timeout time.Duration) error {
+	return m.LockCtx(context.Background(), txn, res, mode, timeout)
+}
+
+// LockCtx is Lock with a context: cancelling ctx aborts an in-flight wait
+// with a wrapped ctx.Err(). The fast (uncontended) path never checks ctx.
+func (m *Manager) LockCtx(ctx context.Context, txn id.Txn, res Resource, mode Mode, timeout time.Duration) error {
 	if timeout <= 0 {
 		timeout = m.DefaultTimeout
 	}
 	m.requests.Add(1)
 
-	s := m.shardOf(res)
+	idx := m.shardIndex(res)
+	s := m.shards[idx]
 	s.lock()
 	ls := s.table[res]
 	if ls == nil {
@@ -338,24 +363,83 @@ func (m *Manager) Lock(txn id.Txn, res Resource, mode Mode, timeout time.Duratio
 	s.mu.Unlock()
 	m.kickDetector()
 
+	start := time.Now()
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
+	var err error
+	select {
+	case err = <-req.granted:
+	case <-timer.C:
+		if err = m.raceDrain(s, res, ls, req); err == errDropped {
+			m.timeouts.Add(1)
+			err = fmt.Errorf("%w: %s requesting %s on %s", ErrTimeout, txn, target, res)
+		}
+	case <-ctx.Done():
+		if err = m.raceDrain(s, res, ls, req); err == errDropped {
+			m.timeouts.Add(1)
+			err = fmt.Errorf("lock: wait canceled: %w (%s requesting %s on %s)", ctx.Err(), txn, target, res)
+		}
+	}
+	m.observeWait(idx, txn, res, target, time.Since(start), err)
+	return err
+}
+
+// errDropped is raceDrain's signal that the request was still queued and has
+// now been removed — the caller owns producing the final error.
+var errDropped = errors.New("lock: request dropped")
+
+// raceDrain resolves the race between a timeout/cancel and a grant (or victim
+// abort) already delivered: if req resolved first its error wins; otherwise
+// the request is dropped from the queue and errDropped returned.
+func (m *Manager) raceDrain(s *shard, res Resource, ls *lockState, req *request) error {
+	s.lock()
 	select {
 	case err := <-req.granted:
-		return err
-	case <-timer.C:
-		s.lock()
-		// The grant (or a victim abort) may have raced the timer.
-		select {
-		case err := <-req.granted:
-			s.mu.Unlock()
-			return err
-		default:
-		}
-		m.timeouts.Add(1)
-		s.dropRequest(res, ls, req)
 		s.mu.Unlock()
-		return fmt.Errorf("%w: %s requesting %s on %s", ErrTimeout, txn, target, res)
+		return err
+	default:
+	}
+	s.dropRequest(res, ls, req)
+	s.mu.Unlock()
+	return errDropped
+}
+
+// observeWait attributes one resolved blocked acquisition to metrics and the
+// tracer. Outcome is derived from err: nil grant, deadlock victim, or
+// timeout/cancel.
+func (m *Manager) observeWait(idx uint32, txn id.Txn, res Resource, mode Mode, wait time.Duration, err error) {
+	outcome := "granted"
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrDeadlock):
+		outcome = "deadlock"
+	case errors.Is(err, ErrTimeout):
+		outcome = "timeout"
+	default:
+		outcome = "canceled"
+	}
+	if m.met != nil {
+		m.met.Wait.Observe(wait)
+		if sw := m.met.Shard(int(idx)); sw != nil {
+			sw.Waits.Add(1)
+			sw.WaitNs.Add(wait.Nanoseconds())
+			switch outcome {
+			case "deadlock":
+				sw.Deadlocks.Add(1)
+			case "timeout", "canceled":
+				sw.Timeouts.Add(1)
+			}
+		}
+	}
+	if m.tracer != nil {
+		m.tracer.TraceEvent(metrics.Event{
+			Type:     metrics.EventLockWait,
+			Txn:      txn,
+			Dur:      wait,
+			Resource: res.String(),
+			Mode:     mode.String(),
+			Outcome:  outcome,
+		})
 	}
 }
 

@@ -1,0 +1,139 @@
+// Package metrics is the engine-wide observability layer: a low-overhead,
+// race-clean registry of atomic counters and log-bucketed histograms wired
+// through every subsystem (transactions, lock manager, escrow ledger, WAL,
+// ghost cleaner, recovery), plus the Tracer event-hook interface that streams
+// structured engine events to external consumers (DESIGN.md §7).
+//
+// Everything here is safe for concurrent use and allocation-free on the hot
+// observation paths; the engine keeps metrics always-on within a <3% overhead
+// budget on the headline benchmark.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a concurrent log-bucketed latency histogram covering 100ns to
+// ~100s with ~4% resolution. It was promoted out of the bench-only
+// internal/stats package so engine subsystems can record latencies directly.
+type Histogram struct {
+	buckets [bucketCount]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64
+}
+
+const (
+	bucketCount  = 400
+	minLatencyNs = 100
+	// growth chosen so bucketCount buckets span nine decades.
+	growth = 1.0533
+)
+
+var bucketBounds = func() [bucketCount]int64 {
+	var b [bucketCount]int64
+	v := float64(minLatencyNs)
+	for i := range b {
+		b[i] = int64(v)
+		v *= growth
+	}
+	return b
+}()
+
+func bucketFor(ns int64) int {
+	if ns <= minLatencyNs {
+		return 0
+	}
+	idx := int(math.Log(float64(ns)/minLatencyNs) / math.Log(growth))
+	if idx >= bucketCount {
+		return bucketCount - 1
+	}
+	return idx
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.buckets[bucketFor(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the mean latency.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Percentile returns the latency at quantile q in [0,1].
+func (h *Histogram) Percentile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(q * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > target {
+			return time.Duration(bucketBounds[i])
+		}
+	}
+	return h.Max()
+}
+
+// HistSnapshot is the JSON-stable summary of a histogram at one instant.
+// Durations are nanoseconds so the encoding never depends on formatting.
+type HistSnapshot struct {
+	Count  int64 `json:"count"`
+	SumNs  int64 `json:"sum_ns"`
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+}
+
+// Snap summarizes the histogram.
+func (h *Histogram) Snap() HistSnapshot {
+	return HistSnapshot{
+		Count:  h.Count(),
+		SumNs:  h.Sum().Nanoseconds(),
+		MeanNs: h.Mean().Nanoseconds(),
+		P50Ns:  h.Percentile(0.50).Nanoseconds(),
+		P99Ns:  h.Percentile(0.99).Nanoseconds(),
+		MaxNs:  h.Max().Nanoseconds(),
+	}
+}
+
+// maxInt64 raises an atomic high-water mark to v if v is larger.
+func maxInt64(hw *atomic.Int64, v int64) {
+	for {
+		cur := hw.Load()
+		if v <= cur || hw.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

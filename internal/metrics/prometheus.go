@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler returns an http.Handler serving the snapshot in Prometheus text
+// exposition format (version 0.0.4). It depends only on net/http: latency
+// histograms are exported as summaries (quantile labels), counters and
+// gauges directly, and lock wait time is attributed per shard.
+func Handler(snap func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s := snap()
+		var sb strings.Builder
+		writeExposition(&sb, s)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, sb.String())
+	})
+}
+
+// writeExposition renders one snapshot as Prometheus text.
+func writeExposition(sb *strings.Builder, s Snapshot) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	summary := func(name, help string, h HistSnapshot) {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+		fmt.Fprintf(sb, "%s{quantile=\"0.5\"} %s\n", name, seconds(h.P50Ns))
+		fmt.Fprintf(sb, "%s{quantile=\"0.99\"} %s\n", name, seconds(h.P99Ns))
+		fmt.Fprintf(sb, "%s{quantile=\"1\"} %s\n", name, seconds(h.MaxNs))
+		fmt.Fprintf(sb, "%s_sum %s\n", name, seconds(h.SumNs))
+		fmt.Fprintf(sb, "%s_count %d\n", name, h.Count)
+	}
+
+	// Engine-level transaction counters.
+	counter("vtxn_txn_commits_total", "User transactions committed.", s.Engine.Commits)
+	counter("vtxn_txn_aborts_total", "User transactions rolled back.", s.Engine.Aborts)
+	counter("vtxn_txn_system_total", "System transactions (ghost create/erase).", s.Engine.SysTxns)
+	counter("vtxn_lock_escalations_total", "Key-lock sets escalated to tree locks.", s.Engine.Escalations)
+
+	// Per-phase transaction timing.
+	summary("vtxn_txn_begin_seconds", "BeginTx latency.", s.Txn.Begin)
+	summary("vtxn_txn_apply_seconds", "Per-operation WAL append + tree apply latency.", s.Txn.Apply)
+	summary("vtxn_txn_fold_seconds", "Commit-time escrow fold latency.", s.Txn.Fold)
+	summary("vtxn_txn_commit_wait_seconds", "Group-commit wait at transaction commit.", s.Txn.CommitWait)
+
+	// Lock manager.
+	counter("vtxn_lock_requests_total", "Lock acquisitions requested.", s.Lock.Requests)
+	counter("vtxn_lock_waits_total", "Lock acquisitions that blocked.", s.Lock.Waits)
+	counter("vtxn_lock_deadlocks_total", "Lock waits aborted as deadlock victims.", s.Lock.Deadlocks)
+	counter("vtxn_lock_timeouts_total", "Lock waits aborted by timeout or cancel.", s.Lock.Timeouts)
+	counter("vtxn_lock_shard_collisions_total", "Shard-mutex acquisitions that found it held.", s.Lock.Collisions)
+	gauge("vtxn_lock_shards", "Lock-manager stripe count.", int64(s.Lock.Shards))
+	gauge("vtxn_lock_max_queue_depth", "Deepest wait queue any resource reached.", s.Lock.MaxQueueDepth)
+	counter("vtxn_lock_detector_sweeps_total", "Background deadlock-detector passes.", s.Lock.Sweeps)
+	summary("vtxn_lock_wait_seconds", "Blocked lock-acquisition wait time.", s.Lock.Wait)
+	fmt.Fprintf(sb, "# HELP vtxn_lock_shard_wait_seconds_total Lock wait time attributed to each shard.\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_lock_shard_wait_seconds_total counter\n")
+	for i, ps := range s.Lock.PerShard {
+		fmt.Fprintf(sb, "vtxn_lock_shard_wait_seconds_total{shard=\"%d\"} %s\n", i, seconds(ps.WaitNs))
+	}
+	fmt.Fprintf(sb, "# HELP vtxn_lock_shard_waits_total Blocked acquisitions resolved on each shard.\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_lock_shard_waits_total counter\n")
+	for i, ps := range s.Lock.PerShard {
+		fmt.Fprintf(sb, "vtxn_lock_shard_waits_total{shard=\"%d\"} %d\n", i, ps.Waits)
+	}
+
+	// Escrow ledger.
+	counter("vtxn_escrow_fold_batches_total", "Commit-time escrow folds.", s.Escrow.FoldBatches)
+	counter("vtxn_escrow_fold_rows_total", "View rows folded at commit.", s.Escrow.FoldRows)
+	counter("vtxn_escrow_fold_aborts_total", "Commits aborted by a failed fold.", s.Escrow.FoldAborts)
+	gauge("vtxn_escrow_fold_batch_max", "Largest rows-per-commit fold.", s.Escrow.FoldBatchMax)
+	gauge("vtxn_escrow_pending_txns_high_water", "Most concurrent transactions with pending deltas on one view row.", s.Escrow.PendingTxnsHighWater)
+	gauge("vtxn_escrow_shards", "Escrow-ledger stripe count.", int64(s.Escrow.Shards))
+
+	// WAL / group commit.
+	counter("vtxn_wal_appends_total", "Records appended to the log.", s.WAL.Appends)
+	counter("vtxn_wal_group_commit_flushes_total", "Physical group-commit flushes.", s.WAL.Flushes)
+	counter("vtxn_wal_group_commit_coalesced_total", "Sync calls satisfied by another committer's flush.", s.WAL.CoalescedSyncs)
+	counter("vtxn_wal_group_commit_records_total", "Records made durable by group-commit flushes.", s.WAL.BatchRecords)
+	gauge("vtxn_wal_group_commit_batch_max", "Largest group-commit batch.", s.WAL.BatchMax)
+	summary("vtxn_wal_flush_seconds", "Group-commit flush latency (write + fsync).", s.WAL.Flush)
+	summary("vtxn_wal_fsync_seconds", "fsync latency within a group commit.", s.WAL.Fsync)
+
+	// Ghosts.
+	counter("vtxn_ghosts_created_total", "Ghost view rows created by system transactions.", s.Ghost.Created)
+	counter("vtxn_ghosts_erased_total", "Ghost view rows erased by the cleaner.", s.Ghost.Erased)
+	counter("vtxn_ghost_cleaner_passes_total", "Ghost-cleaner sweeps.", s.Ghost.CleanerPasses)
+	gauge("vtxn_ghost_backlog", "Ghost rows remaining after the last cleaner sweep.", s.Ghost.Backlog)
+
+	// Recovery (static per instance).
+	gauge("vtxn_recovery_replayed_records", "Log records redone at last restart.", int64(s.Recovery.Replayed))
+	gauge("vtxn_recovery_loser_txns", "Transactions rolled back at last restart.", int64(s.Recovery.Losers))
+	fmt.Fprintf(sb, "# HELP vtxn_recovery_phase_seconds Duration of each restart phase.\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_recovery_phase_seconds gauge\n")
+	fmt.Fprintf(sb, "vtxn_recovery_phase_seconds{phase=\"analysis\"} %s\n", seconds(s.Recovery.AnalysisNs))
+	fmt.Fprintf(sb, "vtxn_recovery_phase_seconds{phase=\"redo\"} %s\n", seconds(s.Recovery.RedoNs))
+	fmt.Fprintf(sb, "vtxn_recovery_phase_seconds{phase=\"undo\"} %s\n", seconds(s.Recovery.UndoNs))
+}
+
+// seconds renders nanoseconds as a decimal seconds literal.
+func seconds(ns int64) string {
+	return fmt.Sprintf("%.9f", float64(ns)/1e9)
+}

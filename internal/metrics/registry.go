@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"sync/atomic"
+)
+
+// Registry is the engine metrics registry: one per DB instance, created at
+// Open and handed by sub-struct pointer to each subsystem. All fields are
+// atomic; observation never takes a lock.
+type Registry struct {
+	Txn    TxnMetrics
+	Lock   LockMetrics
+	Escrow EscrowMetrics
+	WAL    WALMetrics
+	Ghost  GhostMetrics
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// TxnMetrics are the per-phase transaction timing histograms: where a
+// transaction's wall-clock goes between Begin and the durable commit.
+type TxnMetrics struct {
+	// Begin times BeginTx itself (admission gate + begin record).
+	Begin Histogram
+	// Apply times each logged operation (WAL append + tree apply).
+	Apply Histogram
+	// Fold times the commit-time escrow fold (only commits with pending
+	// deltas are observed).
+	Fold Histogram
+	// CommitWait times the group-commit sync the committer waits on.
+	CommitWait Histogram
+}
+
+// LockMetrics attribute lock wait time to the manager's shards. Counts of
+// requests/waits/deadlocks/timeouts live in the manager's own Stats; this
+// adds where the *time* went.
+type LockMetrics struct {
+	// Wait is the global wait-time histogram (same samples as Txn.LockWait).
+	Wait Histogram
+
+	shards []ShardWait
+}
+
+// ShardWait is one lock-manager stripe's wait-time attribution.
+type ShardWait struct {
+	Waits     atomic.Int64 // blocked acquisitions resolved on this shard
+	WaitNs    atomic.Int64 // total nanoseconds those waiters were blocked
+	Deadlocks atomic.Int64 // waits resolved by victim abort
+	Timeouts  atomic.Int64 // waits resolved by timeout (or context cancel)
+}
+
+// InitShards sizes the per-shard attribution table. The lock manager calls it
+// once at construction, before any concurrent use.
+func (lm *LockMetrics) InitShards(n int) { lm.shards = make([]ShardWait, n) }
+
+// Shard returns stripe i's attribution cell, or nil when unattached.
+func (lm *LockMetrics) Shard(i int) *ShardWait {
+	if lm == nil || i < 0 || i >= len(lm.shards) {
+		return nil
+	}
+	return &lm.shards[i]
+}
+
+// ShardCount returns how many stripes are attributed.
+func (lm *LockMetrics) ShardCount() int { return len(lm.shards) }
+
+// EscrowMetrics track contention on the escrow ledger: how many transactions
+// pile up on one hot aggregate row, and how commit-time folds batch.
+type EscrowMetrics struct {
+	// PendingTxnsHighWater is the most transactions that simultaneously held
+	// pending deltas against a single view row (the paper's hot-row signal).
+	PendingTxnsHighWater atomic.Int64
+	// FoldBatches counts commit folds; FoldRows the view rows they folded.
+	// FoldBatchMax is the largest single fold (rows per commit).
+	FoldBatches  atomic.Int64
+	FoldRows     atomic.Int64
+	FoldBatchMax atomic.Int64
+	// FoldAborts counts commits whose fold failed and rolled the transaction
+	// back — the engine's analogue of an escrow overdraft abort.
+	FoldAborts atomic.Int64
+}
+
+// ObservePending raises the pending-transactions high-water mark.
+func (em *EscrowMetrics) ObservePending(n int) {
+	if em == nil {
+		return
+	}
+	maxInt64(&em.PendingTxnsHighWater, int64(n))
+}
+
+// ObserveFold records one commit fold of n view rows.
+func (em *EscrowMetrics) ObserveFold(n int) {
+	em.FoldBatches.Add(1)
+	em.FoldRows.Add(int64(n))
+	maxInt64(&em.FoldBatchMax, int64(n))
+}
+
+// WALMetrics track the write-ahead log: append volume, group-commit
+// coalescing, and flush/fsync latency.
+type WALMetrics struct {
+	// Appends counts records appended to the log buffer.
+	Appends atomic.Int64
+	// Flushes counts physical buffer flushes; CoalescedSyncs counts Sync
+	// calls satisfied by another committer's flush (the group-commit win).
+	Flushes        atomic.Int64
+	CoalescedSyncs atomic.Int64
+	// BatchRecords sums records per flush; BatchMax is the largest batch.
+	BatchRecords atomic.Int64
+	BatchMax     atomic.Int64
+	// Flush times the whole flush (write + fsync when SyncData); Fsync times
+	// the fsync alone.
+	Flush Histogram
+	Fsync Histogram
+}
+
+// ObserveBatch records one physical flush of n records.
+func (wm *WALMetrics) ObserveBatch(n int64) {
+	wm.Flushes.Add(1)
+	wm.BatchRecords.Add(n)
+	maxInt64(&wm.BatchMax, n)
+}
+
+// GhostMetrics track the background ghost cleaner.
+type GhostMetrics struct {
+	// CleanerPasses counts CleanGhosts sweeps.
+	CleanerPasses atomic.Int64
+	// Backlog is the ghost rows still present after the last sweep (a gauge);
+	// BacklogHighWater the most ever left behind.
+	Backlog          atomic.Int64
+	BacklogHighWater atomic.Int64
+}
+
+// ObservePass records one cleaner sweep ending with backlog ghosts left.
+func (gm *GhostMetrics) ObservePass(backlog int) {
+	gm.CleanerPasses.Add(1)
+	gm.Backlog.Store(int64(backlog))
+	maxInt64(&gm.BacklogHighWater, int64(backlog))
+}

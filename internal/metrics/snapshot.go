@@ -1,0 +1,156 @@
+package metrics
+
+// Snapshot is the structured result of DB.Metrics(): every engine counter and
+// latency summary at one instant. The JSON encoding is a stable schema —
+// field names are part of the public API and golden-tested; only additions
+// are allowed.
+type Snapshot struct {
+	Engine   EngineSnapshot   `json:"engine"`
+	Txn      TxnSnapshot      `json:"txn"`
+	Lock     LockSnapshot     `json:"lock"`
+	Escrow   EscrowSnapshot   `json:"escrow"`
+	WAL      WALSnapshot      `json:"wal"`
+	Ghost    GhostSnapshot    `json:"ghosts"`
+	Recovery RecoverySnapshot `json:"recovery"`
+}
+
+// EngineSnapshot are the engine-level transaction counters.
+type EngineSnapshot struct {
+	Commits     int64 `json:"commits"`
+	Aborts      int64 `json:"aborts"`
+	SysTxns     int64 `json:"sys_txns"`
+	Escalations int64 `json:"escalations"`
+}
+
+// TxnSnapshot summarizes the per-phase transaction timing histograms.
+type TxnSnapshot struct {
+	Begin      HistSnapshot `json:"begin"`
+	LockWait   HistSnapshot `json:"lock_wait"`
+	Apply      HistSnapshot `json:"apply"`
+	Fold       HistSnapshot `json:"fold"`
+	CommitWait HistSnapshot `json:"commit_wait"`
+}
+
+// LockSnapshot summarizes the lock manager: cumulative counters plus
+// wait-time attribution per shard.
+type LockSnapshot struct {
+	Shards        int                 `json:"shards"`
+	Requests      int64               `json:"requests"`
+	Waits         int64               `json:"waits"`
+	Deadlocks     int64               `json:"deadlocks"`
+	Timeouts      int64               `json:"timeouts"`
+	Collisions    int64               `json:"collisions"`
+	MaxQueueDepth int64               `json:"max_queue_depth"`
+	Sweeps        int64               `json:"sweeps"`
+	LastSweepNs   int64               `json:"last_sweep_ns"`
+	MaxSweepNs    int64               `json:"max_sweep_ns"`
+	Wait          HistSnapshot        `json:"wait"`
+	PerShard      []LockShardSnapshot `json:"per_shard"`
+}
+
+// LockShardSnapshot is one stripe's counters and wait-time attribution.
+type LockShardSnapshot struct {
+	Waits         int64 `json:"waits"`
+	WaitNs        int64 `json:"wait_ns"`
+	Deadlocks     int64 `json:"deadlocks"`
+	Timeouts      int64 `json:"timeouts"`
+	Collisions    int64 `json:"collisions"`
+	MaxQueueDepth int64 `json:"max_queue_depth"`
+	Resources     int   `json:"resources"`
+}
+
+// EscrowSnapshot summarizes escrow-ledger contention and commit folds.
+type EscrowSnapshot struct {
+	Shards               int   `json:"shards"`
+	FoldBatches          int64 `json:"fold_batches"`
+	FoldRows             int64 `json:"fold_rows"`
+	FoldBatchMax         int64 `json:"fold_batch_max"`
+	FoldAborts           int64 `json:"fold_aborts"`
+	PendingTxnsHighWater int64 `json:"pending_txns_high_water"`
+}
+
+// WALSnapshot summarizes the write-ahead log and group commit.
+type WALSnapshot struct {
+	Appends        int64        `json:"appends"`
+	Flushes        int64        `json:"flushes"`
+	CoalescedSyncs int64        `json:"coalesced_syncs"`
+	BatchRecords   int64        `json:"batch_records"`
+	BatchMax       int64        `json:"batch_max"`
+	Flush          HistSnapshot `json:"flush"`
+	Fsync          HistSnapshot `json:"fsync"`
+}
+
+// GhostSnapshot summarizes ghost-row maintenance and the background cleaner.
+type GhostSnapshot struct {
+	Created          int64 `json:"created"`
+	Erased           int64 `json:"erased"`
+	CleanerPasses    int64 `json:"cleaner_passes"`
+	Backlog          int64 `json:"backlog"`
+	BacklogHighWater int64 `json:"backlog_high_water"`
+}
+
+// RecoverySnapshot reports what the instance's restart did, with per-phase
+// durations (analysis = snapshot load, redo = log replay, undo = loser
+// rollback).
+type RecoverySnapshot struct {
+	Gen        uint64 `json:"gen"`
+	Replayed   int    `json:"replayed"`
+	Losers     int    `json:"losers"`
+	UndoneOps  int    `json:"undone_ops"`
+	Torn       bool   `json:"torn"`
+	Fresh      bool   `json:"fresh"`
+	AnalysisNs int64  `json:"analysis_ns"`
+	RedoNs     int64  `json:"redo_ns"`
+	UndoNs     int64  `json:"undo_ns"`
+}
+
+// Snap fills the registry-owned sections of a snapshot (transaction phases,
+// lock wait attribution, escrow, WAL, ghost cleaner). The caller (the engine)
+// fills the sections whose source of truth lives elsewhere: engine counters,
+// lock-manager count stats, and the recovery summary.
+func (r *Registry) Snap() Snapshot {
+	s := Snapshot{
+		Txn: TxnSnapshot{
+			Begin: r.Txn.Begin.Snap(),
+			// Lock waits are observed once, by the lock manager; the txn-phase
+			// view is the same histogram.
+			LockWait:   r.Lock.Wait.Snap(),
+			Apply:      r.Txn.Apply.Snap(),
+			Fold:       r.Txn.Fold.Snap(),
+			CommitWait: r.Txn.CommitWait.Snap(),
+		},
+		Escrow: EscrowSnapshot{
+			FoldBatches:          r.Escrow.FoldBatches.Load(),
+			FoldRows:             r.Escrow.FoldRows.Load(),
+			FoldBatchMax:         r.Escrow.FoldBatchMax.Load(),
+			FoldAborts:           r.Escrow.FoldAborts.Load(),
+			PendingTxnsHighWater: r.Escrow.PendingTxnsHighWater.Load(),
+		},
+		WAL: WALSnapshot{
+			Appends:        r.WAL.Appends.Load(),
+			Flushes:        r.WAL.Flushes.Load(),
+			CoalescedSyncs: r.WAL.CoalescedSyncs.Load(),
+			BatchRecords:   r.WAL.BatchRecords.Load(),
+			BatchMax:       r.WAL.BatchMax.Load(),
+			Flush:          r.WAL.Flush.Snap(),
+			Fsync:          r.WAL.Fsync.Snap(),
+		},
+		Ghost: GhostSnapshot{
+			CleanerPasses:    r.Ghost.CleanerPasses.Load(),
+			Backlog:          r.Ghost.Backlog.Load(),
+			BacklogHighWater: r.Ghost.BacklogHighWater.Load(),
+		},
+	}
+	s.Lock.Wait = r.Lock.Wait.Snap()
+	s.Lock.PerShard = make([]LockShardSnapshot, len(r.Lock.shards))
+	for i := range r.Lock.shards {
+		sw := &r.Lock.shards[i]
+		s.Lock.PerShard[i] = LockShardSnapshot{
+			Waits:     sw.Waits.Load(),
+			WaitNs:    sw.WaitNs.Load(),
+			Deadlocks: sw.Deadlocks.Load(),
+			Timeouts:  sw.Timeouts.Load(),
+		}
+	}
+	return s
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/id"
+)
+
+// EventType identifies what an Event reports.
+type EventType uint8
+
+const (
+	// EventTxBegin fires when a user transaction starts.
+	EventTxBegin EventType = iota + 1
+	// EventTxEnd fires when a user transaction commits or rolls back; Dur is
+	// its total lifetime and Outcome "commit" or "abort".
+	EventTxEnd
+	// EventLockWait fires when a blocked lock acquisition resolves; Dur is
+	// the time blocked and Outcome "granted", "deadlock", "timeout", or
+	// "canceled".
+	EventLockWait
+	// EventFold fires after a commit-time escrow fold; Rows is the view rows
+	// folded.
+	EventFold
+	// EventGroupCommit fires after a physical WAL flush; Rows is the records
+	// in the batch.
+	EventGroupCommit
+	// EventRecovery fires once per restart phase; Phase is "analysis",
+	// "redo", or "undo".
+	EventRecovery
+	// EventGhostClean fires after a ghost-cleaner sweep; Rows is the ghosts
+	// erased.
+	EventGhostClean
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventTxBegin:
+		return "tx-begin"
+	case EventTxEnd:
+		return "tx-end"
+	case EventLockWait:
+		return "lock-wait"
+	case EventFold:
+		return "fold"
+	case EventGroupCommit:
+		return "group-commit"
+	case EventRecovery:
+		return "recovery"
+	case EventGhostClean:
+		return "ghost-clean"
+	default:
+		return fmt.Sprintf("EventType(%d)", uint8(t))
+	}
+}
+
+// Event is one engine trace event. It is passed by value and holds no
+// references into engine state, so a Tracer may retain it.
+type Event struct {
+	Type EventType
+	// Txn is the acting transaction (zero for engine-level events).
+	Txn id.Txn
+	// Dur is the event's duration: wait time, fold time, flush time, phase
+	// time, or — for EventTxEnd — the transaction's whole lifetime.
+	Dur time.Duration
+	// Resource and Mode describe the contested lock for EventLockWait.
+	Resource string
+	Mode     string
+	// Outcome is "granted"/"deadlock"/"timeout"/"canceled" for lock waits and
+	// "commit"/"abort" for transaction ends.
+	Outcome string
+	// Rows counts folded view rows, group-commit batch records, or erased
+	// ghosts.
+	Rows int
+	// Phase is the recovery phase for EventRecovery.
+	Phase string
+}
+
+// String renders the event for trace logs.
+func (e Event) String() string {
+	switch e.Type {
+	case EventLockWait:
+		return fmt.Sprintf("%s %s %s on %s: %s after %s", e.Type, e.Txn, e.Mode, e.Resource, e.Outcome, e.Dur)
+	case EventTxEnd:
+		return fmt.Sprintf("%s %s: %s after %s", e.Type, e.Txn, e.Outcome, e.Dur)
+	case EventFold:
+		return fmt.Sprintf("%s %s: %d rows in %s", e.Type, e.Txn, e.Rows, e.Dur)
+	case EventGroupCommit:
+		return fmt.Sprintf("%s: %d records in %s", e.Type, e.Rows, e.Dur)
+	case EventRecovery:
+		return fmt.Sprintf("%s %s: %s", e.Type, e.Phase, e.Dur)
+	case EventGhostClean:
+		return fmt.Sprintf("%s: %d erased in %s", e.Type, e.Rows, e.Dur)
+	default:
+		return fmt.Sprintf("%s %s", e.Type, e.Txn)
+	}
+}
+
+// Tracer receives engine trace events. Implementations must be safe for
+// concurrent use and should return quickly: events fire inline on engine
+// paths (a slow tracer slows the engine, never corrupts it).
+type Tracer interface {
+	TraceEvent(Event)
+}
+
+// SlowLogger is a Tracer that prints events at or above a duration threshold
+// — the "slow query log" for transactions, lock waits, and folds. Zero-Dur
+// event types (EventTxBegin) are suppressed; EventRecovery always prints.
+type SlowLogger struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration
+	prefix    string
+}
+
+// NewSlowLogger returns a SlowLogger writing events slower than threshold to
+// w, each line prefixed with prefix.
+func NewSlowLogger(w io.Writer, threshold time.Duration, prefix string) *SlowLogger {
+	return &SlowLogger{w: w, threshold: threshold, prefix: prefix}
+}
+
+// TraceEvent implements Tracer.
+func (l *SlowLogger) TraceEvent(e Event) {
+	if e.Type != EventRecovery && (e.Dur < l.threshold || e.Type == EventTxBegin) {
+		return
+	}
+	l.mu.Lock()
+	fmt.Fprintf(l.w, "%strace: %s\n", l.prefix, e)
+	l.mu.Unlock()
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/apply"
 	"repro/internal/btree"
@@ -27,6 +28,12 @@ type Summary struct {
 	UndoneOps int    // operations compensated during undo
 	Torn      bool   // the log had a torn tail that was truncated
 	Fresh     bool   // no prior state existed
+
+	// Phase durations: analysis = snapshot load, redo = log repair + replay,
+	// undo = loser rollback (all zero for a fresh database).
+	Analysis time.Duration
+	Redo     time.Duration
+	Undo     time.Duration
 }
 
 // State is a recovered, ready-to-run database image.
@@ -70,6 +77,7 @@ func RunFS(fsys fault.FS, dirPath string, mode wal.SyncMode) (*State, error) {
 		return bootstrap(fsys, dir, mode)
 	}
 
+	phaseStart := time.Now()
 	cat := catalog.New()
 	trees := make(map[id.Tree]*btree.Tree)
 	var nextTxn id.Txn = 1
@@ -81,6 +89,7 @@ func RunFS(fsys fault.FS, dirPath string, mode wal.SyncMode) (*State, error) {
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("recovery: stat snapshot: %w", err)
 	}
+	analysisDur := time.Since(phaseStart)
 	reg, err := apply.NewRegistry(cat)
 	if err != nil {
 		return nil, err
@@ -95,6 +104,7 @@ func RunFS(fsys fault.FS, dirPath string, mode wal.SyncMode) (*State, error) {
 	}
 
 	// Redo pass: repair the torn tail, then replay every record in order.
+	phaseStart = time.Now()
 	scanRes, err := wal.RepairFS(fsys, dir.LogPath(gen))
 	if err != nil {
 		return nil, err
@@ -132,6 +142,7 @@ func RunFS(fsys fault.FS, dirPath string, mode wal.SyncMode) (*State, error) {
 	if err != nil {
 		return nil, err
 	}
+	sum.Redo = time.Since(phaseStart)
 
 	// Open the log for appending undo records and new work.
 	writer, err := wal.OpenAppendFS(fsys, dir.LogPath(gen), scanRes.LastLSN+1, mode)
@@ -141,6 +152,7 @@ func RunFS(fsys fault.FS, dirPath string, mode wal.SyncMode) (*State, error) {
 
 	// Undo pass: roll back losers, newest operations first, skipping
 	// operations already compensated before the crash.
+	phaseStart = time.Now()
 	for tid, ti := range txns {
 		if !ti.began || ti.finished {
 			continue
@@ -168,6 +180,8 @@ func RunFS(fsys fault.FS, dirPath string, mode wal.SyncMode) (*State, error) {
 	if err := writer.Sync(0); err != nil {
 		return nil, err
 	}
+	sum.Undo = time.Since(phaseStart)
+	sum.Analysis = analysisDur
 
 	// Every catalog object must have a tree even if never touched.
 	for _, tid := range reg.Catalog().AllTreeIDs() {

@@ -1,101 +1,22 @@
 // Package stats provides the measurement utilities for the benchmark
-// harness: lock-free latency histograms with percentile queries, throughput
-// accounting, and formatted result tables.
+// harness: latency histograms with percentile queries, throughput accounting,
+// and formatted result tables. The histogram implementation lives in
+// internal/metrics (the engine observability layer); stats re-exports it so
+// the bench harness and the engine share one concurrent histogram.
 package stats
 
 import (
 	"fmt"
 	"math"
 	"strings"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Histogram is a concurrent log-bucketed latency histogram covering 100ns to
-// ~100s with ~4% resolution.
-type Histogram struct {
-	buckets [bucketCount]atomic.Int64
-	count   atomic.Int64
-	sum     atomic.Int64 // nanoseconds
-	max     atomic.Int64
-}
-
-const (
-	bucketCount  = 400
-	minLatencyNs = 100
-	// growth chosen so bucketCount buckets span nine decades.
-	growth = 1.0533
-)
-
-var bucketBounds = func() [bucketCount]int64 {
-	var b [bucketCount]int64
-	v := float64(minLatencyNs)
-	for i := range b {
-		b[i] = int64(v)
-		v *= growth
-	}
-	return b
-}()
-
-func bucketFor(ns int64) int {
-	if ns <= minLatencyNs {
-		return 0
-	}
-	idx := int(math.Log(float64(ns)/minLatencyNs) / math.Log(growth))
-	if idx >= bucketCount {
-		return bucketCount - 1
-	}
-	return idx
-}
-
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	h.buckets[bucketFor(ns)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(ns)
-	for {
-		cur := h.max.Load()
-		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
-}
-
-// Count returns the number of samples.
-func (h *Histogram) Count() int64 { return h.count.Load() }
-
-// Mean returns the mean latency.
-func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load() / n)
-}
-
-// Max returns the largest sample.
-func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
-
-// Percentile returns the latency at quantile q in [0,1].
-func (h *Histogram) Percentile(q float64) time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	target := int64(q * float64(n))
-	if target >= n {
-		target = n - 1
-	}
-	var seen int64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen > target {
-			return time.Duration(bucketBounds[i])
-		}
-	}
-	return h.Max()
-}
+// ~100s with ~4% resolution, shared with the engine's metrics registry.
+type Histogram = metrics.Histogram
 
 // Runs summarizes one benchmark run.
 type Runs struct {

@@ -7,11 +7,13 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/id"
 	"repro/internal/wal"
@@ -79,6 +81,16 @@ type Txn struct {
 	ID        id.Txn
 	Sys       bool
 	Isolation Level
+
+	// Ctx, when non-nil, cancels the transaction's in-flight lock waits
+	// (set by the engine's BeginTx). LockTimeout, when positive, overrides
+	// the engine-wide lock wait timeout for this transaction. Both are set
+	// once before the transaction runs and read-only after.
+	Ctx         context.Context
+	LockTimeout time.Duration
+
+	// Started is when the transaction began, for tx-lifetime tracing.
+	Started time.Time
 
 	mu     sync.Mutex
 	state  State

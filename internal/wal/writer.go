@@ -7,8 +7,10 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -48,6 +50,19 @@ type Writer struct {
 	flushMu sync.Mutex // serializes flush+fsync
 	durable uint64     // LSN of last record known flushed (and fsynced in SyncData)
 	durMu   sync.Mutex // guards durable reads outside flushMu
+
+	// met and tracer observe appends, group-commit batching, and flush/fsync
+	// latency; both may be nil. Set via SetObserver before concurrent use.
+	met    *metrics.WALMetrics
+	tracer metrics.Tracer
+}
+
+// SetObserver attaches metrics and a tracer to the writer. The engine calls
+// it right after creating a writer (Open, recovery hand-off, and the fresh
+// generation a Checkpoint swaps in), before the writer sees concurrent use.
+func (w *Writer) SetObserver(m *metrics.WALMetrics, tracer metrics.Tracer) {
+	w.met = m
+	w.tracer = tracer
 }
 
 // Create creates (truncating) the log file at path. firstLSN is the LSN the
@@ -100,6 +115,9 @@ func (w *Writer) Append(r *Record) (uint64, error) {
 	binary.LittleEndian.PutUint32(w.buf[start:start+4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(w.buf[start+4:start+8], crc32.Checksum(payload, crcTable))
 	w.appended = r.LSN
+	if w.met != nil {
+		w.met.Appends.Add(1)
+	}
 	return r.LSN, nil
 }
 
@@ -112,13 +130,25 @@ func (w *Writer) Sync(upTo uint64) error {
 		upTo = w.appended
 		w.mu.Unlock()
 	}
-	if w.durableLSN() >= upTo {
+	prevDurable := w.durableLSN()
+	if prevDurable >= upTo {
+		if w.met != nil {
+			w.met.CoalescedSyncs.Add(1)
+		}
 		return nil
 	}
 	w.flushMu.Lock()
 	defer w.flushMu.Unlock()
-	if w.durableLSN() >= upTo { // another committer covered us while we waited
+	prevDurable = w.durableLSN()
+	if prevDurable >= upTo { // another committer covered us while we waited
+		if w.met != nil {
+			w.met.CoalescedSyncs.Add(1)
+		}
 		return nil
+	}
+	var start time.Time
+	if w.met != nil || w.tracer != nil {
+		start = time.Now()
 	}
 	// Steal the buffer; appenders continue into the spare one (double
 	// buffering keeps the steady state allocation-free).
@@ -137,13 +167,32 @@ func (w *Writer) Sync(upTo uint64) error {
 	w.spare = buf[:0]
 	w.mu.Unlock()
 	if w.mode == SyncData {
+		fsyncStart := start
+		if w.met != nil {
+			fsyncStart = time.Now()
+		}
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		if w.met != nil {
+			w.met.Fsync.Observe(time.Since(fsyncStart))
 		}
 	}
 	w.durMu.Lock()
 	w.durable = target
 	w.durMu.Unlock()
+	batch := int64(target - prevDurable)
+	if w.met != nil {
+		w.met.ObserveBatch(batch)
+		w.met.Flush.Observe(time.Since(start))
+	}
+	if w.tracer != nil {
+		w.tracer.TraceEvent(metrics.Event{
+			Type: metrics.EventGroupCommit,
+			Dur:  time.Since(start),
+			Rows: int(batch),
+		})
+	}
 	return nil
 }
 

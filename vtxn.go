@@ -35,18 +35,26 @@
 //	        {Func: vtxn.AggSum, Arg: vtxn.Col(2)},
 //	    },
 //	})
-//	tx, _ := db.Begin(vtxn.ReadCommitted)
+//	tx, _ := db.BeginTx(ctx, vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 //	tx.Insert("accounts", vtxn.Row{vtxn.Int(1), vtxn.Int(7), vtxn.Int(100)})
 //	tx.Commit()
+//
+// Observability: DB.Metrics() returns a structured snapshot of every engine
+// counter and latency summary, MetricsHandler serves the same data as
+// Prometheus text, and Options.Tracer streams structured engine events
+// (lock waits, folds, group commits) to a hook such as NewSlowLogger.
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
 // evaluation.
 package vtxn
 
 import (
+	"net/http"
+
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/metrics"
 	"repro/internal/record"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -69,7 +77,46 @@ type (
 	Savepoint = core.Savepoint
 	// ViewInfo describes a view's maintenance plan (DB.DescribeView).
 	ViewInfo = core.ViewInfo
+	// TxOptions configure one transaction started with DB.BeginTx.
+	TxOptions = core.TxOptions
 )
+
+// Observability types (see the metrics package and DESIGN.md §7).
+type (
+	// MetricsSnapshot is the structured result of DB.Metrics(): every engine
+	// counter and latency summary at one instant, with a JSON-stable schema.
+	MetricsSnapshot = metrics.Snapshot
+	// Tracer receives engine trace events when set as Options.Tracer.
+	// Implementations must be safe for concurrent use and return quickly.
+	Tracer = metrics.Tracer
+	// TraceEvent is one engine trace event delivered to a Tracer.
+	TraceEvent = metrics.Event
+	// TraceEventType identifies a TraceEvent's kind.
+	TraceEventType = metrics.EventType
+)
+
+// Trace event types.
+const (
+	TraceTxBegin     = metrics.EventTxBegin
+	TraceTxEnd       = metrics.EventTxEnd
+	TraceLockWait    = metrics.EventLockWait
+	TraceFold        = metrics.EventFold
+	TraceGroupCommit = metrics.EventGroupCommit
+	TraceRecovery    = metrics.EventRecovery
+	TraceGhostClean  = metrics.EventGhostClean
+)
+
+// NewSlowLogger returns a Tracer that logs events at or above threshold —
+// a slow-transaction/lock-wait log. Use it as Options.Tracer.
+var NewSlowLogger = metrics.NewSlowLogger
+
+// MetricsHandler returns an http.Handler serving db's metrics in Prometheus
+// text exposition format (plain net/http; mount it wherever you like):
+//
+//	http.Handle("/metrics", vtxn.MetricsHandler(db))
+func MetricsHandler(db *DB) http.Handler {
+	return metrics.Handler(db.Metrics)
+}
 
 // Schema types.
 type (
@@ -162,13 +209,17 @@ const (
 	SyncData = wal.SyncData
 )
 
-// Errors (see the core package for semantics).
+// Errors (see the core package for semantics). Lock errors wrap the
+// ErrDeadlock / ErrLockTimeout sentinels with the requesting transaction,
+// mode, and resource, so errors.Is works through the whole chain.
 var (
 	ErrClosed       = core.ErrClosed
 	ErrTxnDone      = core.ErrTxnDone
 	ErrDuplicateKey = core.ErrDuplicateKey
 	ErrNotFound     = core.ErrNotFound
 	ErrSchema       = core.ErrSchema
+	ErrDeadlock     = core.ErrDeadlock
+	ErrLockTimeout  = core.ErrLockTimeout
 )
 
 // Open recovers (or creates) the database at path.
