@@ -4,7 +4,7 @@ GO ?= go
 TORTURE_SEEDS ?= 100
 TORTURE_SMOKE_SEEDS ?= 25
 
-.PHONY: all verify race vet fmt lint torture torture-smoke bench-smoke baseline metrics-smoke
+.PHONY: all verify race vet fmt lint torture torture-smoke bench-smoke baseline metrics-smoke flightrec-smoke
 
 all: verify
 
@@ -12,6 +12,13 @@ all: verify
 verify:
 	$(GO) build ./...
 	$(GO) test ./...
+	$(MAKE) flightrec-smoke
+
+# Forensics smoke: induce a real deadlock and assert the flight recorder's
+# automatic dump fires and its JSONL output parses with both transactions'
+# causal spans present.
+flightrec-smoke:
+	$(GO) run ./cmd/flightrecsmoke
 
 # Race tier: the short test set under the race detector.
 race:

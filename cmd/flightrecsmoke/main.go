@@ -1,0 +1,185 @@
+// Command flightrecsmoke is the CI smoke test for the flight recorder: it
+// opens a throwaway database with an automatic dump sink, induces a real
+// deadlock (two transactions updating two rows in opposite orders), and
+// asserts that (a) the failure trigger produced a timeline dump on the sink,
+// and (b) the JSONL dump parses and contains the causally-linked spans of
+// both transactions — each span's tx-begin plus the victim's failed lock
+// wait. Exit status 0 means the forensic pipeline works end to end.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	vtxn "repro"
+)
+
+func fail(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "flightrecsmoke: FAIL: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "flightrecsmoke-*")
+	if err != nil {
+		fail("tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	var sink bytes.Buffer
+	var sinkMu sync.Mutex
+	db, err := vtxn.Open(dir, vtxn.Options{
+		Watchdog:   true,
+		FlightSink: lockedWriter{&sinkMu, &sink},
+	})
+	if err != nil {
+		fail("open: %v", err)
+	}
+	defer db.Close()
+
+	if err := db.CreateTable("accounts", []vtxn.Column{
+		{Name: "id", Kind: vtxn.KindInt64},
+		{Name: "branch", Kind: vtxn.KindInt64},
+		{Name: "balance", Kind: vtxn.KindInt64},
+	}, []int{0}); err != nil {
+		fail("create table: %v", err)
+	}
+	tx, err := db.Begin(vtxn.ReadCommitted)
+	if err != nil {
+		fail("begin: %v", err)
+	}
+	for i := int64(0); i < 2; i++ {
+		if err := tx.Insert("accounts", vtxn.Row{vtxn.Int(i), vtxn.Int(i), vtxn.Int(100)}); err != nil {
+			fail("insert: %v", err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		fail("seed commit: %v", err)
+	}
+
+	// Two workers update rows 0 and 1 in opposite orders; one must die as the
+	// deadlock victim, which is the recorder's automatic dump trigger.
+	errs := make(chan error, 2)
+	var ready, release sync.WaitGroup
+	ready.Add(2)
+	release.Add(1)
+	worker := func(first, second int64) {
+		tx, err := db.Begin(vtxn.ReadCommitted)
+		if err != nil {
+			ready.Done()
+			errs <- err
+			return
+		}
+		defer tx.Rollback()
+		if err := tx.Update("accounts", vtxn.Row{vtxn.Int(first)}, map[int]vtxn.Value{2: vtxn.Int(1)}); err != nil {
+			ready.Done()
+			errs <- err
+			return
+		}
+		ready.Done()
+		release.Wait()
+		if err := tx.Update("accounts", vtxn.Row{vtxn.Int(second)}, map[int]vtxn.Value{2: vtxn.Int(2)}); err != nil {
+			errs <- err
+			return
+		}
+		errs <- tx.Commit()
+	}
+	go worker(0, 1)
+	go worker(1, 0)
+	ready.Wait()
+	release.Done()
+	var victim error
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil && victim == nil {
+			victim = err
+		}
+	}
+	if victim == nil {
+		fail("no deadlock victim — cannot exercise the dump trigger")
+	}
+	if !errors.Is(victim, vtxn.ErrDeadlock) {
+		fail("victim error %v is not a deadlock", victim)
+	}
+
+	// (a) The automatic sink dump fired and looks like a timeline.
+	sinkMu.Lock()
+	auto := sink.String()
+	sinkMu.Unlock()
+	if !strings.Contains(auto, "vtxn flight record") || !strings.Contains(auto, "deadlock") {
+		fail("automatic sink dump missing or malformed:\n%s", auto)
+	}
+
+	// (b) The JSONL dump parses, and the deadlock lock-wait is causally
+	// linked: its span resolves to a tx-begin of the same transaction, and a
+	// second distinct transaction span also appears.
+	var jsonl bytes.Buffer
+	if err := db.WriteFlightRecordJSONL(&jsonl); err != nil {
+		fail("jsonl dump: %v", err)
+	}
+	type rec struct {
+		Seq     uint64 `json:"seq"`
+		Span    uint64 `json:"span"`
+		Type    string `json:"type"`
+		Txn     uint64 `json:"txn"`
+		Outcome string `json:"outcome"`
+	}
+	beginBySpan := map[uint64]uint64{} // span -> txn of its tx-begin
+	spans := map[uint64]bool{}
+	var deadlockRec *rec
+	sc := bufio.NewScanner(&jsonl)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var r rec
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			fail("jsonl line %d does not parse: %v", lines, err)
+		}
+		if r.Span != 0 {
+			spans[r.Span] = true
+		}
+		if r.Type == "tx-begin" {
+			beginBySpan[r.Span] = r.Txn
+		}
+		if r.Type == "lock-wait" && r.Outcome == "deadlock" {
+			deadlockRec = &r
+		}
+	}
+	if lines == 0 {
+		fail("jsonl dump is empty")
+	}
+	if deadlockRec == nil {
+		fail("jsonl dump has no deadlock lock-wait event")
+	}
+	txn, ok := beginBySpan[deadlockRec.Span]
+	if !ok {
+		fail("deadlock event span s%d has no tx-begin in the dump", deadlockRec.Span)
+	}
+	if txn != deadlockRec.Txn {
+		fail("deadlock span s%d begins txn %d but the wait belongs to txn %d",
+			deadlockRec.Span, txn, deadlockRec.Txn)
+	}
+	if len(spans) < 2 {
+		fail("expected the spans of both deadlocked transactions, got %d span(s)", len(spans))
+	}
+
+	fmt.Printf("flightrecsmoke: OK — %d JSONL events, %d spans, auto dump %d bytes\n",
+		lines, len(spans), len(auto))
+}
+
+// lockedWriter serializes sink writes (the trigger fires on an engine path).
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

@@ -18,7 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
@@ -47,12 +49,41 @@ func main() {
 		jsonPath    = flag.String("json", "BENCH_results.json", "merge headline metrics into this file ('' disables)")
 		metricsPath = flag.String("metrics", "", "write the headline run's DB.Metrics() snapshot to this JSON file")
 		traceSlow   = flag.Duration("trace-slow", 0, "log engine trace events slower than this to stderr (0 disables)")
+		watchdog    = flag.Bool("watchdog", true, "run the engine stall watchdog during experiments")
+		flightSink  = flag.String("flight-sink", "", "write automatic flight-record dumps (deadlock/timeout/stall) here: 'stderr' or a path ('' disables)")
+		pprofLabels = flag.Bool("pprof-labels", false, "tag commit hot paths with runtime/pprof labels (costs allocations)")
 	)
 	flag.Parse()
 
 	if *traceSlow > 0 {
 		bench.Tracer = metrics.NewSlowLogger(os.Stderr, *traceSlow, "viewbench ")
 	}
+	bench.Watchdog = *watchdog
+	bench.ProfileLabels = *pprofLabels
+	switch *flightSink {
+	case "":
+	case "stderr":
+		bench.FlightSink = os.Stderr
+	default:
+		f, err := os.Create(*flightSink)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening -flight-sink: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		bench.FlightSink = f
+	}
+	// SIGQUIT dumps the running database's flight record to stderr without
+	// stopping the benchmark.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			if db := bench.CurrentDB(); db != nil {
+				db.DumpFlightRecord(os.Stderr)
+			}
+		}
+	}()
 	if *metricsPath != "" {
 		bench.MetricsSink = func(s metrics.Snapshot) {
 			buf, err := json.MarshalIndent(s, "", "  ")

@@ -20,7 +20,10 @@
 //	describe v
 //	refresh v
 //	metrics                        engine observability snapshot (JSON)
+//	flightrec [json]               flight-record dump (timeline, or JSONL)
 //	checkpoint | stats | ghosts | check | quit
+//
+// SIGQUIT (ctrl-\) dumps the flight record to stderr without exiting.
 package main
 
 import (
@@ -30,8 +33,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	vtxn "repro"
 )
@@ -43,12 +48,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vtxnshell: -dir is required")
 		os.Exit(2)
 	}
-	db, err := vtxn.Open(*dir, vtxn.Options{})
+	db, err := vtxn.Open(*dir, vtxn.Options{
+		Watchdog:   true,
+		FlightSink: os.Stderr,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)
 	}
 	defer db.Close()
+	// SIGQUIT dumps the flight record without killing the shell — the
+	// classic "what is it doing right now" escape hatch.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			db.DumpFlightRecord(os.Stderr)
+		}
+	}()
 	sh := &shell{db: db, out: os.Stdout}
 	fmt.Println("vtxn shell — type 'help' for commands")
 	scanner := bufio.NewScanner(os.Stdin)
@@ -79,7 +96,7 @@ func (s *shell) exec(line string) error {
 	}
 	switch fields[0] {
 	case "help":
-		fmt.Fprintln(s.out, "tables views describe insert delete get scan view refresh checkpoint stats metrics ghosts check quit")
+		fmt.Fprintln(s.out, "tables views describe insert delete get scan view refresh checkpoint stats metrics flightrec ghosts check quit")
 		return nil
 	case "tables":
 		for _, t := range s.db.Catalog().Tables() {
@@ -195,6 +212,11 @@ func (s *shell) exec(line string) error {
 		}
 		fmt.Fprintf(s.out, "%s\n", buf)
 		return nil
+	case "flightrec", ".flightrec":
+		if len(fields) > 1 && fields[1] == "json" {
+			return s.db.WriteFlightRecordJSONL(s.out)
+		}
+		return s.db.DumpFlightRecord(s.out)
 	case "ghosts":
 		fmt.Fprintf(s.out, "(%d erased)\n", s.db.CleanGhosts())
 		return nil

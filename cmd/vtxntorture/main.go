@@ -12,7 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/metrics"
 )
@@ -29,10 +31,22 @@ func main() {
 	ops := flag.Int("ops", 400, "workload operations per episode before the planned shutdown")
 	verbose := flag.Bool("v", false, "log each seed's schedule, crash, and recovery summary")
 	traceSlow := flag.Duration("trace-slow", 0, "log engine trace events slower than this to stderr (0 disables)")
+	artifacts := flag.String("artifacts", "torture-artifacts", "write failed episodes' flight-record dumps and replay info under this dir ('' disables)")
 	flag.Parse()
 	if *traceSlow > 0 {
 		slowTracer = metrics.NewSlowLogger(os.Stderr, *traceSlow, "torture ")
 	}
+	// SIGQUIT dumps the running episode's flight record without stopping the
+	// harness.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			if db := currentDB.Load(); db != nil {
+				db.DumpFlightRecord(os.Stderr)
+			}
+		}
+	}()
 
 	lo, hi := *start, *start+int64(*seeds)
 	if *one >= 0 {
@@ -53,6 +67,13 @@ func main() {
 		if res.err != nil {
 			failures++
 			fmt.Printf("FAIL seed=%d (%s): %v\n", seed, res.schedule, res.err)
+			if *artifacts != "" {
+				if dir, aerr := writeArtifacts(*artifacts, res); aerr != nil {
+					fmt.Printf("  (writing artifacts failed: %v)\n", aerr)
+				} else {
+					fmt.Printf("  artifacts: %s (flightrec.txt, flightrec.jsonl, repro.txt)\n", dir)
+				}
+			}
 			fmt.Printf("  reproduce: go run ./cmd/vtxntorture -seed %d -v\n", seed)
 		}
 	}

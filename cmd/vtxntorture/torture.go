@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -15,6 +17,44 @@ import (
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
+
+// currentDB is the most recently opened engine instance (torture or verify
+// phase), for the SIGQUIT dump handler and the failure artifacts writer. The
+// flight recorder stays readable after Crash/Close — the history that led to
+// the failure is exactly what the artifacts capture.
+var currentDB atomic.Pointer[core.DB]
+
+// trackDB records db as the episode's current instance.
+func trackDB(db *core.DB) *core.DB {
+	currentDB.Store(db)
+	return db
+}
+
+// writeArtifacts dumps the failed episode's flight record (timeline + JSONL)
+// and replay instructions under dir/seed-N, so a red CI torture run is
+// diagnosable from the uploaded artifacts alone. Returns the artifact dir.
+func writeArtifacts(dir string, res result) (string, error) {
+	sub := filepath.Join(dir, fmt.Sprintf("seed-%d", res.seed))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return "", err
+	}
+	repro := fmt.Sprintf("seed: %d\nschedule: %s\nerror: %v\nreproduce: go run ./cmd/vtxntorture -seed %d -v\n",
+		res.seed, res.schedule, res.err, res.seed)
+	if err := os.WriteFile(filepath.Join(sub, "repro.txt"), []byte(repro), 0o644); err != nil {
+		return "", err
+	}
+	if db := currentDB.Load(); db != nil {
+		if f, err := os.Create(filepath.Join(sub, "flightrec.txt")); err == nil {
+			db.DumpFlightRecord(f)
+			f.Close()
+		}
+		if f, err := os.Create(filepath.Join(sub, "flightrec.jsonl")); err == nil {
+			db.WriteFlightRecordJSONL(f)
+			f.Close()
+		}
+	}
+	return sub, nil
+}
 
 // result summarizes one torture episode.
 type result struct {
@@ -123,6 +163,7 @@ func (e *episode) torture() error {
 		FS:       e.inj,
 		Hooks:    e.inj,
 		Tracer:   slowTracer,
+		Watchdog: true,
 	})
 	if err != nil {
 		if e.inj.Crashed() {
@@ -130,6 +171,7 @@ func (e *episode) torture() error {
 		}
 		return fmt.Errorf("open: %w", err)
 	}
+	trackDB(db)
 	if err := e.setup(db); err != nil && !e.inj.Crashed() {
 		db.Crash(false)
 		return fmt.Errorf("setup: %w", err)
@@ -305,10 +347,11 @@ func (e *episode) verify() error {
 	if err := e.checkWAL(false); err != nil {
 		return fmt.Errorf("pre-recovery %w", err)
 	}
-	db, err := core.Open(e.dir, core.Options{SyncMode: e.syncMode, Tracer: slowTracer})
+	db, err := core.Open(e.dir, core.Options{SyncMode: e.syncMode, Tracer: slowTracer, Watchdog: true})
 	if err != nil {
 		return fmt.Errorf("recovery open: %w", err)
 	}
+	trackDB(db)
 	sum := db.RecoverySummary()
 	e.logf("seed %d: recovered gen=%d replayed=%d losers=%d undone=%d torn=%v fresh=%v",
 		e.seed, sum.Gen, sum.Replayed, sum.Losers, sum.UndoneOps, sum.Torn, sum.Fresh)
@@ -325,10 +368,11 @@ func (e *episode) verify() error {
 		return fmt.Errorf("post-recovery workload: %w", err)
 	}
 	db.Crash(true)
-	db2, err := core.Open(e.dir, core.Options{SyncMode: e.syncMode, Tracer: slowTracer})
+	db2, err := core.Open(e.dir, core.Options{SyncMode: e.syncMode, Tracer: slowTracer, Watchdog: true})
 	if err != nil {
 		return fmt.Errorf("second recovery open: %w", err)
 	}
+	trackDB(db2)
 	if err := db2.CheckConsistency(); err != nil {
 		db2.Close()
 		return fmt.Errorf("second recovery: %w", err)

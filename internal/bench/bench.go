@@ -6,7 +6,9 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -23,6 +25,26 @@ var Tracer metrics.Tracer
 // escrow, max writers) database's full metrics snapshot just before that
 // database is torn down. CI saves it as the bench-smoke artifact.
 var MetricsSink func(metrics.Snapshot)
+
+// Watchdog, when set (viewbench default), enables the stall watchdog on
+// every database the harness opens.
+var Watchdog bool
+
+// FlightSink, when set (viewbench -flight-sink), receives automatic
+// flight-record dumps from every database the harness opens.
+var FlightSink io.Writer
+
+// ProfileLabels, when set (viewbench -pprof-labels), tags commit hot paths
+// with runtime/pprof labels on every database the harness opens.
+var ProfileLabels bool
+
+// current is the most recently opened harness database, so viewbench's
+// SIGQUIT handler can dump the flight record of whatever is running now.
+var current atomic.Pointer[core.DB]
+
+// CurrentDB returns the database the harness most recently opened (and has
+// not yet torn down), or nil.
+func CurrentDB() *core.DB { return current.Load() }
 
 // Scale shrinks experiments for quick runs (tests, testing.B iterations);
 // Full is the cmd/viewbench default.
@@ -58,6 +80,15 @@ func tempDB(opts core.Options) (*core.DB, func(), error) {
 	if opts.Tracer == nil {
 		opts.Tracer = Tracer
 	}
+	if Watchdog {
+		opts.Watchdog = true
+	}
+	if opts.FlightSink == nil {
+		opts.FlightSink = FlightSink
+	}
+	if ProfileLabels {
+		opts.ProfileLabels = true
+	}
 	dir, err := os.MkdirTemp("", "vtxnbench-*")
 	if err != nil {
 		return nil, nil, err
@@ -67,7 +98,9 @@ func tempDB(opts core.Options) (*core.DB, func(), error) {
 		os.RemoveAll(dir)
 		return nil, nil, err
 	}
+	current.Store(db)
 	cleanup := func() {
+		current.CompareAndSwap(db, nil)
 		db.Close()
 		os.RemoveAll(dir)
 	}

@@ -7,6 +7,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/escrow"
 	"repro/internal/fault"
+	"repro/internal/flightrec"
 	"repro/internal/id"
 	"repro/internal/lock"
 	"repro/internal/metrics"
@@ -61,8 +63,34 @@ type Options struct {
 	// Tracer, when non-nil, receives engine trace events: transaction
 	// begin/end, resolved lock waits, commit folds, group commits, ghost
 	// sweeps, and recovery phases. Implementations must be concurrency-safe
-	// and fast — events fire inline on engine paths.
+	// and fast — events fire inline on engine paths. Events arrive already
+	// stamped with sequence/timestamp/span by the flight recorder (unless it
+	// is disabled).
 	Tracer metrics.Tracer
+	// FlightRecorderSize sets the flight recorder's ring capacity in events.
+	// 0 selects the default (flightrec.DefaultSize); negative disables the
+	// recorder entirely (events skip straight to Tracer, unstamped).
+	FlightRecorderSize int
+	// FlightSink, when non-nil, receives an automatic human-readable
+	// flight-record dump the moment the engine hits a failure trigger: a
+	// deadlock, a lock timeout, or a watchdog stall detection. Dumps are
+	// rate-limited. Explicit dumps via DB.DumpFlightRecord work regardless.
+	FlightSink io.Writer
+	// Watchdog starts the background stall watchdog: it diffs metrics
+	// snapshots every WatchdogInterval and reports stall signatures (WAL
+	// flush not advancing, lock-shard convoy, escrow fold backlog, ghost-
+	// cleaner starvation) as EventStall trace events, watchdog_detections
+	// metrics, and flight-record dumps to FlightSink.
+	Watchdog bool
+	// WatchdogInterval is the watchdog poll interval (default 500ms).
+	WatchdogInterval time.Duration
+	// WatchdogStallThreshold is the age past which an in-progress condition
+	// counts as a stall (default 2s).
+	WatchdogStallThreshold time.Duration
+	// ProfileLabels tags the commit hot path with runtime/pprof labels
+	// (vtxn_phase, vtxn_txn) so CPU profiles attribute time to transactions.
+	// Off by default: the labels allocate per commit.
+	ProfileLabels bool
 }
 
 // Stats are cumulative engine counters.
@@ -113,9 +141,15 @@ type DB struct {
 	escalations   atomic.Int64
 
 	// met is the engine metrics registry (always non-nil); tracer is the
-	// optional event hook from Options.Tracer.
+	// head of the tracer chain: the flight recorder (which forwards to
+	// Options.Tracer), or Options.Tracer directly when the recorder is
+	// disabled.
 	met    *metrics.Registry
 	tracer metrics.Tracer
+	// flight is the always-on flight recorder (nil when disabled); watchdog
+	// the optional stall watchdog.
+	flight   *flightrec.Recorder
+	watchdog *flightrec.Watchdog
 
 	closed      atomic.Bool
 	cleanerStop chan struct{}
@@ -172,6 +206,18 @@ func Open(path string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	met := metrics.NewRegistry()
+	// The flight recorder heads the tracer chain: every event is stamped and
+	// recorded before being forwarded to the user's tracer.
+	var flight *flightrec.Recorder
+	tracer := opts.Tracer
+	if opts.FlightRecorderSize >= 0 {
+		flight = flightrec.New(flightrec.Config{
+			Size: opts.FlightRecorderSize,
+			Next: opts.Tracer,
+			Sink: opts.FlightSink,
+		})
+		tracer = flight
+	}
 	db := &DB{
 		path:  path,
 		opts:  opts,
@@ -184,18 +230,19 @@ func Open(path string, opts Options) (*DB, error) {
 			DefaultTimeout: opts.LockTimeout,
 			SweepInterval:  opts.DeadlockSweepInterval,
 			Metrics:        &met.Lock,
-			Tracer:         opts.Tracer,
+			Tracer:         tracer,
 		}),
 		ledger:    escrow.NewLedgerShards(opts.EscrowShards),
 		tm:        txn.NewManager(st.NextTxn),
 		structMu:  make([]sync.Mutex, opts.FoldLatchStripes),
 		recovered: st.Summary,
 		met:       met,
-		tracer:    opts.Tracer,
+		tracer:    tracer,
+		flight:    flight,
 	}
 	db.ledger.Metrics = &met.Escrow
-	db.log.SetObserver(&met.WAL, opts.Tracer)
-	if tr := opts.Tracer; tr != nil && !st.Summary.Fresh {
+	db.log.SetObserver(&met.WAL, tracer)
+	if tr := tracer; tr != nil && !st.Summary.Fresh {
 		tr.TraceEvent(metrics.Event{Type: metrics.EventRecovery, Phase: "analysis", Dur: st.Summary.Analysis})
 		tr.TraceEvent(metrics.Event{Type: metrics.EventRecovery, Phase: "redo", Dur: st.Summary.Redo, Rows: st.Summary.Replayed})
 		tr.TraceEvent(metrics.Event{Type: metrics.EventRecovery, Phase: "undo", Dur: st.Summary.Undo, Rows: st.Summary.UndoneOps})
@@ -204,6 +251,16 @@ func Open(path string, opts Options) (*DB, error) {
 		db.cleanerStop = make(chan struct{})
 		db.cleanerDone = make(chan struct{})
 		go db.cleanerLoop(opts.GhostCleanInterval)
+	}
+	if opts.Watchdog {
+		db.watchdog = flightrec.StartWatchdog(flightrec.WatchdogConfig{
+			Interval:       opts.WatchdogInterval,
+			StallThreshold: opts.WatchdogStallThreshold,
+			Snap:           db.Metrics,
+			Tracer:         tracer,
+			Recorder:       flight,
+			Metrics:        &met.Watchdog,
+		})
 	}
 	return db, nil
 }
@@ -214,6 +271,7 @@ func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return ErrClosed
 	}
+	db.watchdog.Close()
 	if db.cleanerStop != nil {
 		close(db.cleanerStop)
 		<-db.cleanerDone
@@ -233,6 +291,7 @@ func (db *DB) Crash(flush bool) {
 	if db.closed.Swap(true) {
 		return
 	}
+	db.watchdog.Close()
 	if db.cleanerStop != nil {
 		close(db.cleanerStop)
 		<-db.cleanerDone
@@ -307,7 +366,39 @@ func (db *DB) Metrics() metrics.Snapshot {
 		RedoNs:     db.recovered.Redo.Nanoseconds(),
 		UndoNs:     db.recovered.Undo.Nanoseconds(),
 	}
+	if db.flight != nil {
+		s.Flight = metrics.FlightSnapshot{
+			Enabled:  true,
+			Capacity: db.flight.Capacity(),
+			Recorded: db.flight.Recorded(),
+			Dumps:    db.flight.Dumps(),
+		}
+	}
 	return s
+}
+
+// ErrFlightDisabled reports a dump request against a database opened with the
+// flight recorder disabled (FlightRecorderSize < 0).
+var ErrFlightDisabled = errors.New("core: flight recorder disabled")
+
+// DumpFlightRecord writes the flight recorder's history to w as a
+// human-readable causal timeline: one line per event (sequence, relative
+// time, span, description) followed by a per-transaction span summary.
+func (db *DB) DumpFlightRecord(w io.Writer) error {
+	if db.flight == nil {
+		return ErrFlightDisabled
+	}
+	return db.flight.WriteTimeline(w)
+}
+
+// WriteFlightRecordJSONL writes the flight recorder's history to w as JSON
+// Lines, one event per line in sequence order — the machine-readable twin of
+// DumpFlightRecord with a stable, golden-tested schema.
+func (db *DB) WriteFlightRecordJSONL(w io.Writer) error {
+	if db.flight == nil {
+		return ErrFlightDisabled
+	}
+	return db.flight.WriteJSONL(w)
 }
 
 // tree returns the tree for tid, creating it on demand.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/catalog"
@@ -17,6 +19,8 @@ import (
 // transactions, asynchronously to user work.
 func (db *DB) cleanerLoop(interval time.Duration) {
 	defer close(db.cleanerDone)
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("vtxn", "ghost-cleaner")))
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {

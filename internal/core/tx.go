@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/apply"
@@ -94,6 +95,19 @@ func (tx *Tx) Commit() error {
 	if err := tx.check(); err != nil {
 		return err
 	}
+	if tx.db.opts.ProfileLabels {
+		// Tag the commit (fold + group-commit wait) so CPU profiles attribute
+		// the time to this transaction.
+		var err error
+		pprof.Do(context.Background(),
+			pprof.Labels("vtxn_phase", "commit", "vtxn_txn", tx.t.ID.String()),
+			func(context.Context) { err = tx.commit() })
+		return err
+	}
+	return tx.commit()
+}
+
+func (tx *Tx) commit() error {
 	db := tx.db
 	if err := db.foldEscrow(tx.t); err != nil {
 		// Fold failure (e.g. a log fault) aborts the transaction; already-
@@ -108,7 +122,7 @@ func (tx *Tx) Commit() error {
 		return fmt.Errorf("core: commit failed, transaction rolled back: %w", err)
 	}
 	syncStart := time.Now()
-	if err := db.log.Sync(lsn); err != nil {
+	if err := db.log.SyncTxn(lsn, tx.t.ID); err != nil {
 		// The commit record may or may not be durable; treat as failed and
 		// roll back in memory so the surviving state matches recovery's
 		// worst case view (recovery decides by what actually reached disk).

@@ -141,13 +141,21 @@ func (l *Ledger) rowShardOf(row RowID) *rowShard {
 func (l *Ledger) refRow(row RowID, delta int) {
 	rs := l.rowShardOf(row)
 	rs.mu.Lock()
-	next := rs.rowRef[row] + delta
+	prev := rs.rowRef[row]
+	next := prev + delta
 	if next <= 0 {
 		delete(rs.rowRef, row)
 	} else {
 		rs.rowRef[row] = next
 	}
 	rs.mu.Unlock()
+	// Maintain the pending-rows gauge (rows carrying unfolded deltas) on the
+	// 0↔positive transitions — the watchdog's escrow-backlog signal.
+	if prev <= 0 && next > 0 {
+		l.Metrics.AdjustPendingRows(1)
+	} else if prev > 0 && next <= 0 {
+		l.Metrics.AdjustPendingRows(-1)
+	}
 	if delta > 0 {
 		l.Metrics.ObservePending(next)
 	}

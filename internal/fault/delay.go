@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// DelayFS wraps another FS and injects a controllable, always-on delay into
+// every file Write and Sync — a slow or hung disk, as opposed to the
+// Injector's seeded one-shot faults. The delay can be changed at any time
+// with SetDelay, so a test can set up fast and then make the disk crawl:
+// the watchdog's WAL-flush stall signature is exercised exactly this way.
+type DelayFS struct {
+	// Base is the wrapped filesystem (OS{} when nil).
+	Base FS
+	// Clock sleeps the delay (RealClock when nil).
+	Clock Clock
+
+	delayNs atomic.Int64
+}
+
+// NewDelayFS returns a DelayFS over base with no delay armed.
+func NewDelayFS(base FS) *DelayFS { return &DelayFS{Base: base} }
+
+// SetDelay arms (or, with 0, disarms) the per-operation delay.
+func (d *DelayFS) SetDelay(dur time.Duration) { d.delayNs.Store(int64(dur)) }
+
+func (d *DelayFS) base() FS {
+	if d.Base == nil {
+		return OS{}
+	}
+	return d.Base
+}
+
+func (d *DelayFS) sleep() {
+	ns := d.delayNs.Load()
+	if ns <= 0 {
+		return
+	}
+	c := d.Clock
+	if c == nil {
+		c = RealClock{}
+	}
+	c.Sleep(time.Duration(ns))
+}
+
+// OpenFile opens name on the base FS, wrapping the file so its writes and
+// syncs pay the armed delay.
+func (d *DelayFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := d.base().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &delayFile{File: f, fs: d}, nil
+}
+
+// ReadFile reads the whole file (no delay: reads are not the stall under
+// study).
+func (d *DelayFS) ReadFile(name string) ([]byte, error) { return d.base().ReadFile(name) }
+
+// WriteFile writes data to name after the armed delay.
+func (d *DelayFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	d.sleep()
+	return d.base().WriteFile(name, data, perm)
+}
+
+// Rename renames oldpath to newpath.
+func (d *DelayFS) Rename(oldpath, newpath string) error { return d.base().Rename(oldpath, newpath) }
+
+// Remove removes name.
+func (d *DelayFS) Remove(name string) error { return d.base().Remove(name) }
+
+// Truncate truncates name to size.
+func (d *DelayFS) Truncate(name string, size int64) error { return d.base().Truncate(name, size) }
+
+// Stat stats name.
+func (d *DelayFS) Stat(name string) (os.FileInfo, error) { return d.base().Stat(name) }
+
+// MkdirAll makes path and parents.
+func (d *DelayFS) MkdirAll(path string, perm os.FileMode) error {
+	return d.base().MkdirAll(path, perm)
+}
+
+// ReadDir lists name.
+func (d *DelayFS) ReadDir(name string) ([]os.DirEntry, error) { return d.base().ReadDir(name) }
+
+// delayFile pays the armed delay on Write and Sync.
+type delayFile struct {
+	File
+	fs *DelayFS
+}
+
+func (f *delayFile) Write(p []byte) (int, error) {
+	f.fs.sleep()
+	return f.File.Write(p)
+}
+
+func (f *delayFile) Sync() error {
+	f.fs.sleep()
+	return f.File.Sync()
+}

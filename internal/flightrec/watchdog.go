@@ -1,0 +1,230 @@
+package flightrec
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// WatchdogConfig configures a stall watchdog.
+type WatchdogConfig struct {
+	// Interval between snapshot polls; zero selects 500ms.
+	Interval time.Duration
+	// StallThreshold is the age past which an in-progress condition counts as
+	// a stall (WAL flush age, one-stripe wait-time slope); zero selects 2s.
+	StallThreshold time.Duration
+	// Windows is how many consecutive intervals a growth signature (escrow
+	// backlog, ghost starvation) must persist; zero selects 3.
+	Windows int
+	// Snap samples the engine (DB.Metrics).
+	Snap func() metrics.Snapshot
+	// Tracer receives EventStall on each detection onset (normally the flight
+	// recorder, which forwards down the chain); may be nil.
+	Tracer metrics.Tracer
+	// Recorder, when non-nil and configured with a sink, is triggered to dump
+	// on each detection onset.
+	Recorder *Recorder
+	// Metrics receives detection counts; may be nil.
+	Metrics *metrics.WatchdogMetrics
+}
+
+// Watchdog is a background goroutine that diffs engine metrics snapshots and
+// reports stall signatures: a WAL flush not advancing while commits queue, a
+// lock-shard convoy, escrow fold backlog growth, and ghost-cleaner
+// starvation. Detections are edge-triggered — one report per onset, re-armed
+// once the condition clears.
+type Watchdog struct {
+	cfg  WatchdogConfig
+	stop chan struct{}
+	done chan struct{}
+
+	// evaluation state (owned by the loop goroutine, or the test driving
+	// evaluate directly).
+	active       map[string]bool
+	escrowStreak int
+	ghostStreak  int
+}
+
+// detection is one stall signature currently firing.
+type detection struct {
+	sig    string // "wal-flush", "lock-convoy", "escrow-backlog", "ghost-starvation"
+	detail string
+	age    time.Duration
+}
+
+// StartWatchdog launches the watchdog goroutine. Close stops it.
+func StartWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.StallThreshold <= 0 {
+		cfg.StallThreshold = 2 * time.Second
+	}
+	if cfg.Windows <= 0 {
+		cfg.Windows = 3
+	}
+	w := &Watchdog{
+		cfg:    cfg,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		active: make(map[string]bool),
+	}
+	go w.loop()
+	return w
+}
+
+// Close stops the watchdog and waits for its goroutine to exit. Safe to call
+// on a nil receiver and idempotent via the engine (which nils its reference).
+func (w *Watchdog) Close() {
+	if w == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+}
+
+func (w *Watchdog) loop() {
+	defer close(w.done)
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("vtxn", "watchdog")))
+	ticker := time.NewTicker(w.cfg.Interval)
+	defer ticker.Stop()
+	prev := w.cfg.Snap()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+		}
+		cur := w.cfg.Snap()
+		w.report(w.evaluate(prev, cur))
+		prev = cur
+	}
+}
+
+// report emits each detection whose signature was not already active, and
+// re-arms signatures that cleared.
+func (w *Watchdog) report(dets []detection) {
+	firing := make(map[string]bool, len(dets))
+	for _, d := range dets {
+		firing[d.sig] = true
+		if w.active[d.sig] {
+			continue
+		}
+		w.active[d.sig] = true
+		w.count(d.sig)
+		if w.cfg.Tracer != nil {
+			w.cfg.Tracer.TraceEvent(metrics.Event{
+				Type:     metrics.EventStall,
+				Phase:    d.sig,
+				Resource: d.detail,
+				Dur:      d.age,
+			})
+		}
+		if w.cfg.Recorder != nil {
+			w.cfg.Recorder.Trigger("watchdog stall: " + d.sig + " — " + d.detail)
+		}
+	}
+	for sig := range w.active {
+		if !firing[sig] {
+			delete(w.active, sig)
+		}
+	}
+}
+
+func (w *Watchdog) count(sig string) {
+	m := w.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Detections.Add(1)
+	switch sig {
+	case "wal-flush":
+		m.WALStalls.Add(1)
+	case "lock-convoy":
+		m.LockConvoys.Add(1)
+	case "escrow-backlog":
+		m.EscrowStalls.Add(1)
+	case "ghost-starvation":
+		m.GhostStalls.Add(1)
+	}
+}
+
+// evaluate diffs two consecutive snapshots and returns the stall signatures
+// currently firing. It owns the streak counters for the growth signatures.
+func (w *Watchdog) evaluate(prev, cur metrics.Snapshot) []detection {
+	var dets []detection
+	threshold := w.cfg.StallThreshold
+
+	// 1. WAL flush stall: a physical flush has been in progress longer than
+	// the threshold — commits queue behind it on the flush mutex.
+	if age := time.Duration(cur.WAL.FlushActiveNs); age > threshold {
+		queued := cur.WAL.Appends - cur.WAL.BatchRecords
+		dets = append(dets, detection{
+			sig:    "wal-flush",
+			detail: fmt.Sprintf("group-commit flush active %s with %d unflushed appends", age.Round(time.Millisecond), queued),
+			age:    age,
+		})
+	}
+
+	// 2. Lock-shard convoy: one stripe accumulated the dominant share (≥75%)
+	// of new wait time this interval, and at least StallThreshold's worth —
+	// multiple waiters piled on one stripe's resources.
+	if n := len(cur.Lock.PerShard); n > 0 && n == len(prev.Lock.PerShard) {
+		var total, maxDelta int64
+		maxShard := -1
+		for i := range cur.Lock.PerShard {
+			d := cur.Lock.PerShard[i].WaitNs - prev.Lock.PerShard[i].WaitNs
+			total += d
+			if d > maxDelta {
+				maxDelta, maxShard = d, i
+			}
+		}
+		if maxDelta >= int64(threshold) && maxDelta*4 >= total*3 {
+			dets = append(dets, detection{
+				sig: "lock-convoy",
+				detail: fmt.Sprintf("lock shard %d accumulated %s of %s total wait time this interval",
+					maxShard, time.Duration(maxDelta).Round(time.Millisecond), time.Duration(total).Round(time.Millisecond)),
+				age: w.cfg.Interval,
+			})
+		}
+	}
+
+	// 3. Escrow fold backlog: pending-delta rows keep growing while no commit
+	// folds them, for Windows consecutive intervals.
+	if cur.Escrow.PendingRows > prev.Escrow.PendingRows &&
+		cur.Escrow.FoldBatches == prev.Escrow.FoldBatches {
+		w.escrowStreak++
+	} else {
+		w.escrowStreak = 0
+	}
+	if w.escrowStreak >= w.cfg.Windows {
+		dets = append(dets, detection{
+			sig: "escrow-backlog",
+			detail: fmt.Sprintf("%d view rows with unfolded deltas, growing for %d intervals with no folds",
+				cur.Escrow.PendingRows, w.escrowStreak),
+			age: time.Duration(w.escrowStreak) * w.cfg.Interval,
+		})
+	}
+
+	// 4. Ghost-cleaner starvation: a ghost backlog persists while the cleaner
+	// makes no passes, for Windows consecutive intervals.
+	if cur.Ghost.Backlog > 0 && cur.Ghost.CleanerPasses == prev.Ghost.CleanerPasses {
+		w.ghostStreak++
+	} else {
+		w.ghostStreak = 0
+	}
+	if w.ghostStreak >= w.cfg.Windows {
+		dets = append(dets, detection{
+			sig: "ghost-starvation",
+			detail: fmt.Sprintf("%d ghost rows pending with no cleaner pass for %d intervals",
+				cur.Ghost.Backlog, w.ghostStreak),
+			age: time.Duration(w.ghostStreak) * w.cfg.Interval,
+		})
+	}
+
+	return dets
+}

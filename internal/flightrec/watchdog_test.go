@@ -1,0 +1,222 @@
+package flightrec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// testWatchdog builds a watchdog with evaluation state but no running loop,
+// so tests can drive evaluate/report with synthetic snapshots.
+func testWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.StallThreshold <= 0 {
+		cfg.StallThreshold = 2 * time.Second
+	}
+	if cfg.Windows <= 0 {
+		cfg.Windows = 3
+	}
+	return &Watchdog{cfg: cfg, active: make(map[string]bool)}
+}
+
+func sigs(dets []detection) []string {
+	out := make([]string, len(dets))
+	for i, d := range dets {
+		out[i] = d.sig
+	}
+	return out
+}
+
+func hasSig(dets []detection, sig string) bool {
+	for _, d := range dets {
+		if d.sig == sig {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWatchdogWALFlushSignature(t *testing.T) {
+	w := testWatchdog(WatchdogConfig{StallThreshold: time.Second})
+	var prev, cur metrics.Snapshot
+
+	cur.WAL.FlushActiveNs = int64(500 * time.Millisecond)
+	if dets := w.evaluate(prev, cur); len(dets) != 0 {
+		t.Fatalf("flush under threshold fired %v", sigs(dets))
+	}
+	cur.WAL.FlushActiveNs = int64(3 * time.Second)
+	dets := w.evaluate(prev, cur)
+	if !hasSig(dets, "wal-flush") {
+		t.Fatalf("3s active flush not detected; got %v", sigs(dets))
+	}
+	for _, d := range dets {
+		if d.sig == "wal-flush" && d.age != 3*time.Second {
+			t.Errorf("wal-flush age = %s, want 3s", d.age)
+		}
+	}
+}
+
+func TestWatchdogLockConvoySignature(t *testing.T) {
+	w := testWatchdog(WatchdogConfig{StallThreshold: time.Second})
+	shard := func(ns ...int64) []metrics.LockShardSnapshot {
+		out := make([]metrics.LockShardSnapshot, len(ns))
+		for i, n := range ns {
+			out[i].WaitNs = n
+		}
+		return out
+	}
+	var prev, cur metrics.Snapshot
+
+	// Balanced wait growth across shards: no convoy even though the total is
+	// large.
+	prev.Lock.PerShard = shard(0, 0, 0, 0)
+	cur.Lock.PerShard = shard(1e9, 1e9, 1e9, 1e9)
+	if dets := w.evaluate(prev, cur); hasSig(dets, "lock-convoy") {
+		t.Fatal("balanced wait growth misdetected as a convoy")
+	}
+
+	// One shard takes ~95% of the new wait time and more than the threshold.
+	prev.Lock.PerShard = shard(0, 0, 0, 0)
+	cur.Lock.PerShard = shard(4e9, 1e8, 5e7, 5e7)
+	dets := w.evaluate(prev, cur)
+	if !hasSig(dets, "lock-convoy") {
+		t.Fatalf("dominant-shard wait growth not detected; got %v", sigs(dets))
+	}
+	for _, d := range dets {
+		if d.sig == "lock-convoy" && !strings.Contains(d.detail, "shard 0") {
+			t.Errorf("convoy detail does not name the hot shard: %q", d.detail)
+		}
+	}
+
+	// A dominant but tiny delta (fast workload, one hot shard) must not fire.
+	prev.Lock.PerShard = shard(0, 0, 0, 0)
+	cur.Lock.PerShard = shard(1e8, 0, 0, 0)
+	if dets := w.evaluate(prev, cur); hasSig(dets, "lock-convoy") {
+		t.Fatal("sub-threshold dominant shard misdetected as a convoy")
+	}
+}
+
+func TestWatchdogEscrowBacklogSignature(t *testing.T) {
+	w := testWatchdog(WatchdogConfig{Windows: 3})
+	snap := func(pending, folds int64) metrics.Snapshot {
+		var s metrics.Snapshot
+		s.Escrow.PendingRows = pending
+		s.Escrow.FoldBatches = folds
+		return s
+	}
+
+	// Growth with no folds must persist Windows intervals before firing.
+	prev := snap(0, 10)
+	for i := int64(1); i <= 2; i++ {
+		cur := snap(i*100, 10)
+		if dets := w.evaluate(prev, cur); hasSig(dets, "escrow-backlog") {
+			t.Fatalf("fired after only %d interval(s)", i)
+		}
+		prev = cur
+	}
+	dets := w.evaluate(prev, snap(300, 10))
+	if !hasSig(dets, "escrow-backlog") {
+		t.Fatalf("3-interval backlog growth not detected; got %v", sigs(dets))
+	}
+
+	// A fold resets the streak.
+	w2 := testWatchdog(WatchdogConfig{Windows: 3})
+	w2.evaluate(snap(0, 10), snap(100, 10))
+	w2.evaluate(snap(100, 10), snap(200, 10))
+	w2.evaluate(snap(200, 10), snap(300, 11)) // fold happened
+	if dets := w2.evaluate(snap(300, 11), snap(400, 11)); hasSig(dets, "escrow-backlog") {
+		t.Fatal("streak not reset by an intervening fold")
+	}
+}
+
+func TestWatchdogGhostStarvationSignature(t *testing.T) {
+	w := testWatchdog(WatchdogConfig{Windows: 2})
+	snap := func(backlog, passes int64) metrics.Snapshot {
+		var s metrics.Snapshot
+		s.Ghost.Backlog = backlog
+		s.Ghost.CleanerPasses = passes
+		return s
+	}
+	if dets := w.evaluate(snap(0, 5), snap(50, 5)); hasSig(dets, "ghost-starvation") {
+		t.Fatal("fired after one interval with Windows=2")
+	}
+	dets := w.evaluate(snap(50, 5), snap(50, 5))
+	if !hasSig(dets, "ghost-starvation") {
+		t.Fatalf("persistent backlog with idle cleaner not detected; got %v", sigs(dets))
+	}
+	// A cleaner pass re-arms the streak even if backlog remains.
+	if dets := w.evaluate(snap(50, 5), snap(40, 6)); hasSig(dets, "ghost-starvation") {
+		t.Fatal("streak not reset by a cleaner pass")
+	}
+}
+
+// TestWatchdogReportEdgeTriggered: a persisting condition is reported once at
+// onset; after it clears, the next onset reports again.
+func TestWatchdogReportEdgeTriggered(t *testing.T) {
+	var wm metrics.WatchdogMetrics
+	var sink bytes.Buffer
+	rec := New(Config{Sink: &sink, MinDumpGap: time.Nanosecond})
+	next := &capture{}
+	rec2 := New(Config{Next: next}) // tracer target for stall events
+	w := testWatchdog(WatchdogConfig{Metrics: &wm, Tracer: rec2, Recorder: rec})
+
+	d := detection{sig: "wal-flush", detail: "flush active 3s", age: 3 * time.Second}
+	w.report([]detection{d})
+	w.report([]detection{d}) // still firing: no second report
+	if got := wm.Detections.Load(); got != 1 {
+		t.Fatalf("persisting stall counted %d times, want 1", got)
+	}
+	if got := wm.WALStalls.Load(); got != 1 {
+		t.Fatalf("wal_stalls = %d, want 1", got)
+	}
+	stalls := 0
+	for _, e := range next.events() {
+		if e.Type == metrics.EventStall {
+			stalls++
+			if e.Phase != "wal-flush" || e.Dur != 3*time.Second {
+				t.Errorf("stall event mismatch: %+v", e)
+			}
+		}
+	}
+	if stalls != 1 {
+		t.Fatalf("emitted %d EventStall, want 1", stalls)
+	}
+	if !strings.Contains(sink.String(), "watchdog stall: wal-flush") {
+		t.Errorf("recorder dump missing the stall reason:\n%s", sink.String())
+	}
+
+	w.report(nil)            // condition cleared: re-arm
+	w.report([]detection{d}) // new onset
+	if got := wm.Detections.Load(); got != 2 {
+		t.Fatalf("re-onset after clear counted %d total, want 2", got)
+	}
+}
+
+// TestWatchdogLifecycle: the loop starts, polls, and Close stops it; a nil
+// watchdog Close is a no-op (the engine calls it unconditionally).
+func TestWatchdogLifecycle(t *testing.T) {
+	polls := make(chan struct{}, 64)
+	w := StartWatchdog(WatchdogConfig{
+		Interval: time.Millisecond,
+		Snap: func() metrics.Snapshot {
+			select {
+			case polls <- struct{}{}:
+			default:
+			}
+			return metrics.Snapshot{}
+		},
+	})
+	select {
+	case <-polls:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never polled")
+	}
+	w.Close()
+	var none *Watchdog
+	none.Close()
+}

@@ -1,7 +1,9 @@
 package lock
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/id"
@@ -34,6 +36,8 @@ func (m *Manager) kickDetector() {
 // until no waiters remain.
 func (m *Manager) detectorLoop() {
 	defer close(m.done)
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("vtxn", "lock-detector")))
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C

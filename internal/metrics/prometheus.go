@@ -77,6 +77,7 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 	counter("vtxn_escrow_fold_aborts_total", "Commits aborted by a failed fold.", s.Escrow.FoldAborts)
 	gauge("vtxn_escrow_fold_batch_max", "Largest rows-per-commit fold.", s.Escrow.FoldBatchMax)
 	gauge("vtxn_escrow_pending_txns_high_water", "Most concurrent transactions with pending deltas on one view row.", s.Escrow.PendingTxnsHighWater)
+	gauge("vtxn_escrow_pending_rows", "View rows currently carrying unfolded escrow deltas.", s.Escrow.PendingRows)
 	gauge("vtxn_escrow_shards", "Escrow-ledger stripe count.", int64(s.Escrow.Shards))
 
 	// WAL / group commit.
@@ -85,6 +86,7 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 	counter("vtxn_wal_group_commit_coalesced_total", "Sync calls satisfied by another committer's flush.", s.WAL.CoalescedSyncs)
 	counter("vtxn_wal_group_commit_records_total", "Records made durable by group-commit flushes.", s.WAL.BatchRecords)
 	gauge("vtxn_wal_group_commit_batch_max", "Largest group-commit batch.", s.WAL.BatchMax)
+	gauge("vtxn_wal_flush_active_ns", "Age of the in-progress group-commit flush (0 when idle).", s.WAL.FlushActiveNs)
 	summary("vtxn_wal_flush_seconds", "Group-commit flush latency (write + fsync).", s.WAL.Flush)
 	summary("vtxn_wal_fsync_seconds", "fsync latency within a group commit.", s.WAL.Fsync)
 
@@ -93,6 +95,18 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 	counter("vtxn_ghosts_erased_total", "Ghost view rows erased by the cleaner.", s.Ghost.Erased)
 	counter("vtxn_ghost_cleaner_passes_total", "Ghost-cleaner sweeps.", s.Ghost.CleanerPasses)
 	gauge("vtxn_ghost_backlog", "Ghost rows remaining after the last cleaner sweep.", s.Ghost.Backlog)
+
+	// Stall watchdog + flight recorder.
+	counter("vtxn_watchdog_detections_total", "Stall signatures detected by the watchdog.", s.Watchdog.Detections)
+	fmt.Fprintf(sb, "# HELP vtxn_watchdog_signature_detections_total Watchdog detections by stall signature.\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_watchdog_signature_detections_total counter\n")
+	fmt.Fprintf(sb, "vtxn_watchdog_signature_detections_total{signature=\"wal-flush\"} %d\n", s.Watchdog.WALStalls)
+	fmt.Fprintf(sb, "vtxn_watchdog_signature_detections_total{signature=\"lock-convoy\"} %d\n", s.Watchdog.LockConvoys)
+	fmt.Fprintf(sb, "vtxn_watchdog_signature_detections_total{signature=\"escrow-backlog\"} %d\n", s.Watchdog.EscrowStalls)
+	fmt.Fprintf(sb, "vtxn_watchdog_signature_detections_total{signature=\"ghost-starvation\"} %d\n", s.Watchdog.GhostStalls)
+	counter("vtxn_flightrec_events_total", "Events recorded by the flight recorder.", s.Flight.Recorded)
+	counter("vtxn_flightrec_dumps_total", "Flight-record dumps written.", s.Flight.Dumps)
+	gauge("vtxn_flightrec_capacity", "Flight-recorder ring capacity in events.", int64(s.Flight.Capacity))
 
 	// Recovery (static per instance).
 	gauge("vtxn_recovery_replayed_records", "Log records redone at last restart.", int64(s.Recovery.Replayed))

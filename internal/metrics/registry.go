@@ -8,11 +8,12 @@ import (
 // Open and handed by sub-struct pointer to each subsystem. All fields are
 // atomic; observation never takes a lock.
 type Registry struct {
-	Txn    TxnMetrics
-	Lock   LockMetrics
-	Escrow EscrowMetrics
-	WAL    WALMetrics
-	Ghost  GhostMetrics
+	Txn      TxnMetrics
+	Lock     LockMetrics
+	Escrow   EscrowMetrics
+	WAL      WALMetrics
+	Ghost    GhostMetrics
+	Watchdog WatchdogMetrics
 }
 
 // NewRegistry returns an empty registry.
@@ -79,6 +80,9 @@ type EscrowMetrics struct {
 	// FoldAborts counts commits whose fold failed and rolled the transaction
 	// back — the engine's analogue of an escrow overdraft abort.
 	FoldAborts atomic.Int64
+	// PendingRows is a gauge of view rows currently carrying unfolded deltas
+	// (the watchdog's escrow-backlog signal).
+	PendingRows atomic.Int64
 }
 
 // ObservePending raises the pending-transactions high-water mark.
@@ -87,6 +91,15 @@ func (em *EscrowMetrics) ObservePending(n int) {
 		return
 	}
 	maxInt64(&em.PendingTxnsHighWater, int64(n))
+}
+
+// AdjustPendingRows moves the pending-rows gauge by d (+1 when a view row
+// gains its first pending delta, -1 when its last is folded or discarded).
+func (em *EscrowMetrics) AdjustPendingRows(d int64) {
+	if em == nil {
+		return
+	}
+	em.PendingRows.Add(d)
 }
 
 // ObserveFold records one commit fold of n view rows.
@@ -112,6 +125,10 @@ type WALMetrics struct {
 	// the fsync alone.
 	Flush Histogram
 	Fsync Histogram
+	// flushStartNs is the UnixNano at which the in-progress physical flush
+	// began, or zero when no flush is active — the watchdog's WAL-stall
+	// signal. Set by the flusher after winning the flush mutex.
+	flushStartNs atomic.Int64
 }
 
 // ObserveBatch records one physical flush of n records.
@@ -119,6 +136,33 @@ func (wm *WALMetrics) ObserveBatch(n int64) {
 	wm.Flushes.Add(1)
 	wm.BatchRecords.Add(n)
 	maxInt64(&wm.BatchMax, n)
+}
+
+// BeginFlush marks a physical flush as in progress since startNs;
+// EndFlush clears the mark. Only the single flusher calls either.
+func (wm *WALMetrics) BeginFlush(startNs int64) {
+	if wm == nil {
+		return
+	}
+	wm.flushStartNs.Store(startNs)
+}
+
+// EndFlush marks the in-progress flush as finished.
+func (wm *WALMetrics) EndFlush() {
+	if wm == nil {
+		return
+	}
+	wm.flushStartNs.Store(0)
+}
+
+// FlushActiveNs reports how long the in-progress flush has been running as of
+// nowNs, or zero when no flush is active.
+func (wm *WALMetrics) FlushActiveNs(nowNs int64) int64 {
+	start := wm.flushStartNs.Load()
+	if start == 0 || nowNs <= start {
+		return 0
+	}
+	return nowNs - start
 }
 
 // GhostMetrics track the background ghost cleaner.
@@ -136,4 +180,15 @@ func (gm *GhostMetrics) ObservePass(backlog int) {
 	gm.CleanerPasses.Add(1)
 	gm.Backlog.Store(int64(backlog))
 	maxInt64(&gm.BacklogHighWater, int64(backlog))
+}
+
+// WatchdogMetrics count stall-watchdog detections by signature.
+type WatchdogMetrics struct {
+	// Detections counts every stall onset the watchdog reported.
+	Detections atomic.Int64
+	// Per-signature breakdown of Detections.
+	WALStalls    atomic.Int64
+	LockConvoys  atomic.Int64
+	EscrowStalls atomic.Int64
+	GhostStalls  atomic.Int64
 }

@@ -1,5 +1,7 @@
 package metrics
 
+import "time"
+
 // Snapshot is the structured result of DB.Metrics(): every engine counter and
 // latency summary at one instant. The JSON encoding is a stable schema —
 // field names are part of the public API and golden-tested; only additions
@@ -12,6 +14,8 @@ type Snapshot struct {
 	WAL      WALSnapshot      `json:"wal"`
 	Ghost    GhostSnapshot    `json:"ghosts"`
 	Recovery RecoverySnapshot `json:"recovery"`
+	Watchdog WatchdogSnapshot `json:"watchdog"`
+	Flight   FlightSnapshot   `json:"flightrec"`
 }
 
 // EngineSnapshot are the engine-level transaction counters.
@@ -67,6 +71,7 @@ type EscrowSnapshot struct {
 	FoldBatchMax         int64 `json:"fold_batch_max"`
 	FoldAborts           int64 `json:"fold_aborts"`
 	PendingTxnsHighWater int64 `json:"pending_txns_high_water"`
+	PendingRows          int64 `json:"pending_rows"`
 }
 
 // WALSnapshot summarizes the write-ahead log and group commit.
@@ -76,6 +81,7 @@ type WALSnapshot struct {
 	CoalescedSyncs int64        `json:"coalesced_syncs"`
 	BatchRecords   int64        `json:"batch_records"`
 	BatchMax       int64        `json:"batch_max"`
+	FlushActiveNs  int64        `json:"flush_active_ns"`
 	Flush          HistSnapshot `json:"flush"`
 	Fsync          HistSnapshot `json:"fsync"`
 }
@@ -104,6 +110,24 @@ type RecoverySnapshot struct {
 	UndoNs     int64  `json:"undo_ns"`
 }
 
+// WatchdogSnapshot reports stall-watchdog detections by signature.
+type WatchdogSnapshot struct {
+	Detections   int64 `json:"detections"`
+	WALStalls    int64 `json:"wal_stalls"`
+	LockConvoys  int64 `json:"lock_convoys"`
+	EscrowStalls int64 `json:"escrow_stalls"`
+	GhostStalls  int64 `json:"ghost_stalls"`
+}
+
+// FlightSnapshot reports the flight recorder's state; the engine fills it
+// (the recorder is not registry-owned).
+type FlightSnapshot struct {
+	Enabled  bool  `json:"enabled"`
+	Capacity int   `json:"capacity"`
+	Recorded int64 `json:"recorded"`
+	Dumps    int64 `json:"dumps"`
+}
+
 // Snap fills the registry-owned sections of a snapshot (transaction phases,
 // lock wait attribution, escrow, WAL, ghost cleaner). The caller (the engine)
 // fills the sections whose source of truth lives elsewhere: engine counters,
@@ -125,6 +149,7 @@ func (r *Registry) Snap() Snapshot {
 			FoldBatchMax:         r.Escrow.FoldBatchMax.Load(),
 			FoldAborts:           r.Escrow.FoldAborts.Load(),
 			PendingTxnsHighWater: r.Escrow.PendingTxnsHighWater.Load(),
+			PendingRows:          r.Escrow.PendingRows.Load(),
 		},
 		WAL: WALSnapshot{
 			Appends:        r.WAL.Appends.Load(),
@@ -132,6 +157,7 @@ func (r *Registry) Snap() Snapshot {
 			CoalescedSyncs: r.WAL.CoalescedSyncs.Load(),
 			BatchRecords:   r.WAL.BatchRecords.Load(),
 			BatchMax:       r.WAL.BatchMax.Load(),
+			FlushActiveNs:  r.WAL.FlushActiveNs(time.Now().UnixNano()),
 			Flush:          r.WAL.Flush.Snap(),
 			Fsync:          r.WAL.Fsync.Snap(),
 		},
@@ -139,6 +165,13 @@ func (r *Registry) Snap() Snapshot {
 			CleanerPasses:    r.Ghost.CleanerPasses.Load(),
 			Backlog:          r.Ghost.Backlog.Load(),
 			BacklogHighWater: r.Ghost.BacklogHighWater.Load(),
+		},
+		Watchdog: WatchdogSnapshot{
+			Detections:   r.Watchdog.Detections.Load(),
+			WALStalls:    r.Watchdog.WALStalls.Load(),
+			LockConvoys:  r.Watchdog.LockConvoys.Load(),
+			EscrowStalls: r.Watchdog.EscrowStalls.Load(),
+			GhostStalls:  r.Watchdog.GhostStalls.Load(),
 		},
 	}
 	s.Lock.Wait = r.Lock.Wait.Snap()

@@ -34,6 +34,11 @@ const (
 	// EventGhostClean fires after a ghost-cleaner sweep; Rows is the ghosts
 	// erased.
 	EventGhostClean
+	// EventStall fires when the watchdog detects a stall signature; Phase is
+	// the signature key ("wal-flush", "lock-convoy", "escrow-backlog",
+	// "ghost-starvation"), Resource a human-readable detail, and Dur how long
+	// the condition has persisted.
+	EventStall
 )
 
 // String names the event type.
@@ -53,6 +58,8 @@ func (t EventType) String() string {
 		return "recovery"
 	case EventGhostClean:
 		return "ghost-clean"
+	case EventStall:
+		return "stall"
 	default:
 		return fmt.Sprintf("EventType(%d)", uint8(t))
 	}
@@ -62,6 +69,15 @@ func (t EventType) String() string {
 // references into engine state, so a Tracer may retain it.
 type Event struct {
 	Type EventType
+	// Seq is a process-monotonic sequence number and WallNs the wall-clock
+	// timestamp (UnixNano) stamped by the flight recorder; both are zero for
+	// events that never pass through it.
+	Seq    uint64
+	WallNs int64
+	// Span is the causal span ID linking every event of one transaction's
+	// lifetime (its value is the Seq of the transaction's tx-begin record).
+	// Zero for engine-level events, stamped by the flight recorder.
+	Span uint64
 	// Txn is the acting transaction (zero for engine-level events).
 	Txn id.Txn
 	// Dur is the event's duration: wait time, fold time, flush time, phase
@@ -95,6 +111,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s %s: %s", e.Type, e.Phase, e.Dur)
 	case EventGhostClean:
 		return fmt.Sprintf("%s: %d erased in %s", e.Type, e.Rows, e.Dur)
+	case EventStall:
+		return fmt.Sprintf("%s %s: %s (for %s)", e.Type, e.Phase, e.Resource, e.Dur)
 	default:
 		return fmt.Sprintf("%s %s", e.Type, e.Txn)
 	}
@@ -109,7 +127,9 @@ type Tracer interface {
 
 // SlowLogger is a Tracer that prints events at or above a duration threshold
 // — the "slow query log" for transactions, lock waits, and folds. Zero-Dur
-// event types (EventTxBegin) are suppressed; EventRecovery always prints.
+// event types (EventTxBegin) are suppressed; EventRecovery and EventStall
+// always print, as do lock waits that resolved in failure
+// (deadlock/timeout/cancel) no matter how quickly they did so.
 type SlowLogger struct {
 	mu        sync.Mutex
 	w         io.Writer
@@ -125,7 +145,12 @@ func NewSlowLogger(w io.Writer, threshold time.Duration, prefix string) *SlowLog
 
 // TraceEvent implements Tracer.
 func (l *SlowLogger) TraceEvent(e Event) {
-	if e.Type != EventRecovery && (e.Dur < l.threshold || e.Type == EventTxBegin) {
+	// A failed lock wait is interesting regardless of how fast it failed: a
+	// deadlock victim may be picked microseconds into its wait, and dropping
+	// it under the threshold hides the abort the operator is hunting for.
+	failedWait := e.Type == EventLockWait && e.Outcome != "" && e.Outcome != "granted"
+	alwaysPrint := e.Type == EventRecovery || e.Type == EventStall || failedWait
+	if !alwaysPrint && (e.Dur < l.threshold || e.Type == EventTxBegin) {
 		return
 	}
 	l.mu.Lock()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/id"
 	"repro/internal/metrics"
 )
 
@@ -124,7 +125,15 @@ func (w *Writer) Append(r *Record) (uint64, error) {
 // Sync makes every appended record durable (group commit). It returns once
 // the record with LSN upTo (or newer) is flushed — and fsynced under
 // SyncData. Pass 0 to sync everything appended so far.
-func (w *Writer) Sync(upTo uint64) error {
+func (w *Writer) Sync(upTo uint64) error { return w.sync(upTo, 0) }
+
+// SyncTxn is Sync attributed to a committing transaction: when this call
+// performs the physical flush (rather than coalescing onto another
+// committer's), the group-commit trace event carries txn so the flight
+// recorder can link the flush into the transaction's causal span.
+func (w *Writer) SyncTxn(upTo uint64, txn id.Txn) error { return w.sync(upTo, txn) }
+
+func (w *Writer) sync(upTo uint64, by id.Txn) error {
 	if upTo == 0 {
 		w.mu.Lock()
 		upTo = w.appended
@@ -150,6 +159,10 @@ func (w *Writer) Sync(upTo uint64) error {
 	if w.met != nil || w.tracer != nil {
 		start = time.Now()
 	}
+	// Mark the flush in progress for the stall watchdog: a long-lived mark
+	// means commits are queueing behind a flush that is not advancing.
+	w.met.BeginFlush(time.Now().UnixNano())
+	defer w.met.EndFlush()
 	// Steal the buffer; appenders continue into the spare one (double
 	// buffering keeps the steady state allocation-free).
 	w.mu.Lock()
@@ -189,6 +202,7 @@ func (w *Writer) Sync(upTo uint64) error {
 	if w.tracer != nil {
 		w.tracer.TraceEvent(metrics.Event{
 			Type: metrics.EventGroupCommit,
+			Txn:  by,
 			Dur:  time.Since(start),
 			Rows: int(batch),
 		})

@@ -182,7 +182,10 @@ func metricsSchema() []string {
 	schema := []string{
 		"engine.aborts", "engine.commits", "engine.escalations", "engine.sys_txns",
 		"escrow.fold_aborts", "escrow.fold_batch_max", "escrow.fold_batches",
-		"escrow.fold_rows", "escrow.pending_txns_high_water", "escrow.shards",
+		"escrow.fold_rows", "escrow.pending_rows", "escrow.pending_txns_high_water",
+		"escrow.shards",
+		"flightrec.capacity", "flightrec.dumps", "flightrec.enabled",
+		"flightrec.recorded",
 		"ghosts.backlog", "ghosts.backlog_high_water", "ghosts.cleaner_passes",
 		"ghosts.created", "ghosts.erased",
 		"lock.collisions", "lock.deadlocks", "lock.last_sweep_ns",
@@ -197,7 +200,9 @@ func metricsSchema() []string {
 		"recovery.undo_ns", "recovery.undone_ops",
 		"txn.apply", "txn.begin", "txn.commit_wait", "txn.fold", "txn.lock_wait",
 		"wal.appends", "wal.batch_max", "wal.batch_records", "wal.coalesced_syncs",
-		"wal.flush", "wal.flushes", "wal.fsync",
+		"wal.flush", "wal.flush_active_ns", "wal.flushes", "wal.fsync",
+		"watchdog.detections", "watchdog.escrow_stalls", "watchdog.ghost_stalls",
+		"watchdog.lock_convoys", "watchdog.wal_stalls",
 	}
 	// Histograms share one sub-schema; expand it instead of listing forty
 	// near-identical lines.
@@ -247,7 +252,7 @@ func TestMetricsGoldenSchema(t *testing.T) {
 	}
 	got := map[string]bool{}
 	collectKeyPaths("", decoded, got)
-	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery"} {
+	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery", "watchdog", "flightrec"} {
 		if !got[top] {
 			t.Fatalf("snapshot missing top-level section %q", top)
 		}
@@ -365,6 +370,12 @@ func (r *recordingTracer) TraceEvent(e vtxn.TraceEvent) {
 	r.mu.Lock()
 	r.events = append(r.events, e)
 	r.mu.Unlock()
+}
+
+func (r *recordingTracer) snapshot() []vtxn.TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]vtxn.TraceEvent(nil), r.events...)
 }
 
 func (r *recordingTracer) kinds() map[vtxn.TraceEventType]bool {

@@ -41,8 +41,20 @@
 //
 // Observability: DB.Metrics() returns a structured snapshot of every engine
 // counter and latency summary, MetricsHandler serves the same data as
-// Prometheus text, and Options.Tracer streams structured engine events
-// (lock waits, folds, group commits) to a hook such as NewSlowLogger.
+// Prometheus text (plus net/http/pprof under /debug/pprof/), and
+// Options.Tracer streams structured engine events (lock waits, folds, group
+// commits) to a hook such as NewSlowLogger.
+//
+// Forensics: an always-on flight recorder keeps the most recent engine
+// events in a bounded ring, each stamped with a sequence number, wall
+// timestamp, and causal span ID tying a transaction's begin, lock waits,
+// folds, group commit, and end together. DB.DumpFlightRecord renders the
+// history as a human-readable timeline, DB.WriteFlightRecordJSONL as JSON
+// Lines; Options.FlightSink receives an automatic dump the moment a
+// deadlock, lock timeout, or watchdog-detected stall occurs. Options.
+// Watchdog starts a background stall detector (WAL flush not advancing,
+// lock-shard convoy, escrow fold backlog, ghost-cleaner starvation) that
+// reports via EventStall trace events and the watchdog metrics section.
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
 // evaluation.
@@ -50,6 +62,7 @@ package vtxn
 
 import (
 	"net/http"
+	"net/http/pprof"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -104,6 +117,7 @@ const (
 	TraceGroupCommit = metrics.EventGroupCommit
 	TraceRecovery    = metrics.EventRecovery
 	TraceGhostClean  = metrics.EventGhostClean
+	TraceStall       = metrics.EventStall
 )
 
 // NewSlowLogger returns a Tracer that logs events at or above threshold —
@@ -114,8 +128,26 @@ var NewSlowLogger = metrics.NewSlowLogger
 // text exposition format (plain net/http; mount it wherever you like):
 //
 //	http.Handle("/metrics", vtxn.MetricsHandler(db))
+//
+// The handler is a mux: the root path serves the metrics text, /debug/pprof/
+// serves the standard net/http/pprof profiles (CPU profiles attribute commit
+// time to transactions when Options.ProfileLabels is on), and
+// /debug/flightrec streams the flight record as JSONL.
 func MetricsHandler(db *DB) http.Handler {
-	return metrics.Handler(db.Metrics)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		if err := db.WriteFlightRecordJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		}
+	})
+	mux.Handle("/", metrics.Handler(db.Metrics))
+	return mux
 }
 
 // Schema types.
@@ -213,13 +245,14 @@ const (
 // ErrDeadlock / ErrLockTimeout sentinels with the requesting transaction,
 // mode, and resource, so errors.Is works through the whole chain.
 var (
-	ErrClosed       = core.ErrClosed
-	ErrTxnDone      = core.ErrTxnDone
-	ErrDuplicateKey = core.ErrDuplicateKey
-	ErrNotFound     = core.ErrNotFound
-	ErrSchema       = core.ErrSchema
-	ErrDeadlock     = core.ErrDeadlock
-	ErrLockTimeout  = core.ErrLockTimeout
+	ErrClosed         = core.ErrClosed
+	ErrTxnDone        = core.ErrTxnDone
+	ErrDuplicateKey   = core.ErrDuplicateKey
+	ErrNotFound       = core.ErrNotFound
+	ErrSchema         = core.ErrSchema
+	ErrDeadlock       = core.ErrDeadlock
+	ErrLockTimeout    = core.ErrLockTimeout
+	ErrFlightDisabled = core.ErrFlightDisabled
 )
 
 // Open recovers (or creates) the database at path.
