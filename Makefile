@@ -4,7 +4,7 @@ GO ?= go
 TORTURE_SEEDS ?= 100
 TORTURE_SMOKE_SEEDS ?= 25
 
-.PHONY: all verify race vet fmt lint torture torture-smoke bench-smoke baseline metrics-smoke flightrec-smoke
+.PHONY: all verify race vet fmt lint torture torture-smoke bench-smoke baseline metrics-smoke flightrec-smoke hotspots-smoke
 
 all: verify
 
@@ -13,12 +13,19 @@ verify:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(MAKE) flightrec-smoke
+	$(MAKE) hotspots-smoke
 
 # Forensics smoke: induce a real deadlock and assert the flight recorder's
 # automatic dump fires and its JSONL output parses with both transactions'
 # causal spans present.
 flightrec-smoke:
 	$(GO) run ./cmd/flightrecsmoke
+
+# Attribution smoke: drive a Zipf-skewed escrow workload and assert the true
+# hottest group is named consistently by DB.Metrics() and the Prometheus
+# endpoint, with the Space-Saving error bound held.
+hotspots-smoke:
+	$(GO) run ./cmd/hotspotsmoke
 
 # Race tier: the short test set under the race detector.
 race:

@@ -38,6 +38,24 @@ type headlineResult struct {
 	LockShards   int     `json:"lock_shards,omitempty"`
 	LockColls    int64   `json:"lock_collisions,omitempty"`
 	LockMaxQueue int64   `json:"lock_max_queue_depth,omitempty"`
+	// With -hotspots: the headline run's top hot groups (by escrow delta
+	// volume and by lock wait) and per-view maintenance cost table, straight
+	// from the DB.Metrics() hotspots section.
+	HotGroups     []metrics.HotGroupSnapshot `json:"hot_groups,omitempty"`
+	HotWaitGroups []metrics.HotGroupSnapshot `json:"hot_wait_groups,omitempty"`
+	ViewCosts     []metrics.ViewCostSnapshot `json:"view_costs,omitempty"`
+}
+
+// attachHotspots copies the headline run's hot-spot attribution into the
+// results entry.
+func attachHotspots(hr headlineResult, s *metrics.Snapshot) headlineResult {
+	if s == nil {
+		return hr
+	}
+	hr.HotGroups = s.Hotspots.TopDelta
+	hr.HotWaitGroups = s.Hotspots.TopWait
+	hr.ViewCosts = s.Hotspots.Views
+	return hr
 }
 
 func main() {
@@ -52,6 +70,7 @@ func main() {
 		watchdog    = flag.Bool("watchdog", true, "run the engine stall watchdog during experiments")
 		flightSink  = flag.String("flight-sink", "", "write automatic flight-record dumps (deadlock/timeout/stall) here: 'stderr' or a path ('' disables)")
 		pprofLabels = flag.Bool("pprof-labels", false, "tag commit hot paths with runtime/pprof labels (costs allocations)")
+		hotspots    = flag.Bool("hotspots", false, "include the headline run's top hot groups and per-view cost table in the results JSON")
 	)
 	flag.Parse()
 
@@ -84,8 +103,14 @@ func main() {
 			}
 		}
 	}()
-	if *metricsPath != "" {
+	var headlineSnap *metrics.Snapshot
+	if *metricsPath != "" || *hotspots {
 		bench.MetricsSink = func(s metrics.Snapshot) {
+			snap := s
+			headlineSnap = &snap
+			if *metricsPath == "" {
+				return
+			}
 			buf, err := json.MarshalIndent(s, "", "  ")
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "encoding metrics snapshot: %v\n", err)
@@ -132,6 +157,7 @@ func main() {
 	for _, r := range runners {
 		fmt.Printf("running %s (%s)...\n", r.ID, r.Name)
 		start := time.Now()
+		headlineSnap = nil
 		tb, err := r.Run(scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
@@ -139,7 +165,7 @@ func main() {
 		}
 		fmt.Printf("%s(took %s)\n\n", tb, time.Since(start).Round(time.Millisecond))
 		if tb.HeadlineName != "" {
-			results[tb.ID] = headlineResult{
+			hr := headlineResult{
 				Metric:       tb.HeadlineName,
 				Value:        tb.Headline,
 				Ran:          time.Now().UTC().Format(time.RFC3339),
@@ -148,6 +174,10 @@ func main() {
 				LockColls:    tb.HeadlineCollisions,
 				LockMaxQueue: tb.HeadlineMaxQueue,
 			}
+			if *hotspots {
+				hr = attachHotspots(hr, headlineSnap)
+			}
+			results[tb.ID] = hr
 		}
 	}
 

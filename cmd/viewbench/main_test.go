@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/metrics"
 )
 
 // TestResultsSchema is the golden-schema check for BENCH_results.json: it
@@ -22,6 +23,10 @@ func TestResultsSchema(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Capture the headline run's metrics snapshot the way -hotspots does.
+	var headlineSnap *metrics.Snapshot
+	bench.MetricsSink = func(s metrics.Snapshot) { headlineSnap = &s }
+	defer func() { bench.MetricsSink = nil }()
 	tb, err := r.Run(bench.Smoke)
 	if err != nil {
 		t.Fatalf("F2 smoke run: %v", err)
@@ -30,7 +35,7 @@ func TestResultsSchema(t *testing.T) {
 		t.Fatal("F2 produced no headline metric")
 	}
 	results := map[string]headlineResult{
-		tb.ID: {
+		tb.ID: attachHotspots(headlineResult{
 			Metric:       tb.HeadlineName,
 			Value:        tb.Headline,
 			Ran:          time.Now().UTC().Format(time.RFC3339),
@@ -38,7 +43,7 @@ func TestResultsSchema(t *testing.T) {
 			LockShards:   tb.HeadlineShards,
 			LockColls:    tb.HeadlineCollisions,
 			LockMaxQueue: tb.HeadlineMaxQueue,
-		},
+		}, headlineSnap),
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_results.json")
 	if err := mergeResults(path, results); err != nil {
@@ -74,6 +79,24 @@ func TestResultsSchema(t *testing.T) {
 	}
 	if _, err := time.Parse(time.RFC3339, got.Ran); err != nil {
 		t.Errorf("ran timestamp %q is not RFC 3339: %v", got.Ran, err)
+	}
+	// The F2 escrow workload always produces delta attribution and folds, so
+	// the -hotspots fields must survive the JSON round trip with real values.
+	if len(got.HotGroups) == 0 {
+		t.Error("hot_groups is empty for the escrow headline run")
+	}
+	for _, g := range got.HotGroups {
+		if g.View == "" || g.Key == "" || g.Value <= 0 {
+			t.Errorf("malformed hot group %+v", g)
+		}
+	}
+	if len(got.ViewCosts) == 0 {
+		t.Error("view_costs is empty for the escrow headline run")
+	}
+	for _, v := range got.ViewCosts {
+		if v.View == "" || v.RowsFolded <= 0 || v.FoldNs <= 0 || v.WALBytes <= 0 {
+			t.Errorf("malformed view cost %+v", v)
+		}
 	}
 
 	// Merging again must keep the existing entry for experiments not re-run.

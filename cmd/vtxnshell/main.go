@@ -20,6 +20,7 @@
 //	describe v
 //	refresh v
 //	metrics                        engine observability snapshot (JSON)
+//	top [frames] [interval]        live hot-spot dashboard (Enter quits)
 //	flightrec [json]               flight-record dump (timeline, or JSONL)
 //	checkpoint | stats | ghosts | check | quit
 //
@@ -32,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -86,7 +88,7 @@ func main() {
 
 type shell struct {
 	db  *vtxn.DB
-	out *os.File
+	out io.Writer
 }
 
 func (s *shell) exec(line string) error {
@@ -96,8 +98,10 @@ func (s *shell) exec(line string) error {
 	}
 	switch fields[0] {
 	case "help":
-		fmt.Fprintln(s.out, "tables views describe insert delete get scan view refresh checkpoint stats metrics flightrec ghosts check quit")
+		fmt.Fprintln(s.out, "tables views describe insert delete get scan view refresh checkpoint stats metrics top flightrec ghosts check quit")
 		return nil
+	case "top":
+		return s.top(fields[1:])
 	case "tables":
 		for _, t := range s.db.Catalog().Tables() {
 			cols := make([]string, len(t.Cols))

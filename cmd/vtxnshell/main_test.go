@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"reflect"
+	"strings"
 	"testing"
 
 	vtxn "repro"
@@ -113,5 +116,61 @@ func TestShellEndToEnd(t *testing.T) {
 	// Help and empty lines are fine.
 	if err := sh.exec("help"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShellTop drives the dashboard in framed (non-interactive) mode and
+// checks the hot group surfaces with its decoded key.
+func TestShellTop(t *testing.T) {
+	dir := t.TempDir()
+	db, err := vtxn.Open(dir, vtxn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var buf bytes.Buffer
+	sh := &shell{db: db, out: &buf}
+	setup := []string{
+		"create table accts id:int branch:int balance:int pk id",
+		"create view totals on accts group branch count sum:balance",
+	}
+	for _, line := range setup {
+		if err := sh.exec(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	// Skew escrow deltas onto branch 7.
+	for i := 0; i < 20; i++ {
+		branch := 7
+		if i%10 == 9 {
+			branch = 8
+		}
+		if err := sh.exec(fmt.Sprintf("insert accts %d %d 100", i+1, branch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.exec("top 2 20ms"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"vtxn top",
+		"HOT GROUPS by escrow delta rate",
+		"PER-VIEW COST",
+		"totals[7]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+	// Framed mode must not emit ANSI clear sequences (pipe-safe).
+	if strings.Contains(out, "\x1b[") {
+		t.Error("framed top emitted ANSI escapes")
+	}
+	// Argument validation.
+	for _, bad := range []string{"top 0", "top x", "top 1 notadur"} {
+		if err := sh.exec(bad); err == nil {
+			t.Errorf("%q should error", bad)
+		}
 	}
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// defaultTopInterval is the dashboard refresh period.
+const defaultTopInterval = time.Second
+
+// top implements the live hot-spot dashboard:
+//
+//	top                 auto-refreshing (ANSI) until Enter is pressed
+//	top <frames> [ivl]  render that many frames then return (pipe/test mode)
+//
+// Each frame diffs the two newest metrics snapshots from a ring into
+// per-interval rates: engine throughput, the hottest groups by lock wait and
+// escrow delta rate, and the per-view maintenance cost table.
+func (s *shell) top(args []string) error {
+	frames := -1
+	interval := defaultTopInterval
+	if len(args) > 0 {
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("usage: top [frames] [interval]")
+		}
+		frames = n
+	}
+	if len(args) > 1 {
+		d, err := time.ParseDuration(args[1])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad interval %q", args[1])
+		}
+		interval = d
+	}
+	interactive := frames < 0
+
+	ring := metrics.NewSnapshotRing(8)
+	ring.Push(time.Now(), s.db.Metrics())
+
+	stop := make(chan struct{})
+	if interactive {
+		// One byte of stdin (the Enter keystroke) ends the dashboard; the
+		// REPL scanner resumes with the following line.
+		go func() {
+			buf := make([]byte, 1)
+			os.Stdin.Read(buf)
+			close(stop)
+		}()
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for rendered := 0; frames < 0 || rendered < frames; {
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+		}
+		ring.Push(time.Now(), s.db.Metrics())
+		if interactive {
+			fmt.Fprint(s.out, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		s.renderTop(ring, interactive)
+		rendered++
+	}
+	return nil
+}
+
+// renderTop writes one dashboard frame from the ring's newest rates.
+func (s *shell) renderTop(ring *metrics.SnapshotRing, interactive bool) {
+	rates, ok := ring.Rates()
+	if !ok {
+		fmt.Fprintln(s.out, "top: collecting...")
+		return
+	}
+	snap := s.db.Metrics()
+	hint := ""
+	if interactive {
+		hint = "   (Enter to quit)"
+	}
+	fmt.Fprintf(s.out, "vtxn top — interval %s — uptime %s%s\n",
+		rates.Interval.Round(time.Millisecond),
+		time.Duration(snap.Engine.UptimeNs).Round(time.Second), hint)
+	fmt.Fprintf(s.out, "commits/s %.0f  aborts/s %.0f  wal appends/s %.0f  fold rows/s %.0f\n\n",
+		rates.CommitsPerSec, rates.AbortsPerSec, rates.WALAppendsPerSec, rates.FoldRowsPerSec)
+
+	fmt.Fprintf(s.out, "%-34s %10s %10s %10s\n", "HOT GROUPS by lock wait", "wait/s", "conflicts", "total")
+	for _, g := range clipGroups(rates.TopWait, 10) {
+		fmt.Fprintf(s.out, "%-34s %10.3f %10d %10s\n",
+			groupLabel(g.View, g.Key), g.Rate, g.Delta, time.Duration(g.Total).Round(time.Millisecond))
+	}
+	fmt.Fprintf(s.out, "\n%-34s %10s %10s\n", "HOT GROUPS by escrow delta rate", "deltas/s", "total")
+	for _, g := range clipGroups(rates.TopDelta, 10) {
+		fmt.Fprintf(s.out, "%-34s %10.0f %10d\n", groupLabel(g.View, g.Key), g.Rate, g.Total)
+	}
+	fmt.Fprintf(s.out, "\n%-20s %10s %12s %10s %12s\n", "PER-VIEW COST", "rows/s", "mean fold", "wal B/s", "rows total")
+	for _, v := range rates.Views {
+		fmt.Fprintf(s.out, "%-20s %10.0f %12s %10.0f %12d\n",
+			v.View, v.RowsPerSec, time.Duration(v.MeanFoldNs).Round(time.Microsecond),
+			v.WALBytesPerSec, v.RowsTotal)
+	}
+	fmt.Fprintln(s.out)
+}
+
+// groupLabel renders "view[key]", truncated to keep columns aligned.
+func groupLabel(view, key string) string {
+	l := view + "[" + key + "]"
+	if len(l) > 34 {
+		l = l[:31] + "..."
+	}
+	return l
+}
+
+// clipGroups drops all-zero tails and caps the listing at n rows.
+func clipGroups(gs []metrics.GroupRate, n int) []metrics.GroupRate {
+	out := gs
+	if len(out) > n {
+		out = out[:n]
+	}
+	// Keep rows with any activity this interval or a nonzero total; the
+	// listing is already sorted by interval delta.
+	for len(out) > 0 && out[len(out)-1].Delta == 0 && out[len(out)-1].Total == 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}

@@ -107,8 +107,9 @@ type Stats struct {
 
 // DB is a database instance.
 type DB struct {
-	path string
-	opts Options
+	path    string
+	opts    Options
+	started time.Time
 
 	reg     *apply.Registry
 	treesMu sync.RWMutex
@@ -219,12 +220,13 @@ func Open(path string, opts Options) (*DB, error) {
 		tracer = flight
 	}
 	db := &DB{
-		path:  path,
-		opts:  opts,
-		reg:   st.Reg,
-		trees: st.Trees,
-		log:   st.Log,
-		gen:   st.Gen,
+		path:    path,
+		opts:    opts,
+		started: time.Now(),
+		reg:     st.Reg,
+		trees:   st.Trees,
+		log:     st.Log,
+		gen:     st.Gen,
 		lm: lock.NewManagerOpts(lock.Options{
 			Shards:         opts.LockShards,
 			DefaultTimeout: opts.LockTimeout,
@@ -241,6 +243,7 @@ func Open(path string, opts Options) (*DB, error) {
 		flight:    flight,
 	}
 	db.ledger.Metrics = &met.Escrow
+	db.ledger.Hot = met.Hot.EscrowDeltas
 	db.log.SetObserver(&met.WAL, tracer)
 	if tr := tracer; tr != nil && !st.Summary.Fresh {
 		tr.TraceEvent(metrics.Event{Type: metrics.EventRecovery, Phase: "analysis", Dur: st.Summary.Analysis})
@@ -327,13 +330,17 @@ func (db *DB) Stats() Stats {
 // contention, WAL group-commit behavior, ghost-cleaner backlog, and the
 // restart's recovery phases. Its JSON encoding is a stable schema.
 func (db *DB) Metrics() metrics.Snapshot {
+	now := time.Now()
 	s := db.met.Snap()
 	s.Engine = metrics.EngineSnapshot{
-		Commits:     db.commits.Load(),
-		Aborts:      db.aborts.Load(),
-		SysTxns:     db.sysTxns.Load(),
-		Escalations: db.escalations.Load(),
+		Commits:        db.commits.Load(),
+		Aborts:         db.aborts.Load(),
+		SysTxns:        db.sysTxns.Load(),
+		Escalations:    db.escalations.Load(),
+		UptimeNs:       now.Sub(db.started).Nanoseconds(),
+		SnapshotUnixNs: now.UnixNano(),
 	}
+	s.Hotspots = db.hotspots()
 	ls := db.lm.Snapshot()
 	s.Lock.Shards = ls.Shards
 	s.Lock.Requests = ls.Requests
@@ -436,9 +443,11 @@ func (db *DB) logOp(t *txn.Txn, rec *wal.Record) error {
 	start := time.Now()
 	rec.Txn = t.ID
 	rec.Sys = t.Sys
-	if _, err := db.log.Append(rec); err != nil {
+	_, walBytes, err := db.log.AppendSized(rec)
+	if err != nil {
 		return err
 	}
+	db.met.Hot.Views.Get(rec.Tree).WALBytes.Add(int64(walBytes))
 	if err := apply.Apply(db.reg, db.tree, rec); err != nil {
 		return err
 	}

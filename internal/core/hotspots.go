@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/record"
+)
+
+// hotTopK is how many heavy hitters each hotspot listing carries. The
+// sketches track more (their full capacity); the snapshot reports the head.
+const hotTopK = 10
+
+// hotspots builds the hot-spot attribution section of a metrics snapshot:
+// sketch entries with tree IDs resolved to catalog names and encoded group
+// keys decoded into their human-readable values, plus the per-view
+// maintenance cost table.
+func (db *DB) hotspots() metrics.HotspotsSnapshot {
+	cat := db.Catalog()
+	names := make(map[id.Tree]string)
+	views := make(map[id.Tree]bool)
+	for _, v := range cat.Views() {
+		names[v.ID] = v.Name
+		views[v.ID] = true
+	}
+	// Lock waits attribute any key resource, so base-table and index rows
+	// can surface too; name them as well.
+	for _, t := range cat.Tables() {
+		names[t.ID] = t.Name
+	}
+	for _, ix := range cat.Indexes() {
+		names[ix.ID] = ix.Name
+	}
+	hs := metrics.HotspotsSnapshot{
+		SketchCapacity: db.met.Hot.LockWait.Cap(),
+		TopWait:        hotGroups(db.met.Hot.LockWait.Top(hotTopK), names),
+		TopDelta:       hotGroups(db.met.Hot.EscrowDeltas.Top(hotTopK), names),
+	}
+	db.met.Hot.Views.Each(func(tree id.Tree, c *metrics.ViewCost) {
+		if !views[tree] {
+			// logOp attributes WAL bytes for every tree; only views belong
+			// in the maintenance-cost table.
+			return
+		}
+		hs.Views = append(hs.Views, metrics.ViewCostSnapshot{
+			Tree:       uint32(tree),
+			View:       names[tree],
+			RowsFolded: c.FoldRows.Load(),
+			FoldNs:     c.FoldNs.Load(),
+			WALBytes:   c.WALBytes.Load(),
+		})
+	})
+	sort.Slice(hs.Views, func(i, j int) bool {
+		if hs.Views[i].RowsFolded != hs.Views[j].RowsFolded {
+			return hs.Views[i].RowsFolded > hs.Views[j].RowsFolded
+		}
+		return hs.Views[i].Tree < hs.Views[j].Tree
+	})
+	return hs
+}
+
+// hotGroups renders sketch entries for the snapshot.
+func hotGroups(stats []metrics.HotStat, names map[id.Tree]string) []metrics.HotGroupSnapshot {
+	out := make([]metrics.HotGroupSnapshot, 0, len(stats))
+	for _, st := range stats {
+		name, ok := names[st.Key.Tree]
+		if !ok {
+			name = st.Key.Tree.String()
+		}
+		out = append(out, metrics.HotGroupSnapshot{
+			Tree:  uint32(st.Key.Tree),
+			View:  name,
+			Key:   decodeHotKey(st.Key.Key),
+			Value: st.Val,
+			Count: st.Cnt,
+			Err:   st.Err,
+		})
+	}
+	return out
+}
+
+// decodeHotKey renders an encoded tree key as its comma-joined column
+// values; undecodable keys fall back to hex so the entry is never dropped.
+func decodeHotKey(key string) string {
+	rest := []byte(key)
+	parts := make([]string, 0, 2)
+	for len(rest) > 0 {
+		v, r, err := record.DecodeKeyValue(rest)
+		if err != nil {
+			return fmt.Sprintf("0x%x", key)
+		}
+		parts = append(parts, v.String())
+		rest = r
+	}
+	return strings.Join(parts, ",")
+}

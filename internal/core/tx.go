@@ -270,6 +270,7 @@ func (db *DB) foldRow(t *txn.Txn, row escrow.RowID, deltas []wal.ColDelta) error
 	if err := db.hit(fault.PointFold); err != nil {
 		return err
 	}
+	start := time.Now()
 	m := db.reg.Maintainer(row.Tree)
 	if m == nil {
 		return fmt.Errorf("core: fold against unknown view %s", row.Tree)
@@ -312,7 +313,8 @@ func (db *DB) foldRow(t *txn.Txn, row escrow.RowID, deltas []wal.ColDelta) error
 	// fold the row a second time).
 	rec.Txn = t.ID
 	rec.Sys = t.Sys
-	if _, err := db.log.Append(rec); err != nil {
+	_, walBytes, err := db.log.AppendSized(rec)
+	if err != nil {
 		return err
 	}
 	tree.Put(key, record.EncodeRow(next), empty)
@@ -320,6 +322,12 @@ func (db *DB) foldRow(t *txn.Txn, row escrow.RowID, deltas []wal.ColDelta) error
 		return err
 	}
 	db.folds.Add(1)
+	// Per-view maintenance bill: rows folded, fold latency, WAL volume.
+	if c := db.met.Hot.Views.Get(row.Tree); c != nil {
+		c.FoldRows.Add(1)
+		c.FoldNs.Add(time.Since(start).Nanoseconds())
+		c.WALBytes.Add(int64(walBytes))
+	}
 	return nil
 }
 

@@ -87,6 +87,11 @@ type Ledger struct {
 	// Metrics, when set, receives the per-row concurrent-holder high-water
 	// mark (the paper's hot-aggregate contention signal). Nil-safe.
 	Metrics *metrics.EscrowMetrics
+
+	// Hot, when set, receives heavy-hitter attribution per view row: one
+	// value unit per delta update, one count unit per transaction newly
+	// piling onto the row. Nil-safe.
+	Hot *metrics.Sketch
 }
 
 // NewLedger returns an empty ledger with a default stripe count.
@@ -186,6 +191,15 @@ func (l *Ledger) Add(txn id.Txn, cell CellID, d Delta) {
 		l.refRow(cell.Row, 1) // txn stripe → row stripe, never the reverse
 	}
 	ts.mu.Unlock()
+	// Attribute outside the stripe mutex: the sketch's own hot path is
+	// lock-free, so this never extends the critical section.
+	if l.Hot != nil {
+		cnt := int64(0)
+		if newRow {
+			cnt = 1
+		}
+		l.Hot.Add(metrics.HotKey{Tree: cell.Row.Tree, Key: cell.Row.Key}, 1, cnt)
+	}
 }
 
 // Mark returns a savepoint position in txn's delta journal.

@@ -184,11 +184,19 @@ func (w *Watchdog) evaluate(prev, cur metrics.Snapshot) []detection {
 			}
 		}
 		if maxDelta >= int64(threshold) && maxDelta*4 >= total*3 {
+			detail := fmt.Sprintf("lock shard %d accumulated %s of %s total wait time this interval",
+				maxShard, time.Duration(maxDelta).Round(time.Millisecond), time.Duration(total).Round(time.Millisecond))
+			// Name the culprit: the hot-group sketch says which (view, group
+			// key) gained the most wait this interval, turning "a stripe is
+			// hot" into an actionable key.
+			if g, ok := hottestWaitGroup(prev.Hotspots.TopWait, cur.Hotspots.TopWait); ok {
+				detail += fmt.Sprintf("; hottest group %s[%s] +%s wait",
+					g.View, g.Key, time.Duration(g.Value).Round(time.Millisecond))
+			}
 			dets = append(dets, detection{
-				sig: "lock-convoy",
-				detail: fmt.Sprintf("lock shard %d accumulated %s of %s total wait time this interval",
-					maxShard, time.Duration(maxDelta).Round(time.Millisecond), time.Duration(total).Round(time.Millisecond)),
-				age: w.cfg.Interval,
+				sig:    "lock-convoy",
+				detail: detail,
+				age:    w.cfg.Interval,
 			})
 		}
 	}
@@ -227,4 +235,30 @@ func (w *Watchdog) evaluate(prev, cur metrics.Snapshot) []detection {
 	}
 
 	return dets
+}
+
+// hottestWaitGroup returns the hot group that gained the most lock wait
+// between two snapshots' heavy-hitter listings (matched by tree+key; a group
+// new to cur counts from zero). Returned Value is the interval's wait-ns
+// delta, not the cumulative estimate.
+func hottestWaitGroup(prev, cur []metrics.HotGroupSnapshot) (metrics.HotGroupSnapshot, bool) {
+	type gk struct {
+		tree uint32
+		key  string
+	}
+	pv := make(map[gk]int64, len(prev))
+	for _, p := range prev {
+		pv[gk{p.Tree, p.Key}] = p.Value
+	}
+	var best metrics.HotGroupSnapshot
+	var bestDelta int64
+	for _, c := range cur {
+		d := c.Value - pv[gk{c.Tree, c.Key}]
+		if d > bestDelta {
+			bestDelta = d
+			best = c
+			best.Value = d
+		}
+	}
+	return best, bestDelta > 0
 }

@@ -101,6 +101,59 @@ func TestWatchdogLockConvoySignature(t *testing.T) {
 	}
 }
 
+// TestWatchdogLockConvoyNamesHotGroup checks that when the hot-group sketch
+// has attribution for the interval, the convoy detail names the actual
+// (view, group key) — not just the stripe index.
+func TestWatchdogLockConvoyNamesHotGroup(t *testing.T) {
+	w := testWatchdog(WatchdogConfig{StallThreshold: time.Second})
+	shard := func(ns ...int64) []metrics.LockShardSnapshot {
+		out := make([]metrics.LockShardSnapshot, len(ns))
+		for i, n := range ns {
+			out[i].WaitNs = n
+		}
+		return out
+	}
+	var prev, cur metrics.Snapshot
+	prev.Lock.PerShard = shard(0, 0)
+	cur.Lock.PerShard = shard(4e9, 1e8)
+	// Group "17" already had 1s of wait before the interval and gained 3s;
+	// group "4" is new but gained only 0.5s. The detail must name "17" and
+	// report its per-interval delta (3s), not its cumulative total (4s).
+	prev.Hotspots.TopWait = []metrics.HotGroupSnapshot{
+		{Tree: 5, View: "branch_totals", Key: "17", Value: 1e9},
+	}
+	cur.Hotspots.TopWait = []metrics.HotGroupSnapshot{
+		{Tree: 5, View: "branch_totals", Key: "17", Value: 4e9},
+		{Tree: 5, View: "branch_totals", Key: "4", Value: 5e8},
+	}
+	dets := w.evaluate(prev, cur)
+	if !hasSig(dets, "lock-convoy") {
+		t.Fatalf("convoy not detected; got %v", sigs(dets))
+	}
+	for _, d := range dets {
+		if d.sig != "lock-convoy" {
+			continue
+		}
+		if !strings.Contains(d.detail, "branch_totals[17]") {
+			t.Errorf("convoy detail does not name the hot group: %q", d.detail)
+		}
+		if !strings.Contains(d.detail, "+3s wait") {
+			t.Errorf("convoy detail does not carry the interval delta: %q", d.detail)
+		}
+	}
+
+	// Without hot-group attribution the detail still names the stripe.
+	prev.Hotspots.TopWait = nil
+	cur.Hotspots.TopWait = nil
+	w2 := testWatchdog(WatchdogConfig{StallThreshold: time.Second})
+	dets = w2.evaluate(prev, cur)
+	for _, d := range dets {
+		if d.sig == "lock-convoy" && strings.Contains(d.detail, "hottest group") {
+			t.Errorf("empty sketch still claimed a hottest group: %q", d.detail)
+		}
+	}
+}
+
 func TestWatchdogEscrowBacklogSignature(t *testing.T) {
 	w := testWatchdog(WatchdogConfig{Windows: 3})
 	snap := func(pending, folds int64) metrics.Snapshot {

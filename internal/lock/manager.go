@@ -430,6 +430,12 @@ func (m *Manager) observeWait(idx uint32, txn id.Txn, res Resource, mode Mode, w
 				sw.Timeouts.Add(1)
 			}
 		}
+		// Attribute the wait to the actual key resource (tree-level and
+		// intention locks carry no key and stay stripe-attributed only).
+		if res.Key != "" {
+			m.met.Hot.Add(metrics.HotKey{Tree: res.Tree, Key: res.Key},
+				wait.Nanoseconds(), 1)
+		}
 	}
 	if m.tracer != nil {
 		m.tracer.TraceEvent(metrics.Event{

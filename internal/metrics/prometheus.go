@@ -39,6 +39,9 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 	}
 
 	// Engine-level transaction counters.
+	fmt.Fprintf(sb, "# HELP vtxn_uptime_seconds Seconds since the engine instance was opened.\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_uptime_seconds gauge\n")
+	fmt.Fprintf(sb, "vtxn_uptime_seconds %s\n", seconds(s.Engine.UptimeNs))
 	counter("vtxn_txn_commits_total", "User transactions committed.", s.Engine.Commits)
 	counter("vtxn_txn_aborts_total", "User transactions rolled back.", s.Engine.Aborts)
 	counter("vtxn_txn_system_total", "System transactions (ghost create/erase).", s.Engine.SysTxns)
@@ -108,6 +111,43 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 	counter("vtxn_flightrec_dumps_total", "Flight-record dumps written.", s.Flight.Dumps)
 	gauge("vtxn_flightrec_capacity", "Flight-recorder ring capacity in events.", int64(s.Flight.Capacity))
 
+	// Hot-spot attribution: bounded-cardinality per-group and per-view series.
+	// Group-key labels come from the heavy-hitter sketches, so the series
+	// count is capped by the sketch capacity regardless of workload.
+	fmt.Fprintf(sb, "# HELP vtxn_hot_group_lock_wait_seconds_total Lock wait time attributed to the hottest view group keys (Space-Saving estimate).\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_hot_group_lock_wait_seconds_total counter\n")
+	for _, g := range s.Hotspots.TopWait {
+		fmt.Fprintf(sb, "vtxn_hot_group_lock_wait_seconds_total{view=%q,key=%q} %s\n",
+			promLabel(g.View), promLabel(g.Key), seconds(g.Value))
+	}
+	fmt.Fprintf(sb, "# HELP vtxn_hot_group_lock_conflicts_total Blocked lock acquisitions attributed to the hottest view group keys.\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_hot_group_lock_conflicts_total counter\n")
+	for _, g := range s.Hotspots.TopWait {
+		fmt.Fprintf(sb, "vtxn_hot_group_lock_conflicts_total{view=%q,key=%q} %d\n",
+			promLabel(g.View), promLabel(g.Key), g.Count)
+	}
+	fmt.Fprintf(sb, "# HELP vtxn_hot_group_escrow_deltas_total Escrow delta updates attributed to the hottest view group keys (Space-Saving estimate).\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_hot_group_escrow_deltas_total counter\n")
+	for _, g := range s.Hotspots.TopDelta {
+		fmt.Fprintf(sb, "vtxn_hot_group_escrow_deltas_total{view=%q,key=%q} %d\n",
+			promLabel(g.View), promLabel(g.Key), g.Value)
+	}
+	fmt.Fprintf(sb, "# HELP vtxn_view_fold_rows_total View rows folded at commit, per view.\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_view_fold_rows_total counter\n")
+	for _, v := range s.Hotspots.Views {
+		fmt.Fprintf(sb, "vtxn_view_fold_rows_total{view=%q} %d\n", promLabel(v.View), v.RowsFolded)
+	}
+	fmt.Fprintf(sb, "# HELP vtxn_view_fold_seconds_total Commit-time fold latency accumulated per view.\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_view_fold_seconds_total counter\n")
+	for _, v := range s.Hotspots.Views {
+		fmt.Fprintf(sb, "vtxn_view_fold_seconds_total{view=%q} %s\n", promLabel(v.View), seconds(v.FoldNs))
+	}
+	fmt.Fprintf(sb, "# HELP vtxn_view_wal_bytes_total WAL bytes attributed to each view's maintenance.\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_view_wal_bytes_total counter\n")
+	for _, v := range s.Hotspots.Views {
+		fmt.Fprintf(sb, "vtxn_view_wal_bytes_total{view=%q} %d\n", promLabel(v.View), v.WALBytes)
+	}
+
 	// Recovery (static per instance).
 	gauge("vtxn_recovery_replayed_records", "Log records redone at last restart.", int64(s.Recovery.Replayed))
 	gauge("vtxn_recovery_loser_txns", "Transactions rolled back at last restart.", int64(s.Recovery.Losers))
@@ -121,4 +161,11 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 // seconds renders nanoseconds as a decimal seconds literal.
 func seconds(ns int64) string {
 	return fmt.Sprintf("%.9f", float64(ns)/1e9)
+}
+
+// promLabel sanitizes a label value before %q quoting: decoded group keys
+// are already printable, but a raw/hex fallback or a hostile view name must
+// not smuggle a newline or invalid UTF-8 into the exposition.
+func promLabel(v string) string {
+	return strings.ToValidUTF8(strings.ReplaceAll(v, "\n", "\\n"), "�")
 }

@@ -14,10 +14,36 @@ type Registry struct {
 	WAL      WALMetrics
 	Ghost    GhostMetrics
 	Watchdog WatchdogMetrics
+	Hot      HotMetrics
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{} }
+// NewRegistry returns an empty registry with the hot-spot sketches sized to
+// their defaults.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.Hot.LockWait = NewSketch(DefaultSketchSlots)
+	r.Hot.EscrowDeltas = NewSketch(DefaultSketchSlots)
+	r.Lock.Hot = r.Hot.LockWait
+	return r
+}
+
+// HotMetrics is the hot-spot attribution layer: heavy-hitter sketches over
+// (view, group-key) fed by the lock manager and the escrow ledger, plus a
+// per-view maintenance cost table fed by the commit fold and apply paths.
+// All three are bounded-cardinality by construction (sketch capacity /
+// catalog size), so snapshotting them never explodes.
+type HotMetrics struct {
+	// LockWait attributes lock wait: Val is blocked nanoseconds on the key,
+	// Cnt the number of resolved waits (conflicts).
+	LockWait *Sketch
+	// EscrowDeltas attributes escrow pressure: Val is pending delta updates
+	// applied against the group's view row, Cnt the number of transactions
+	// that newly piled onto the row.
+	EscrowDeltas *Sketch
+	// Views is the per-view maintenance bill (rows folded, fold latency,
+	// WAL bytes).
+	Views ViewCosts
+}
 
 // TxnMetrics are the per-phase transaction timing histograms: where a
 // transaction's wall-clock goes between Begin and the durable commit.
@@ -39,6 +65,11 @@ type TxnMetrics struct {
 type LockMetrics struct {
 	// Wait is the global wait-time histogram (same samples as Txn.LockWait).
 	Wait Histogram
+
+	// Hot, when set, attributes wait-ns and conflict counts to the specific
+	// key resource waited on (the registry aliases Hot.LockWait here so the
+	// lock manager needs no registry reference). Nil-safe.
+	Hot *Sketch
 
 	shards []ShardWait
 }

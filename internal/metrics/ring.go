@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TimedSnapshot pairs a snapshot with the instant it was cut.
+type TimedSnapshot struct {
+	At   time.Time
+	Snap Snapshot
+}
+
+// SnapshotRing keeps the last N timed snapshots so consumers can turn the
+// engine's cumulative counters into per-interval rates (the `vtxnshell top`
+// dashboard's refresh loop is the main customer). Safe for concurrent use.
+type SnapshotRing struct {
+	mu  sync.Mutex
+	buf []TimedSnapshot
+	n   int // total pushed
+}
+
+// NewSnapshotRing returns a ring holding up to capacity snapshots (minimum 2:
+// a rate needs two points).
+func NewSnapshotRing(capacity int) *SnapshotRing {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &SnapshotRing{buf: make([]TimedSnapshot, capacity)}
+}
+
+// Push records a snapshot cut at time at.
+func (r *SnapshotRing) Push(at time.Time, s Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.n%len(r.buf)] = TimedSnapshot{At: at, Snap: s}
+	r.n++
+}
+
+// Len reports how many snapshots the ring currently holds.
+func (r *SnapshotRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < len(r.buf) {
+		return r.n
+	}
+	return len(r.buf)
+}
+
+// last2 returns the newest and second-newest snapshots.
+func (r *SnapshotRing) last2() (cur, prev TimedSnapshot, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < 2 {
+		return TimedSnapshot{}, TimedSnapshot{}, false
+	}
+	cur = r.buf[(r.n-1)%len(r.buf)]
+	prev = r.buf[(r.n-2)%len(r.buf)]
+	return cur, prev, true
+}
+
+// Rates is one interval's worth of engine activity, derived by diffing the
+// ring's two newest snapshots.
+type Rates struct {
+	// Interval is the wall time between the two snapshots.
+	Interval time.Duration
+	// Engine-level rates.
+	CommitsPerSec    float64
+	AbortsPerSec     float64
+	WALAppendsPerSec float64
+	FoldRowsPerSec   float64
+	// TopWait ranks hot groups by lock wait accumulated this interval
+	// (Rate is wait-seconds per wall-second); TopDelta by escrow delta
+	// updates this interval (Rate is updates per second).
+	TopWait  []GroupRate
+	TopDelta []GroupRate
+	// Views is the per-view cost delta for the interval, descending by
+	// rows folded per second.
+	Views []ViewRate
+}
+
+// GroupRate is one hot group's per-interval activity.
+type GroupRate struct {
+	Tree  uint32
+	View  string
+	Key   string
+	Rate  float64 // per-second rate of the sketch value this interval
+	Delta int64   // absolute sketch-value delta this interval
+	Total int64   // cumulative sketch value
+}
+
+// ViewRate is one view's per-interval maintenance cost.
+type ViewRate struct {
+	Tree           uint32
+	View           string
+	RowsPerSec     float64
+	WALBytesPerSec float64
+	// MeanFoldNs is the mean per-row fold latency over the interval (0 when
+	// no rows folded).
+	MeanFoldNs float64
+	RowsTotal  int64
+}
+
+// Rates diffs the two newest snapshots into per-interval rates. ok is false
+// until the ring holds two snapshots with a positive interval between them.
+func (r *SnapshotRing) Rates() (Rates, bool) {
+	cur, prev, ok := r.last2()
+	if !ok {
+		return Rates{}, false
+	}
+	dt := cur.At.Sub(prev.At)
+	if dt <= 0 {
+		return Rates{}, false
+	}
+	sec := dt.Seconds()
+	out := Rates{
+		Interval:         dt,
+		CommitsPerSec:    float64(cur.Snap.Engine.Commits-prev.Snap.Engine.Commits) / sec,
+		AbortsPerSec:     float64(cur.Snap.Engine.Aborts-prev.Snap.Engine.Aborts) / sec,
+		WALAppendsPerSec: float64(cur.Snap.WAL.Appends-prev.Snap.WAL.Appends) / sec,
+		FoldRowsPerSec:   float64(cur.Snap.Escrow.FoldRows-prev.Snap.Escrow.FoldRows) / sec,
+	}
+	out.TopWait = groupRates(cur.Snap.Hotspots.TopWait, prev.Snap.Hotspots.TopWait, 1e9*sec)
+	out.TopDelta = groupRates(cur.Snap.Hotspots.TopDelta, prev.Snap.Hotspots.TopDelta, sec)
+	out.Views = viewRates(cur.Snap.Hotspots.Views, prev.Snap.Hotspots.Views, sec)
+	return out, true
+}
+
+// groupRates diffs two heavy-hitter listings matched by (tree, key). A group
+// absent from prev is treated as starting from zero — its first interval
+// over-reports by the sketch error bound at worst, which the bound already
+// covers. div converts the value delta into the rate unit (seconds for
+// counts, wait-ns per wall-ns for waits).
+func groupRates(cur, prev []HotGroupSnapshot, div float64) []GroupRate {
+	type gk struct {
+		tree uint32
+		key  string
+	}
+	pv := make(map[gk]int64, len(prev))
+	for _, p := range prev {
+		pv[gk{p.Tree, p.Key}] = p.Value
+	}
+	out := make([]GroupRate, 0, len(cur))
+	for _, c := range cur {
+		d := c.Value - pv[gk{c.Tree, c.Key}]
+		if d < 0 {
+			d = 0 // the group was evicted and re-admitted mid-interval
+		}
+		out = append(out, GroupRate{
+			Tree:  c.Tree,
+			View:  c.View,
+			Key:   c.Key,
+			Rate:  float64(d) / div,
+			Delta: d,
+			Total: c.Value,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Delta > out[j].Delta })
+	return out
+}
+
+func viewRates(cur, prev []ViewCostSnapshot, sec float64) []ViewRate {
+	pv := make(map[uint32]ViewCostSnapshot, len(prev))
+	for _, p := range prev {
+		pv[p.Tree] = p
+	}
+	out := make([]ViewRate, 0, len(cur))
+	for _, c := range cur {
+		p := pv[c.Tree]
+		dRows := c.RowsFolded - p.RowsFolded
+		dNs := c.FoldNs - p.FoldNs
+		dWAL := c.WALBytes - p.WALBytes
+		if dRows < 0 {
+			dRows = 0
+		}
+		if dWAL < 0 {
+			dWAL = 0
+		}
+		vr := ViewRate{
+			Tree:           c.Tree,
+			View:           c.View,
+			RowsPerSec:     float64(dRows) / sec,
+			WALBytesPerSec: float64(dWAL) / sec,
+			RowsTotal:      c.RowsFolded,
+		}
+		if dRows > 0 && dNs > 0 {
+			vr.MeanFoldNs = float64(dNs) / float64(dRows)
+		}
+		out = append(out, vr)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].RowsPerSec > out[j].RowsPerSec })
+	return out
+}

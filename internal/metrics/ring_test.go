@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSnapshotRingRates(t *testing.T) {
+	r := NewSnapshotRing(4)
+	if _, ok := r.Rates(); ok {
+		t.Fatal("Rates should fail with <2 snapshots")
+	}
+	t0 := time.Unix(1000, 0)
+	s0 := Snapshot{}
+	s0.Engine.Commits = 100
+	s0.Hotspots.TopDelta = []HotGroupSnapshot{
+		{Tree: 3, View: "v", Key: "a", Value: 50},
+	}
+	s0.Hotspots.Views = []ViewCostSnapshot{
+		{Tree: 3, View: "v", RowsFolded: 10, FoldNs: 10000, WALBytes: 100},
+	}
+	r.Push(t0, s0)
+
+	s1 := Snapshot{}
+	s1.Engine.Commits = 300
+	s1.WAL.Appends = 50
+	s1.Hotspots.TopDelta = []HotGroupSnapshot{
+		{Tree: 3, View: "v", Key: "a", Value: 150},
+		{Tree: 3, View: "v", Key: "b", Value: 20}, // new this interval
+	}
+	s1.Hotspots.TopWait = []HotGroupSnapshot{
+		{Tree: 3, View: "v", Key: "a", Value: 2e9},
+	}
+	s1.Hotspots.Views = []ViewCostSnapshot{
+		{Tree: 3, View: "v", RowsFolded: 30, FoldNs: 50000, WALBytes: 300},
+	}
+	r.Push(t0.Add(2*time.Second), s1)
+
+	rates, ok := r.Rates()
+	if !ok {
+		t.Fatal("Rates failed with 2 snapshots")
+	}
+	if rates.Interval != 2*time.Second {
+		t.Fatalf("Interval = %v, want 2s", rates.Interval)
+	}
+	if rates.CommitsPerSec != 100 {
+		t.Fatalf("CommitsPerSec = %v, want 100", rates.CommitsPerSec)
+	}
+	if rates.WALAppendsPerSec != 25 {
+		t.Fatalf("WALAppendsPerSec = %v, want 25", rates.WALAppendsPerSec)
+	}
+	if len(rates.TopDelta) != 2 || rates.TopDelta[0].Key != "a" {
+		t.Fatalf("TopDelta = %+v, want a first", rates.TopDelta)
+	}
+	if rates.TopDelta[0].Rate != 50 { // (150-50)/2s
+		t.Fatalf("TopDelta[0].Rate = %v, want 50/s", rates.TopDelta[0].Rate)
+	}
+	if rates.TopDelta[1].Delta != 20 { // new group counts from zero
+		t.Fatalf("TopDelta[1].Delta = %v, want 20", rates.TopDelta[1].Delta)
+	}
+	// 2e9 wait-ns over a 2s wall interval = 1 waiter-second per second.
+	if rates.TopWait[0].Rate != 1 {
+		t.Fatalf("TopWait[0].Rate = %v, want 1", rates.TopWait[0].Rate)
+	}
+	if len(rates.Views) != 1 {
+		t.Fatalf("Views = %+v, want 1 entry", rates.Views)
+	}
+	v := rates.Views[0]
+	if v.RowsPerSec != 10 || v.WALBytesPerSec != 100 || v.MeanFoldNs != 2000 {
+		t.Fatalf("view rates = %+v, want rows 10/s wal 100B/s mean 2000ns", v)
+	}
+
+	// Wrap the ring past capacity; rates still diff the two newest.
+	for i := 0; i < 6; i++ {
+		s := Snapshot{}
+		s.Engine.Commits = int64(300 + (i+1)*10)
+		r.Push(t0.Add(time.Duration(3+i)*time.Second), s)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", r.Len())
+	}
+	rates, ok = r.Rates()
+	if !ok || rates.CommitsPerSec != 10 {
+		t.Fatalf("after wrap: ok=%v CommitsPerSec=%v, want 10", ok, rates.CommitsPerSec)
+	}
+}

@@ -16,14 +16,22 @@ type Snapshot struct {
 	Recovery RecoverySnapshot `json:"recovery"`
 	Watchdog WatchdogSnapshot `json:"watchdog"`
 	Flight   FlightSnapshot   `json:"flightrec"`
+	Hotspots HotspotsSnapshot `json:"hotspots"`
 }
 
-// EngineSnapshot are the engine-level transaction counters.
+// EngineSnapshot are the engine-level transaction counters, plus the
+// instance clock: when this snapshot was cut and how long the engine had
+// been open. External scrapers divide counter deltas by timestamp deltas to
+// get rates without trusting their own scrape clock.
 type EngineSnapshot struct {
 	Commits     int64 `json:"commits"`
 	Aborts      int64 `json:"aborts"`
 	SysTxns     int64 `json:"sys_txns"`
 	Escalations int64 `json:"escalations"`
+	// UptimeNs is nanoseconds since DB.Open returned.
+	UptimeNs int64 `json:"uptime_ns"`
+	// SnapshotUnixNs is the wall-clock UnixNano at which the snapshot was cut.
+	SnapshotUnixNs int64 `json:"snapshot_unix_ns"`
 }
 
 // TxnSnapshot summarizes the per-phase transaction timing histograms.
@@ -117,6 +125,40 @@ type WatchdogSnapshot struct {
 	LockConvoys  int64 `json:"lock_convoys"`
 	EscrowStalls int64 `json:"escrow_stalls"`
 	GhostStalls  int64 `json:"ghost_stalls"`
+}
+
+// HotspotsSnapshot is the hot-spot attribution section: the top groups by
+// lock wait and escrow delta volume, and the per-view maintenance cost
+// table. The engine fills it (group keys and view names need the catalog);
+// cardinality is bounded by the sketch capacity and the catalog size.
+type HotspotsSnapshot struct {
+	// SketchCapacity is the tracked-key capacity of each sketch.
+	SketchCapacity int `json:"sketch_capacity"`
+	// TopWait ranks groups by lock wait-ns; TopDelta by escrow delta updates.
+	TopWait  []HotGroupSnapshot `json:"top_wait"`
+	TopDelta []HotGroupSnapshot `json:"top_delta"`
+	// Views is the per-view cost table, ordered by descending fold rows.
+	Views []ViewCostSnapshot `json:"views"`
+}
+
+// HotGroupSnapshot is one heavy-hitter entry: a group key within a view,
+// with its Space-Saving estimate and error bound (true ∈ [value−err, value]).
+type HotGroupSnapshot struct {
+	Tree  uint32 `json:"tree"`
+	View  string `json:"view"`
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+	Count int64  `json:"count"`
+	Err   int64  `json:"err"`
+}
+
+// ViewCostSnapshot is one view's accumulated maintenance bill.
+type ViewCostSnapshot struct {
+	Tree       uint32 `json:"tree"`
+	View       string `json:"view"`
+	RowsFolded int64  `json:"rows_folded"`
+	FoldNs     int64  `json:"fold_ns"`
+	WALBytes   int64  `json:"wal_bytes"`
 }
 
 // FlightSnapshot reports the flight recorder's state; the engine fills it

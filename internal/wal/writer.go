@@ -100,10 +100,17 @@ func OpenAppendFS(fsys fault.FS, path string, nextLSN uint64, mode SyncMode) (*W
 // Append assigns the record an LSN and buffers it. The record is not durable
 // until a subsequent Sync covers its LSN.
 func (w *Writer) Append(r *Record) (uint64, error) {
+	lsn, _, err := w.AppendSized(r)
+	return lsn, err
+}
+
+// AppendSized is Append reporting the record's on-log footprint (frame
+// header + encoded payload) so callers can attribute WAL volume.
+func (w *Writer) AppendSized(r *Record) (uint64, int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed {
-		return 0, ErrInjectedFault
+		return 0, 0, ErrInjectedFault
 	}
 	r.LSN = w.nextLSN
 	w.nextLSN++
@@ -119,7 +126,7 @@ func (w *Writer) Append(r *Record) (uint64, error) {
 	if w.met != nil {
 		w.met.Appends.Add(1)
 	}
-	return r.LSN, nil
+	return r.LSN, len(payload) + 8, nil
 }
 
 // Sync makes every appended record durable (group commit). It returns once

@@ -180,7 +180,8 @@ func TestBeginTxContextCancelAbortsLockWait(t *testing.T) {
 // and removals break the public API and must not happen silently.
 func metricsSchema() []string {
 	schema := []string{
-		"engine.aborts", "engine.commits", "engine.escalations", "engine.sys_txns",
+		"engine.aborts", "engine.commits", "engine.escalations",
+		"engine.snapshot_unix_ns", "engine.sys_txns", "engine.uptime_ns",
 		"escrow.fold_aborts", "escrow.fold_batch_max", "escrow.fold_batches",
 		"escrow.fold_rows", "escrow.pending_rows", "escrow.pending_txns_high_water",
 		"escrow.shards",
@@ -188,6 +189,10 @@ func metricsSchema() []string {
 		"flightrec.recorded",
 		"ghosts.backlog", "ghosts.backlog_high_water", "ghosts.cleaner_passes",
 		"ghosts.created", "ghosts.erased",
+		"hotspots.sketch_capacity", "hotspots.top_delta", "hotspots.top_wait",
+		"hotspots.views",
+		"hotspots.views.fold_ns", "hotspots.views.rows_folded",
+		"hotspots.views.tree", "hotspots.views.view", "hotspots.views.wal_bytes",
 		"lock.collisions", "lock.deadlocks", "lock.last_sweep_ns",
 		"lock.max_queue_depth", "lock.max_sweep_ns", "lock.per_shard",
 		"lock.per_shard.collisions", "lock.per_shard.deadlocks",
@@ -208,6 +213,12 @@ func metricsSchema() []string {
 	// near-identical lines.
 	for _, h := range []string{"lock.wait", "txn.apply", "txn.begin", "txn.commit_wait", "txn.fold", "txn.lock_wait", "wal.flush", "wal.fsync"} {
 		for _, f := range []string{"count", "sum_ns", "mean_ns", "p50_ns", "p99_ns", "max_ns"} {
+			schema = append(schema, h+"."+f)
+		}
+	}
+	// Both heavy-hitter listings share the hot-group sub-schema.
+	for _, h := range []string{"hotspots.top_delta", "hotspots.top_wait"} {
+		for _, f := range []string{"count", "err", "key", "tree", "value", "view"} {
 			schema = append(schema, h+"."+f)
 		}
 	}
@@ -242,6 +253,30 @@ func TestMetricsGoldenSchema(t *testing.T) {
 	setupPublic(t, db)
 	seedAccounts(t, db, 4)
 
+	// collectKeyPaths only descends into non-empty arrays, so every hotspot
+	// listing must carry at least one element. The seed inserts populate
+	// top_delta and the per-view cost table; a timed-out keyed lock wait
+	// populates top_wait.
+	holder, err := db.Begin(vtxn.ReadCommitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Update("accounts", vtxn.Row{vtxn.Int(0)}, map[int]vtxn.Value{2: vtxn.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	waiter, err := db.BeginTx(context.Background(), vtxn.TxOptions{
+		Isolation:   vtxn.ReadCommitted,
+		LockTimeout: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := waiter.Update("accounts", vtxn.Row{vtxn.Int(0)}, map[int]vtxn.Value{2: vtxn.Int(2)}); !errors.Is(err, vtxn.ErrLockTimeout) {
+		t.Fatalf("expected lock timeout, got %v", err)
+	}
+	waiter.Rollback()
+	holder.Rollback()
+
 	buf, err := json.Marshal(db.Metrics())
 	if err != nil {
 		t.Fatal(err)
@@ -252,7 +287,7 @@ func TestMetricsGoldenSchema(t *testing.T) {
 	}
 	got := map[string]bool{}
 	collectKeyPaths("", decoded, got)
-	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery", "watchdog", "flightrec"} {
+	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery", "watchdog", "flightrec", "hotspots"} {
 		if !got[top] {
 			t.Fatalf("snapshot missing top-level section %q", top)
 		}
