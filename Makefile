@@ -4,7 +4,7 @@ GO ?= go
 TORTURE_SEEDS ?= 100
 TORTURE_SMOKE_SEEDS ?= 25
 
-.PHONY: all verify race vet fmt lint torture torture-smoke bench-smoke baseline metrics-smoke flightrec-smoke hotspots-smoke
+.PHONY: all verify race vet fmt lint torture torture-smoke bench-smoke baseline metrics-smoke flightrec-smoke hotspots-smoke mvcc-smoke
 
 all: verify
 
@@ -14,6 +14,7 @@ verify:
 	$(GO) test ./...
 	$(MAKE) flightrec-smoke
 	$(MAKE) hotspots-smoke
+	$(MAKE) mvcc-smoke
 
 # Forensics smoke: induce a real deadlock and assert the flight recorder's
 # automatic dump fires and its JSONL output parses with both transactions'
@@ -26,6 +27,12 @@ flightrec-smoke:
 # endpoint, with the Space-Saving error bound held.
 hotspots-smoke:
 	$(GO) run ./cmd/hotspotsmoke
+
+# MVCC smoke: truth-check the snapshot read path — sum-preserving escrow
+# writers vs read-only snapshot readers, snapshot stability across commits,
+# and the pruner draining every version chain once readers retire.
+mvcc-smoke:
+	$(GO) run ./cmd/mvccsmoke
 
 # Race tier: the short test set under the race detector.
 race:
@@ -48,13 +55,14 @@ torture:
 torture-smoke:
 	$(GO) run ./cmd/vtxntorture -seeds $(TORTURE_SMOKE_SEEDS)
 
-# Bench-smoke tier: run the headline experiment (F2) at smoke scale and gate
-# its throughput (>30% regression fails) and allocs/op (>20% growth fails)
-# against the committed baseline. Also captures the headline run's metrics
-# snapshot; CI uploads both JSON files as artifacts.
+# Bench-smoke tier: run the headline experiments (F2 writes, T5R snapshot
+# reads) at smoke scale and gate their throughput (>30% regression fails) and
+# allocs/op (>20% growth fails) against the committed baseline; -require pins
+# both so a dropped experiment fails loudly. Also captures the headline run's
+# metrics snapshot; CI uploads both JSON files as artifacts.
 bench-smoke:
-	$(GO) run ./cmd/viewbench -exp F2 -smoke -json BENCH_results.json -metrics BENCH_metrics.json
-	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -fresh BENCH_results.json
+	$(GO) run ./cmd/viewbench -exp F2,T5R -smoke -json BENCH_results.json -metrics BENCH_metrics.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -fresh BENCH_results.json -require F2,T5R
 
 # Observability smoke: run the headline experiment with metrics + tracing on
 # and pretty-print the snapshot — a quick eyeball check that every series is
@@ -65,4 +73,4 @@ metrics-smoke:
 
 # Refresh the committed bench-smoke baseline (run on an idle machine).
 baseline:
-	$(GO) run ./cmd/viewbench -exp F2 -smoke -json BENCH_baseline.json
+	$(GO) run ./cmd/viewbench -exp F2,T5R -smoke -json BENCH_baseline.json

@@ -6,7 +6,10 @@
 //
 // Only experiments present in both files are gated, so adding a new
 // experiment never breaks the gate; refresh the baseline by re-running
-// viewbench with -json pointed at it.
+// viewbench with -json pointed at it. Experiments named with -require must
+// appear in BOTH files — that is how CI pins the headline metrics (F2 write
+// throughput, T5R snapshot reads) so a renamed or silently-dropped
+// experiment fails the gate instead of shrinking it.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // metric mirrors the subset of viewbench's result schema the gate reads.
@@ -29,6 +33,7 @@ func main() {
 	freshPath := flag.String("fresh", "BENCH_results.json", "results file from this run")
 	threshold := flag.Float64("threshold", 0.30, "max allowed fractional regression (0.30 = 30%)")
 	allocThreshold := flag.Float64("alloc-threshold", 0.20, "max allowed fractional allocs/op growth (0.20 = 20%)")
+	require := flag.String("require", "", "comma-separated experiment IDs that must appear in both files")
 	flag.Parse()
 
 	baseline, err := load(*baselinePath)
@@ -40,6 +45,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *require != "" {
+		missing := false
+		for _, id := range strings.Split(*require, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if _, ok := baseline[id]; !ok {
+				fmt.Fprintf(os.Stderr, "benchgate: required experiment %s missing from %s\n", id, *baselinePath)
+				missing = true
+			}
+			if _, ok := fresh[id]; !ok {
+				fmt.Fprintf(os.Stderr, "benchgate: required experiment %s missing from %s\n", id, *freshPath)
+				missing = true
+			}
+		}
+		if missing {
+			os.Exit(2)
+		}
 	}
 	failures, checked := gate(baseline, fresh, *threshold, *allocThreshold)
 	for _, f := range failures {

@@ -125,6 +125,7 @@ func All() []Runner {
 		{ID: "F3", Name: "throughput vs number of groups", Run: RunF3Contention},
 		{ID: "F4", Name: "deadlock/abort rate vs writers", Run: RunF4Aborts},
 		{ID: "T5", Name: "reader/writer interaction by isolation", Run: RunT5Readers},
+		{ID: "T5R", Name: "snapshot read scaling (mixed read/write)", Run: RunT5RSnapshotScaling},
 		{ID: "F6", Name: "query speedup from the indexed view", Run: RunF6QuerySpeedup},
 		{ID: "T7", Name: "ghost vs direct structural maintenance", Run: RunT7Ghosts},
 		{ID: "T8", Name: "crash recovery", Run: RunT8Recovery},

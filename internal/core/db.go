@@ -21,6 +21,8 @@ import (
 	"repro/internal/id"
 	"repro/internal/lock"
 	"repro/internal/metrics"
+	"repro/internal/mvcc"
+	"repro/internal/record"
 	"repro/internal/recovery"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -38,6 +40,10 @@ type Options struct {
 	// GhostCleanInterval runs the background ghost cleaner this often.
 	// 0 disables the background cleaner (CleanGhosts still works).
 	GhostCleanInterval time.Duration
+	// MVCCPruneInterval runs the background version-chain pruner this often
+	// (DESIGN.md §8). 0 selects the default (25ms); negative disables the
+	// background pruner (PruneVersions still works).
+	MVCCPruneInterval time.Duration
 	// FoldLatchStripes sets the number of stripes for the commit-fold /
 	// ghost-structure latches (default 128). 1 reproduces a single global
 	// fold latch — the T10 ablation showing why striping matters.
@@ -122,6 +128,11 @@ type DB struct {
 	ledger *escrow.Ledger
 	tm     *txn.Manager
 
+	// oracle allocates commit timestamps and tracks active snapshots; mvcc is
+	// the sidecar version store snapshot readers resolve against (DESIGN.md §8).
+	oracle *txn.Oracle
+	mvcc   *mvcc.Store
+
 	// gate admits user-level actors (transactions, DDL, the cleaner) as
 	// readers; Checkpoint takes it exclusively to quiesce the database.
 	gate sync.RWMutex
@@ -155,6 +166,8 @@ type DB struct {
 	closed      atomic.Bool
 	cleanerStop chan struct{}
 	cleanerDone chan struct{}
+	prunerStop  chan struct{}
+	prunerDone  chan struct{}
 	recovered   recovery.Summary
 }
 
@@ -183,6 +196,12 @@ var (
 	ErrNotFound = errors.New("core: row not found")
 	// ErrSchema reports a row/DDL that does not fit the schema.
 	ErrSchema = errors.New("core: schema violation")
+	// ErrReadOnly reports a write attempted in a read-only transaction.
+	ErrReadOnly = errors.New("core: read-only transaction")
+	// ErrSnapshotOnly reports TxOptions.ReadOnly combined with an isolation
+	// level other than Snapshot: the read-only fast path skips logging and
+	// locking entirely, which only multi-version reads make safe.
+	ErrSnapshotOnly = errors.New("core: ReadOnly requires Snapshot isolation")
 	// ErrDeadlock aborts the transaction chosen as a deadlock victim. Lock
 	// errors carry the requesting transaction, mode, and resource as context
 	// and wrap this sentinel, so errors.Is works through the whole chain.
@@ -236,6 +255,8 @@ func Open(path string, opts Options) (*DB, error) {
 		}),
 		ledger:    escrow.NewLedgerShards(opts.EscrowShards),
 		tm:        txn.NewManager(st.NextTxn),
+		oracle:    txn.NewOracle(),
+		mvcc:      mvcc.NewStore(&met.MVCC),
 		structMu:  make([]sync.Mutex, opts.FoldLatchStripes),
 		recovered: st.Summary,
 		met:       met,
@@ -254,6 +275,15 @@ func Open(path string, opts Options) (*DB, error) {
 		db.cleanerStop = make(chan struct{})
 		db.cleanerDone = make(chan struct{})
 		go db.cleanerLoop(opts.GhostCleanInterval)
+	}
+	if opts.MVCCPruneInterval >= 0 {
+		interval := opts.MVCCPruneInterval
+		if interval == 0 {
+			interval = defaultMVCCPruneInterval
+		}
+		db.prunerStop = make(chan struct{})
+		db.prunerDone = make(chan struct{})
+		go db.prunerLoop(interval)
 	}
 	if opts.Watchdog {
 		db.watchdog = flightrec.StartWatchdog(flightrec.WatchdogConfig{
@@ -279,6 +309,10 @@ func (db *DB) Close() error {
 		close(db.cleanerStop)
 		<-db.cleanerDone
 	}
+	if db.prunerStop != nil {
+		close(db.prunerStop)
+		<-db.prunerDone
+	}
 	// Wait for in-flight transactions to drain.
 	db.gate.Lock()
 	defer db.gate.Unlock()
@@ -298,6 +332,10 @@ func (db *DB) Crash(flush bool) {
 	if db.cleanerStop != nil {
 		close(db.cleanerStop)
 		<-db.cleanerDone
+	}
+	if db.prunerStop != nil {
+		close(db.prunerStop)
+		<-db.prunerDone
 	}
 	if flush {
 		db.log.Sync(0)
@@ -341,6 +379,10 @@ func (db *DB) Metrics() metrics.Snapshot {
 		SnapshotUnixNs: now.UnixNano(),
 	}
 	s.Hotspots = db.hotspots()
+	s.MVCC.Snapshots = db.oracle.SnapshotsBegun()
+	s.MVCC.ActiveSnapshots = db.oracle.ActiveSnapshots()
+	s.MVCC.OldestSnapshotAgeNs = db.oracle.OldestSnapshotAge(now).Nanoseconds()
+	s.MVCC.Watermark = db.oracle.ReadTS()
 	ls := db.lm.Snapshot()
 	s.Lock.Shards = ls.Shards
 	s.Lock.Requests = ls.Requests
@@ -448,14 +490,126 @@ func (db *DB) logOp(t *txn.Txn, rec *wal.Record) error {
 		return err
 	}
 	db.met.Hot.Views.Get(rec.Tree).WALBytes.Add(int64(walBytes))
+	if isRowOp(rec.Type) {
+		// Pin the operation's provisional version before the tree changes, so
+		// the chain seed (when this is the row's first tracked mutation) is the
+		// committed pre-image. The caller's write lock — or the structure latch,
+		// for view rows — still serializes the row here.
+		tree := db.tree(rec.Tree)
+		db.mvcc.Pin(rec.Tree, rec.Key, rec, t.ID, func() ([]byte, bool, bool) {
+			return tree.Get(rec.Key)
+		})
+	}
 	if err := apply.Apply(db.reg, db.tree, rec); err != nil {
+		db.mvcc.Unpin(rec.Tree, rec.Key, rec)
 		return err
 	}
 	if err := t.RecordOp(rec); err != nil {
+		db.mvcc.Unpin(rec.Tree, rec.Key, rec)
 		return err
 	}
 	db.met.Txn.Apply.Observe(time.Since(start))
 	return nil
+}
+
+// isRowOp reports whether a record type mutates one keyed row (and therefore
+// carries a version chain entry).
+func isRowOp(t wal.Type) bool {
+	switch t {
+	case wal.TInsert, wal.TDelete, wal.TUpdate, wal.TSetGhost, wal.TEscrowFold:
+		return true
+	default:
+		return false
+	}
+}
+
+// stampOps promotes every pinned operation of t to a committed version at ts.
+// It must run before the transaction manager wipes t's undo chain.
+func (db *DB) stampOps(t *txn.Txn, ts uint64) {
+	for _, op := range t.Ops() {
+		if isRowOp(op.Type) {
+			db.mvcc.Stamp(op.Tree, op.Key, op, ts)
+		}
+	}
+}
+
+// unpinOps discards every pinned operation of t (abort without rollback —
+// e.g. a failed commit-record append, where rollbackOps is not run).
+func (db *DB) unpinOps(t *txn.Txn) {
+	for _, op := range t.Ops() {
+		if isRowOp(op.Type) {
+			db.mvcc.Unpin(op.Tree, op.Key, op)
+		}
+	}
+}
+
+// defaultMVCCPruneInterval is the default background pruner period: short
+// enough that chains stay near-empty under a read-mostly load, long enough
+// that an idle engine burns nothing measurable.
+const defaultMVCCPruneInterval = 25 * time.Millisecond
+
+// prunerLoop incrementally folds version chains up to the snapshot horizon:
+// one store shard per tick, a full rotation per interval. Spreading the pass
+// keeps the per-tick pause and allocation burst at 1/shards of a full prune —
+// a monolithic pass folds every hot chain and then the write set rebuilds
+// them all at once, a visible throughput sawtooth on small machines.
+func (db *DB) prunerLoop(interval time.Duration) {
+	defer close(db.prunerDone)
+	shards := db.mvcc.NumShards()
+	step := interval / time.Duration(shards)
+	if step <= 0 {
+		step = interval
+	}
+	tick := time.NewTicker(step)
+	defer tick.Stop()
+	for cursor := 0; ; cursor++ {
+		select {
+		case <-db.prunerStop:
+			return
+		case <-tick.C:
+			start := time.Now()
+			pruned := db.mvcc.PruneShard(cursor, db.oracle.PruneHorizon(), db.foldVersionDeltas)
+			if pruned > 0 && db.tracer != nil {
+				db.tracer.TraceEvent(metrics.Event{Type: metrics.EventMVCCPrune, Rows: pruned, Dur: time.Since(start)})
+			}
+		}
+	}
+}
+
+// PruneVersions folds every version at or below the snapshot horizon (the
+// oldest active read timestamp, or the watermark when no snapshot is active)
+// into its chain's base and drops quiescent chains. The background pruner
+// calls it periodically; tests and operators may call it directly. It returns
+// the number of versions pruned.
+func (db *DB) PruneVersions() int {
+	start := time.Now()
+	pruned := db.mvcc.Prune(db.oracle.PruneHorizon(), db.foldVersionDeltas)
+	if pruned > 0 && db.tracer != nil {
+		db.tracer.TraceEvent(metrics.Event{Type: metrics.EventMVCCPrune, Rows: pruned, Dur: time.Since(start)})
+	}
+	return pruned
+}
+
+// foldVersionDeltas is the pruner's delta folder: it applies committed escrow
+// deltas to an encoded view row using the view's compiled maintainer.
+func (db *DB) foldVersionDeltas(tree id.Tree, val []byte, deltas []wal.ColDelta) ([]byte, bool, error) {
+	m := db.reg.Maintainer(tree)
+	if m == nil {
+		return nil, false, fmt.Errorf("core: version fold against unknown view %s", tree)
+	}
+	stored, err := record.DecodeRow(val)
+	if err != nil {
+		return nil, false, err
+	}
+	next, err := m.ApplyFold(stored, deltas)
+	if err != nil {
+		return nil, false, err
+	}
+	empty, err := m.GroupEmpty(next)
+	if err != nil {
+		return nil, false, err
+	}
+	return record.EncodeRow(next), empty, nil
 }
 
 // Checkpoint quiesces the database, writes a snapshot generation, and
@@ -511,10 +665,17 @@ func (db *DB) runSysTxn(fn func(st *txn.Txn) error) error {
 		return err
 	}
 	if _, err := db.log.Append(&wal.Record{Type: wal.TCommit, Txn: st.ID, Sys: true}); err != nil {
+		db.unpinOps(st)
 		db.tm.Abort(st)
 		db.lm.ReleaseAll(st.ID)
 		return err
 	}
+	// Stamp the system transaction's versions before the manager wipes its
+	// undo chain and before its locks release (so the next writer of any of
+	// its rows allocates a later timestamp).
+	ts := db.oracle.AllocateCommitTS()
+	db.stampOps(st, ts)
+	db.oracle.FinishCommit(ts)
 	db.tm.Commit(st)
 	db.lm.ReleaseAll(st.ID)
 	return nil
@@ -531,5 +692,8 @@ func (db *DB) rollbackOps(t *txn.Txn) {
 			panic(fmt.Sprintf("core: rollback of %s failed: %v", op, err))
 		}
 		db.log.Append(clr)
+		if isRowOp(op.Type) {
+			db.mvcc.Unpin(op.Tree, op.Key, op)
+		}
 	}
 }

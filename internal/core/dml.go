@@ -14,7 +14,7 @@ import (
 // Insert adds a row to a table, maintaining every secondary index and
 // indexed view inside the transaction.
 func (tx *Tx) Insert(table string, row record.Row) error {
-	if err := tx.check(); err != nil {
+	if err := tx.writeCheck(); err != nil {
 		return err
 	}
 	db := tx.db
@@ -65,6 +65,19 @@ func (tx *Tx) Insert(table string, row record.Row) error {
 	if err := db.lockRes(tx.t, succ, lock.ModeX); err != nil {
 		return err
 	}
+	if prior != lock.ModeNone {
+		// This transaction already covers the successor's gap — a range lock
+		// from one of its own serializable scans. Inserting key splits that
+		// gap in two: the successor's gap resource keeps covering (key, succ],
+		// but the new key's own gap — (predecessor, key] — would be left
+		// unprotected, letting a concurrent insert land inside the scanned
+		// range (its instant-duration probe of the new key's gap would find no
+		// holder). Take a held X on the new gap before the insert becomes
+		// visible, so the range stays covered until commit.
+		if err := db.lockRes(tx.t, gapResource(tbl.ID, key), lock.ModeX); err != nil {
+			return err
+		}
+	}
 	rec := &wal.Record{Type: wal.TInsert, Tree: tbl.ID, Key: key, NewVal: record.EncodeRow(row)}
 	err = db.logOp(tx.t, rec)
 	if prior == lock.ModeNone {
@@ -87,7 +100,7 @@ func (tx *Tx) Insert(table string, row record.Row) error {
 
 // Delete removes the row with the given primary-key values.
 func (tx *Tx) Delete(table string, pk record.Row) error {
-	if err := tx.check(); err != nil {
+	if err := tx.writeCheck(); err != nil {
 		return err
 	}
 	db := tx.db
@@ -133,7 +146,7 @@ func (tx *Tx) Delete(table string, pk record.Row) error {
 // Update replaces the values of the named columns in the row with the given
 // primary key. Primary-key columns cannot change.
 func (tx *Tx) Update(table string, pk record.Row, set map[int]record.Value) error {
-	if err := tx.check(); err != nil {
+	if err := tx.writeCheck(); err != nil {
 		return err
 	}
 	db := tx.db

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/btree"
+	"repro/internal/catalog"
 	"repro/internal/lock"
 	"repro/internal/record"
 	"repro/internal/txn"
@@ -40,13 +41,16 @@ func (tx *Tx) LookupByIndex(indexName string, vals record.Row) ([]record.Row, er
 				ErrSchema, i, want, v.Kind())
 		}
 	}
+	prefix := record.EncodeKey(vals)
+	if tx.t.Isolation == txn.Snapshot {
+		return tx.snapshotLookupByIndex(ix, tbl, vals, prefix)
+	}
 	if err := db.lockTree(tx.t, ix.ID, lock.ModeIS); err != nil {
 		return nil, err
 	}
 	if err := db.lockTree(tx.t, tbl.ID, lock.ModeIS); err != nil {
 		return nil, err
 	}
-	prefix := record.EncodeKey(vals)
 	// Collect the primary keys from the index entries (key = indexed
 	// columns then PK), latch-only, then lock and re-read each base row.
 	var pks [][]byte
@@ -95,6 +99,46 @@ func (tx *Tx) LookupByIndex(indexName string, vals record.Row) ([]record.Row, er
 		if match {
 			out = append(out, row)
 		}
+	}
+	return out, nil
+}
+
+// snapshotLookupByIndex resolves an index lookup at the transaction's read
+// timestamp: index entries and base rows both come from the version-chain
+// resolution, so the two are mutually consistent (a transaction's index and
+// row changes stamp with one commit timestamp) and no locks are taken.
+func (tx *Tx) snapshotLookupByIndex(ix *catalog.Index, tbl *catalog.Table, vals record.Row, prefix []byte) ([]record.Row, error) {
+	db := tx.db
+	var pks [][]byte
+	err := db.snapshotScan(tx, ix.ID, prefix, record.KeySuccessor(prefix), func(key, _ []byte) (bool, error) {
+		rest := key[len(prefix):]
+		for skip := len(ix.Cols) - len(vals); skip > 0; skip-- {
+			_, r, err := record.DecodeKeyValue(rest)
+			if err != nil {
+				return true, nil
+			}
+			rest = r
+		}
+		pks = append(pks, append([]byte(nil), rest...))
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []record.Row
+	for _, pk := range pks {
+		val, ghost, ok, err := db.snapshotRow(tbl.ID, pk, tx.readTS, tx.t.ID)
+		if err != nil {
+			return nil, err
+		}
+		if !ok || ghost {
+			continue
+		}
+		row, err := record.DecodeRow(val)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
 	}
 	return out, nil
 }

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/record"
+	"repro/internal/txn"
+)
+
+// beginSnapshot starts a read-only snapshot transaction.
+func beginSnapshot(t *testing.T, db *DB) *Tx {
+	t.Helper()
+	tx, err := db.BeginTx(context.Background(), TxOptions{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+// viewSum reads branch_totals for a branch inside tx and returns count/sum.
+func viewSum(t *testing.T, tx *Tx, branch int64) (count, sum int64, ok bool) {
+	t.Helper()
+	res, ok, err := tx.GetViewRow("branch_totals", record.Row{record.Int(branch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	if res[1].IsNull() {
+		return res[0].AsInt(), 0, true
+	}
+	return res[0].AsInt(), res[1].AsInt(), true
+}
+
+func TestSnapshotReadIsStable(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(1, 7, 100), acctRow(2, 7, 50))
+
+	snap := beginSnapshot(t, db)
+	if count, sum, ok := viewSum(t, snap, 7); !ok || count != 2 || sum != 150 {
+		t.Fatalf("snapshot view = %d/%d/%v", count, sum, ok)
+	}
+	// A writer commits a deposit after the snapshot began.
+	w := begin(t, db, txn.ReadCommitted)
+	if err := w.Update("accounts", record.Row{record.Int(1)}, map[int]record.Value{2: record.Int(125)}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, w)
+
+	// The snapshot still sees the pre-commit world: base row and view row.
+	row, ok, err := snap.Get("accounts", record.Row{record.Int(1)})
+	if err != nil || !ok || row[2].AsInt() != 100 {
+		t.Fatalf("snapshot base row = %v %v %v", row, ok, err)
+	}
+	if count, sum, ok := viewSum(t, snap, 7); !ok || count != 2 || sum != 150 {
+		t.Fatalf("snapshot view after commit = %d/%d/%v", count, sum, ok)
+	}
+	n := 0
+	if err := snap.ScanTable("accounts", nil, nil, func(record.Row) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("snapshot scan saw %d rows", n)
+	}
+	mustCommit(t, snap)
+
+	// A fresh snapshot sees the new state.
+	snap2 := beginSnapshot(t, db)
+	if count, sum, ok := viewSum(t, snap2, 7); !ok || count != 2 || sum != 175 {
+		t.Fatalf("fresh snapshot view = %d/%d/%v", count, sum, ok)
+	}
+	mustCommit(t, snap2)
+	checkConsistent(t, db)
+}
+
+func TestSnapshotReadDoesNotBlockOnWriterLocks(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(1, 7, 100))
+
+	// Writer holds an uncommitted X lock on row 1 and an E lock on the view
+	// group. A lock-based reader would stall; the snapshot reader must not.
+	w := begin(t, db, txn.ReadCommitted)
+	if err := w.Update("accounts", record.Row{record.Int(1)}, map[int]record.Value{2: record.Int(999)}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		snap := beginSnapshot(t, db)
+		defer snap.Rollback()
+		row, ok, err := snap.Get("accounts", record.Row{record.Int(1)})
+		if err != nil || !ok || row[2].AsInt() != 100 {
+			t.Errorf("snapshot under writer lock = %v %v %v", row, ok, err)
+		}
+		if count, sum, ok := viewSum(t, snap, 7); !ok || count != 1 || sum != 100 {
+			t.Errorf("snapshot view under writer lock = %d/%d/%v", count, sum, ok)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("snapshot read blocked behind an uncommitted writer")
+	}
+	mustCommit(t, w)
+	checkConsistent(t, db)
+}
+
+func TestSnapshotReadOnlyRejectsWrites(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(1, 7, 100))
+
+	if _, err := db.BeginTx(context.Background(), TxOptions{Isolation: txn.ReadCommitted, ReadOnly: true}); !errors.Is(err, ErrSnapshotOnly) {
+		t.Fatalf("ReadOnly at ReadCommitted err = %v", err)
+	}
+	snap := beginSnapshot(t, db)
+	defer snap.Rollback()
+	if err := snap.Insert("accounts", acctRow(2, 7, 1)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("insert err = %v", err)
+	}
+	if err := snap.Update("accounts", record.Row{record.Int(1)}, map[int]record.Value{2: record.Int(1)}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("update err = %v", err)
+	}
+	if err := snap.Delete("accounts", record.Row{record.Int(1)}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("delete err = %v", err)
+	}
+	// Reads still work after the rejected writes.
+	if _, ok, err := snap.Get("accounts", record.Row{record.Int(1)}); !ok || err != nil {
+		t.Fatalf("get after rejected write: %v %v", ok, err)
+	}
+}
+
+func TestSnapshotReadsOwnWrites(t *testing.T) {
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(1, 7, 100))
+
+	// A non-read-only snapshot transaction writes with locks but reads at its
+	// snapshot — except its own writes, which it must see.
+	tx, err := db.BeginTx(context.Background(), TxOptions{Isolation: txn.Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Insert("accounts", acctRow(2, 7, 50)); err != nil {
+		t.Fatal(err)
+	}
+	row, ok, err := tx.Get("accounts", record.Row{record.Int(2)})
+	if err != nil || !ok || row[2].AsInt() != 50 {
+		t.Fatalf("own insert invisible: %v %v %v", row, ok, err)
+	}
+	if err := tx.Update("accounts", record.Row{record.Int(2)}, map[int]record.Value{2: record.Int(75)}); err != nil {
+		t.Fatal(err)
+	}
+	row, ok, err = tx.Get("accounts", record.Row{record.Int(2)})
+	if err != nil || !ok || row[2].AsInt() != 75 {
+		t.Fatalf("own update invisible: %v %v %v", row, ok, err)
+	}
+	n := 0
+	if err := tx.ScanTable("accounts", nil, nil, func(record.Row) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("own-write scan saw %d rows", n)
+	}
+	mustCommit(t, tx)
+	count, sum, ok := branchTotal(t, db, 7)
+	if !ok || count != 2 || sum != 175 {
+		t.Fatalf("after commit = %d/%d", count, sum)
+	}
+	checkConsistent(t, db)
+}
+
+func TestPrunerShrinksChainsWhenSnapshotRetires(t *testing.T) {
+	// Background pruner disabled: prune points are explicit.
+	db := openTestDB(t, Options{MVCCPruneInterval: -1})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(1, 7, 100))
+	db.waitQuiesced()
+	db.PruneVersions() // fold the setup churn away
+
+	snap := beginSnapshot(t, db)
+	if count, sum, ok := viewSum(t, snap, 7); !ok || count != 1 || sum != 100 {
+		t.Fatalf("pinned snapshot = %d/%d/%v", count, sum, ok)
+	}
+	// Churn behind the pinned snapshot: each commit stamps versions on the
+	// base row and the view group row.
+	for i := 0; i < 5; i++ {
+		w := begin(t, db, txn.ReadCommitted)
+		if err := w.Update("accounts", record.Row{record.Int(1)}, map[int]record.Value{2: record.Int(int64(200 + i))}); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, w)
+	}
+	if db.mvcc.Chains() == 0 {
+		t.Fatal("no version chains after churn")
+	}
+	// Pruning with the snapshot pinned must keep what it still needs...
+	db.PruneVersions()
+	if db.mvcc.Chains() == 0 {
+		t.Fatal("pruner dropped chains a live snapshot depends on")
+	}
+	// ...and the pinned reader still resolves its old world.
+	if count, sum, ok := viewSum(t, snap, 7); !ok || count != 1 || sum != 100 {
+		t.Fatalf("pinned snapshot after prune = %d/%d/%v", count, sum, ok)
+	}
+	row, ok, err := snap.Get("accounts", record.Row{record.Int(1)})
+	if err != nil || !ok || row[2].AsInt() != 100 {
+		t.Fatalf("pinned base row after prune = %v %v %v", row, ok, err)
+	}
+	mustCommit(t, snap)
+
+	// With the oldest snapshot retired the horizon advances and every chain
+	// folds down to its base and drops.
+	db.waitQuiesced()
+	for i := 0; db.mvcc.Chains() > 0; i++ {
+		if db.PruneVersions() == 0 && db.mvcc.Chains() > 0 {
+			t.Fatalf("chains stuck at %d with nothing left to prune", db.mvcc.Chains())
+		}
+		if i > 10 {
+			t.Fatalf("chains did not drain: %d left", db.mvcc.Chains())
+		}
+	}
+	s := db.Metrics()
+	if s.MVCC.VersionsPruned == 0 || s.MVCC.PrunePasses == 0 {
+		t.Fatalf("prune metrics = %+v", s.MVCC)
+	}
+	if s.MVCC.Chains != 0 {
+		t.Fatalf("chains gauge = %d, want 0", s.MVCC.Chains)
+	}
+	// New readers see the fully-folded state.
+	snap2 := beginSnapshot(t, db)
+	if count, sum, ok := viewSum(t, snap2, 7); !ok || count != 1 || sum != 204 {
+		t.Fatalf("post-prune snapshot = %d/%d/%v", count, sum, ok)
+	}
+	mustCommit(t, snap2)
+	checkConsistent(t, db)
+}
+
+func TestSnapshotScanViewConsistentUnderEscrowCommits(t *testing.T) {
+	// Concurrency smoke at the core layer: snapshot readers ScanView while
+	// escrow writers move one unit between branch 0 and branch 1 in
+	// sum-preserving transfers. Every snapshot must see count == accounts and
+	// total sum == the initial total — both legs of a transfer or neither.
+	// (The root-level -race hammer scales this up; this keeps a fast
+	// deterministic check next to the engine.)
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	const writers = 4
+	const accounts = 2 * writers // each writer owns a disjoint pair
+	const perAccount = 1000
+	var rows []record.Row
+	for i := int64(0); i < accounts; i++ {
+		rows = append(rows, acctRow(i, i%2, perAccount))
+	}
+	insertAccounts(t, db, rows...)
+	const total = accounts * perAccount
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int64) {
+			defer wg.Done()
+			// The writer's own accounts: 2w in branch 0, 2w+1 in branch 1.
+			a, b := 2*w, 2*w+1
+			for i := int64(0); !stop.Load(); i++ {
+				// Alternate between the tilted pair and the level pair; every
+				// transaction writes both legs, so the pair's sum is always
+				// 2*perAccount and the grand total never moves.
+				av, bv := int64(perAccount-1), int64(perAccount+1)
+				if i%2 == 1 {
+					av, bv = perAccount, perAccount
+				}
+				tx, err := db.Begin(txn.ReadCommitted)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				err = tx.Update("accounts", record.Row{record.Int(a)}, map[int]record.Value{2: record.Int(av)})
+				if err == nil {
+					err = tx.Update("accounts", record.Row{record.Int(b)}, map[int]record.Value{2: record.Int(bv)})
+				}
+				if err != nil {
+					tx.Rollback()
+					errCh <- err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(int64(w))
+	}
+	readerErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for i := 0; i < 200; i++ {
+			snap, err := db.BeginTx(context.Background(), TxOptions{ReadOnly: true})
+			if err != nil {
+				readerErr <- err
+				return
+			}
+			rows, err := snap.ScanView("branch_totals")
+			if err != nil {
+				snap.Rollback()
+				readerErr <- err
+				return
+			}
+			var count, sum int64
+			for _, r := range rows {
+				count += r.Result[0].AsInt()
+				if !r.Result[1].IsNull() {
+					sum += r.Result[1].AsInt()
+				}
+			}
+			snap.Commit()
+			if count != accounts || sum != total {
+				readerErr <- fmt.Errorf("torn snapshot: count=%d sum=%d, want %d/%d", count, sum, accounts, total)
+				return
+			}
+		}
+		readerErr <- nil
+	}()
+	wg.Wait()
+	if err := <-readerErr; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	db.waitQuiesced()
+	checkConsistent(t, db)
+}

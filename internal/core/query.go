@@ -28,13 +28,21 @@ func (tx *Tx) Get(table string, pk record.Row) (record.Row, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	if err := db.lockTree(tx.t, tbl.ID, lock.ModeIS); err != nil {
-		return nil, false, err
+	var val []byte
+	var ghost, ok bool
+	if tx.t.Isolation == txn.Snapshot {
+		if val, ghost, ok, err = db.snapshotRow(tbl.ID, key, tx.readTS, tx.t.ID); err != nil {
+			return nil, false, err
+		}
+	} else {
+		if err := db.lockTree(tx.t, tbl.ID, lock.ModeIS); err != nil {
+			return nil, false, err
+		}
+		if err := db.readLock(tx, tbl.ID, key); err != nil {
+			return nil, false, err
+		}
+		val, ghost, ok = db.tree(tbl.ID).Get(key)
 	}
-	if err := db.readLock(tx, tbl.ID, key); err != nil {
-		return nil, false, err
-	}
-	val, ghost, ok := db.tree(tbl.ID).Get(key)
 	if !ok || ghost {
 		return nil, false, nil
 	}
@@ -50,6 +58,9 @@ func (db *DB) readLock(tx *Tx, tree id.Tree, key []byte) error {
 	switch tx.t.Isolation {
 	case txn.ReadCommitted:
 		return db.momentaryS(tx.t, tree, key)
+	case txn.Snapshot:
+		// Snapshot readers resolve against version chains; no lock.
+		return nil
 	default:
 		return db.lockKey(tx.t, tree, key, lock.ModeS)
 	}
@@ -77,8 +88,10 @@ func (tx *Tx) ScanTable(table string, loPK, hiPK record.Row, fn func(record.Row)
 	if hiPK != nil {
 		hi = record.EncodeKey(hiPK)
 	}
-	if err := db.lockTree(tx.t, tbl.ID, lock.ModeIS); err != nil {
-		return err
+	if tx.t.Isolation != txn.Snapshot {
+		if err := db.lockTree(tx.t, tbl.ID, lock.ModeIS); err != nil {
+			return err
+		}
 	}
 	return db.scanForLevel(tx, tbl.ID, lo, hi, func(_, val []byte) (bool, error) {
 		row, err := record.DecodeRow(val)
@@ -107,6 +120,27 @@ func (tx *Tx) GetViewRow(viewName string, keyRow record.Row) (record.Row, bool, 
 	}
 	m := db.reg.Maintainer(v.ID)
 	key := record.EncodeKey(keyRow)
+	if tx.t.Isolation == txn.Snapshot {
+		// Resolve the group at the pinned read timestamp: committed escrow
+		// deltas up to the timestamp fold into the stored value, pending ones
+		// stay invisible — no lock-manager traffic, no blocking of writers.
+		val, ghost, ok, err := db.snapshotRow(v.ID, key, tx.readTS, tx.t.ID)
+		if err != nil || !ok || ghost {
+			return nil, false, err
+		}
+		stored, err := record.DecodeRow(val)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.Kind == catalog.ViewProjection {
+			return stored, true, nil
+		}
+		res, err := m.Result(stored)
+		if err != nil {
+			return nil, false, err
+		}
+		return res, true, nil
+	}
 	if err := db.lockTree(tx.t, v.ID, lock.ModeIS); err != nil {
 		return nil, false, err
 	}
@@ -168,19 +202,44 @@ func (tx *Tx) ScanViewRange(viewName string, loKey, hiKey record.Row) ([]ViewRow
 		return nil, err
 	}
 	m := db.reg.Maintainer(v.ID)
-	if tx.t.Isolation != txn.ReadCommitted {
-		if err := db.lockTree(tx.t, v.ID, lock.ModeS); err != nil {
-			return nil, err
-		}
-	} else if err := db.lockTree(tx.t, v.ID, lock.ModeIS); err != nil {
-		return nil, err
-	}
 	var lo, hi []byte
 	if loKey != nil {
 		lo = record.EncodeKey(loKey)
 	}
 	if hiKey != nil {
 		hi = record.EncodeKey(hiKey)
+	}
+	if tx.t.Isolation == txn.Snapshot {
+		var out []ViewRow
+		err := db.snapshotScan(tx, v.ID, lo, hi, func(key, val []byte) (bool, error) {
+			keyRow, err := record.DecodeKey(key)
+			if err != nil {
+				return false, err
+			}
+			stored, err := record.DecodeRow(val)
+			if err != nil {
+				return false, err
+			}
+			res := stored
+			if v.Kind == catalog.ViewAggregate {
+				if res, err = m.Result(stored); err != nil {
+					return false, err
+				}
+			}
+			out = append(out, ViewRow{Key: keyRow, Result: res})
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if tx.t.Isolation != txn.ReadCommitted {
+		if err := db.lockTree(tx.t, v.ID, lock.ModeS); err != nil {
+			return nil, err
+		}
+	} else if err := db.lockTree(tx.t, v.ID, lock.ModeIS); err != nil {
+		return nil, err
 	}
 	items := db.tree(v.ID).Items(lo, hi, false)
 	out := make([]ViewRow, 0, len(items))

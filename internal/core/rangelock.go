@@ -69,6 +69,9 @@ func (db *DB) ceilingGap(tree id.Tree, hi []byte) lock.Resource {
 //     gap and on the range's end-anchor gap (phantom protection), acquired
 //     to a fixpoint so inserts racing the lock acquisition are caught.
 func (db *DB) scanForLevel(tx *Tx, tree id.Tree, lo, hi []byte, fn func(key, val []byte) (bool, error)) error {
+	if tx.t.Isolation == txn.Snapshot {
+		return db.snapshotScan(tx, tree, lo, hi, fn)
+	}
 	if tx.t.Isolation == txn.Serializable {
 		return db.serializableScan(tx, tree, lo, hi, fn)
 	}

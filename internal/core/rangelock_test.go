@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/lock"
 	"repro/internal/record"
 	"repro/internal/txn"
 )
@@ -158,6 +159,120 @@ func TestRepeatableReadAllowsPhantoms(t *testing.T) {
 	// change here: row-lock behavior is covered by
 	// TestRepeatableReadHoldsRowLocks).
 	mustCommit(t, reader)
+	checkConsistent(t, db)
+}
+
+func TestInsertSplitGapKeepsRangeCoverage(t *testing.T) {
+	// A serializable scan covers (10, 30] via the gap resource of key 30.
+	// When the SAME transaction then inserts 20, the gap splits: gap(30) now
+	// covers only (20, 30], and without a held lock on the new key's own gap
+	// — (10, 20] — a concurrent insert of 15 would probe gap(20), find no
+	// holder, and land inside the scanned range (a phantom).
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(10, 1, 1), acctRow(30, 1, 1))
+
+	reader := begin(t, db, txn.Serializable)
+	got := scanRange(t, reader, 10, 31)
+	if len(got) != 2 {
+		t.Fatalf("scan = %v", got)
+	}
+	// The reader splits its own scanned gap.
+	if err := reader.Insert("accounts", acctRow(20, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The lower half of the split gap must stay covered.
+	finished, _ := tryInsert(db, acctRow(15, 1, 1), 80*time.Millisecond)
+	if finished {
+		t.Fatal("phantom insert into split gap (10,20] did not block")
+	}
+	// The upper half is still covered by gap(30).
+	finished, _ = tryInsert(db, acctRow(25, 1, 1), 80*time.Millisecond)
+	if finished {
+		t.Fatal("phantom insert into split gap (20,30] did not block")
+	}
+	// The reader's own rescan stays stable: its insert plus the two originals.
+	got = scanRange(t, reader, 10, 31)
+	if len(got) != 3 {
+		t.Fatalf("rescan = %v", got)
+	}
+	mustCommit(t, reader)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tx := begin(t, db, txn.ReadCommitted)
+		n := 0
+		tx.ScanTable("accounts", nil, nil, func(record.Row) bool { n++; return true })
+		mustCommit(t, tx)
+		if n == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocked inserts never completed (%d rows)", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	db.waitQuiesced()
+	checkConsistent(t, db)
+}
+
+func TestMomentaryReadKeepsHeldRangeLock(t *testing.T) {
+	// A serializable scan's end anchor (the first key at/after hi) is covered
+	// only by its *gap* resource — the anchor row itself carries no S lock, so
+	// HeldMode on the key resource reports ModeNone. A momentary read of that
+	// key inside the same transaction must NOT release the S lock it takes:
+	// at serializable the row was read, so it has to stay stable to commit.
+	// The old release condition (held == ModeNone alone) dropped it.
+	db := openTestDB(t, Options{})
+	setupBanking(t, db, catalog.StrategyEscrow)
+	insertAccounts(t, db, acctRow(10, 1, 1), acctRow(30, 1, 1))
+
+	reader := begin(t, db, txn.Serializable)
+	got := scanRange(t, reader, 10, 20) // returns row 10; anchor gap is key 30's
+	if len(got) != 1 {
+		t.Fatalf("scan = %v", got)
+	}
+	key30 := record.EncodeKey(record.Row{record.Int(30)})
+	tbl, err := db.Catalog().Table("accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := lock.KeyResource(tbl.ID, key30)
+	if held := db.lm.HeldMode(reader.t.ID, res); held != lock.ModeNone {
+		t.Fatalf("anchor row lock before momentary read = %v, want none", held)
+	}
+	// A momentary read path touches the anchor row inside the serializable
+	// transaction.
+	if err := db.momentaryS(reader.t, tbl.ID, key30); err != nil {
+		t.Fatal(err)
+	}
+	if held := db.lm.HeldMode(reader.t.ID, res); held != lock.ModeS {
+		t.Fatalf("anchor row lock after momentary read = %v, want S (released?)", held)
+	}
+	// Functional consequence: a concurrent delete of the read row must block.
+	done := make(chan error, 1)
+	go func() {
+		w, err := db.Begin(txn.ReadCommitted)
+		if err != nil {
+			done <- err
+			return
+		}
+		if err := w.Delete("accounts", record.Row{record.Int(30)}); err != nil {
+			w.Rollback()
+			done <- err
+			return
+		}
+		done <- w.Commit()
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("delete of momentarily-read row did not block: %v", err)
+	case <-time.After(80 * time.Millisecond):
+	}
+	mustCommit(t, reader)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	db.waitQuiesced()
 	checkConsistent(t, db)
 }
 

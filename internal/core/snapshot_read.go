@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+
+	"repro/internal/id"
+)
+
+// snapshotRow resolves one row of tree at the transaction's read timestamp:
+// version-chain state when the row is tracked, the btree value otherwise (an
+// untracked row is committed at or below every live read timestamp). The
+// btree fallback re-checks the chain afterwards: a writer may have seeded a
+// chain — and dirtied the tree — between the first check and the read, in
+// which case the chain's committed pre-image wins. self overlays the
+// transaction's own pending row operations (read-your-own-writes).
+func (db *DB) snapshotRow(tree id.Tree, key []byte, ts uint64, self id.Txn) ([]byte, bool, bool, error) {
+	res, tracked := db.mvcc.Read(tree, key, ts, self)
+	if !tracked {
+		val, ghost, ok := db.tree(tree).Get(key)
+		res, tracked = db.mvcc.Read(tree, key, ts, self)
+		if !tracked {
+			return val, ghost, ok, nil
+		}
+	}
+	if !res.Present {
+		return nil, false, false, nil
+	}
+	val, ghost := res.Val, res.Ghost
+	if len(res.Deltas) > 0 {
+		nv, g, err := db.foldVersionDeltas(tree, val, res.Deltas)
+		if err != nil {
+			return nil, false, false, err
+		}
+		val, ghost = nv, g
+	}
+	return val, ghost, true, nil
+}
+
+// snapshotScan visits the live rows of tree in [lo, hi) as of the
+// transaction's read timestamp, with zero lock-manager traffic: it merges the
+// btree's keys (ghosts included — a ghost now may have been live at the
+// timestamp) with the version store's tracked keys (a row deleted from the
+// tree may still be visible at the timestamp), resolving each through
+// snapshotRow. fn returning false stops the scan.
+func (db *DB) snapshotScan(tx *Tx, tree id.Tree, lo, hi []byte, fn func(key, val []byte) (bool, error)) error {
+	items := db.tree(tree).Items(lo, hi, true)
+	trackedKeys := db.mvcc.TrackedKeys(tree, lo, hi)
+	i, j := 0, 0
+	for i < len(items) || j < len(trackedKeys) {
+		var key []byte
+		switch {
+		case i >= len(items):
+			key = trackedKeys[j]
+			j++
+		case j >= len(trackedKeys):
+			key = items[i].Key
+			i++
+		default:
+			switch c := bytes.Compare(items[i].Key, trackedKeys[j]); {
+			case c < 0:
+				key = items[i].Key
+				i++
+			case c > 0:
+				key = trackedKeys[j]
+				j++
+			default:
+				key = items[i].Key
+				i++
+				j++
+			}
+		}
+		val, ghost, ok, err := db.snapshotRow(tree, key, tx.readTS, tx.t.ID)
+		if err != nil {
+			return err
+		}
+		if !ok || ghost {
+			continue
+		}
+		cont, err := fn(key, val)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}

@@ -24,6 +24,13 @@ type Tx struct {
 	db   *DB
 	t    *txn.Txn
 	done bool
+
+	// readTS and snap are set for Snapshot-isolation transactions: the pinned
+	// read timestamp and the oracle's registry handle. ro marks the read-only
+	// fast path (no logging, no locks).
+	readTS uint64
+	snap   uint64
+	ro     bool
 }
 
 // TxOptions configure one transaction started with BeginTx. The zero value
@@ -34,6 +41,11 @@ type TxOptions struct {
 	// LockTimeout, when positive, overrides Options.LockTimeout for this
 	// transaction's lock waits.
 	LockTimeout time.Duration
+	// ReadOnly selects the snapshot read fast path: the transaction skips
+	// begin/commit logging, the escrow ledger, and the lock manager entirely,
+	// and every write returns ErrReadOnly. It requires (and, when Isolation
+	// is zero, implies) Snapshot isolation.
+	ReadOnly bool
 }
 
 // Begin starts a user transaction at the given isolation level. It is
@@ -52,7 +64,14 @@ func (db *DB) BeginTx(ctx context.Context, opts TxOptions) (*Tx, error) {
 	start := time.Now()
 	level := opts.Isolation
 	if level == 0 {
-		level = txn.ReadCommitted
+		if opts.ReadOnly {
+			level = txn.Snapshot
+		} else {
+			level = txn.ReadCommitted
+		}
+	}
+	if opts.ReadOnly && level != txn.Snapshot {
+		return nil, ErrSnapshotOnly
 	}
 	db.gate.RLock()
 	if db.closed.Load() {
@@ -63,16 +82,28 @@ func (db *DB) BeginTx(ctx context.Context, opts TxOptions) (*Tx, error) {
 	t.Ctx = ctx
 	t.LockTimeout = opts.LockTimeout
 	t.Started = start
-	if _, err := db.log.Append(&wal.Record{Type: wal.TBegin, Txn: t.ID}); err != nil {
-		db.tm.Abort(t)
-		db.gate.RUnlock()
-		return nil, err
+	tx := &Tx{db: db, t: t, ro: opts.ReadOnly}
+	if !tx.ro {
+		// Read-only snapshot transactions never log: they write nothing, so
+		// recovery has nothing to learn from them — skipping the begin/commit
+		// records keeps the read fast path off the WAL entirely.
+		if _, err := db.log.Append(&wal.Record{Type: wal.TBegin, Txn: t.ID}); err != nil {
+			db.tm.Abort(t)
+			db.gate.RUnlock()
+			return nil, err
+		}
 	}
 	db.met.Txn.Begin.Observe(time.Since(start))
 	if db.tracer != nil {
 		db.tracer.TraceEvent(metrics.Event{Type: metrics.EventTxBegin, Txn: t.ID})
 	}
-	return &Tx{db: db, t: t}, nil
+	if level == txn.Snapshot {
+		tx.readTS, tx.snap = db.oracle.BeginSnapshot()
+		if db.tracer != nil {
+			db.tracer.TraceEvent(metrics.Event{Type: metrics.EventSnapshotBegin, Txn: t.ID, Rows: int(tx.readTS)})
+		}
+	}
+	return tx, nil
 }
 
 // ID returns the transaction's identifier.
@@ -84,6 +115,17 @@ func (tx *Tx) Isolation() txn.Level { return tx.t.Isolation }
 func (tx *Tx) check() error {
 	if tx.done {
 		return ErrTxnDone
+	}
+	return nil
+}
+
+// writeCheck additionally rejects writes in read-only transactions.
+func (tx *Tx) writeCheck() error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	if tx.ro {
+		return ErrReadOnly
 	}
 	return nil
 }
@@ -109,6 +151,12 @@ func (tx *Tx) Commit() error {
 
 func (tx *Tx) commit() error {
 	db := tx.db
+	if tx.ro {
+		// Nothing written, nothing logged: retiring the snapshot is the whole
+		// commit.
+		tx.finish(true)
+		return nil
+	}
 	if err := db.foldEscrow(tx.t); err != nil {
 		// Fold failure (e.g. a log fault) aborts the transaction; already-
 		// applied folds are compensated by the generic rollback.
@@ -130,6 +178,13 @@ func (tx *Tx) commit() error {
 		return fmt.Errorf("core: commit sync failed, transaction rolled back: %w", err)
 	}
 	db.met.Txn.CommitWait.Observe(time.Since(syncStart))
+	// The commit is durable: allocate its timestamp, stamp every pinned
+	// version (before finish wipes the op chain and releases locks — the next
+	// writer of any of these rows must allocate a later timestamp), and only
+	// then let the watermark advance over it.
+	ts := db.oracle.AllocateCommitTS()
+	db.stampOps(tx.t, ts)
+	db.oracle.FinishCommit(ts)
 	tx.finish(true)
 	return nil
 }
@@ -168,6 +223,9 @@ func (tx *Tx) RollbackTo(sp Savepoint) error {
 		if _, err := db.log.Append(clr); err != nil {
 			return err
 		}
+		if isRowOp(op.Type) {
+			db.mvcc.Unpin(op.Tree, op.Key, op)
+		}
 	}
 	db.ledger.RollbackTo(tx.t.ID, sp.ledger)
 	return nil
@@ -185,6 +243,10 @@ func (tx *Tx) Rollback() error {
 
 func (tx *Tx) rollback() {
 	db := tx.db
+	if tx.ro {
+		tx.finish(false)
+		return
+	}
 	db.rollbackOps(tx.t)
 	db.log.Append(&wal.Record{Type: wal.TAbortEnd, Txn: tx.t.ID})
 	tx.finish(false)
@@ -199,8 +261,13 @@ func (tx *Tx) finish(committed bool) {
 		db.tm.Abort(tx.t)
 		db.aborts.Add(1)
 	}
-	db.ledger.Discard(tx.t.ID)
-	db.lm.ReleaseAll(tx.t.ID)
+	if tx.snap != 0 {
+		db.oracle.EndSnapshot(tx.snap)
+	}
+	if !tx.ro {
+		db.ledger.Discard(tx.t.ID)
+		db.lm.ReleaseAll(tx.t.ID)
+	}
 	tx.done = true
 	if db.tracer != nil {
 		outcome := "commit"
@@ -317,8 +384,14 @@ func (db *DB) foldRow(t *txn.Txn, row escrow.RowID, deltas []wal.ColDelta) error
 	if err != nil {
 		return err
 	}
+	// Pin the fold's delta version before the tree changes; the pre-image is
+	// already in hand, so chain seeding costs no extra read.
+	db.mvcc.Pin(row.Tree, key, rec, t.ID, func() ([]byte, bool, bool) {
+		return cur, oldGhost, ok
+	})
 	tree.Put(key, record.EncodeRow(next), empty)
 	if err := t.RecordOp(rec); err != nil {
+		db.mvcc.Unpin(row.Tree, key, rec)
 		return err
 	}
 	db.folds.Add(1)
@@ -373,14 +446,18 @@ func (db *DB) lockTree(t *txn.Txn, tree id.Tree, mode lock.Mode) error {
 }
 
 // momentaryS takes and immediately releases an S key lock: the lock-based
-// read-committed read (block on uncommitted X, then read).
+// read-committed read (block on uncommitted X, then read). The release is
+// guarded twice: HeldMode only sees key-granularity locks, so a transaction
+// whose coverage of the key comes from a range or tree lock would report
+// ModeNone here — releasing in any isolation level that retains read locks
+// would silently drop coverage a serializable scan still depends on.
 func (db *DB) momentaryS(t *txn.Txn, tree id.Tree, key []byte) error {
 	res := lock.KeyResource(tree, key)
 	held := db.lm.HeldMode(t.ID, res)
 	if err := db.lockRes(t, res, lock.ModeS); err != nil {
 		return err
 	}
-	if held == lock.ModeNone {
+	if held == lock.ModeNone && t.Isolation == txn.ReadCommitted {
 		db.lm.Unlock(t.ID, res)
 	}
 	return nil

@@ -15,6 +15,7 @@ type Registry struct {
 	Ghost    GhostMetrics
 	Watchdog WatchdogMetrics
 	Hot      HotMetrics
+	MVCC     MVCCMetrics
 }
 
 // NewRegistry returns an empty registry with the hot-spot sketches sized to
@@ -211,6 +212,31 @@ func (gm *GhostMetrics) ObservePass(backlog int) {
 	gm.CleanerPasses.Add(1)
 	gm.Backlog.Store(int64(backlog))
 	maxInt64(&gm.BacklogHighWater, int64(backlog))
+}
+
+// MVCCMetrics track the multi-version read path: version-chain population,
+// stamping volume, and pruning progress. The snapshot-registry gauges
+// (active snapshots, watermark, oldest-snapshot age) live in the timestamp
+// oracle; the engine fills them into the snapshot directly.
+type MVCCMetrics struct {
+	// VersionsStamped counts committed versions appended to chains.
+	VersionsStamped atomic.Int64
+	// VersionsPruned counts versions folded into chain bases by the pruner.
+	VersionsPruned atomic.Int64
+	// PrunePasses counts pruner sweeps.
+	PrunePasses atomic.Int64
+	// Chains is a gauge of live version chains; ChainLenHighWater the longest
+	// chain (base + versions + pending) ever observed.
+	Chains            atomic.Int64
+	ChainLenHighWater atomic.Int64
+}
+
+// ObserveChainLen raises the chain-length high-water mark.
+func (mm *MVCCMetrics) ObserveChainLen(n int) {
+	if mm == nil {
+		return
+	}
+	maxInt64(&mm.ChainLenHighWater, int64(n))
 }
 
 // WatchdogMetrics count stall-watchdog detections by signature.

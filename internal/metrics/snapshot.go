@@ -17,6 +17,7 @@ type Snapshot struct {
 	Watchdog WatchdogSnapshot `json:"watchdog"`
 	Flight   FlightSnapshot   `json:"flightrec"`
 	Hotspots HotspotsSnapshot `json:"hotspots"`
+	MVCC     MVCCSnapshot     `json:"mvcc"`
 }
 
 // EngineSnapshot are the engine-level transaction counters, plus the
@@ -161,6 +162,28 @@ type ViewCostSnapshot struct {
 	WALBytes   int64  `json:"wal_bytes"`
 }
 
+// MVCCSnapshot summarizes the multi-version read path: snapshot registry
+// gauges (filled by the engine from the timestamp oracle) and version-chain
+// counters (registry-owned).
+type MVCCSnapshot struct {
+	// Snapshots is the cumulative count of snapshot transactions begun;
+	// ActiveSnapshots the number currently pinned.
+	Snapshots       int64 `json:"snapshots"`
+	ActiveSnapshots int64 `json:"active_snapshots"`
+	// OldestSnapshotAgeNs is how long the oldest active snapshot has been
+	// pinned (zero when none is).
+	OldestSnapshotAgeNs int64 `json:"oldest_snapshot_age_ns"`
+	// Watermark is the oracle's published read timestamp.
+	Watermark uint64 `json:"watermark"`
+	// Chains is the live version-chain gauge; ChainLenHighWater the longest
+	// chain ever observed.
+	Chains            int64 `json:"chains"`
+	ChainLenHighWater int64 `json:"chain_len_high_water"`
+	VersionsStamped   int64 `json:"versions_stamped"`
+	VersionsPruned    int64 `json:"versions_pruned"`
+	PrunePasses       int64 `json:"prune_passes"`
+}
+
 // FlightSnapshot reports the flight recorder's state; the engine fills it
 // (the recorder is not registry-owned).
 type FlightSnapshot struct {
@@ -215,6 +238,13 @@ func (r *Registry) Snap() Snapshot {
 			EscrowStalls: r.Watchdog.EscrowStalls.Load(),
 			GhostStalls:  r.Watchdog.GhostStalls.Load(),
 		},
+	}
+	s.MVCC = MVCCSnapshot{
+		Chains:            r.MVCC.Chains.Load(),
+		ChainLenHighWater: r.MVCC.ChainLenHighWater.Load(),
+		VersionsStamped:   r.MVCC.VersionsStamped.Load(),
+		VersionsPruned:    r.MVCC.VersionsPruned.Load(),
+		PrunePasses:       r.MVCC.PrunePasses.Load(),
 	}
 	s.Lock.Wait = r.Lock.Wait.Snap()
 	s.Lock.PerShard = make([]LockShardSnapshot, len(r.Lock.shards))

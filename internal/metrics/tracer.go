@@ -39,6 +39,12 @@ const (
 	// "ghost-starvation"), Resource a human-readable detail, and Dur how long
 	// the condition has persisted.
 	EventStall
+	// EventSnapshotBegin fires when a snapshot transaction pins its read
+	// timestamp; Rows carries the pinned timestamp (truncated to int).
+	EventSnapshotBegin
+	// EventMVCCPrune fires after a version-chain pruner sweep that folded
+	// versions; Rows is the versions pruned.
+	EventMVCCPrune
 )
 
 // String names the event type.
@@ -60,6 +66,10 @@ func (t EventType) String() string {
 		return "ghost-clean"
 	case EventStall:
 		return "stall"
+	case EventSnapshotBegin:
+		return "snapshot-begin"
+	case EventMVCCPrune:
+		return "mvcc-prune"
 	default:
 		return fmt.Sprintf("EventType(%d)", uint8(t))
 	}
@@ -113,6 +123,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s: %d erased in %s", e.Type, e.Rows, e.Dur)
 	case EventStall:
 		return fmt.Sprintf("%s %s: %s (for %s)", e.Type, e.Phase, e.Resource, e.Dur)
+	case EventSnapshotBegin:
+		return fmt.Sprintf("%s %s: read-ts %d", e.Type, e.Txn, e.Rows)
+	case EventMVCCPrune:
+		return fmt.Sprintf("%s: %d versions in %s", e.Type, e.Rows, e.Dur)
 	default:
 		return fmt.Sprintf("%s %s", e.Type, e.Txn)
 	}

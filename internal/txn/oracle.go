@@ -1,0 +1,152 @@
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Oracle is the engine's commit-timestamp allocator and snapshot registry —
+// the timestamp side of the multi-version read path (DESIGN.md §8).
+//
+// Committers allocate a monotonic commit timestamp after their commit record
+// is durable and finish it once every version they wrote is stamped; the
+// oracle publishes a *watermark*: the highest timestamp ts such that every
+// commit with timestamp <= ts has fully stamped its versions. Snapshot
+// readers pin the watermark at Begin, so a reader never observes a commit
+// whose versions are still being written — visibility is a single integer
+// comparison, with no locks and no blocking of writers.
+//
+// The registry of active snapshots supplies the version-chain pruner's
+// horizon: the oldest pinned read timestamp (or the watermark when no
+// snapshot is active). Versions at or below the horizon can be folded into
+// the chain base without changing what any live reader resolves.
+type Oracle struct {
+	mu   sync.Mutex
+	next uint64 // last allocated commit timestamp
+	// inflight holds allocated-but-unfinished commit timestamps. It is
+	// bounded by the number of concurrently committing transactions, so the
+	// min scan in finish stays cheap.
+	inflight map[uint64]struct{}
+
+	// watermark is published atomically so ReadTS never takes mu.
+	watermark atomic.Uint64
+
+	snapMu    sync.Mutex
+	snaps     map[uint64]snapEntry
+	nextSnap  uint64
+	snapCount atomic.Int64
+	began     atomic.Int64
+}
+
+type snapEntry struct {
+	ts      uint64
+	started time.Time
+}
+
+// NewOracle returns an oracle whose first commit timestamp is 1.
+func NewOracle() *Oracle {
+	return &Oracle{
+		inflight: make(map[uint64]struct{}),
+		snaps:    make(map[uint64]snapEntry),
+	}
+}
+
+// AllocateCommitTS returns the next commit timestamp and marks it in flight:
+// the watermark will not advance past it until FinishCommit. Callers must
+// allocate only once their commit is decided (the commit record is durable)
+// and must call FinishCommit after stamping every version — the window in
+// between is the only time the watermark is held back.
+func (o *Oracle) AllocateCommitTS() uint64 {
+	o.mu.Lock()
+	o.next++
+	ts := o.next
+	o.inflight[ts] = struct{}{}
+	o.mu.Unlock()
+	return ts
+}
+
+// FinishCommit retires an in-flight commit timestamp and republishes the
+// watermark: the timestamp just below the oldest still-in-flight commit, or
+// the allocator head when none is.
+func (o *Oracle) FinishCommit(ts uint64) {
+	o.mu.Lock()
+	delete(o.inflight, ts)
+	wm := o.next
+	for f := range o.inflight {
+		if f-1 < wm {
+			wm = f - 1
+		}
+	}
+	o.watermark.Store(wm)
+	o.mu.Unlock()
+}
+
+// ReadTS returns the current watermark — the timestamp a new snapshot would
+// pin. Lock-free.
+func (o *Oracle) ReadTS() uint64 { return o.watermark.Load() }
+
+// BeginSnapshot pins the current watermark as a read timestamp and registers
+// it as active, returning the timestamp and a handle for EndSnapshot. The
+// watermark is read under the registry lock so a concurrently computed prune
+// horizon can never pass a snapshot that is still registering.
+func (o *Oracle) BeginSnapshot() (ts, handle uint64) {
+	o.snapMu.Lock()
+	ts = o.watermark.Load()
+	o.nextSnap++
+	handle = o.nextSnap
+	o.snaps[handle] = snapEntry{ts: ts, started: time.Now()}
+	o.snapMu.Unlock()
+	o.snapCount.Add(1)
+	o.began.Add(1)
+	return ts, handle
+}
+
+// EndSnapshot retires an active snapshot.
+func (o *Oracle) EndSnapshot(handle uint64) {
+	o.snapMu.Lock()
+	if _, ok := o.snaps[handle]; ok {
+		delete(o.snaps, handle)
+		o.snapCount.Add(-1)
+	}
+	o.snapMu.Unlock()
+}
+
+// ActiveSnapshots returns the number of registered snapshots.
+func (o *Oracle) ActiveSnapshots() int64 { return o.snapCount.Load() }
+
+// SnapshotsBegun returns the cumulative count of snapshots ever pinned.
+func (o *Oracle) SnapshotsBegun() int64 { return o.began.Load() }
+
+// OldestSnapshotAge returns how long the oldest active snapshot has been
+// pinned, or zero when none is active.
+func (o *Oracle) OldestSnapshotAge(now time.Time) time.Duration {
+	o.snapMu.Lock()
+	defer o.snapMu.Unlock()
+	var oldest time.Time
+	for _, e := range o.snaps {
+		if oldest.IsZero() || e.started.Before(oldest) {
+			oldest = e.started
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return now.Sub(oldest)
+}
+
+// PruneHorizon returns the version-chain pruning horizon: the oldest active
+// snapshot's read timestamp, or the watermark when no snapshot is active.
+// State at or below the horizon can be collapsed — every live and future
+// reader resolves at a timestamp >= the horizon.
+func (o *Oracle) PruneHorizon() uint64 {
+	o.snapMu.Lock()
+	defer o.snapMu.Unlock()
+	h := o.watermark.Load()
+	for _, e := range o.snaps {
+		if e.ts < h {
+			h = e.ts
+		}
+	}
+	return h
+}

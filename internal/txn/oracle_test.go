@@ -1,0 +1,110 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOracleWatermarkLagsInflight(t *testing.T) {
+	o := NewOracle()
+	if got := o.ReadTS(); got != 0 {
+		t.Fatalf("fresh oracle ReadTS = %d, want 0", got)
+	}
+	a := o.AllocateCommitTS()
+	b := o.AllocateCommitTS()
+	if a != 1 || b != 2 {
+		t.Fatalf("allocated %d,%d, want 1,2", a, b)
+	}
+	if got := o.ReadTS(); got != 0 {
+		t.Fatalf("ReadTS with both inflight = %d, want 0", got)
+	}
+	// Finishing the newer commit must not expose the older, still-inflight one.
+	o.FinishCommit(b)
+	if got := o.ReadTS(); got != 0 {
+		t.Fatalf("ReadTS with ts=1 inflight = %d, want 0", got)
+	}
+	o.FinishCommit(a)
+	if got := o.ReadTS(); got != 2 {
+		t.Fatalf("ReadTS after both finished = %d, want 2", got)
+	}
+}
+
+func TestOracleSnapshotPinsHorizon(t *testing.T) {
+	o := NewOracle()
+	ts := o.AllocateCommitTS()
+	o.FinishCommit(ts)
+	rts, h := o.BeginSnapshot()
+	if rts != 1 {
+		t.Fatalf("snapshot read ts = %d, want 1", rts)
+	}
+	if n := o.ActiveSnapshots(); n != 1 {
+		t.Fatalf("active snapshots = %d, want 1", n)
+	}
+	ts2 := o.AllocateCommitTS()
+	o.FinishCommit(ts2)
+	if got := o.PruneHorizon(); got != 1 {
+		t.Fatalf("horizon with pinned snapshot = %d, want 1", got)
+	}
+	if age := o.OldestSnapshotAge(time.Now().Add(time.Second)); age < time.Second {
+		t.Fatalf("oldest snapshot age = %v, want >= 1s", age)
+	}
+	o.EndSnapshot(h)
+	if n := o.ActiveSnapshots(); n != 0 {
+		t.Fatalf("active snapshots after end = %d, want 0", n)
+	}
+	if got := o.PruneHorizon(); got != 2 {
+		t.Fatalf("horizon after snapshot retired = %d, want 2", got)
+	}
+	if got := o.SnapshotsBegun(); got != 1 {
+		t.Fatalf("snapshots begun = %d, want 1", got)
+	}
+	o.EndSnapshot(h) // double end is a no-op
+	if n := o.ActiveSnapshots(); n != 0 {
+		t.Fatalf("active snapshots after double end = %d, want 0", n)
+	}
+}
+
+// TestOracleSnapshotNeverPassesHorizon drives committers, snapshot begin/end,
+// and horizon computation concurrently and checks the registration invariant:
+// a horizon computed at any moment is never above a snapshot that was already
+// registered when it was computed (each goroutine checks its own snapshot's
+// ts >= any horizon it observes while holding the snapshot).
+func TestOracleSnapshotNeverPassesHorizon(t *testing.T) {
+	o := NewOracle()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ts := o.AllocateCommitTS()
+				o.FinishCommit(ts)
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				ts, h := o.BeginSnapshot()
+				if hor := o.PruneHorizon(); hor > ts {
+					t.Errorf("horizon %d passed active snapshot ts %d", hor, ts)
+				}
+				o.EndSnapshot(h)
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	// Let readers drain, then stop writers.
+	wg.Add(1)
+	go func() { defer wg.Done(); time.Sleep(50 * time.Millisecond); close(stop) }()
+	wg.Wait()
+}

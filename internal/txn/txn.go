@@ -57,6 +57,13 @@ const (
 	// Serializable additionally takes range locks on scans, so view readers
 	// conflict with escrow writers (the trade-off of DESIGN.md §5).
 	Serializable
+	// Snapshot reads a transaction-consistent multi-version snapshot pinned
+	// at Begin: readers resolve visibility by commit-timestamp comparison
+	// against in-memory version chains, with zero lock-manager traffic and
+	// zero blocking of concurrent escrow writers (DESIGN.md §8). Writes (in
+	// non-read-only snapshot transactions) still take ordinary write locks;
+	// the engine does not detect write skew.
+	Snapshot
 )
 
 // String names the level.
@@ -68,6 +75,8 @@ func (l Level) String() string {
 		return "repeatable-read"
 	case Serializable:
 		return "serializable"
+	case Snapshot:
+		return "snapshot"
 	default:
 		return fmt.Sprintf("Level(%d)", uint8(l))
 	}

@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"time"
@@ -173,6 +174,23 @@ func (w Banking) DepositOp(db *core.DB, rng *rand.Rand) error {
 // ReadBranchOp reads one branch's view row at the given isolation level.
 func (w Banking) ReadBranchOp(db *core.DB, rng *rand.Rand, level txn.Level) error {
 	tx, err := db.Begin(level)
+	if err != nil {
+		return err
+	}
+	branch := int64(rng.Intn(w.Branches))
+	_, _, err = tx.GetViewRow(ViewName, record.Row{record.Int(branch)})
+	if err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// ReadBranchSnapshotOp reads one branch's view row on the read-only snapshot
+// fast path: no begin/commit logging, no lock-manager traffic, visibility
+// resolved against the version chains at the pinned read timestamp.
+func (w Banking) ReadBranchSnapshotOp(db *core.DB, rng *rand.Rand) error {
+	tx, err := db.BeginTx(context.Background(), core.TxOptions{Isolation: txn.Snapshot, ReadOnly: true})
 	if err != nil {
 		return err
 	}

@@ -200,6 +200,9 @@ func metricsSchema() []string {
 		"lock.per_shard.timeouts", "lock.per_shard.wait_ns", "lock.per_shard.waits",
 		"lock.requests", "lock.shards", "lock.sweeps", "lock.timeouts",
 		"lock.wait", "lock.waits",
+		"mvcc.active_snapshots", "mvcc.chain_len_high_water", "mvcc.chains",
+		"mvcc.oldest_snapshot_age_ns", "mvcc.prune_passes", "mvcc.snapshots",
+		"mvcc.versions_pruned", "mvcc.versions_stamped", "mvcc.watermark",
 		"recovery.analysis_ns", "recovery.fresh", "recovery.gen", "recovery.losers",
 		"recovery.redo_ns", "recovery.replayed", "recovery.torn",
 		"recovery.undo_ns", "recovery.undone_ops",
@@ -287,7 +290,7 @@ func TestMetricsGoldenSchema(t *testing.T) {
 	}
 	got := map[string]bool{}
 	collectKeyPaths("", decoded, got)
-	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery", "watchdog", "flightrec", "hotspots"} {
+	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery", "watchdog", "flightrec", "hotspots", "mvcc"} {
 		if !got[top] {
 			t.Fatalf("snapshot missing top-level section %q", top)
 		}

@@ -16,7 +16,11 @@
 //   - a write-ahead log with group commit, snapshot checkpoints, and
 //     ARIES-style crash recovery (redo + compensated logical undo);
 //   - lock-based isolation levels (ReadCommitted, RepeatableRead,
-//     Serializable) with deadlock detection and lock escalation.
+//     Serializable) with deadlock detection and lock escalation;
+//   - multi-version Snapshot isolation: readers pin a read timestamp at
+//     BeginTx and resolve rows against short version chains with zero
+//     lock-manager traffic, never blocking (or blocked by) escrow writers.
+//     TxOptions.ReadOnly selects the fully log- and lock-free read path.
 //
 // Quickstart:
 //
@@ -118,6 +122,10 @@ const (
 	TraceRecovery    = metrics.EventRecovery
 	TraceGhostClean  = metrics.EventGhostClean
 	TraceStall       = metrics.EventStall
+	// TraceSnapshotBegin marks a snapshot transaction pinning its read
+	// timestamp; TraceMVCCPrune marks a version-chain prune pass.
+	TraceSnapshotBegin = metrics.EventSnapshotBegin
+	TraceMVCCPrune     = metrics.EventMVCCPrune
 )
 
 // NewSlowLogger returns a Tracer that logs events at or above threshold —
@@ -221,6 +229,11 @@ const (
 	ReadCommitted  = txn.ReadCommitted
 	RepeatableRead = txn.RepeatableRead
 	Serializable   = txn.Serializable
+	// Snapshot reads a transaction-consistent snapshot pinned at BeginTx,
+	// resolved from MVCC version chains without lock-manager traffic. Writes
+	// still take ordinary locks (no write-skew detection); combine with
+	// TxOptions.ReadOnly for the log-free pure-read fast path.
+	Snapshot = txn.Snapshot
 )
 
 // Aggregate functions.
@@ -253,6 +266,11 @@ var (
 	ErrDeadlock       = core.ErrDeadlock
 	ErrLockTimeout    = core.ErrLockTimeout
 	ErrFlightDisabled = core.ErrFlightDisabled
+	// ErrReadOnly rejects writes in a TxOptions.ReadOnly transaction;
+	// ErrSnapshotOnly rejects TxOptions.ReadOnly at any isolation level
+	// other than Snapshot.
+	ErrReadOnly     = core.ErrReadOnly
+	ErrSnapshotOnly = core.ErrSnapshotOnly
 )
 
 // Open recovers (or creates) the database at path.
