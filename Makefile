@@ -4,7 +4,7 @@ GO ?= go
 TORTURE_SEEDS ?= 100
 TORTURE_SMOKE_SEEDS ?= 25
 
-.PHONY: all verify race vet fmt lint torture torture-smoke bench-smoke baseline metrics-smoke flightrec-smoke hotspots-smoke mvcc-smoke
+.PHONY: all verify race vet fmt staticcheck lint torture torture-smoke bench-smoke baseline metrics-smoke flightrec-smoke hotspots-smoke mvcc-smoke deferred-smoke
 
 all: verify
 
@@ -15,6 +15,7 @@ verify:
 	$(MAKE) flightrec-smoke
 	$(MAKE) hotspots-smoke
 	$(MAKE) mvcc-smoke
+	$(MAKE) deferred-smoke
 
 # Forensics smoke: induce a real deadlock and assert the flight recorder's
 # automatic dump fires and its JSONL output parses with both transactions'
@@ -34,6 +35,13 @@ hotspots-smoke:
 mvcc-smoke:
 	$(GO) run ./cmd/mvccsmoke
 
+# Deferred smoke: truth-check the deferred view-maintenance tier — the
+# watermark barrier gives read-your-writes, watermarks only move forward,
+# snapshot reads of the deferred view are never torn, and the applier drains
+# to zero lag at quiesce with the view equal to a recompute from base.
+deferred-smoke:
+	$(GO) run ./cmd/deferredsmoke
+
 # Race tier: the short test set under the race detector.
 race:
 	$(GO) test -race -short ./...
@@ -45,7 +53,15 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-lint: vet fmt
+# staticcheck is optional locally (skipped when not on PATH); CI installs it
+# so the lint job always runs the full set.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+lint: vet fmt staticcheck
 
 # Crash-torture tier: seeded fault-injection episodes through crash,
 # recovery, and the recompute-from-base consistency check.
@@ -56,21 +72,22 @@ torture-smoke:
 	$(GO) run ./cmd/vtxntorture -seeds $(TORTURE_SMOKE_SEEDS)
 
 # Bench-smoke tier: run the headline experiments (F2 writes, T5R snapshot
-# reads) at smoke scale and gate their throughput (>30% regression fails) and
-# allocs/op (>20% growth fails) against the committed baseline; -require pins
-# both so a dropped experiment fails loudly. Also captures the headline run's
-# metrics snapshot; CI uploads both JSON files as artifacts.
+# reads, F9D deferred applier) at smoke scale and gate their throughput (>30%
+# regression fails) and allocs/op (>20% growth fails) against the committed
+# baseline; -require pins all three so a dropped experiment fails loudly.
+# Fresh results go to untracked BENCH_fresh*.json so the run never dirties
+# the committed baseline; CI uploads them as artifacts.
 bench-smoke:
-	$(GO) run ./cmd/viewbench -exp F2,T5R -smoke -json BENCH_results.json -metrics BENCH_metrics.json
-	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -fresh BENCH_results.json -require F2,T5R
+	$(GO) run ./cmd/viewbench -exp F2,T5R,F9D -smoke -json BENCH_fresh.json -metrics BENCH_fresh_metrics.json -flight-sink BENCH_fresh_flight.jsonl
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -fresh BENCH_fresh.json -require F2,T5R,F9D
 
 # Observability smoke: run the headline experiment with metrics + tracing on
 # and pretty-print the snapshot — a quick eyeball check that every series is
 # populated.
 metrics-smoke:
-	$(GO) run ./cmd/viewbench -exp F2 -smoke -json '' -metrics BENCH_metrics.json -trace-slow 50ms
-	@cat BENCH_metrics.json
+	$(GO) run ./cmd/viewbench -exp F2 -smoke -json '' -metrics BENCH_fresh_metrics.json -trace-slow 50ms
+	@cat BENCH_fresh_metrics.json
 
 # Refresh the committed bench-smoke baseline (run on an idle machine).
 baseline:
-	$(GO) run ./cmd/viewbench -exp F2,T5R -smoke -json BENCH_baseline.json
+	$(GO) run ./cmd/viewbench -exp F2,T5R,F9D -smoke -json BENCH_baseline.json

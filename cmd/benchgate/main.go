@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -29,22 +30,34 @@ type metric struct {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline results file")
-	freshPath := flag.String("fresh", "BENCH_results.json", "results file from this run")
-	threshold := flag.Float64("threshold", 0.30, "max allowed fractional regression (0.30 = 30%)")
-	allocThreshold := flag.Float64("alloc-threshold", 0.20, "max allowed fractional allocs/op growth (0.20 = 20%)")
-	require := flag.String("require", "", "comma-separated experiment IDs that must appear in both files")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole gate behind a testable seam: exit 0 means every shared
+// metric is within threshold, 1 means a regression, 2 means the gate itself
+// could not run (unreadable/malformed file, missing required experiment, or
+// no overlap between baseline and fresh).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "BENCH_baseline.json", "committed baseline results file")
+	freshPath := fs.String("fresh", "BENCH_results.json", "results file from this run")
+	threshold := fs.Float64("threshold", 0.30, "max allowed fractional regression (0.30 = 30%)")
+	allocThreshold := fs.Float64("alloc-threshold", 0.20, "max allowed fractional allocs/op growth (0.20 = 20%)")
+	require := fs.String("require", "", "comma-separated experiment IDs that must appear in both files")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	baseline, err := load(*baselinePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	fresh, err := load(*freshPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	if *require != "" {
 		missing := false
@@ -54,30 +67,31 @@ func main() {
 				continue
 			}
 			if _, ok := baseline[id]; !ok {
-				fmt.Fprintf(os.Stderr, "benchgate: required experiment %s missing from %s\n", id, *baselinePath)
+				fmt.Fprintf(stderr, "benchgate: required experiment %s missing from %s\n", id, *baselinePath)
 				missing = true
 			}
 			if _, ok := fresh[id]; !ok {
-				fmt.Fprintf(os.Stderr, "benchgate: required experiment %s missing from %s\n", id, *freshPath)
+				fmt.Fprintf(stderr, "benchgate: required experiment %s missing from %s\n", id, *freshPath)
 				missing = true
 			}
 		}
 		if missing {
-			os.Exit(2)
+			return 2
 		}
 	}
 	failures, checked := gate(baseline, fresh, *threshold, *allocThreshold)
 	for _, f := range failures {
-		fmt.Println("FAIL " + f)
+		fmt.Fprintln(stdout, "FAIL "+f)
 	}
 	if checked == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: no experiment appears in both %s and %s\n", *baselinePath, *freshPath)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchgate: no experiment appears in both %s and %s\n", *baselinePath, *freshPath)
+		return 2
 	}
 	if len(failures) > 0 {
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("benchgate: %d metric(s) within %.0f%% of baseline\n", checked, *threshold*100)
+	fmt.Fprintf(stdout, "benchgate: %d metric(s) within %.0f%% of baseline\n", checked, *threshold*100)
+	return 0
 }
 
 func load(path string) (map[string]metric, error) {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestGate(t *testing.T) {
 	baseline := map[string]metric{
@@ -63,5 +68,92 @@ func TestGateAllocsPerOp(t *testing.T) {
 	failures, checked = gate(baseline, fresh, 0.30, 0.20)
 	if len(failures) != 0 || checked != 2 {
 		t.Fatalf("missing fresh allocs should skip the alloc gate: failures=%v checked=%d", failures, checked)
+	}
+}
+
+// writeFile drops content into a temp file and returns its path.
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodBaseline = `{"F2": {"metric": "escrow_tx_per_sec_max_writers", "value": 1000}}`
+
+func TestRunExitCodes(t *testing.T) {
+	base := writeFile(t, "baseline.json", goodBaseline)
+	var out, errOut strings.Builder
+
+	// Happy path: shared metric within threshold.
+	fresh := writeFile(t, "fresh.json", `{"F2": {"metric": "escrow_tx_per_sec_max_writers", "value": 900}}`)
+	if code := run([]string{"-baseline", base, "-fresh", fresh}, &out, &errOut); code != 0 {
+		t.Fatalf("in-threshold run = %d (stderr %q), want 0", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "within") {
+		t.Errorf("success summary missing from stdout: %q", out.String())
+	}
+
+	// A regression beyond threshold is exit 1 with a FAIL line.
+	out.Reset()
+	fresh = writeFile(t, "slow.json", `{"F2": {"metric": "escrow_tx_per_sec_max_writers", "value": 100}}`)
+	if code := run([]string{"-baseline", base, "-fresh", fresh}, &out, &errOut); code != 1 {
+		t.Fatalf("regressed run = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "FAIL F2") {
+		t.Errorf("regression output = %q, want a FAIL F2 line", out.String())
+	}
+}
+
+func TestRunRequireMissingExperiment(t *testing.T) {
+	base := writeFile(t, "baseline.json", goodBaseline)
+	fresh := writeFile(t, "fresh.json", goodBaseline)
+	var out, errOut strings.Builder
+
+	// Required experiment absent from both files: exit 2, named in stderr.
+	code := run([]string{"-baseline", base, "-fresh", fresh, "-require", "F2,T5R"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("missing required experiment = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "T5R missing") {
+		t.Errorf("stderr = %q, want the missing ID named", errOut.String())
+	}
+
+	// Present everywhere: the same -require passes.
+	errOut.Reset()
+	if code := run([]string{"-baseline", base, "-fresh", fresh, "-require", "F2"}, &out, &errOut); code != 0 {
+		t.Fatalf("satisfied -require = %d (stderr %q), want 0", code, errOut.String())
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	base := writeFile(t, "baseline.json", goodBaseline)
+	var out, errOut strings.Builder
+
+	// Malformed JSON in either file must not crash or pass: exit 2.
+	bad := writeFile(t, "bad.json", `{"F2": {"value": `)
+	if code := run([]string{"-baseline", bad, "-fresh", base}, &out, &errOut); code != 2 {
+		t.Fatalf("malformed baseline = %d, want 2", code)
+	}
+	if code := run([]string{"-baseline", base, "-fresh", bad}, &out, &errOut); code != 2 {
+		t.Fatalf("malformed fresh = %d, want 2", code)
+	}
+
+	// Missing file: exit 2.
+	if code := run([]string{"-baseline", base, "-fresh", filepath.Join(t.TempDir(), "nope.json")}, &out, &errOut); code != 2 {
+		t.Fatalf("missing fresh file = %d, want 2", code)
+	}
+
+	// No overlap between the files gates nothing: exit 2, not a silent pass.
+	other := writeFile(t, "other.json", `{"T9": {"metric": "x", "value": 5}}`)
+	if code := run([]string{"-baseline", base, "-fresh", other}, &out, &errOut); code != 2 {
+		t.Fatalf("disjoint files = %d, want 2", code)
+	}
+
+	// Unknown flag: exit 2.
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown flag = %d, want 2", code)
 	}
 }

@@ -1,0 +1,317 @@
+// Command deferredsmoke is the CI smoke test for the deferred view-
+// maintenance tier: it opens a throwaway database with a deferred aggregate
+// view, runs sum-preserving writers against snapshot readers, and
+// truth-checks the whole pipeline: (a) a committer's deltas become visible
+// exactly once WaitForViewWatermark returns for its commit timestamp
+// (read-your-writes, including brand-new groups); (b) the per-view watermark
+// only moves forward; (c) every snapshot read of the deferred view is
+// transaction-consistent — COUNT equals the account count and SUM equals the
+// invariant grand total, never a torn half-transfer; (d) at quiesce the
+// applier drains to zero lag and the view equals a recompute from the base
+// tables; and (e) the deferred.* metrics record the traffic. Exit status 0
+// means the deferred tier works end to end.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	vtxn "repro"
+)
+
+func fail(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "deferredsmoke: FAIL: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+const (
+	writers      = 4
+	accounts     = 2 * writers // each writer owns a disjoint pair
+	perAccount   = 1000
+	total        = accounts * perAccount
+	readers      = 4
+	scansPerRead = 200
+	waitTimeout  = 30 * time.Second
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "deferredsmoke-*")
+	if err != nil {
+		fail("tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := vtxn.Open(dir, vtxn.Options{Watchdog: true})
+	if err != nil {
+		fail("open: %v", err)
+	}
+	defer db.Close()
+
+	if err := db.CreateTable("accounts", []vtxn.Column{
+		{Name: "id", Kind: vtxn.KindInt64},
+		{Name: "branch", Kind: vtxn.KindInt64},
+		{Name: "balance", Kind: vtxn.KindInt64},
+	}, []int{0}); err != nil {
+		fail("create table: %v", err)
+	}
+	if err := db.CreateIndexedView(vtxn.ViewDef{
+		Name:    "branch_totals",
+		Kind:    vtxn.ViewAggregate,
+		Left:    "accounts",
+		GroupBy: []int{1},
+		Aggs: []vtxn.AggSpec{
+			{Func: vtxn.AggCountRows},
+			{Func: vtxn.AggSum, Arg: vtxn.Col(2)},
+		},
+		Strategy: vtxn.StrategyDeferred,
+	}); err != nil {
+		fail("create view: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), waitTimeout)
+	defer cancel()
+
+	// Serial phase: read-your-writes through the watermark barrier, including
+	// a group that does not exist yet when the commit returns.
+	tx, err := db.Begin(vtxn.ReadCommitted)
+	if err != nil {
+		fail("begin load: %v", err)
+	}
+	for i := int64(0); i < accounts; i++ {
+		if err := tx.Insert("accounts", vtxn.Row{
+			vtxn.Int(i), vtxn.Int(i % 2), vtxn.Int(perAccount),
+		}); err != nil {
+			fail("load: %v", err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		fail("load commit: %v", err)
+	}
+	loadTS := tx.CommitTS()
+	if loadTS == 0 {
+		fail("load commit allocated no timestamp")
+	}
+	if err := db.WaitForViewWatermark(ctx, "branch_totals", loadTS); err != nil {
+		fail("watermark wait after load: %v", err)
+	}
+	wm0, err := db.ViewWatermark("branch_totals")
+	if err != nil {
+		fail("view watermark: %v", err)
+	}
+	if wm0 < loadTS {
+		fail("watermark %d below waited-for commit ts %d", wm0, loadTS)
+	}
+	checkTotals(db, "after load", accounts, total)
+
+	// A brand-new group: the applier must insert the view row, not just fold
+	// an existing one.
+	tx, err = db.Begin(vtxn.ReadCommitted)
+	if err != nil {
+		fail("begin new group: %v", err)
+	}
+	if err := tx.Insert("accounts", vtxn.Row{
+		vtxn.Int(int64(accounts)), vtxn.Int(99), vtxn.Int(7),
+	}); err != nil {
+		fail("insert new group: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		fail("new group commit: %v", err)
+	}
+	if err := db.WaitForViewWatermark(ctx, "branch_totals", tx.CommitTS()); err != nil {
+		fail("watermark wait for new group: %v", err)
+	}
+	if count, sum := groupRow(db, 99); count != 1 || sum != 7 {
+		fail("new group after wait = %d/%d, want 1/7", count, sum)
+	}
+	// Remove it again (keeps the grand total invariant for the churn phase).
+	tx, err = db.Begin(vtxn.ReadCommitted)
+	if err != nil {
+		fail("begin remove group: %v", err)
+	}
+	if err := tx.Delete("accounts", vtxn.Row{vtxn.Int(int64(accounts))}); err != nil {
+		fail("delete new group: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		fail("remove group commit: %v", err)
+	}
+	if err := db.WaitForViewWatermark(ctx, "branch_totals", tx.CommitTS()); err != nil {
+		fail("watermark wait for group removal: %v", err)
+	}
+
+	// A canceled context must fail the wait, not hang, for an unreachable
+	// timestamp.
+	deadCtx, deadCancel := context.WithCancel(context.Background())
+	deadCancel()
+	if err := db.WaitForViewWatermark(deadCtx, "branch_totals", ^uint64(0)); err == nil {
+		fail("wait with canceled context returned nil")
+	}
+
+	// Concurrent phase: sum-preserving churn against snapshot readers. The
+	// applier's folds are committed system transactions stamped at one
+	// timestamp, so a snapshot reader sees each fold round all-or-nothing and
+	// the invariants hold at every watermark.
+	var stop atomic.Bool
+	var commits int64
+	var wwg sync.WaitGroup
+	for w := int64(0); w < writers; w++ {
+		wwg.Add(1)
+		go func(w int64) {
+			defer wwg.Done()
+			a, b := 2*w, 2*w+1
+			for i := int64(0); !stop.Load(); i++ {
+				av, bv := int64(perAccount-1), int64(perAccount+1)
+				if i%2 == 1 {
+					av, bv = perAccount, perAccount
+				}
+				if err := tilt(db, a, b, av, bv); err != nil {
+					fail("writer %d: %v", w, err)
+				}
+				atomic.AddInt64(&commits, 1)
+			}
+		}(w)
+	}
+	var rwg sync.WaitGroup
+	var lastWM [readers]uint64
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			for i := 0; i < scansPerRead; i++ {
+				wm, err := db.ViewWatermark("branch_totals")
+				if err != nil {
+					fail("reader %d watermark: %v", r, err)
+				}
+				if wm < lastWM[r] {
+					fail("reader %d: watermark went backwards %d -> %d", r, lastWM[r], wm)
+				}
+				lastWM[r] = wm
+				snap, err := db.BeginTx(context.Background(), vtxn.TxOptions{ReadOnly: true})
+				if err != nil {
+					fail("reader %d begin: %v", r, err)
+				}
+				rows, err := snap.ScanView("branch_totals")
+				if err != nil {
+					fail("reader %d scan: %v", r, err)
+				}
+				var count, sum int64
+				for _, vr := range rows {
+					count += vr.Result[0].AsInt()
+					if !vr.Result[1].IsNull() {
+						sum += vr.Result[1].AsInt()
+					}
+				}
+				if count != accounts || sum != total {
+					fail("reader %d: torn deferred snapshot count=%d sum=%d, want %d/%d",
+						r, count, sum, accounts, total)
+				}
+				if err := snap.Commit(); err != nil {
+					fail("reader %d commit: %v", r, err)
+				}
+			}
+		}(r)
+	}
+	rwg.Wait()
+	stop.Store(true)
+	wwg.Wait()
+
+	// Quiesce: the applier must drain to zero lag, and the drained view must
+	// equal a recompute from the base tables (CheckConsistency waits for the
+	// watermark itself, then verifies).
+	if err := db.CheckConsistency(); err != nil {
+		fail("consistency at quiesce: %v", err)
+	}
+	s := db.Metrics()
+	if s.Deferred.LagTS != 0 {
+		fail("applier lag %d at quiesce", s.Deferred.LagTS)
+	}
+	if s.Deferred.PendingGroups != 0 {
+		fail("%d groups pending at quiesce", s.Deferred.PendingGroups)
+	}
+	if s.Deferred.StalenessNs != 0 {
+		fail("staleness %dns at quiesce", s.Deferred.StalenessNs)
+	}
+	if s.Deferred.PublishedBatches <= 0 || s.Deferred.PublishedGroups <= 0 {
+		fail("publish flow: batches %d, groups %d", s.Deferred.PublishedBatches, s.Deferred.PublishedGroups)
+	}
+	if s.Deferred.ApplyRounds <= 0 || s.Deferred.GroupsApplied <= 0 {
+		fail("apply flow: rounds %d, groups %d", s.Deferred.ApplyRounds, s.Deferred.GroupsApplied)
+	}
+	if s.Deferred.DeltasIn <= 0 {
+		fail("no deltas entered the coalescer")
+	}
+	if len(s.Deferred.Views) != 1 || s.Deferred.Views[0].View != "branch_totals" {
+		fail("deferred view listing = %+v", s.Deferred.Views)
+	}
+	if s.Deferred.Watermark == 0 {
+		fail("watermark never advanced")
+	}
+
+	fmt.Printf("deferredsmoke: OK: %d snapshot scans consistent against %d deferred commits; %d batches published, %d groups applied in %d rounds (%d deltas coalesced), lag 0 at quiesce\n",
+		readers*scansPerRead, atomic.LoadInt64(&commits), s.Deferred.PublishedBatches,
+		s.Deferred.GroupsApplied, s.Deferred.ApplyRounds, s.Deferred.DeltasCoalesced)
+}
+
+// groupRow reads one group of the deferred view under snapshot isolation
+// (all-or-nothing against applier rounds).
+func groupRow(db *vtxn.DB, branch int64) (count, sum int64) {
+	snap, err := db.BeginTx(context.Background(), vtxn.TxOptions{ReadOnly: true})
+	if err != nil {
+		fail("groupRow begin: %v", err)
+	}
+	defer snap.Commit()
+	res, ok, err := snap.GetViewRow("branch_totals", vtxn.Row{vtxn.Int(branch)})
+	if err != nil {
+		fail("groupRow get: %v", err)
+	}
+	if !ok {
+		return 0, 0
+	}
+	count = res[0].AsInt()
+	if !res[1].IsNull() {
+		sum = res[1].AsInt()
+	}
+	return count, sum
+}
+
+// checkTotals asserts the whole view sums to the invariant totals.
+func checkTotals(db *vtxn.DB, when string, wantCount, wantSum int64) {
+	snap, err := db.BeginTx(context.Background(), vtxn.TxOptions{ReadOnly: true})
+	if err != nil {
+		fail("%s begin: %v", when, err)
+	}
+	defer snap.Commit()
+	rows, err := snap.ScanView("branch_totals")
+	if err != nil {
+		fail("%s scan: %v", when, err)
+	}
+	var count, sum int64
+	for _, vr := range rows {
+		count += vr.Result[0].AsInt()
+		if !vr.Result[1].IsNull() {
+			sum += vr.Result[1].AsInt()
+		}
+	}
+	if count != wantCount || sum != wantSum {
+		fail("%s: count=%d sum=%d, want %d/%d", when, count, sum, wantCount, wantSum)
+	}
+}
+
+// tilt sets the balances of accounts a and b in one committed transaction.
+func tilt(db *vtxn.DB, a, b, av, bv int64) error {
+	tx, err := db.Begin(vtxn.ReadCommitted)
+	if err != nil {
+		return err
+	}
+	if err := tx.Update("accounts", vtxn.Row{vtxn.Int(a)}, map[int]vtxn.Value{2: vtxn.Int(av)}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	if err := tx.Update("accounts", vtxn.Row{vtxn.Int(b)}, map[int]vtxn.Value{2: vtxn.Int(bv)}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}

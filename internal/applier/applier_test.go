@@ -1,0 +1,109 @@
+package applier
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/id"
+	"repro/internal/wal"
+)
+
+func batch(ts uint64, groups ...GroupDelta) *Batch {
+	return &Batch{TS: ts, Groups: groups}
+}
+
+func TestCoalescerMergesPerGroup(t *testing.T) {
+	c := NewCoalescer()
+	in, co := c.Add(batch(1, GroupDelta{Tree: 7, Key: "a", Deltas: []wal.ColDelta{
+		{Col: 0, Int: 1}, {Col: 1, Int: 10},
+	}}))
+	if in != 2 || co != 0 {
+		t.Fatalf("first add: in=%d coalesced=%d, want 2/0", in, co)
+	}
+	in, co = c.Add(batch(2, GroupDelta{Tree: 7, Key: "a", Deltas: []wal.ColDelta{
+		{Col: 0, Int: 1}, {Col: 1, Int: -4},
+	}}))
+	if in != 2 || co != 2 {
+		t.Fatalf("second add: in=%d coalesced=%d, want 2/2", in, co)
+	}
+	got := c.Take()
+	want := []GroupDelta{{Tree: 7, Key: "a", Deltas: []wal.ColDelta{
+		{Col: 0, Int: 2}, {Col: 1, Int: 6},
+	}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Take = %+v, want %+v", got, want)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len after Take = %d, want 0", c.Len())
+	}
+}
+
+func TestCoalescerKeepsIntAndFloatCellsExact(t *testing.T) {
+	c := NewCoalescer()
+	c.Add(batch(1, GroupDelta{Tree: 3, Key: "k", Deltas: []wal.ColDelta{
+		{Col: 2, Int: 5},
+		{Col: 2, IsFloat: true, Float: 0.5},
+	}}))
+	c.Add(batch(2, GroupDelta{Tree: 3, Key: "k", Deltas: []wal.ColDelta{
+		{Col: 2, IsFloat: true, Float: 0.25},
+	}}))
+	got := c.Take()
+	want := []GroupDelta{{Tree: 3, Key: "k", Deltas: []wal.ColDelta{
+		{Col: 2, Int: 5},
+		{Col: 2, IsFloat: true, Float: 0.75},
+	}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Take = %+v, want %+v", got, want)
+	}
+}
+
+func TestCoalescerTakeSortsAcrossTreesAndKeys(t *testing.T) {
+	c := NewCoalescer()
+	c.Add(batch(1,
+		GroupDelta{Tree: 9, Key: "b", Deltas: []wal.ColDelta{{Col: 0, Int: 1}}},
+		GroupDelta{Tree: 2, Key: "z", Deltas: []wal.ColDelta{{Col: 0, Int: 1}}},
+		GroupDelta{Tree: 9, Key: "a", Deltas: []wal.ColDelta{{Col: 0, Int: 1}}},
+	))
+	got := c.Take()
+	order := []struct {
+		tree id.Tree
+		key  string
+	}{{2, "z"}, {9, "a"}, {9, "b"}}
+	if len(got) != len(order) {
+		t.Fatalf("Take returned %d groups, want %d", len(got), len(order))
+	}
+	for i, o := range order {
+		if got[i].Tree != o.tree || got[i].Key != o.key {
+			t.Fatalf("Take[%d] = (%d,%q), want (%d,%q)", i, got[i].Tree, got[i].Key, o.tree, o.key)
+		}
+	}
+}
+
+func TestCoalescerDropTree(t *testing.T) {
+	c := NewCoalescer()
+	c.Add(batch(1,
+		GroupDelta{Tree: 4, Key: "a", Deltas: []wal.ColDelta{{Col: 0, Int: 1}}},
+		GroupDelta{Tree: 4, Key: "b", Deltas: []wal.ColDelta{{Col: 0, Int: 1}}},
+		GroupDelta{Tree: 5, Key: "a", Deltas: []wal.ColDelta{{Col: 0, Int: 1}}},
+	))
+	if n := c.DropTree(4); n != 2 {
+		t.Fatalf("DropTree = %d, want 2", n)
+	}
+	got := c.Take()
+	if len(got) != 1 || got[0].Tree != 5 {
+		t.Fatalf("after drop, Take = %+v, want tree 5 only", got)
+	}
+}
+
+func TestCoalescerAddGroupsRequeues(t *testing.T) {
+	c := NewCoalescer()
+	c.Add(batch(1, GroupDelta{Tree: 1, Key: "a", Deltas: []wal.ColDelta{{Col: 0, Int: 2}}}))
+	taken := c.Take()
+	// Simulate a failed round racing a new publish, then the re-queue.
+	c.Add(batch(2, GroupDelta{Tree: 1, Key: "a", Deltas: []wal.ColDelta{{Col: 0, Int: 3}}}))
+	c.AddGroups(taken)
+	got := c.Take()
+	if len(got) != 1 || got[0].Deltas[0].Int != 5 {
+		t.Fatalf("requeued merge = %+v, want single group Int 5", got)
+	}
+}

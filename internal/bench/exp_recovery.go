@@ -173,8 +173,12 @@ func RunT8Recovery(s Scale) (*stats.Table, error) {
 }
 
 // RunF9Deferred (Figure 9): immediate (escrow) vs deferred maintenance —
-// deferred updates are cheaper, but queries read stale data until an
-// expensive refresh runs; immediate maintenance keeps queries exact.
+// deferred updates are cheaper because the commit path skips the view fold;
+// immediate maintenance keeps queries exact at every instant. Since the
+// background applier now keeps deferred views bounded-stale, the "stale rows
+// before refresh" column reports only whatever the applier has not caught up
+// with at the moment of the refresh (usually ~0); F9D measures the applier
+// tier itself.
 func RunF9Deferred(s Scale) (*stats.Table, error) {
 	const clients = 8
 	perClient := s.div(1000)
@@ -225,7 +229,8 @@ func RunF9Deferred(s Scale) (*stats.Table, error) {
 			stats.F(float64(stale)), stats.D(refreshCost), stats.D(queryLat))
 	}
 	tb.Notes = append(tb.Notes,
-		"the paper argues for immediate maintenance: staleness is 0 by construction")
+		"the paper argues for immediate maintenance: staleness is 0 by construction",
+		"deferred staleness is bounded by the background applier; see F9D for its drain behavior")
 	return tb, nil
 }
 

@@ -71,8 +71,11 @@ const (
 	// StrategyXLock maintains every view row under transaction-duration X
 	// locks: the conventional baseline.
 	StrategyXLock
-	// StrategyDeferred does not maintain the view inside user transactions;
-	// it is recomputed on demand (stale between refreshes). Baseline for F9.
+	// StrategyDeferred keeps the view out of the user transaction's critical
+	// path: commits publish their fold deltas to a background applier that
+	// batches, coalesces, and folds them shortly after commit (bounded
+	// staleness, DESIGN.md §9). Requires a pure commutative aggregate view
+	// (no MIN/MAX). Baselines F9/F9D.
 	StrategyDeferred
 )
 
@@ -300,6 +303,18 @@ func (c *Catalog) AddView(v View) (*View, error) {
 	}
 	if v.Strategy == 0 {
 		v.Strategy = StrategyEscrow
+	}
+	if v.Strategy == StrategyDeferred {
+		// The background applier maintains deferred views purely by folding
+		// commutative deltas; projections and extrema have no fold arithmetic.
+		if v.Kind != ViewAggregate {
+			return nil, fmt.Errorf("%w: deferred maintenance requires an aggregate view", ErrInvalid)
+		}
+		for _, a := range v.Aggs {
+			if a.Func == expr.AggMin || a.Func == expr.AggMax {
+				return nil, fmt.Errorf("%w: deferred maintenance cannot fold %s", ErrInvalid, a.Func)
+			}
+		}
 	}
 	nv := v // copy
 	nv.ID = c.nextTree

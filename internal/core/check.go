@@ -2,20 +2,38 @@ package core
 
 import (
 	"fmt"
+	"time"
 
-	"repro/internal/catalog"
 	"repro/internal/record"
 )
 
 // CheckConsistency quiesces the database and verifies the paper's central
 // invariant: every indexed view's live contents equal a recompute-from-
-// scratch over its base tables. It also checks B-tree structural invariants
-// and that the escrow ledger is empty at quiescence.
+// scratch over its base tables — including deferred views, once the
+// background applier has drained. It also checks B-tree structural
+// invariants and that the escrow ledger is empty at quiescence.
 func (db *DB) CheckConsistency() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	db.gate.Lock()
+	// Deferred views converge only after the applier catches up, and the
+	// applier's folds need the world unlocked — so wait BEFORE taking the
+	// gate, then confirm nothing slipped in between the wait and the lock
+	// (the applier never takes the gate, but new user commits could). A
+	// bounded retry turns a wedged applier into an error, not a hang.
+	for attempt := 0; ; attempt++ {
+		if err := db.waitDeferredCaughtUp(10 * time.Second); err != nil {
+			return err
+		}
+		db.gate.Lock()
+		if db.deferredCaughtUp() {
+			break
+		}
+		db.gate.Unlock()
+		if attempt >= 100 {
+			return fmt.Errorf("core: deferred applier cannot catch up with concurrent commits")
+		}
+	}
 	defer db.gate.Unlock()
 	if !db.ledger.Empty() {
 		return fmt.Errorf("core: escrow ledger not empty at quiescence")
@@ -33,9 +51,6 @@ func (db *DB) CheckConsistency() error {
 		return fmt.Errorf("core: %s: %w", name, err)
 	}
 	for _, v := range cat.Views() {
-		if v.Strategy == catalog.StrategyDeferred {
-			continue // deferred views are stale by design between refreshes
-		}
 		m := db.reg.Maintainer(v.ID)
 		if m == nil {
 			return fmt.Errorf("core: view %q has no maintainer", v.Name)

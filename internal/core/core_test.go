@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/expr"
@@ -559,44 +561,97 @@ func TestGroupKeyColumnForJoinView(t *testing.T) {
 	_ = db
 }
 
-func TestDeferredViewStalenessAndRefresh(t *testing.T) {
+func TestDeferredViewApplierConvergence(t *testing.T) {
 	db := openTestDB(t, Options{})
 	setupBanking(t, db, catalog.StrategyDeferred)
-	insertAccounts(t, db, acctRow(1, 7, 100))
 
-	// Not maintained: the view is empty until refreshed.
-	if _, _, ok := branchTotal(t, db, 7); ok {
-		t.Fatal("deferred view should be stale (empty)")
-	}
-	n, err := db.RefreshView("branch_totals")
-	if err != nil {
+	// The commit returns before the view is maintained; waiting for the
+	// commit's timestamp to reach the view watermark is the read-your-writes
+	// barrier.
+	tx := begin(t, db, txn.ReadCommitted)
+	if err := tx.Insert("accounts", acctRow(1, 7, 100)); err != nil {
 		t.Fatal(err)
 	}
-	if n != 1 {
-		t.Fatalf("refresh changed %d rows", n)
+	mustCommit(t, tx)
+	ts := tx.CommitTS()
+	if ts == 0 {
+		t.Fatal("committed transaction has no commit timestamp")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := db.WaitForViewWatermark(ctx, "branch_totals", ts); err != nil {
+		t.Fatal(err)
 	}
 	count, sum, ok := branchTotal(t, db, 7)
 	if !ok || count != 1 || sum != 100 {
-		t.Fatalf("after refresh = %d/%d", count, sum)
+		t.Fatalf("after apply = %d/%d/%v", count, sum, ok)
 	}
-	// More churn, refresh converges again.
+	wm, err := db.ViewWatermark("branch_totals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm < ts {
+		t.Fatalf("watermark %d below waited-for commit ts %d", wm, ts)
+	}
+
+	// More churn converges too, and the watermark only moves forward.
 	insertAccounts(t, db, acctRow(2, 7, 50), acctRow(3, 8, 1))
-	tx := begin(t, db, txn.ReadCommitted)
+	tx = begin(t, db, txn.ReadCommitted)
 	if err := tx.Delete("accounts", record.Row{record.Int(1)}); err != nil {
 		t.Fatal(err)
 	}
 	mustCommit(t, tx)
-	if _, err := db.RefreshView("branch_totals"); err != nil {
+	if err := db.WaitForViewWatermark(ctx, "branch_totals", tx.CommitTS()); err != nil {
 		t.Fatal(err)
 	}
 	count, sum, _ = branchTotal(t, db, 7)
 	if count != 1 || sum != 50 {
-		t.Fatalf("after second refresh = %d/%d", count, sum)
+		t.Fatalf("after churn = %d/%d", count, sum)
 	}
-	// A second refresh with no changes is a no-op.
-	n, err = db.RefreshView("branch_totals")
+	wm2, err := db.ViewWatermark("branch_totals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm2 < wm {
+		t.Fatalf("watermark went backwards: %d -> %d", wm, wm2)
+	}
+
+	// Refresh still works against a caught-up deferred view: it is a no-op.
+	n, err := db.RefreshView("branch_totals")
 	if err != nil || n != 0 {
-		t.Fatalf("idempotent refresh: %d, %v", n, err)
+		t.Fatalf("refresh of converged view: %d, %v", n, err)
+	}
+	// And CheckConsistency now verifies deferred views after draining.
+	checkConsistent(t, db)
+}
+
+func TestDeferredViewValidation(t *testing.T) {
+	db := openTestDB(t, Options{})
+	err := db.CreateTable("accounts", []catalog.Column{
+		{Name: "id", Kind: record.KindInt64},
+		{Name: "branch", Kind: record.KindInt64},
+		{Name: "balance", Kind: record.KindInt64},
+	}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MIN/MAX has no commutative fold: deferred maintenance must refuse it.
+	err = db.CreateIndexedView(catalog.View{
+		Name: "branch_max", Kind: catalog.ViewAggregate, Left: "accounts",
+		GroupBy:  []int{1},
+		Aggs:     []expr.AggSpec{{Func: expr.AggCountRows}, {Func: expr.AggMax, Arg: expr.Col(2)}},
+		Strategy: catalog.StrategyDeferred,
+	})
+	if !errors.Is(err, catalog.ErrInvalid) {
+		t.Fatalf("deferred MIN/MAX view: %v", err)
+	}
+	// Projections have no fold arithmetic at all.
+	err = db.CreateIndexedView(catalog.View{
+		Name: "acct_proj", Kind: catalog.ViewProjection, Left: "accounts",
+		Project: []int{0, 2}, Strategy: catalog.StrategyDeferred,
+	})
+	if !errors.Is(err, catalog.ErrInvalid) {
+		t.Fatalf("deferred projection view: %v", err)
 	}
 }
 

@@ -44,6 +44,12 @@ type Options struct {
 	// (DESIGN.md §8). 0 selects the default (25ms); negative disables the
 	// background pruner (PruneVersions still works).
 	MVCCPruneInterval time.Duration
+	// DeferredApplyInterval is the deferred-view applier's idle tick: how
+	// often watermarks advance when no commits publish deltas, and the retry
+	// delay after a failed fold round (DESIGN.md §9). 0 selects the default
+	// (5ms). The applier itself always runs — it wakes immediately on every
+	// publish regardless of this interval.
+	DeferredApplyInterval time.Duration
 	// FoldLatchStripes sets the number of stripes for the commit-fold /
 	// ghost-structure latches (default 128). 1 reproduces a single global
 	// fold latch — the T10 ablation showing why striping matters.
@@ -169,6 +175,17 @@ type DB struct {
 	prunerStop  chan struct{}
 	prunerDone  chan struct{}
 	recovered   recovery.Summary
+
+	// applierQ feeds the deferred-view applier goroutine (deferred.go);
+	// applierDrainOnStop asks it to run one final round before exiting (clean
+	// Close, not Crash). deferredPending/deferredOldestNs are the applier's
+	// backlog gauges for Metrics.
+	applierQ           *deferredQueue
+	applierStop        chan struct{}
+	applierDone        chan struct{}
+	applierDrainOnStop atomic.Bool
+	deferredPending    atomic.Int64
+	deferredOldestNs   atomic.Int64
 }
 
 // defaultFoldStripes is the default number of row-structure latch stripes.
@@ -285,6 +302,29 @@ func Open(path string, opts Options) (*DB, error) {
 		db.prunerDone = make(chan struct{})
 		go db.prunerLoop(interval)
 	}
+	// The deferred-view applier always runs: with no deferred views it only
+	// fires an idle tick. Start it before the recovery refresh below so the
+	// refresh barriers have a consumer.
+	applyInterval := opts.DeferredApplyInterval
+	if applyInterval <= 0 {
+		applyInterval = defaultDeferredApplyInterval
+	}
+	db.applierQ = newDeferredQueue()
+	db.applierStop = make(chan struct{})
+	db.applierDone = make(chan struct{})
+	go db.applierLoop(applyInterval)
+	// Deferred deltas pending in the applier queue at a crash were never
+	// logged, so a recovered deferred view may be stale relative to its
+	// (fully recovered) base tables. Recompute each one; the refresh barrier
+	// also initializes its watermark.
+	if !st.Summary.Fresh {
+		for _, v := range db.deferredViews() {
+			if _, err := db.RefreshView(v.Name); err != nil {
+				db.Close()
+				return nil, fmt.Errorf("core: recovery refresh of deferred view %q: %w", v.Name, err)
+			}
+		}
+	}
 	if opts.Watchdog {
 		db.watchdog = flightrec.StartWatchdog(flightrec.WatchdogConfig{
 			Interval:       opts.WatchdogInterval,
@@ -313,6 +353,16 @@ func (db *DB) Close() error {
 		close(db.prunerStop)
 		<-db.prunerDone
 	}
+	// Stop the applier with a final drain round so a cleanly closed database
+	// reopens with converged views. This must happen before the gate is taken
+	// exclusively: the drain round's system transactions need gate admission
+	// to stay possible (they don't take the gate, but folds contend with any
+	// straggling committer's latches).
+	if db.applierStop != nil {
+		db.applierDrainOnStop.Store(true)
+		close(db.applierStop)
+		<-db.applierDone
+	}
 	// Wait for in-flight transactions to drain.
 	db.gate.Lock()
 	defer db.gate.Unlock()
@@ -336,6 +386,12 @@ func (db *DB) Crash(flush bool) {
 	if db.prunerStop != nil {
 		close(db.prunerStop)
 		<-db.prunerDone
+	}
+	// A crash loses the applier queue: pending deferred deltas were never
+	// logged, which is exactly the staleness Open's recovery refresh repairs.
+	if db.applierStop != nil {
+		close(db.applierStop)
+		<-db.applierDone
 	}
 	if flush {
 		db.log.Sync(0)
@@ -400,6 +456,29 @@ func (db *DB) Metrics() metrics.Snapshot {
 			s.Lock.PerShard[i].MaxQueueDepth = ls.PerShard[i].MaxQueueDepth
 			s.Lock.PerShard[i].Resources = ls.PerShard[i].Resources
 		}
+	}
+	s.Deferred.PendingGroups = db.deferredPending.Load()
+	if views := db.deferredViews(); len(views) > 0 {
+		readTS := db.oracle.ReadTS()
+		var minWM uint64
+		for i, v := range views {
+			wm := db.oracle.ViewWatermark(v.ID)
+			s.Deferred.Views = append(s.Deferred.Views, metrics.DeferredViewSnapshot{
+				Tree:      uint32(v.ID),
+				View:      v.Name,
+				Watermark: wm,
+			})
+			if i == 0 || wm < minWM {
+				minWM = wm
+			}
+		}
+		s.Deferred.Watermark = minWM
+		if readTS > minWM {
+			s.Deferred.LagTS = readTS - minWM
+		}
+	}
+	if oldest := db.deferredOldestNs.Load(); oldest > 0 && now.UnixNano() > oldest {
+		s.Deferred.StalenessNs = now.UnixNano() - oldest
 	}
 	s.Escrow.Shards = db.ledger.Shards()
 	s.Ghost.Created = db.ghostsCreated.Load()
@@ -644,6 +723,15 @@ func (db *DB) Checkpoint() error {
 // transaction, with its locks released at its own end (DESIGN.md §5).
 // The caller must already be admitted through the gate.
 func (db *DB) runSysTxn(fn func(st *txn.Txn) error) error {
+	return db.runSysTxnHook(fn, nil)
+}
+
+// runSysTxnHook is runSysTxn with a pre-finish hook: preFinish (when non-nil)
+// runs after the commit timestamp is allocated and every version stamped, but
+// before FinishCommit publishes it and the locks release. A refresh barrier
+// published here is ordered before any later commit's batch — the deferred
+// tier's correctness hinge (deferred.go).
+func (db *DB) runSysTxnHook(fn func(st *txn.Txn) error, preFinish func(ts uint64)) error {
 	st := db.tm.Begin(true, txn.ReadCommitted)
 	db.sysTxns.Add(1)
 	if _, err := db.log.Append(&wal.Record{Type: wal.TBegin, Txn: st.ID, Sys: true}); err != nil {
@@ -675,6 +763,9 @@ func (db *DB) runSysTxn(fn func(st *txn.Txn) error) error {
 	// its rows allocates a later timestamp).
 	ts := db.oracle.AllocateCommitTS()
 	db.stampOps(st, ts)
+	if preFinish != nil {
+		preFinish(ts)
+	}
 	db.oracle.FinishCommit(ts)
 	db.tm.Commit(st)
 	db.lm.ReleaseAll(st.ID)

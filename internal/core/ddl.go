@@ -17,8 +17,10 @@ import (
 // ddl runs mutate against a clone of the current catalog, logs the change as
 // a TDDL record inside a system transaction (which installs the new catalog
 // via the apply layer), and then runs backfill (still inside the same system
-// transaction) to populate any new tree.
-func (db *DB) ddl(mutate func(c *catalog.Catalog) error, backfill func(st *txn.Txn) error) error {
+// transaction) to populate any new tree. preFinish, when non-nil, runs after
+// the system transaction's versions are stamped but before its timestamp
+// publishes — where deferred-view barriers must be emitted (db.runSysTxnHook).
+func (db *DB) ddl(mutate func(c *catalog.Catalog) error, backfill func(st *txn.Txn) error, preFinish func(ts uint64)) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
@@ -42,7 +44,7 @@ func (db *DB) ddl(mutate func(c *catalog.Catalog) error, backfill func(st *txn.T
 	if _, err := apply.NewRegistry(clone); err != nil {
 		return err
 	}
-	return db.runSysTxn(func(st *txn.Txn) error {
+	return db.runSysTxnHook(func(st *txn.Txn) error {
 		rec := &wal.Record{Type: wal.TDDL, OldVal: oldBlob, NewVal: newBlob}
 		if err := db.logOp(st, rec); err != nil {
 			return err
@@ -51,7 +53,7 @@ func (db *DB) ddl(mutate func(c *catalog.Catalog) error, backfill func(st *txn.T
 			return backfill(st)
 		}
 		return nil
-	})
+	}, preFinish)
 }
 
 // CreateTable registers a new base table.
@@ -59,7 +61,7 @@ func (db *DB) CreateTable(name string, cols []catalog.Column, pk []int) error {
 	return db.ddl(func(c *catalog.Catalog) error {
 		_, err := c.AddTable(name, cols, pk)
 		return err
-	}, nil)
+	}, nil, nil)
 }
 
 // CreateIndex registers a secondary index and backfills it from the table.
@@ -111,15 +113,27 @@ func (db *DB) CreateIndex(name, table string, cols []int, unique bool) error {
 			}
 		}
 		return nil
-	})
+	}, nil)
 }
 
 // CreateIndexedView registers an indexed view and backfills it from its base
-// tables. The def's ID and Name validation happen in the catalog.
+// tables. The def's ID and Name validation happen in the catalog. A deferred
+// view's backfill also publishes a create barrier so the applier initializes
+// its watermark at the backfill's commit timestamp (the base-table S locks
+// held through commit order the barrier before any later commit's batch).
 func (db *DB) CreateIndexedView(def catalog.View) error {
+	var deferredTree id.Tree
+	var isDeferred bool
 	return db.ddl(func(c *catalog.Catalog) error {
-		_, err := c.AddView(def)
-		return err
+		v, err := c.AddView(def)
+		if err != nil {
+			return err
+		}
+		if v.Strategy == catalog.StrategyDeferred {
+			deferredTree = v.ID
+			isDeferred = true
+		}
+		return nil
 	}, func(st *txn.Txn) error {
 		cat := db.Catalog()
 		v, err := cat.View(def.Name)
@@ -166,18 +180,28 @@ func (db *DB) CreateIndexedView(def catalog.View) error {
 			}
 		}
 		return nil
+	}, func(ts uint64) {
+		// mutate sets isDeferred before this hook can run, so reading it here
+		// (rather than deciding at the ddl call) is what makes this correct.
+		if isDeferred {
+			db.publishDeferredBarrier(deferredTree, ts, false)
+		}
 	})
 }
 
-// DropView removes an indexed view and its tree contents.
+// DropView removes an indexed view and its tree contents. Dropping a deferred
+// view publishes a drop barrier so the applier discards its pending deltas
+// and retires its watermark.
 func (db *DB) DropView(name string) error {
 	var viewTree id.Tree
+	var wasDeferred bool
 	return db.ddl(func(c *catalog.Catalog) error {
 		v, err := c.View(name)
 		if err != nil {
 			return err
 		}
 		viewTree = v.ID
+		wasDeferred = v.Strategy == catalog.StrategyDeferred
 		return c.DropView(name)
 	}, func(st *txn.Txn) error {
 		// Physically clear the view's tree (logged so recovery agrees).
@@ -189,6 +213,10 @@ func (db *DB) DropView(name string) error {
 			}
 		}
 		return nil
+	}, func(ts uint64) {
+		if wasDeferred {
+			db.publishDeferredBarrier(viewTree, ts, true)
+		}
 	})
 }
 

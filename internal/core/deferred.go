@@ -1,0 +1,359 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/applier"
+	"repro/internal/catalog"
+	"repro/internal/escrow"
+	"repro/internal/id"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/record"
+	"repro/internal/txn"
+	"repro/internal/view"
+	"repro/internal/wal"
+)
+
+// This file is the control plane of the deferred view-maintenance tier
+// (DESIGN.md §9). Transactions against a StrategyDeferred view accumulate
+// their cell deltas in the escrow ledger exactly like escrow views, but the
+// commit fold routes them here instead of into the B-tree: the commit
+// publishes one Batch (stamped with its commit timestamp) to the applier
+// queue and returns. A single background goroutine owns the coalescer, folds
+// the net per-(view, group) deltas into the view rows inside short system
+// transactions, and advances each view's applied watermark through the
+// commit-timestamp oracle.
+//
+// The ordering invariant everything rests on: a committer publishes its batch
+// AFTER AllocateCommitTS + stampOps but BEFORE FinishCommit. The oracle's
+// read timestamp therefore cannot advance past a commit whose batch is not
+// yet in the queue — so a round that first reads wm := oracle.ReadTS() and
+// then drains the queue has, after folding, applied every deferred delta of
+// every commit with timestamp <= wm, and may publish wm as each deferred
+// view's watermark.
+
+// defaultDeferredApplyInterval is the applier's idle tick: how often
+// watermarks advance with no publish traffic, and the retry delay after a
+// failed fold round.
+const defaultDeferredApplyInterval = 5 * time.Millisecond
+
+// deferredQueue is the unbounded multi-producer single-consumer applier
+// queue. Publishers must never block — a committer publishes while still
+// holding its locks, and a refresh barrier publishes while holding the view's
+// tree lock the applier itself may be waiting on, so any bounded/blocking
+// design here deadlocks.
+type deferredQueue struct {
+	mu   sync.Mutex
+	msgs []applier.Msg
+	wake chan struct{} // cap 1: coalesced wake-up signal
+}
+
+func newDeferredQueue() *deferredQueue {
+	return &deferredQueue{wake: make(chan struct{}, 1)}
+}
+
+// push enqueues one message and wakes the applier; it returns the queue depth
+// after the append (for the high-water gauge).
+func (q *deferredQueue) push(m applier.Msg) int {
+	q.mu.Lock()
+	q.msgs = append(q.msgs, m)
+	n := len(q.msgs)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return n
+}
+
+// take removes and returns every queued message in publish order.
+func (q *deferredQueue) take() []applier.Msg {
+	q.mu.Lock()
+	msgs := q.msgs
+	q.msgs = nil
+	q.mu.Unlock()
+	return msgs
+}
+
+// publishDeferred hands one commit's deferred deltas to the applier. Called
+// between stampOps and FinishCommit — see the ordering invariant above.
+func (db *DB) publishDeferred(b *applier.Batch) {
+	n := db.applierQ.push(applier.Msg{Batch: b})
+	db.met.Deferred.ObserveQueueDepth(n)
+	db.met.Deferred.PublishedBatches.Add(1)
+	db.met.Deferred.PublishedGroups.Add(int64(len(b.Groups)))
+}
+
+// publishDeferredBarrier tells the applier a view was recomputed from its
+// base tables as of commit timestamp ts (refresh / create backfill), or
+// dropped. Called from a system transaction's pre-FinishCommit hook, while
+// the transaction still holds the base tables' S locks — which is what orders
+// the barrier before any batch whose deltas the recompute missed.
+func (db *DB) publishDeferredBarrier(tree id.Tree, ts uint64, drop bool) {
+	n := db.applierQ.push(applier.Msg{Barrier: &applier.Barrier{Tree: tree, TS: ts, Drop: drop}})
+	db.met.Deferred.ObserveQueueDepth(n)
+}
+
+// applierLoop is the WAL-tailing applier: it drains the publish queue on each
+// wake-up, folds coalesced deltas into the deferred views, and advances
+// watermarks. The idle tick keeps watermarks tracking the oracle's read
+// timestamp when commits publish nothing, and retries failed rounds.
+func (db *DB) applierLoop(interval time.Duration) {
+	defer close(db.applierDone)
+	co := applier.NewCoalescer()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-db.applierStop:
+			if db.applierDrainOnStop.Load() {
+				// Clean shutdown: one best-effort final round so a closed
+				// database reopens with converged views.
+				db.applierRound(co)
+			}
+			return
+		case <-db.applierQ.wake:
+			db.applierRound(co)
+		case <-tick.C:
+			db.applierRound(co)
+		}
+	}
+}
+
+// applierRound is one drain-fold-publish cycle. Only the applier goroutine
+// calls it; co is owned exclusively.
+func (db *DB) applierRound(co *applier.Coalescer) {
+	// Read the frontier BEFORE draining: every commit <= wm published before
+	// FinishCommit let wm reach it, so the drain below captures its batch.
+	wm := db.oracle.ReadTS()
+	msgs := db.applierQ.take()
+	var minWall int64
+	for _, m := range msgs {
+		switch {
+		case m.Batch != nil:
+			in, coalesced := co.Add(m.Batch)
+			db.met.Deferred.DeltasIn.Add(int64(in))
+			db.met.Deferred.DeltasCoalesced.Add(int64(coalesced))
+			if minWall == 0 || m.Batch.WallNs < minWall {
+				minWall = m.Batch.WallNs
+			}
+		case m.Barrier != nil:
+			// Everything pending for the tree precedes the barrier in queue
+			// order, so it is already incorporated in the recompute (or gone
+			// with the dropped view).
+			co.DropTree(m.Barrier.Tree)
+			if m.Barrier.Drop {
+				db.oracle.DropViewWatermark(m.Barrier.Tree)
+			} else {
+				db.oracle.AdvanceViewWatermark(m.Barrier.Tree, m.Barrier.TS)
+			}
+		}
+	}
+
+	groups := co.Take()
+	failed := make(map[id.Tree]bool)
+	if len(groups) > 0 {
+		// Fold rounds are gate-admitted actors like any other writer: the
+		// system transactions below append to the WAL, which Checkpoint swaps
+		// under the exclusive gate. (Quiescence waiters never block on the
+		// applier while holding the gate — CheckConsistency waits first and
+		// only polls after locking.)
+		db.gate.RLock()
+		start := time.Now()
+		applied := 0
+		var retry []applier.GroupDelta
+		for i := 0; i < len(groups); {
+			j := i
+			for j < len(groups) && groups[j].Tree == groups[i].Tree {
+				j++
+			}
+			if err := db.applyDeferredView(groups[i].Tree, groups[i:j]); err != nil {
+				// The view's system transaction rolled back whole; keep its
+				// groups pending (merging with later publishes) and hold its
+				// watermark until a retry succeeds.
+				failed[groups[i].Tree] = true
+				retry = append(retry, groups[i:j]...)
+			} else {
+				applied += j - i
+			}
+			i = j
+		}
+		if len(retry) > 0 {
+			co.AddGroups(retry)
+			db.met.Deferred.RetryRounds.Add(1)
+		}
+		if applied > 0 {
+			db.met.Deferred.ApplyRounds.Add(1)
+			db.met.Deferred.GroupsApplied.Add(int64(applied))
+			db.met.Deferred.Apply.Observe(time.Since(start))
+		}
+		db.gate.RUnlock()
+	}
+	db.advanceDeferredWatermarks(wm, failed)
+
+	// Staleness gauge: age of the oldest publish not yet folded.
+	if co.Len() == 0 {
+		db.deferredOldestNs.Store(0)
+	} else if db.deferredOldestNs.Load() == 0 {
+		if minWall == 0 {
+			minWall = time.Now().UnixNano()
+		}
+		db.deferredOldestNs.Store(minWall)
+	}
+	db.deferredPending.Store(int64(co.Len()))
+}
+
+// advanceDeferredWatermarks publishes wm for every deferred view in the
+// catalog except those whose fold round just failed.
+func (db *DB) advanceDeferredWatermarks(wm uint64, except map[id.Tree]bool) {
+	for _, v := range db.Catalog().Views() {
+		if v.Strategy != catalog.StrategyDeferred || except[v.ID] {
+			continue
+		}
+		db.oracle.AdvanceViewWatermark(v.ID, wm)
+	}
+}
+
+// applyDeferredView folds one view's coalesced group deltas in a single
+// system transaction under the view's tree X lock. Holding exactly one lock
+// at a time keeps the applier out of every deadlock cycle: it never waits
+// while holding something a user transaction could want.
+func (db *DB) applyDeferredView(tree id.Tree, groups []applier.GroupDelta) error {
+	m := db.reg.Maintainer(tree)
+	if m == nil {
+		return nil // view dropped while its deltas were pending
+	}
+	start := time.Now()
+	err := db.runSysTxn(func(st *txn.Txn) error {
+		if err := db.lockTree(st, tree, lock.ModeX); err != nil {
+			return err
+		}
+		for _, g := range groups {
+			if err := db.applyDeferredGroup(st, m, tree, g); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err == nil && db.tracer != nil {
+		db.tracer.TraceEvent(metrics.Event{
+			Type:     metrics.EventDeferredApply,
+			Resource: m.V.Name,
+			Rows:     len(groups),
+			Dur:      time.Since(start),
+		})
+	}
+	return err
+}
+
+// applyDeferredGroup folds one group's net delta into its view row: an
+// ordinary escrow fold when the row exists, a fresh insert when the group is
+// new (deferred maintenance creates no ghosts up front), and a skip when the
+// net delta on a missing group is zero.
+func (db *DB) applyDeferredGroup(st *txn.Txn, m *view.Maintainer, tree id.Tree, g applier.GroupDelta) error {
+	key := []byte(g.Key)
+	if _, ok := db.tree(tree).Has(key); ok {
+		return db.foldRow(st, escrow.RowID{Tree: tree, Key: g.Key}, g.Deltas)
+	}
+	next, err := m.ApplyFold(m.NewGroupRow(), g.Deltas)
+	if err != nil {
+		return err
+	}
+	empty, err := m.GroupEmpty(next)
+	if err != nil {
+		return err
+	}
+	if empty {
+		// Net zero against a group that no longer exists (e.g. the ghost was
+		// already cleaned): nothing to write.
+		return nil
+	}
+	latch := db.structLatch(tree, key)
+	latch.Lock()
+	defer latch.Unlock()
+	rec := &wal.Record{Type: wal.TInsert, Tree: tree, Key: key, NewVal: record.EncodeRow(next)}
+	return db.logOp(st, rec)
+}
+
+// deferredViews lists the catalog's deferred views.
+func (db *DB) deferredViews() []*catalog.View {
+	var out []*catalog.View
+	for _, v := range db.Catalog().Views() {
+		if v.Strategy == catalog.StrategyDeferred {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ViewWatermark reports the highest commit timestamp whose effects are
+// visible in the view: the applier's applied watermark for a deferred view,
+// or the oracle's read timestamp for an immediately maintained one (which is
+// never stale).
+func (db *DB) ViewWatermark(viewName string) (uint64, error) {
+	v, err := db.Catalog().View(viewName)
+	if err != nil {
+		return 0, err
+	}
+	if v.Strategy != catalog.StrategyDeferred {
+		return db.oracle.ReadTS(), nil
+	}
+	return db.oracle.ViewWatermark(v.ID), nil
+}
+
+// WaitForViewWatermark blocks until the view's watermark reaches ts or ctx is
+// done. It is the read-your-writes barrier for deferred views: wait for your
+// own Tx.CommitTS and the applier has folded your deltas. Immediate views
+// satisfy any wait at once.
+func (db *DB) WaitForViewWatermark(ctx context.Context, viewName string, ts uint64) error {
+	v, err := db.Catalog().View(viewName)
+	if err != nil {
+		return err
+	}
+	if v.Strategy != catalog.StrategyDeferred {
+		return nil
+	}
+	return db.oracle.WaitForViewWatermark(ctx, v.ID, ts)
+}
+
+// ViewWatermark is DB.ViewWatermark scoped to the transaction's database —
+// the handle a reader already holds.
+func (tx *Tx) ViewWatermark(viewName string) (uint64, error) {
+	return tx.db.ViewWatermark(viewName)
+}
+
+// waitDeferredCaughtUp blocks until every deferred view's watermark reaches
+// the oracle's current read timestamp — i.e. the applier has folded
+// everything committed before the call.
+func (db *DB) waitDeferredCaughtUp(timeout time.Duration) error {
+	views := db.deferredViews()
+	if len(views) == 0 {
+		return nil
+	}
+	target := db.oracle.ReadTS()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	for _, v := range views {
+		if err := db.oracle.WaitForViewWatermark(ctx, v.ID, target); err != nil {
+			return fmt.Errorf("core: deferred view %q watermark %d still behind read-ts %d: %w",
+				v.Name, db.oracle.ViewWatermark(v.ID), target, err)
+		}
+	}
+	return nil
+}
+
+// deferredCaughtUp reports (without blocking) whether every deferred view's
+// watermark has reached the current read timestamp.
+func (db *DB) deferredCaughtUp() bool {
+	target := db.oracle.ReadTS()
+	for _, v := range db.deferredViews() {
+		if db.oracle.ViewWatermark(v.ID) < target {
+			return false
+		}
+	}
+	return true
+}

@@ -36,9 +36,6 @@ type viewDelta struct {
 func (db *DB) prepareViewDeltas(tx *Tx, table string, oldRow, newRow record.Row) ([]viewDelta, error) {
 	var out []viewDelta
 	for _, v := range db.Catalog().ViewsOn(table) {
-		if v.Strategy == catalog.StrategyDeferred {
-			continue // refreshed on demand, not maintained here
-		}
 		m := db.reg.Maintainer(v.ID)
 		if m == nil {
 			return nil, fmt.Errorf("core: view %q has no compiled maintainer", v.Name)
@@ -160,12 +157,41 @@ func (db *DB) applySourceDelta(tx *Tx, v *catalog.View, m *view.Maintainer, src 
 	if v.Kind == catalog.ViewProjection {
 		return db.maintainProjection(tx, v, m, src, sign)
 	}
-	// Aggregate views: escrow when the strategy allows it and every
-	// aggregate commutes; otherwise the X-lock fallback (DESIGN.md §5).
+	// Aggregate views: deferred views accumulate deltas for the background
+	// applier without touching the view (DESIGN.md §9); escrow when the
+	// strategy allows it and every aggregate commutes; otherwise the X-lock
+	// fallback (DESIGN.md §5).
+	if v.Strategy == catalog.StrategyDeferred {
+		return db.maintainDeferred(tx, v, m, src, sign)
+	}
 	if v.Strategy == catalog.StrategyEscrow && !m.HasMinMax() {
 		return db.maintainEscrow(tx, v, m, src, sign)
 	}
 	return db.maintainXLock(tx, v, m, src, sign)
+}
+
+// maintainDeferred accumulates the source-row change in the escrow ledger
+// exactly like maintainEscrow, but takes no view locks and creates no ghost:
+// the view row is untouched until the background applier folds the commit's
+// published deltas (deferred.go). Writers therefore never contend on the
+// view at all — the deferred tier's entire throughput win.
+func (db *DB) maintainDeferred(tx *Tx, v *catalog.View, m *view.Maintainer, src record.Row, sign int) error {
+	key, err := m.GroupKey(src)
+	if err != nil {
+		return err
+	}
+	hidden, contribs, err := m.Contributions(src, sign)
+	if err != nil {
+		return err
+	}
+	row := escrow.RowID{Tree: v.ID, Key: string(key)}
+	db.ledger.Add(tx.t.ID, escrow.CellID{Row: row, Col: hidden.Cell}, hidden.Delta)
+	for _, c := range contribs {
+		for _, cd := range c.Cells {
+			db.ledger.Add(tx.t.ID, escrow.CellID{Row: row, Col: cd.Cell}, cd.Delta)
+		}
+	}
+	return nil
 }
 
 // maintainEscrow is the paper's protocol: E lock on the view row, ghost

@@ -152,7 +152,9 @@ func (tx *Tx) GetViewRow(viewName string, keyRow record.Row) (record.Row, bool, 
 	case v.Strategy == catalog.StrategyEscrow && v.Kind == catalog.ViewAggregate:
 		// Committed values by construction: no lock.
 	case v.Strategy == catalog.StrategyDeferred:
-		// Stale reads are the point of the deferred baseline: no lock.
+		// Deferred rows are written only by the applier's committed system
+		// transactions, so the stored value is committed (if bounded-stale):
+		// no lock. Snapshot isolation reads exactly at the watermark.
 	default:
 		if err := db.momentaryS(tx.t, v.ID, key); err != nil {
 			return nil, false, err
@@ -323,9 +325,14 @@ func (tx *Tx) AggregateNoView(table string, where expr.Expr, groupBy []int, aggs
 	return out, nil
 }
 
-// RefreshView recomputes a deferred view's contents from its base tables in
-// a system transaction, logging the differences. It reports how many view
-// rows changed.
+// RefreshView recomputes a view's contents from its base tables in a system
+// transaction, logging the differences. It reports how many view rows
+// changed. For a deferred view it also publishes a barrier to the applier:
+// pending deltas the recompute already incorporated are dropped, and the
+// view's watermark jumps to the refresh's commit timestamp. The barrier is
+// ordered correctly because the refresh holds the base tables' S locks
+// through commit — any commit not included in the recompute serializes after
+// it and publishes its batch later.
 func (db *DB) RefreshView(viewName string) (int, error) {
 	if db.closed.Load() {
 		return 0, ErrClosed
@@ -337,8 +344,12 @@ func (db *DB) RefreshView(viewName string) (int, error) {
 		return 0, err
 	}
 	m := db.reg.Maintainer(v.ID)
+	var preFinish func(ts uint64)
+	if v.Strategy == catalog.StrategyDeferred {
+		preFinish = func(ts uint64) { db.publishDeferredBarrier(v.ID, ts, false) }
+	}
 	changed := 0
-	err = db.runSysTxn(func(st *txn.Txn) error {
+	err = db.runSysTxnHook(func(st *txn.Txn) error {
 		// Stabilize the bases and take the view exclusively.
 		left, err := db.Catalog().Table(v.Left)
 		if err != nil {
@@ -414,6 +425,6 @@ func (db *DB) RefreshView(viewName string) (int, error) {
 			}
 		}
 		return nil
-	})
+	}, preFinish)
 	return changed, err
 }

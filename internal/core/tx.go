@@ -6,8 +6,9 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/applier"
 	"repro/internal/apply"
-
+	"repro/internal/catalog"
 	"repro/internal/escrow"
 	"repro/internal/fault"
 	"repro/internal/id"
@@ -31,6 +32,10 @@ type Tx struct {
 	readTS uint64
 	snap   uint64
 	ro     bool
+
+	// commitTS is the commit timestamp allocated by a successful Commit (zero
+	// until then, and forever for read-only or rolled-back transactions).
+	commitTS uint64
 }
 
 // TxOptions configure one transaction started with BeginTx. The zero value
@@ -112,6 +117,12 @@ func (tx *Tx) ID() id.Txn { return tx.t.ID }
 // Isolation returns the transaction's isolation level.
 func (tx *Tx) Isolation() txn.Level { return tx.t.Isolation }
 
+// CommitTS returns the transaction's commit timestamp: zero until Commit
+// succeeds (and always zero for read-only transactions, which allocate none).
+// Passing it to DB.WaitForViewWatermark is the read-your-writes barrier for
+// deferred views.
+func (tx *Tx) CommitTS() uint64 { return tx.commitTS }
+
 func (tx *Tx) check() error {
 	if tx.done {
 		return ErrTxnDone
@@ -157,7 +168,8 @@ func (tx *Tx) commit() error {
 		tx.finish(true)
 		return nil
 	}
-	if err := db.foldEscrow(tx.t); err != nil {
+	deferred, err := db.foldEscrow(tx.t)
+	if err != nil {
 		// Fold failure (e.g. a log fault) aborts the transaction; already-
 		// applied folds are compensated by the generic rollback.
 		db.met.Escrow.FoldAborts.Add(1)
@@ -184,6 +196,13 @@ func (tx *Tx) commit() error {
 	// then let the watermark advance over it.
 	ts := db.oracle.AllocateCommitTS()
 	db.stampOps(tx.t, ts)
+	tx.commitTS = ts
+	if len(deferred) > 0 {
+		// Publish before FinishCommit: the oracle's read timestamp must not
+		// reach ts until this batch is queued, or an applier round could
+		// advance the view watermark past a commit it never saw (deferred.go).
+		db.publishDeferred(&applier.Batch{TS: ts, WallNs: time.Now().UnixNano(), Groups: deferred})
+	}
 	db.oracle.FinishCommit(ts)
 	tx.finish(true)
 	return nil
@@ -284,11 +303,13 @@ func (tx *Tx) finish(committed bool) {
 }
 
 // foldEscrow applies the transaction's pending deltas to the view rows under
-// the short structure latch, logging one logical EscrowFold per row.
-func (db *DB) foldEscrow(t *txn.Txn) error {
+// the short structure latch, logging one logical EscrowFold per row. Deltas
+// against deferred views are not folded: they are returned as per-group
+// deltas for the commit to publish to the background applier (deferred.go).
+func (db *DB) foldEscrow(t *txn.Txn) ([]applier.GroupDelta, error) {
 	cds := db.ledger.TxnDeltas(t.ID)
 	if len(cds) == 0 {
-		return nil
+		return nil, nil
 	}
 	start := time.Now()
 	// Flatten cell deltas into one backing array (splitting mixed int/float
@@ -318,18 +339,31 @@ func (db *DB) foldEscrow(t *txn.Txn) error {
 			spans = append(spans, span{row: cd.Cell.Row, start: from, end: len(flat)})
 		}
 	}
+	var deferredGroups []applier.GroupDelta
+	folded := 0
 	for _, sp := range spans {
+		if m := db.reg.Maintainer(sp.row.Tree); m != nil && m.V.Strategy == catalog.StrategyDeferred {
+			deferredGroups = append(deferredGroups, applier.GroupDelta{
+				Tree:   sp.row.Tree,
+				Key:    sp.row.Key,
+				Deltas: flat[sp.start:sp.end:sp.end],
+			})
+			continue
+		}
 		if err := db.foldRow(t, sp.row, flat[sp.start:sp.end:sp.end]); err != nil {
-			return err
+			return nil, err
+		}
+		folded++
+	}
+	if folded > 0 {
+		dur := time.Since(start)
+		db.met.Txn.Fold.Observe(dur)
+		db.met.Escrow.ObserveFold(folded)
+		if db.tracer != nil {
+			db.tracer.TraceEvent(metrics.Event{Type: metrics.EventFold, Txn: t.ID, Dur: dur, Rows: folded})
 		}
 	}
-	dur := time.Since(start)
-	db.met.Txn.Fold.Observe(dur)
-	db.met.Escrow.ObserveFold(len(spans))
-	if db.tracer != nil {
-		db.tracer.TraceEvent(metrics.Event{Type: metrics.EventFold, Txn: t.ID, Dur: dur, Rows: len(spans)})
-	}
-	return nil
+	return deferredGroups, nil
 }
 
 // foldRow folds one view row under the structure latch.

@@ -99,6 +99,16 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 	counter("vtxn_ghost_cleaner_passes_total", "Ghost-cleaner sweeps.", s.Ghost.CleanerPasses)
 	gauge("vtxn_ghost_backlog", "Ghost rows remaining after the last cleaner sweep.", s.Ghost.Backlog)
 
+	// Deferred view-maintenance tier.
+	counter("vtxn_deferred_published_batches_total", "Commits that published deferred-view deltas.", s.Deferred.PublishedBatches)
+	counter("vtxn_deferred_apply_rounds_total", "Applier rounds that folded deferred deltas.", s.Deferred.ApplyRounds)
+	counter("vtxn_deferred_groups_applied_total", "(view, group) folds performed by the applier.", s.Deferred.GroupsApplied)
+	counter("vtxn_deferred_deltas_coalesced_total", "Cell deltas merged into an already-pending group (folds saved).", s.Deferred.DeltasCoalesced)
+	gauge("vtxn_deferred_pending_groups", "(view, group) accumulators awaiting an applier fold.", s.Deferred.PendingGroups)
+	gauge("vtxn_deferred_lag_ts", "Oracle read timestamp minus the minimum deferred-view watermark.", int64(s.Deferred.LagTS))
+	gauge("vtxn_deferred_staleness_ns", "Age of the oldest unapplied deferred publish (0 when caught up).", s.Deferred.StalenessNs)
+	summary("vtxn_deferred_apply_seconds", "Deferred applier round latency.", s.Deferred.Apply)
+
 	// Stall watchdog + flight recorder.
 	counter("vtxn_watchdog_detections_total", "Stall signatures detected by the watchdog.", s.Watchdog.Detections)
 	fmt.Fprintf(sb, "# HELP vtxn_watchdog_signature_detections_total Watchdog detections by stall signature.\n")

@@ -16,6 +16,7 @@ type Registry struct {
 	Watchdog WatchdogMetrics
 	Hot      HotMetrics
 	MVCC     MVCCMetrics
+	Deferred DeferredMetrics
 }
 
 // NewRegistry returns an empty registry with the hot-spot sketches sized to
@@ -237,6 +238,40 @@ func (mm *MVCCMetrics) ObserveChainLen(n int) {
 		return
 	}
 	maxInt64(&mm.ChainLenHighWater, int64(n))
+}
+
+// DeferredMetrics track the deferred view-maintenance tier (DESIGN.md §9):
+// commit-path publication volume, applier round progress, and the coalescing
+// win. The watermark/lag/staleness gauges live in the oracle and the engine's
+// applier state; the engine fills them into the snapshot directly.
+type DeferredMetrics struct {
+	// PublishedBatches counts commits that published deferred deltas;
+	// PublishedGroups the (view, group) deltas those batches carried.
+	PublishedBatches atomic.Int64
+	PublishedGroups  atomic.Int64
+	// ApplyRounds counts applier rounds that folded at least one group;
+	// RetryRounds the rounds re-run after a failed fold.
+	ApplyRounds atomic.Int64
+	RetryRounds atomic.Int64
+	// GroupsApplied counts (view, group) folds the applier performed.
+	GroupsApplied atomic.Int64
+	// DeltasIn counts cell deltas entering the coalescer; DeltasCoalesced the
+	// subset merged into an already-pending accumulator (folds saved versus
+	// immediate maintenance).
+	DeltasIn        atomic.Int64
+	DeltasCoalesced atomic.Int64
+	// QueueHighWater is the most messages ever waiting in the applier queue.
+	QueueHighWater atomic.Int64
+	// Apply times each applier round (drain + fold + watermark publish).
+	Apply Histogram
+}
+
+// ObserveQueueDepth raises the applier-queue high-water mark.
+func (dm *DeferredMetrics) ObserveQueueDepth(n int) {
+	if dm == nil {
+		return
+	}
+	maxInt64(&dm.QueueHighWater, int64(n))
 }
 
 // WatchdogMetrics count stall-watchdog detections by signature.

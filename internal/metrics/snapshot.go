@@ -18,6 +18,7 @@ type Snapshot struct {
 	Flight   FlightSnapshot   `json:"flightrec"`
 	Hotspots HotspotsSnapshot `json:"hotspots"`
 	MVCC     MVCCSnapshot     `json:"mvcc"`
+	Deferred DeferredSnapshot `json:"deferred"`
 }
 
 // EngineSnapshot are the engine-level transaction counters, plus the
@@ -184,6 +185,40 @@ type MVCCSnapshot struct {
 	PrunePasses       int64 `json:"prune_passes"`
 }
 
+// DeferredSnapshot summarizes the deferred view-maintenance tier: publication
+// and apply counters (registry-owned) plus watermark/lag/staleness gauges the
+// engine fills from the oracle and the applier state.
+type DeferredSnapshot struct {
+	PublishedBatches int64 `json:"published_batches"`
+	PublishedGroups  int64 `json:"published_groups"`
+	ApplyRounds      int64 `json:"apply_rounds"`
+	RetryRounds      int64 `json:"retry_rounds"`
+	GroupsApplied    int64 `json:"groups_applied"`
+	DeltasIn         int64 `json:"deltas_in"`
+	DeltasCoalesced  int64 `json:"deltas_coalesced"`
+	QueueHighWater   int64 `json:"queue_high_water"`
+	// PendingGroups is a gauge of (view, group) accumulators awaiting a fold
+	// (coalescer contents; queued-but-unmerged batches are not counted).
+	PendingGroups int64 `json:"pending_groups"`
+	// Watermark is the minimum applied watermark across deferred views (zero
+	// when none exist); LagTS the oracle read timestamp minus that watermark.
+	Watermark uint64 `json:"watermark"`
+	LagTS     uint64 `json:"lag_ts"`
+	// StalenessNs is how long the oldest unapplied publish has been waiting
+	// (zero when the applier is caught up) — the bounded-staleness gauge.
+	StalenessNs int64        `json:"staleness_ns"`
+	Apply       HistSnapshot `json:"apply"`
+	// Views lists each deferred view's applied watermark.
+	Views []DeferredViewSnapshot `json:"views"`
+}
+
+// DeferredViewSnapshot is one deferred view's applied watermark.
+type DeferredViewSnapshot struct {
+	Tree      uint32 `json:"tree"`
+	View      string `json:"view"`
+	Watermark uint64 `json:"watermark"`
+}
+
 // FlightSnapshot reports the flight recorder's state; the engine fills it
 // (the recorder is not registry-owned).
 type FlightSnapshot struct {
@@ -238,6 +273,17 @@ func (r *Registry) Snap() Snapshot {
 			EscrowStalls: r.Watchdog.EscrowStalls.Load(),
 			GhostStalls:  r.Watchdog.GhostStalls.Load(),
 		},
+	}
+	s.Deferred = DeferredSnapshot{
+		PublishedBatches: r.Deferred.PublishedBatches.Load(),
+		PublishedGroups:  r.Deferred.PublishedGroups.Load(),
+		ApplyRounds:      r.Deferred.ApplyRounds.Load(),
+		RetryRounds:      r.Deferred.RetryRounds.Load(),
+		GroupsApplied:    r.Deferred.GroupsApplied.Load(),
+		DeltasIn:         r.Deferred.DeltasIn.Load(),
+		DeltasCoalesced:  r.Deferred.DeltasCoalesced.Load(),
+		QueueHighWater:   r.Deferred.QueueHighWater.Load(),
+		Apply:            r.Deferred.Apply.Snap(),
 	}
 	s.MVCC = MVCCSnapshot{
 		Chains:            r.MVCC.Chains.Load(),

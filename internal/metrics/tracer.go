@@ -45,6 +45,10 @@ const (
 	// EventMVCCPrune fires after a version-chain pruner sweep that folded
 	// versions; Rows is the versions pruned.
 	EventMVCCPrune
+	// EventDeferredApply fires after the deferred-view applier folds a round
+	// of coalesced deltas into one view; Resource is the view name, Rows the
+	// groups folded, and Dur the round's fold time.
+	EventDeferredApply
 )
 
 // String names the event type.
@@ -70,6 +74,8 @@ func (t EventType) String() string {
 		return "snapshot-begin"
 	case EventMVCCPrune:
 		return "mvcc-prune"
+	case EventDeferredApply:
+		return "deferred-apply"
 	default:
 		return fmt.Sprintf("EventType(%d)", uint8(t))
 	}
@@ -127,6 +133,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s %s: read-ts %d", e.Type, e.Txn, e.Rows)
 	case EventMVCCPrune:
 		return fmt.Sprintf("%s: %d versions in %s", e.Type, e.Rows, e.Dur)
+	case EventDeferredApply:
+		return fmt.Sprintf("%s %s: %d groups in %s", e.Type, e.Resource, e.Rows, e.Dur)
 	default:
 		return fmt.Sprintf("%s %s", e.Type, e.Txn)
 	}

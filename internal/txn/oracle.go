@@ -1,9 +1,12 @@
 package txn
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/id"
 )
 
 // Oracle is the engine's commit-timestamp allocator and snapshot registry —
@@ -37,6 +40,15 @@ type Oracle struct {
 	nextSnap  uint64
 	snapCount atomic.Int64
 	began     atomic.Int64
+
+	// viewMu guards the per-view applied watermarks of deferred views
+	// (DESIGN.md §9): the highest commit timestamp whose effects the
+	// background applier has folded into each view. viewWake is closed and
+	// replaced whenever any view watermark advances, so waiters poll by
+	// generation instead of spinning.
+	viewMu   sync.Mutex
+	viewWM   map[id.Tree]uint64
+	viewWake chan struct{}
 }
 
 type snapEntry struct {
@@ -49,6 +61,8 @@ func NewOracle() *Oracle {
 	return &Oracle{
 		inflight: make(map[uint64]struct{}),
 		snaps:    make(map[uint64]snapEntry),
+		viewWM:   make(map[id.Tree]uint64),
+		viewWake: make(chan struct{}),
 	}
 }
 
@@ -149,4 +163,70 @@ func (o *Oracle) PruneHorizon() uint64 {
 		}
 	}
 	return h
+}
+
+// AdvanceViewWatermark publishes that every commit with timestamp <= ts has
+// been applied to the deferred view, waking any WaitForViewWatermark callers.
+// Watermarks are monotonic: a lower ts is a no-op.
+func (o *Oracle) AdvanceViewWatermark(tree id.Tree, ts uint64) {
+	o.viewMu.Lock()
+	if ts > o.viewWM[tree] {
+		o.viewWM[tree] = ts
+		close(o.viewWake)
+		o.viewWake = make(chan struct{})
+	}
+	o.viewMu.Unlock()
+}
+
+// DropViewWatermark forgets a dropped view's watermark (and wakes waiters so
+// a wait against the dropped view re-observes and can give up).
+func (o *Oracle) DropViewWatermark(tree id.Tree) {
+	o.viewMu.Lock()
+	if _, ok := o.viewWM[tree]; ok {
+		delete(o.viewWM, tree)
+		close(o.viewWake)
+		o.viewWake = make(chan struct{})
+	}
+	o.viewMu.Unlock()
+}
+
+// ViewWatermark returns the deferred view's applied watermark (zero when the
+// applier has not yet published one).
+func (o *Oracle) ViewWatermark(tree id.Tree) uint64 {
+	o.viewMu.Lock()
+	wm := o.viewWM[tree]
+	o.viewMu.Unlock()
+	return wm
+}
+
+// ViewWatermarks returns a copy of every published view watermark.
+func (o *Oracle) ViewWatermarks() map[id.Tree]uint64 {
+	o.viewMu.Lock()
+	out := make(map[id.Tree]uint64, len(o.viewWM))
+	for t, wm := range o.viewWM {
+		out[t] = wm
+	}
+	o.viewMu.Unlock()
+	return out
+}
+
+// WaitForViewWatermark blocks until the deferred view's watermark reaches ts
+// or ctx is done (returning ctx's error). It is the read-your-writes barrier:
+// a reader that waits for its own commit timestamp is guaranteed the applier
+// has folded that commit's deltas into the view.
+func (o *Oracle) WaitForViewWatermark(ctx context.Context, tree id.Tree, ts uint64) error {
+	for {
+		o.viewMu.Lock()
+		wm := o.viewWM[tree]
+		wake := o.viewWake
+		o.viewMu.Unlock()
+		if wm >= ts {
+			return nil
+		}
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }

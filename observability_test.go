@@ -180,6 +180,13 @@ func TestBeginTxContextCancelAbortsLockWait(t *testing.T) {
 // and removals break the public API and must not happen silently.
 func metricsSchema() []string {
 	schema := []string{
+		"deferred.apply", "deferred.apply_rounds", "deferred.deltas_coalesced",
+		"deferred.deltas_in", "deferred.groups_applied", "deferred.lag_ts",
+		"deferred.pending_groups", "deferred.published_batches",
+		"deferred.published_groups", "deferred.queue_high_water",
+		"deferred.retry_rounds", "deferred.staleness_ns", "deferred.views",
+		"deferred.views.tree", "deferred.views.view", "deferred.views.watermark",
+		"deferred.watermark",
 		"engine.aborts", "engine.commits", "engine.escalations",
 		"engine.snapshot_unix_ns", "engine.sys_txns", "engine.uptime_ns",
 		"escrow.fold_aborts", "escrow.fold_batch_max", "escrow.fold_batches",
@@ -214,7 +221,7 @@ func metricsSchema() []string {
 	}
 	// Histograms share one sub-schema; expand it instead of listing forty
 	// near-identical lines.
-	for _, h := range []string{"lock.wait", "txn.apply", "txn.begin", "txn.commit_wait", "txn.fold", "txn.lock_wait", "wal.flush", "wal.fsync"} {
+	for _, h := range []string{"deferred.apply", "lock.wait", "txn.apply", "txn.begin", "txn.commit_wait", "txn.fold", "txn.lock_wait", "wal.flush", "wal.fsync"} {
 		for _, f := range []string{"count", "sum_ns", "mean_ns", "p50_ns", "p99_ns", "max_ns"} {
 			schema = append(schema, h+"."+f)
 		}
@@ -280,6 +287,22 @@ func TestMetricsGoldenSchema(t *testing.T) {
 	waiter.Rollback()
 	holder.Rollback()
 
+	// A deferred view populates the deferred.views listing (and the schema's
+	// per-view watermark sub-paths).
+	if err := db.CreateIndexedView(vtxn.ViewDef{
+		Name:    "branch_totals_deferred",
+		Kind:    vtxn.ViewAggregate,
+		Left:    "accounts",
+		GroupBy: []int{1},
+		Aggs: []vtxn.AggSpec{
+			{Func: vtxn.AggCountRows},
+			{Func: vtxn.AggSum, Arg: vtxn.Col(2)},
+		},
+		Strategy: vtxn.StrategyDeferred,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
 	buf, err := json.Marshal(db.Metrics())
 	if err != nil {
 		t.Fatal(err)
@@ -290,7 +313,7 @@ func TestMetricsGoldenSchema(t *testing.T) {
 	}
 	got := map[string]bool{}
 	collectKeyPaths("", decoded, got)
-	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery", "watchdog", "flightrec", "hotspots", "mvcc"} {
+	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery", "watchdog", "flightrec", "hotspots", "mvcc", "deferred"} {
 		if !got[top] {
 			t.Fatalf("snapshot missing top-level section %q", top)
 		}

@@ -20,7 +20,13 @@
 //   - multi-version Snapshot isolation: readers pin a read timestamp at
 //     BeginTx and resolve rows against short version chains with zero
 //     lock-manager traffic, never blocking (or blocked by) escrow writers.
-//     TxOptions.ReadOnly selects the fully log- and lock-free read path.
+//     TxOptions.ReadOnly selects the fully log- and lock-free read path;
+//   - a deferred view-maintenance tier (StrategyDeferred): commits publish
+//     fold deltas to a background applier that batches, coalesces, and folds
+//     them moments later, keeping writers entirely off the view. Each
+//     deferred view carries an applied watermark (DB.ViewWatermark);
+//     DB.WaitForViewWatermark(ctx, view, tx.CommitTS()) is the
+//     read-your-writes barrier.
 //
 // Quickstart:
 //
@@ -126,6 +132,9 @@ const (
 	// timestamp; TraceMVCCPrune marks a version-chain prune pass.
 	TraceSnapshotBegin = metrics.EventSnapshotBegin
 	TraceMVCCPrune     = metrics.EventMVCCPrune
+	// TraceDeferredApply marks the deferred-view applier folding one round of
+	// coalesced deltas into a view.
+	TraceDeferredApply = metrics.EventDeferredApply
 )
 
 // NewSlowLogger returns a Tracer that logs events at or above threshold —
@@ -220,7 +229,11 @@ const (
 	// StrategyXLock is the conventional baseline: transaction-duration X
 	// locks on view rows.
 	StrategyXLock = catalog.StrategyXLock
-	// StrategyDeferred leaves the view stale until DB.RefreshView runs.
+	// StrategyDeferred keeps maintenance out of user transactions: a
+	// background applier folds committed deltas into the view moments after
+	// commit (bounded staleness). Requires a pure commutative aggregate view
+	// (no MIN/MAX). Use DB.WaitForViewWatermark with Tx.CommitTS for
+	// read-your-writes; DB.RefreshView still forces convergence on demand.
 	StrategyDeferred = catalog.StrategyDeferred
 )
 
