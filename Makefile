@@ -4,7 +4,7 @@ GO ?= go
 TORTURE_SEEDS ?= 100
 TORTURE_SMOKE_SEEDS ?= 25
 
-.PHONY: all verify race vet fmt staticcheck lint torture torture-smoke bench-smoke baseline metrics-smoke flightrec-smoke hotspots-smoke mvcc-smoke deferred-smoke
+.PHONY: all verify race vet fmt staticcheck lint torture torture-smoke bench-smoke baseline metrics-smoke flightrec-smoke hotspots-smoke mvcc-smoke deferred-smoke viewdag-smoke
 
 all: verify
 
@@ -16,6 +16,7 @@ verify:
 	$(MAKE) hotspots-smoke
 	$(MAKE) mvcc-smoke
 	$(MAKE) deferred-smoke
+	$(MAKE) viewdag-smoke
 
 # Forensics smoke: induce a real deadlock and assert the flight recorder's
 # automatic dump fires and its JSONL output parses with both transactions'
@@ -41,6 +42,14 @@ mvcc-smoke:
 # to zero lag at quiesce with the view equal to a recompute from base.
 deferred-smoke:
 	$(GO) run ./cmd/deferredsmoke
+
+# View-DAG smoke: truth-check stacked views — concurrent sum-preserving
+# writers against snapshot readers over the 3-level rollup chain, asserting
+# cross-level agreement on every scan (no torn cascades), coalesced folds in
+# topological order, and a no-op cascading refresh at quiesce; runs the chain
+# once escrow-maintained and once fully deferred.
+viewdag-smoke:
+	$(GO) run ./cmd/viewdagsmoke
 
 # Race tier: the short test set under the race detector.
 race:
@@ -72,14 +81,14 @@ torture-smoke:
 	$(GO) run ./cmd/vtxntorture -seeds $(TORTURE_SMOKE_SEEDS)
 
 # Bench-smoke tier: run the headline experiments (F2 writes, T5R snapshot
-# reads, F9D deferred applier) at smoke scale and gate their throughput (>30%
-# regression fails) and allocs/op (>20% growth fails) against the committed
-# baseline; -require pins all three so a dropped experiment fails loudly.
-# Fresh results go to untracked BENCH_fresh*.json so the run never dirties
-# the committed baseline; CI uploads them as artifacts.
+# reads, F9D deferred applier, DAG rollup chain) at smoke scale and gate their
+# throughput (>30% regression fails) and allocs/op (>20% growth fails) against
+# the committed baseline; -require pins all four so a dropped experiment fails
+# loudly. Fresh results go to untracked BENCH_fresh*.json so the run never
+# dirties the committed baseline; CI uploads them as artifacts.
 bench-smoke:
-	$(GO) run ./cmd/viewbench -exp F2,T5R,F9D -smoke -json BENCH_fresh.json -metrics BENCH_fresh_metrics.json -flight-sink BENCH_fresh_flight.jsonl
-	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -fresh BENCH_fresh.json -require F2,T5R,F9D
+	$(GO) run ./cmd/viewbench -exp F2,T5R,F9D,DAG -smoke -json BENCH_fresh.json -metrics BENCH_fresh_metrics.json -flight-sink BENCH_fresh_flight.jsonl
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -fresh BENCH_fresh.json -require F2,T5R,F9D,DAG
 
 # Observability smoke: run the headline experiment with metrics + tracing on
 # and pretty-print the snapshot — a quick eyeball check that every series is
@@ -90,4 +99,4 @@ metrics-smoke:
 
 # Refresh the committed bench-smoke baseline (run on an idle machine).
 baseline:
-	$(GO) run ./cmd/viewbench -exp F2,T5R,F9D -smoke -json BENCH_baseline.json
+	$(GO) run ./cmd/viewbench -exp F2,T5R,F9D,DAG -smoke -json BENCH_baseline.json

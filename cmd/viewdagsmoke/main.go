@@ -1,0 +1,255 @@
+// Command viewdagsmoke is the CI smoke test for view dependency graphs: it
+// builds the 3-level rollup chain (order_totals → customer_totals →
+// region_totals) in the named-column style, runs sum-preserving writers that
+// shift amounts between customers in different regions, and truth-checks the
+// cascade end to end, once with the whole chain escrow-maintained and once
+// fully deferred:
+//
+//	(a) every snapshot read of the chain is cross-level consistent — the
+//	    grand total agrees at all three levels and the row counts nest
+//	    (orders per customer, customers per region), never a torn cascade;
+//	(b) commit-time folds coalesce: the cascade.* metrics show stacked folds
+//	    and coalesced contributions, and in deferred mode the applier folds
+//	    whole components (stacked level folds happen there);
+//	(c) at quiesce every level equals a recompute from its source, and a
+//	    cascading refresh of the root changes nothing.
+//
+// Exit status 0 means the view DAG works end to end.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	vtxn "repro"
+)
+
+func fail(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "viewdagsmoke: FAIL: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+const (
+	writers      = 4
+	items        = 2 * writers // each writer tilts a disjoint pair
+	perItem      = 100
+	grand        = items * perItem
+	regions      = 2
+	readers      = 4
+	scansPerRead = 150
+)
+
+func main() {
+	for _, mode := range []vtxn.Strategy{vtxn.StrategyEscrow, vtxn.StrategyDeferred} {
+		run(mode)
+	}
+}
+
+// itemRow builds one order_items row: every item is its own order, and each
+// customer lives in region customer%regions forever.
+func itemRow(item, amount int64) vtxn.Row {
+	return vtxn.Row{
+		vtxn.Int(item),
+		vtxn.Int(item), // order_id
+		vtxn.Int(item), // customer
+		vtxn.Str(fmt.Sprintf("region-%d", item%regions)),
+		vtxn.Int(amount),
+	}
+}
+
+func run(mode vtxn.Strategy) {
+	dir, err := os.MkdirTemp("", "viewdagsmoke-*")
+	if err != nil {
+		fail("tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	db, err := vtxn.Open(dir, vtxn.Options{Watchdog: true})
+	if err != nil {
+		fail("open: %v", err)
+	}
+	defer db.Close()
+
+	if err := db.CreateTable("order_items", []vtxn.Column{
+		{Name: "item", Kind: vtxn.KindInt64},
+		{Name: "order_id", Kind: vtxn.KindInt64},
+		{Name: "customer", Kind: vtxn.KindInt64},
+		{Name: "region", Kind: vtxn.KindString},
+		{Name: "amount", Kind: vtxn.KindInt64},
+	}, []int{0}); err != nil {
+		fail("create table: %v", err)
+	}
+	sum := func(col string, name string) vtxn.AggSpec {
+		s := vtxn.Sum(col)
+		s.Name = name
+		return s
+	}
+	for _, v := range []vtxn.ViewDef{
+		{Name: "order_totals", Kind: vtxn.ViewAggregate, Source: "order_items",
+			GroupBy:  []string{"order_id", "customer", "region"},
+			Aggs:     []vtxn.AggSpec{sum("amount", "total")},
+			Strategy: mode},
+		{Name: "customer_totals", Kind: vtxn.ViewAggregate, Source: "order_totals",
+			GroupBy:  []string{"customer", "region"},
+			Aggs:     []vtxn.AggSpec{vtxn.CountRows(), sum("total", "total")},
+			Strategy: mode},
+		{Name: "region_totals", Kind: vtxn.ViewAggregate, Source: "customer_totals",
+			GroupBy:  []string{"region"},
+			Aggs:     []vtxn.AggSpec{vtxn.CountRows(), sum("total", "total")},
+			Strategy: mode},
+	} {
+		if err := db.CreateIndexedView(v); err != nil {
+			fail("create view %s: %v", v.Name, err)
+		}
+	}
+
+	// Load: every item its own order and customer, split across regions.
+	tx, err := db.Begin(vtxn.ReadCommitted)
+	if err != nil {
+		fail("begin load: %v", err)
+	}
+	for i := int64(0); i < items; i++ {
+		if err := tx.Insert("order_items", itemRow(i, perItem)); err != nil {
+			fail("load: %v", err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		fail("load commit: %v", err)
+	}
+	if mode == vtxn.StrategyDeferred {
+		ctx, cancel := context.WithTimeout(context.Background(), 30_000_000_000)
+		defer cancel()
+		if err := db.WaitForViewWatermark(ctx, "region_totals", tx.CommitTS()); err != nil {
+			fail("watermark wait after load: %v", err)
+		}
+	}
+	checkChain(db, mode, "after load")
+
+	// Churn: writers shift amount between two items owned by different
+	// customers in different regions — every commit moves totals across the
+	// whole chain but preserves the grand total and all the row counts.
+	var stop atomic.Bool
+	var commits int64
+	var wwg sync.WaitGroup
+	for w := int64(0); w < writers; w++ {
+		wwg.Add(1)
+		go func(w int64) {
+			defer wwg.Done()
+			a, b := 2*w, 2*w+1
+			for i := int64(0); !stop.Load(); i++ {
+				av, bv := int64(perItem-1), int64(perItem+1)
+				if i%2 == 1 {
+					av, bv = perItem, perItem
+				}
+				if err := tilt(db, a, b, av, bv); err != nil {
+					fail("writer %d: %v", w, err)
+				}
+				atomic.AddInt64(&commits, 1)
+			}
+		}(w)
+	}
+	var rwg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			for i := 0; i < scansPerRead; i++ {
+				checkChain(db, mode, fmt.Sprintf("reader %d scan %d", r, i))
+			}
+		}(r)
+	}
+	rwg.Wait()
+	stop.Store(true)
+	wwg.Wait()
+
+	// Quiesce: every level equals its recompute, and a cascading refresh of
+	// the root is a no-op across the whole subtree.
+	if err := db.CheckConsistency(); err != nil {
+		fail("%v consistency at quiesce: %v", mode, err)
+	}
+	n, err := db.RefreshView("order_totals")
+	if err != nil {
+		fail("cascading refresh: %v", err)
+	}
+	if n != 0 {
+		fail("%v: cascading refresh changed %d rows on a consistent chain", mode, n)
+	}
+
+	s := db.Metrics()
+	if s.Cascade.Enqueued == 0 || s.Cascade.Coalesced == 0 {
+		fail("%v: cascade flow enqueued=%d coalesced=%d", mode, s.Cascade.Enqueued, s.Cascade.Coalesced)
+	}
+	if s.Cascade.Folds == 0 || len(s.Cascade.LevelFolds) < 3 ||
+		s.Cascade.LevelFolds[1] == 0 || s.Cascade.LevelFolds[2] == 0 {
+		fail("%v: stacked folds never happened: folds=%d levels=%v", mode, s.Cascade.Folds, s.Cascade.LevelFolds)
+	}
+	fmt.Printf("viewdagsmoke: OK (%v): %d snapshot chain scans consistent against %d tilting commits; %d contributions enqueued (%d coalesced), %d stacked folds (levels %v)\n",
+		mode, readers*scansPerRead, atomic.LoadInt64(&commits),
+		s.Cascade.Enqueued, s.Cascade.Coalesced, s.Cascade.Folds, s.Cascade.LevelFolds)
+}
+
+// checkChain reads all three levels in one snapshot transaction and asserts
+// cross-level agreement: one torn cascade (a parent folded but its dependent
+// not, or levels at different timestamps) breaks one of these equalities.
+func checkChain(db *vtxn.DB, mode vtxn.Strategy, when string) {
+	snap, err := db.BeginTx(context.Background(), vtxn.TxOptions{ReadOnly: true})
+	if err != nil {
+		fail("%s begin: %v", when, err)
+	}
+	defer snap.Commit()
+
+	l0, err := snap.ScanView("order_totals")
+	if err != nil {
+		fail("%s scan L0: %v", when, err)
+	}
+	l1, err := snap.ScanView("customer_totals")
+	if err != nil {
+		fail("%s scan L1: %v", when, err)
+	}
+	l2, err := snap.ScanView("region_totals")
+	if err != nil {
+		fail("%s scan L2: %v", when, err)
+	}
+	var sum0, sum1, sum2, orders1, customers2 int64
+	for _, r := range l0 {
+		sum0 += r.Result[0].AsInt()
+	}
+	for _, r := range l1 {
+		orders1 += r.Result[0].AsInt()
+		sum1 += r.Result[1].AsInt()
+	}
+	for _, r := range l2 {
+		customers2 += r.Result[0].AsInt()
+		sum2 += r.Result[1].AsInt()
+	}
+	if sum0 != grand || sum1 != grand || sum2 != grand {
+		fail("%v %s: torn cascade: totals L0=%d L1=%d L2=%d, want %d",
+			mode, when, sum0, sum1, sum2, grand)
+	}
+	if int64(len(l0)) != items || orders1 != items || int64(len(l1)) != items || customers2 != items {
+		fail("%v %s: row counts do not nest: |L0|=%d orders=%d |L1|=%d customers=%d, want %d",
+			mode, when, len(l0), orders1, len(l1), customers2, items)
+	}
+	if int64(len(l2)) != regions {
+		fail("%v %s: |L2|=%d, want %d", mode, when, len(l2), regions)
+	}
+}
+
+// tilt sets the amounts of items a and b in one committed transaction.
+func tilt(db *vtxn.DB, a, b, av, bv int64) error {
+	tx, err := db.Begin(vtxn.ReadCommitted)
+	if err != nil {
+		return err
+	}
+	if err := tx.Update("order_items", vtxn.Row{vtxn.Int(a)}, map[int]vtxn.Value{4: vtxn.Int(av)}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	if err := tx.Update("order_items", vtxn.Row{vtxn.Int(b)}, map[int]vtxn.Value{4: vtxn.Int(bv)}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}

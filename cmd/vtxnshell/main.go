@@ -278,47 +278,21 @@ func (s *shell) create(args []string) error {
 		if len(args) < 4 || args[2] != "on" {
 			return fmt.Errorf("usage: create view <name> on <table> group <col> [count] [sum:<col>] ...")
 		}
-		name, table := args[1], args[3]
-		tbl, err := s.db.Catalog().Table(table)
-		if err != nil {
-			return err
-		}
-		colIdx := func(n string) (int, error) {
-			if i := tbl.ColIndex(n); i >= 0 {
-				return i, nil
-			}
-			return 0, fmt.Errorf("unknown column %q", n)
-		}
-		def := vtxn.ViewDef{Name: name, Kind: vtxn.ViewAggregate, Left: table}
+		name, source := args[1], args[3]
+		def := vtxn.ViewDef{Name: name, Kind: vtxn.ViewAggregate, Source: source}
 		for i := 4; i < len(args); i++ {
 			switch {
 			case args[i] == "group" && i+1 < len(args):
-				c, err := colIdx(args[i+1])
-				if err != nil {
-					return err
-				}
-				def.GroupBy = append(def.GroupBy, c)
+				def.GroupBy = append(def.GroupBy, args[i+1])
 				i++
 			case args[i] == "count":
-				def.Aggs = append(def.Aggs, vtxn.AggSpec{Func: vtxn.AggCountRows})
+				def.Aggs = append(def.Aggs, vtxn.CountRows())
 			case strings.HasPrefix(args[i], "sum:"):
-				c, err := colIdx(strings.TrimPrefix(args[i], "sum:"))
-				if err != nil {
-					return err
-				}
-				def.Aggs = append(def.Aggs, vtxn.AggSpec{Func: vtxn.AggSum, Arg: vtxn.Col(c)})
+				def.Aggs = append(def.Aggs, vtxn.Sum(strings.TrimPrefix(args[i], "sum:")))
 			case strings.HasPrefix(args[i], "min:"):
-				c, err := colIdx(strings.TrimPrefix(args[i], "min:"))
-				if err != nil {
-					return err
-				}
-				def.Aggs = append(def.Aggs, vtxn.AggSpec{Func: vtxn.AggMin, Arg: vtxn.Col(c)})
+				def.Aggs = append(def.Aggs, vtxn.Min(strings.TrimPrefix(args[i], "min:")))
 			case strings.HasPrefix(args[i], "max:"):
-				c, err := colIdx(strings.TrimPrefix(args[i], "max:"))
-				if err != nil {
-					return err
-				}
-				def.Aggs = append(def.Aggs, vtxn.AggSpec{Func: vtxn.AggMax, Arg: vtxn.Col(c)})
+				def.Aggs = append(def.Aggs, vtxn.Max(strings.TrimPrefix(args[i], "max:")))
 			case args[i] == "strategy" && i+1 < len(args):
 				switch args[i+1] {
 				case "escrow":

@@ -84,12 +84,15 @@ type episode struct {
 	syncMode wal.SyncMode
 	flush    bool // flush buffered log records at the planned shutdown
 
-	accounts int
-	branches int
-	products int
-	joinView bool
+	accounts  int
+	branches  int
+	products  int
+	joinView  bool
+	customers int
+	regions   int
 
 	nextOrder int64
+	nextItem  int64
 	opsDone   int
 }
 
@@ -129,12 +132,25 @@ func runSeed(seed int64, ops int, logf func(format string, a ...any)) (res resul
 // consumed unconditionally so the rng stream stays aligned across shapes.
 func (e *episode) plan(rng *rand.Rand) {
 	e.shape = "banking"
-	if rng.Intn(10) >= 6 {
+	switch r := rng.Intn(10); {
+	case r >= 8:
+		e.shape = "rollup"
+	case r >= 5:
 		e.shape = "orders"
 	}
 	e.strategy = catalog.StrategyEscrow
 	if rng.Intn(10) >= 7 {
 		e.strategy = catalog.StrategyXLock
+	}
+	deferredChain := rng.Intn(3) == 0
+	if e.shape == "rollup" {
+		// A stacked level cannot use X locks; the chain is either all-escrow
+		// or all-deferred (exercising the applier's component cascade under
+		// crash recovery).
+		e.strategy = catalog.StrategyEscrow
+		if deferredChain {
+			e.strategy = catalog.StrategyDeferred
+		}
 	}
 	e.syncMode = wal.SyncNone
 	if rng.Intn(2) == 0 {
@@ -145,6 +161,8 @@ func (e *episode) plan(rng *rand.Rand) {
 	e.branches = 2 + rng.Intn(6)
 	e.products = 3 + rng.Intn(8)
 	e.joinView = rng.Intn(2) == 0
+	e.customers = 5 + rng.Intn(15)
+	e.regions = 2 + rng.Intn(4)
 }
 
 // torture runs the fault-injected half of the episode. A fired fault is the
@@ -196,6 +214,17 @@ func (e *episode) setup(db *core.DB) error {
 		}
 		return w.Setup(db)
 	}
+	if e.shape == "rollup" {
+		w := e.rollup()
+		if err := w.Setup(db); err != nil {
+			return err
+		}
+		if err := w.LoadItems(db, 30, e.seed); err != nil {
+			return err
+		}
+		e.nextItem = 30
+		return nil
+	}
 	w := workload.Orders{
 		Products:     e.products,
 		Skew:         1.5,
@@ -222,10 +251,92 @@ func (e *episode) step(db *core.DB, rng *rand.Rand) error {
 		db.CleanGhosts()
 		return nil
 	}
-	if e.shape == "banking" {
+	switch e.shape {
+	case "banking":
 		return e.bankingTxn(db, rng)
+	case "rollup":
+		return e.rollupTxn(db, rng)
 	}
 	return e.ordersTxn(db, rng)
+}
+
+// rollup builds the episode's stacked-chain workload definition.
+func (e *episode) rollup() workload.Rollup {
+	return workload.Rollup{
+		Customers: e.customers,
+		Regions:   e.regions,
+		Skew:      1.3,
+		Strategy:  e.strategy,
+	}
+}
+
+// rollupTxn mutates 1–3 order items under the 3-level chain: inserts mostly,
+// with amendments and deletes (deletes empty whole order groups, ghosting
+// rows up the cascade), and a 1-in-6 chance of rolling back.
+func (e *episode) rollupTxn(db *core.DB, rng *rand.Rand) error {
+	w := e.rollup()
+	tx, err := db.BeginTx(context.Background(), core.TxOptions{Isolation: txn.ReadCommitted})
+	if err != nil {
+		return err
+	}
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		var err error
+		switch c := rng.Intn(10); {
+		case c < 6: // new item
+			item := e.nextItem
+			e.nextItem++
+			pk := record.Row{record.Int(item)}
+			_, ok, gerr := tx.Get("order_items", pk)
+			if gerr != nil {
+				tx.Rollback()
+				return gerr
+			}
+			if ok {
+				continue
+			}
+			err = tx.Insert("order_items",
+				w.ItemRow(item, int64(rng.Intn(e.customers)), int64(10+rng.Intn(90))))
+		case c < 8: // return an item
+			if e.nextItem == 0 {
+				continue
+			}
+			pk := record.Row{record.Int(rng.Int63n(e.nextItem))}
+			_, ok, gerr := tx.Get("order_items", pk)
+			if gerr != nil {
+				tx.Rollback()
+				return gerr
+			}
+			if !ok {
+				continue
+			}
+			err = tx.Delete("order_items", pk)
+		default: // amend the amount
+			if e.nextItem == 0 {
+				continue
+			}
+			pk := record.Row{record.Int(rng.Int63n(e.nextItem))}
+			row, ok, gerr := tx.Get("order_items", pk)
+			if gerr != nil {
+				tx.Rollback()
+				return gerr
+			}
+			if !ok {
+				continue
+			}
+			err = tx.Update("order_items", pk, map[int]record.Value{
+				4: record.Int(row[4].AsInt()%90 + 10),
+			})
+		}
+		if err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	if rng.Intn(6) == 0 {
+		return tx.Rollback()
+	}
+	return tx.Commit()
 }
 
 // bankingTxn mutates 1–3 accounts: updates mostly, with inserts and deletes
@@ -387,8 +498,11 @@ func (e *episode) verify() error {
 // database; recovery must hand back an instance that takes new transactions.
 func (e *episode) keepWorking(db *core.DB) error {
 	table := "accounts"
-	if e.shape == "orders" {
+	switch e.shape {
+	case "orders":
 		table = "orders"
+	case "rollup":
+		table = "order_items"
 	}
 	if _, err := db.Catalog().Table(table); err != nil {
 		// The crash predated the schema; nothing to exercise.

@@ -102,9 +102,7 @@ func main() {
 	tx, _ = db.BeginTx(context.Background(), vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 	t0 = time.Now()
 	scan, err := tx.AggregateNoView("events", nil, []int{1}, []vtxn.AggSpec{
-		{Func: vtxn.AggCountRows},
-		{Func: vtxn.AggSum, Arg: vtxn.Col(2)},
-		{Func: vtxn.AggAvg, Arg: vtxn.Col(2)},
+		vtxn.CountRows(), vtxn.Sum("amount"), vtxn.Avg("amount"),
 	})
 	scanLat := time.Since(t0)
 	tx.Commit()
@@ -129,16 +127,12 @@ func mustSetup(db *vtxn.DB) {
 	}, []int{0}); err != nil {
 		log.Fatal(err)
 	}
-	aggs := []vtxn.AggSpec{
-		{Func: vtxn.AggCountRows},
-		{Func: vtxn.AggSum, Arg: vtxn.Col(2)},
-		{Func: vtxn.AggAvg, Arg: vtxn.Col(2)},
-	}
+	aggs := []vtxn.AggSpec{vtxn.CountRows(), vtxn.Sum("amount"), vtxn.Avg("amount")}
 	for _, v := range []vtxn.ViewDef{
-		{Name: "stats_live", Kind: vtxn.ViewAggregate, Left: "events",
-			GroupBy: []int{1}, Aggs: aggs, Strategy: vtxn.StrategyEscrow},
-		{Name: "stats_deferred", Kind: vtxn.ViewAggregate, Left: "events",
-			GroupBy: []int{1}, Aggs: aggs, Strategy: vtxn.StrategyDeferred},
+		{Name: "stats_live", Kind: vtxn.ViewAggregate, Source: "events",
+			GroupBy: []string{"kind"}, Aggs: aggs, Strategy: vtxn.StrategyEscrow},
+		{Name: "stats_deferred", Kind: vtxn.ViewAggregate, Source: "events",
+			GroupBy: []string{"kind"}, Aggs: aggs, Strategy: vtxn.StrategyDeferred},
 	} {
 		if err := db.CreateIndexedView(v); err != nil {
 			log.Fatal(err)

@@ -82,10 +82,10 @@ func setup(dir string) *vtxn.DB {
 		log.Fatal(err)
 	}
 	if err := db.CreateIndexedView(vtxn.ViewDef{
-		Name:    "branch_totals",
-		Kind:    vtxn.ViewAggregate,
-		Left:    "accounts",
-		GroupBy: []int{1},
+		Name:        "branch_totals",
+		Kind:        vtxn.ViewAggregate,
+		Left:        "accounts",
+		GroupByCols: []int{1},
 		Aggs: []vtxn.AggSpec{
 			{Func: vtxn.AggCountRows},
 			{Func: vtxn.AggSum, Arg: vtxn.Col(2)},

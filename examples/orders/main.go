@@ -130,10 +130,10 @@ func mustSetup(db *vtxn.DB, strategy vtxn.Strategy, withJoinView bool) {
 		log.Fatal(err)
 	}
 	if err := db.CreateIndexedView(vtxn.ViewDef{
-		Name:    "sales_by_product",
-		Kind:    vtxn.ViewAggregate,
-		Left:    "orders",
-		GroupBy: []int{1},
+		Name:        "sales_by_product",
+		Kind:        vtxn.ViewAggregate,
+		Left:        "orders",
+		GroupByCols: []int{1},
 		Aggs: []vtxn.AggSpec{
 			{Func: vtxn.AggCountRows},
 			{Func: vtxn.AggSum, Arg: vtxn.Col(2)},
@@ -152,7 +152,7 @@ func mustSetup(db *vtxn.DB, strategy vtxn.Strategy, withJoinView bool) {
 			Right:        "products",
 			JoinLeftCol:  1,
 			JoinRightCol: 3,
-			Project:      []int{0, 4, 2, 5},
+			ProjectCols:  []int{0, 4, 2, 5},
 		}); err != nil {
 			log.Fatal(err)
 		}

@@ -39,10 +39,10 @@ func main() {
 	// maintained *inside* every transaction, with escrow locking so
 	// concurrent updates to the same branch never block each other.
 	if err := db.CreateIndexedView(vtxn.ViewDef{
-		Name:    "branch_totals",
-		Kind:    vtxn.ViewAggregate,
-		Left:    "accounts",
-		GroupBy: []int{1}, // branch
+		Name:        "branch_totals",
+		Kind:        vtxn.ViewAggregate,
+		Left:        "accounts",
+		GroupByCols: []int{1}, // branch
 		Aggs: []vtxn.AggSpec{
 			{Func: vtxn.AggCountRows},
 			{Func: vtxn.AggSum, Arg: vtxn.Col(2)}, // SUM(balance)

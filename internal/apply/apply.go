@@ -48,10 +48,13 @@ func NewRegistry(cat *catalog.Catalog) (*Registry, error) {
 }
 
 // Replace swaps in a new catalog (after DDL) and recompiles maintainers.
+// A view's source may be another view: SourceTable supplies the parent's
+// output schema as a pseudo-table, so stacked maintainers compile exactly
+// like flat ones.
 func (r *Registry) Replace(cat *catalog.Catalog) error {
 	ms := make(map[id.Tree]*view.Maintainer)
 	for _, v := range cat.Views() {
-		left, err := cat.Table(v.Left)
+		left, err := cat.SourceTable(v.Left)
 		if err != nil {
 			return err
 		}

@@ -25,7 +25,7 @@ func fixtureRegistry(t *testing.T) (*Registry, id.Tree, id.Tree) {
 	}
 	v, err := cat.AddView(catalog.View{
 		Name: "totals", Kind: catalog.ViewAggregate, Left: "acc",
-		GroupBy: []int{1},
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggCountRows},
 			{Func: expr.AggSum, Arg: expr.Col(2)},

@@ -131,6 +131,7 @@ func All() []Runner {
 		{ID: "T8", Name: "crash recovery", Run: RunT8Recovery},
 		{ID: "F9", Name: "immediate vs deferred maintenance", Run: RunF9Deferred},
 		{ID: "F9D", Name: "deferred tier: applier throughput and drain", Run: RunF9DDeferredApplier},
+		{ID: "DAG", Name: "view DAG: 3-level rollup chain, escrow vs deferred", Run: RunDAGRollupChain},
 		{ID: "T10", Name: "ablations (MIN/MAX, escalation, group commit)", Run: RunT10Ablations},
 		{ID: "T11", Name: "isolation levels and key-range locking", Run: RunT11Isolation},
 	}

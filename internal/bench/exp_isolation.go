@@ -72,7 +72,7 @@ func setupSparseAccounts(db *core.DB) error {
 	}
 	if err := db.CreateIndexedView(catalog.View{
 		Name: workload.ViewName, Kind: catalog.ViewAggregate, Left: "accounts",
-		GroupBy: []int{1}, Aggs: salesAggs(), Strategy: catalog.StrategyEscrow,
+		GroupByCols: []int{1}, Aggs: salesAggs(), Strategy: catalog.StrategyEscrow,
 	}); err != nil {
 		return err
 	}

@@ -270,7 +270,7 @@ func RunT10Ablations(s Scale) (*stats.Table, error) {
 		}
 		if err := db.CreateIndexedView(catalog.View{
 			Name: workload.ViewName, Kind: catalog.ViewAggregate, Left: "accounts",
-			GroupBy: []int{1}, Aggs: aggs, Strategy: catalog.StrategyEscrow,
+			GroupByCols: []int{1}, Aggs: aggs, Strategy: catalog.StrategyEscrow,
 		}); err != nil {
 			cleanup()
 			return nil, err

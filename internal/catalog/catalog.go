@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/expr"
@@ -95,31 +96,70 @@ func (s Strategy) String() string {
 
 // View describes an indexed view.
 //
-// The source is either one table (Left) or the equijoin of Left and Right on
+// The source is either one relation (Source/Left) — a base table or another
+// aggregate view — or the equijoin of Left and Right on
 // Left.col[JoinLeftCol] = Right.col[JoinRightCol]. Expressions and column
 // indexes address the source row: the left row's columns followed — for
-// joins — by the right row's columns.
+// joins — by the right row's columns. For a view source, the source row is
+// the parent view's output row: group columns followed by aggregate outputs.
+//
+// Definitions are written in the named style (Source, GroupBy, Project,
+// expr.NamedCol arguments); AddView resolves every name against the source
+// schema and fills the positional fields, which remain as deprecated shims
+// and as the wire format the WAL/catalog encoding is built on.
 type View struct {
-	Name  string
-	ID    id.Tree
-	Kind  ViewKind
-	Left  string
-	Right string // "" when the source is a single table
-	// Join columns (source-row indexes into the left/right portions).
-	JoinLeftCol  int
-	JoinRightCol int
-	Where        expr.Expr
-	// ViewProjection: output column indexes into the source row.
-	Project []int
-	// ViewAggregate: grouping columns (source-row indexes) and aggregates.
-	GroupBy []int
-	Aggs    []expr.AggSpec
+	Name string
+	ID   id.Tree
+	Kind ViewKind
+	// Source names the source relation (table or aggregate view). It is the
+	// preferred alias for Left: AddView normalizes one into the other and
+	// rejects definitions where both are set but disagree.
+	Source string
+	Left   string
+	Right  string // "" when the source is a single relation
+	// Join columns, named (resolved by AddView) or positional. JoinRightCol
+	// indexes the combined source row, i.e. right-column index + left width.
+	JoinLeftName  string
+	JoinRightName string
+	JoinLeftCol   int
+	JoinRightCol  int
+	Where         expr.Expr
+	// ViewProjection: output columns by name (Project) or source-row index.
+	//
+	// Deprecated: ProjectCols is the positional shim; new definitions should
+	// use Project.
+	Project     []string
+	ProjectCols []int
+	// ViewAggregate: grouping columns by name (GroupBy) or source-row index,
+	// plus the aggregates.
+	//
+	// Deprecated: GroupByCols is the positional shim; new definitions should
+	// use GroupBy.
+	GroupBy     []string
+	GroupByCols []int
+	Aggs        []expr.AggSpec
 	// Strategy selects the maintenance protocol.
 	Strategy Strategy
+
+	// Filled by the catalog: dependency depth (0 over a base table, parent
+	// level + 1 over a view) and whether Left names another view.
+	level   int
+	srcView bool
 }
 
 // Join reports whether the view's source is a two-table join.
 func (v *View) Join() bool { return v.Right != "" }
+
+// OverView reports whether the view's source is another view.
+func (v *View) OverView() bool { return v.srcView }
+
+// Level is the view's depth in the dependency DAG: 0 for a view over a base
+// table, parent level + 1 for a view over a view. Tree-ID order is always a
+// valid topological order (a view can only reference relations that already
+// exist when it is created, and drops are rejected while dependents remain),
+// so maintenance cascades process trees in ascending ID order; Level exists
+// for attribution and diagnostics.
+func (v *View) Level() int { return v.level }
 
 // Catalog is the mutable, thread-safe schema registry. It also allocates
 // tree IDs.
@@ -140,6 +180,8 @@ var (
 	ErrNotFound = errors.New("catalog: object not found")
 	// ErrInvalid reports a definition that fails validation.
 	ErrInvalid = errors.New("catalog: invalid definition")
+	// ErrInUse reports a drop rejected because dependent views remain.
+	ErrInUse = errors.New("catalog: object in use")
 )
 
 // New returns an empty catalog.
@@ -232,60 +274,104 @@ func (c *Catalog) AddIndex(name, table string, cols []int, unique bool) (*Index,
 	return ix, nil
 }
 
-// AddView validates and registers an indexed view definition.
+// AddView validates and registers an indexed view definition: it normalizes
+// the named-column style into positional references, validates the result
+// against the source schema, and — when the source is another view — checks
+// the dependency-DAG rules (aggregate parent, no joins, escrowable
+// aggregates, deferred parents only feed deferred children).
 func (c *Catalog) AddView(v View) (*View, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Normalize the Source alias into Left.
+	if v.Source != "" {
+		if v.Left != "" && v.Left != v.Source {
+			return nil, fmt.Errorf("%w: view %q: Source %q and Left %q disagree", ErrInvalid, v.Name, v.Source, v.Left)
+		}
+		v.Left = v.Source
+	}
+	v.Source = v.Left
 	if c.nameTaken(v.Name) {
 		return nil, fmt.Errorf("%w: %q", ErrExists, v.Name)
 	}
-	left, ok := c.tables[v.Left]
-	if !ok {
-		return nil, fmt.Errorf("%w: base table %q", ErrNotFound, v.Left)
+	leftCols, leftView, err := c.sourceSchemaLocked(v.Left)
+	if err != nil {
+		return nil, err
 	}
-	srcWidth := len(left.Cols)
+	v.srcView = leftView != nil
+	if leftView != nil {
+		v.level = leftView.level + 1
+	}
+	srcCols := leftCols
 	if v.Right != "" {
+		if v.srcView {
+			return nil, fmt.Errorf("%w: view %q: a view over view %q cannot join", ErrInvalid, v.Name, v.Left)
+		}
 		right, ok := c.tables[v.Right]
 		if !ok {
 			return nil, fmt.Errorf("%w: join table %q", ErrNotFound, v.Right)
 		}
-		if v.JoinLeftCol < 0 || v.JoinLeftCol >= len(left.Cols) {
+		if v.JoinLeftName != "" {
+			i := colIndex(leftCols, v.JoinLeftName)
+			if i < 0 {
+				return nil, fmt.Errorf("%w: view %q: join column %q not in %q", ErrInvalid, v.Name, v.JoinLeftName, v.Left)
+			}
+			v.JoinLeftCol = i
+		}
+		if v.JoinRightName != "" {
+			i := right.ColIndex(v.JoinRightName)
+			if i < 0 {
+				return nil, fmt.Errorf("%w: view %q: join column %q not in %q", ErrInvalid, v.Name, v.JoinRightName, v.Right)
+			}
+			v.JoinRightCol = i + len(leftCols)
+		}
+		if v.JoinLeftCol < 0 || v.JoinLeftCol >= len(leftCols) {
 			return nil, fmt.Errorf("%w: join left column %d", ErrInvalid, v.JoinLeftCol)
 		}
-		rightIdx := v.JoinRightCol - len(left.Cols)
+		rightIdx := v.JoinRightCol - len(leftCols)
 		if rightIdx < 0 || rightIdx >= len(right.Cols) {
 			return nil, fmt.Errorf("%w: join right column %d (must index the right portion of the source row)", ErrInvalid, v.JoinRightCol)
 		}
-		if left.Cols[v.JoinLeftCol].Kind != right.Cols[rightIdx].Kind {
+		if leftCols[v.JoinLeftCol].Kind != right.Cols[rightIdx].Kind {
 			return nil, fmt.Errorf("%w: join column kinds differ", ErrInvalid)
 		}
-		srcWidth += len(right.Cols)
+		srcCols = append(append([]Column(nil), leftCols...), right.Cols...)
 	}
-	checkCols := func(what string, idxs []int) error {
-		for _, i := range idxs {
-			if i < 0 || i >= srcWidth {
-				return fmt.Errorf("%w: %s column %d of %d", ErrInvalid, what, i, srcWidth)
-			}
+	resolve := func(name string) (int, error) {
+		if i := colIndex(srcCols, name); i >= 0 {
+			return i, nil
 		}
-		return nil
+		return 0, fmt.Errorf("%w: view %q: column %q not in source %q", ErrInvalid, v.Name, name, v.Left)
+	}
+	// Resolve named column lists into the positional shims (or backfill the
+	// names from a positional definition, so the output schema always has
+	// column names for views stacked on this one).
+	v.GroupBy, v.GroupByCols, err = resolveColList(v.Name, "group-by", v.GroupBy, v.GroupByCols, srcCols, resolve)
+	if err != nil {
+		return nil, err
+	}
+	v.Project, v.ProjectCols, err = resolveColList(v.Name, "project", v.Project, v.ProjectCols, srcCols, resolve)
+	if err != nil {
+		return nil, err
+	}
+	if v.Where, err = expr.ResolveColumns(v.Where, resolve); err != nil {
+		return nil, err
+	}
+	for i := range v.Aggs {
+		if v.Aggs[i].Arg, err = expr.ResolveColumns(v.Aggs[i].Arg, resolve); err != nil {
+			return nil, err
+		}
 	}
 	switch v.Kind {
 	case ViewProjection:
-		if len(v.Project) == 0 {
+		if len(v.ProjectCols) == 0 {
 			return nil, fmt.Errorf("%w: projection view needs output columns", ErrInvalid)
 		}
-		if err := checkCols("project", v.Project); err != nil {
-			return nil, err
-		}
-		if len(v.GroupBy) != 0 || len(v.Aggs) != 0 {
+		if len(v.GroupByCols) != 0 || len(v.Aggs) != 0 {
 			return nil, fmt.Errorf("%w: projection view cannot aggregate", ErrInvalid)
 		}
 	case ViewAggregate:
 		if len(v.Aggs) == 0 {
 			return nil, fmt.Errorf("%w: aggregate view needs aggregates", ErrInvalid)
-		}
-		if err := checkCols("group-by", v.GroupBy); err != nil {
-			return nil, err
 		}
 		for _, a := range v.Aggs {
 			if a.Func == expr.AggCountRows {
@@ -295,8 +381,11 @@ func (c *Catalog) AddView(v View) (*View, error) {
 				return nil, fmt.Errorf("%w: %s needs an argument", ErrInvalid, a.Func)
 			}
 		}
-		if len(v.Project) != 0 {
+		if len(v.ProjectCols) != 0 {
 			return nil, fmt.Errorf("%w: aggregate view cannot project", ErrInvalid)
+		}
+		if err := nameAggs(&v, srcCols); err != nil {
+			return nil, err
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown view kind %d", ErrInvalid, v.Kind)
@@ -316,6 +405,27 @@ func (c *Catalog) AddView(v View) (*View, error) {
 			}
 		}
 	}
+	if v.srcView {
+		// A stacked view's deltas arrive as signed contributions from the
+		// parent's fold/update path, so the child must fold commutatively.
+		if leftView.Kind != ViewAggregate {
+			return nil, fmt.Errorf("%w: view %q: source view %q must be an aggregate view", ErrInvalid, v.Name, v.Left)
+		}
+		if v.Kind != ViewAggregate {
+			return nil, fmt.Errorf("%w: view %q: a view over a view must aggregate", ErrInvalid, v.Name)
+		}
+		for _, a := range v.Aggs {
+			if !a.Func.Escrowable() {
+				return nil, fmt.Errorf("%w: view %q: %s cannot be maintained over view %q", ErrInvalid, v.Name, a.Func, v.Left)
+			}
+		}
+		if v.Strategy == StrategyXLock {
+			return nil, fmt.Errorf("%w: view %q: views over views use escrow or deferred maintenance", ErrInvalid, v.Name)
+		}
+		if leftView.Strategy == StrategyDeferred && v.Strategy != StrategyDeferred {
+			return nil, fmt.Errorf("%w: view %q over deferred view %q must itself be deferred", ErrInvalid, v.Name, v.Left)
+		}
+	}
 	nv := v // copy
 	nv.ID = c.nextTree
 	c.nextTree++
@@ -324,16 +434,233 @@ func (c *Catalog) AddView(v View) (*View, error) {
 	return &nv, nil
 }
 
-// DropView removes a view definition.
+// DropView removes a view definition. It fails with ErrInUse while other
+// views are defined over this one.
 func (c *Catalog) DropView(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.views[name]; !ok {
 		return fmt.Errorf("%w: view %q", ErrNotFound, name)
 	}
+	for _, other := range c.views {
+		if other.Name != name && other.Left == name {
+			return fmt.Errorf("%w: view %q has dependent view %q", ErrInUse, name, other.Name)
+		}
+	}
 	delete(c.views, name)
 	c.viewsOn = nil
 	return nil
+}
+
+// colIndex returns the index of the named column in cols, or -1.
+func colIndex(cols []Column, name string) int {
+	for i, c := range cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// resolveColList reconciles the named and positional forms of a column list:
+// names resolve to indexes, a purely positional list gets its names
+// backfilled from the source schema, and a definition supplying both forms
+// must supply them consistently.
+func resolveColList(view, what string, names []string, idxs []int, srcCols []Column, resolve func(string) (int, error)) ([]string, []int, error) {
+	if len(names) == 0 && len(idxs) == 0 {
+		return nil, nil, nil
+	}
+	if len(names) != 0 {
+		if len(idxs) != 0 && len(idxs) != len(names) {
+			return nil, nil, fmt.Errorf("%w: view %q: %s names and indexes disagree", ErrInvalid, view, what)
+		}
+		resolved := make([]int, len(names))
+		for i, n := range names {
+			idx, err := resolve(n)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(idxs) != 0 && idxs[i] != idx {
+				return nil, nil, fmt.Errorf("%w: view %q: %s column %q resolves to %d, not %d", ErrInvalid, view, what, n, idx, idxs[i])
+			}
+			resolved[i] = idx
+		}
+		return names, resolved, nil
+	}
+	names = make([]string, len(idxs))
+	for i, idx := range idxs {
+		if idx < 0 || idx >= len(srcCols) {
+			return nil, nil, fmt.Errorf("%w: view %q: %s column %d of %d", ErrInvalid, view, what, idx, len(srcCols))
+		}
+		names[i] = srcCols[idx].Name
+	}
+	return names, idxs, nil
+}
+
+// nameAggs fills empty aggregate output names with synthesized ones
+// ("count", "sum_amount", ...) and rejects duplicates among group and
+// aggregate output columns. Synthesis renders column arguments with their
+// source-schema names, so positional definitions get the same readable
+// output columns as named ones (mirroring resolveColList's name backfill).
+func nameAggs(v *View, srcCols []Column) error {
+	taken := make(map[string]bool, len(v.GroupBy)+len(v.Aggs))
+	for _, n := range v.GroupBy {
+		taken[n] = true
+	}
+	for i := range v.Aggs {
+		a := &v.Aggs[i]
+		if a.Name == "" {
+			base := synthAggName(*a, srcCols)
+			a.Name = base
+			for n := 2; taken[a.Name]; n++ {
+				a.Name = fmt.Sprintf("%s_%d", base, n)
+			}
+		} else if taken[a.Name] {
+			return fmt.Errorf("%w: view %q: duplicate output column %q", ErrInvalid, v.Name, a.Name)
+		}
+		taken[a.Name] = true
+	}
+	return nil
+}
+
+// synthAggName derives an output column name from the aggregate spec, e.g.
+// SUM(amount) -> "sum_amount". A plain column argument renders by its
+// source-schema name; anything else falls back to the expression string.
+func synthAggName(a expr.AggSpec, srcCols []Column) string {
+	if a.Func == expr.AggCountRows {
+		return "count"
+	}
+	base := strings.ToLower(a.Func.String())
+	if a.Arg == nil {
+		return base
+	}
+	arg := a.Arg.String()
+	if idx, ok := expr.ColIndex(a.Arg); ok && idx >= 0 && idx < len(srcCols) {
+		arg = srcCols[idx].Name
+	}
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte('_')
+	for _, r := range strings.ToLower(arg) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '_' {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// sourceSchemaLocked returns the column schema of a source relation and, when
+// the source is a view, its definition (nil for a base table).
+func (c *Catalog) sourceSchemaLocked(name string) ([]Column, *View, error) {
+	if t, ok := c.tables[name]; ok {
+		return t.Cols, nil, nil
+	}
+	if v, ok := c.views[name]; ok {
+		cols, err := c.viewOutputColsLocked(v)
+		return cols, v, err
+	}
+	return nil, nil, fmt.Errorf("%w: source relation %q", ErrNotFound, name)
+}
+
+// viewOutputColsLocked derives the output schema of an aggregate view: group
+// columns (source names and kinds) followed by aggregate outputs.
+func (c *Catalog) viewOutputColsLocked(v *View) ([]Column, error) {
+	if v.Kind != ViewAggregate {
+		return nil, fmt.Errorf("%w: view %q has no stackable output schema", ErrInvalid, v.Name)
+	}
+	srcCols, _, err := c.sourceSchemaLocked(v.Left)
+	if err != nil {
+		return nil, err
+	}
+	if v.Right != "" {
+		right, ok := c.tables[v.Right]
+		if !ok {
+			return nil, fmt.Errorf("%w: join table %q", ErrNotFound, v.Right)
+		}
+		srcCols = append(append([]Column(nil), srcCols...), right.Cols...)
+	}
+	out := make([]Column, 0, len(v.GroupByCols)+len(v.Aggs))
+	for gi, ci := range v.GroupByCols {
+		if ci < 0 || ci >= len(srcCols) {
+			return nil, fmt.Errorf("%w: view %q: group-by column %d of %d", ErrInvalid, v.Name, ci, len(srcCols))
+		}
+		name := srcCols[ci].Name
+		if gi < len(v.GroupBy) && v.GroupBy[gi] != "" {
+			name = v.GroupBy[gi]
+		}
+		out = append(out, Column{Name: name, Kind: srcCols[ci].Kind})
+	}
+	zero := zeroRow(srcCols)
+	for _, a := range v.Aggs {
+		name := a.Name
+		if name == "" {
+			name = synthAggName(a, srcCols)
+		}
+		out = append(out, Column{Name: name, Kind: aggKind(a, zero)})
+	}
+	return out, nil
+}
+
+// aggKind probes the output kind of one aggregate column. COUNT variants are
+// BIGINT and AVG is DOUBLE; SUM/MIN/MAX take the argument's kind, probed by
+// evaluating it over a zero-valued source row.
+func aggKind(a expr.AggSpec, zero record.Row) record.Kind {
+	switch a.Func {
+	case expr.AggCountRows, expr.AggCount:
+		return record.KindInt64
+	case expr.AggAvg:
+		return record.KindFloat64
+	}
+	if a.Arg != nil {
+		if v, err := a.Arg.Eval(zero); err == nil && !v.IsNull() {
+			return v.Kind()
+		}
+	}
+	return record.KindInt64
+}
+
+// zeroRow builds a row of typed zero values matching cols, for kind probing.
+func zeroRow(cols []Column) record.Row {
+	row := make(record.Row, len(cols))
+	for i, col := range cols {
+		switch col.Kind {
+		case record.KindFloat64:
+			row[i] = record.Float(0)
+		case record.KindString:
+			row[i] = record.Str("")
+		case record.KindBool:
+			row[i] = record.Bool(false)
+		default:
+			row[i] = record.Int(0)
+		}
+	}
+	return row
+}
+
+// SourceTable resolves a source-relation name to a table schema: the real
+// table, or a pseudo-table describing a view's output rows (group columns
+// followed by aggregate outputs, keyed by the group columns). Maintainers
+// compile against this schema uniformly whether they sit on a table or on
+// another view.
+func (c *Catalog) SourceTable(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if t, ok := c.tables[name]; ok {
+		return t, nil
+	}
+	v, ok := c.views[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: source relation %q", ErrNotFound, name)
+	}
+	cols, err := c.viewOutputColsLocked(v)
+	if err != nil {
+		return nil, err
+	}
+	pk := make([]int, len(v.GroupByCols))
+	for i := range pk {
+		pk[i] = i
+	}
+	return &Table{Name: v.Name, ID: v.ID, Cols: cols, PK: pk}, nil
 }
 
 // Table returns the named table.
@@ -405,10 +732,14 @@ func (c *Catalog) Indexes() []*Index {
 	return out
 }
 
-// ViewsOn returns every view whose source includes the table, sorted by name.
-func (c *Catalog) ViewsOn(table string) []*View {
+// ViewsOn returns every view whose source includes the named relation —
+// a base table or, for stacked views, another view — sorted by name. The
+// per-source cache is keyed by relation name and reset (viewsOn = nil) on
+// every view DDL path (AddView, DropView), so stacked-view entries can never
+// go stale.
+func (c *Catalog) ViewsOn(source string) []*View {
 	c.mu.RLock()
-	out, ok := c.viewsOn[table]
+	out, ok := c.viewsOn[source]
 	c.mu.RUnlock()
 	if ok {
 		return out
@@ -417,12 +748,12 @@ func (c *Catalog) ViewsOn(table string) []*View {
 	// the returned slice; it is shared until the next view DDL.
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if out, ok := c.viewsOn[table]; ok {
+	if out, ok := c.viewsOn[source]; ok {
 		return out
 	}
 	out = make([]*View, 0, 2)
 	for _, v := range c.views {
-		if v.Left == table || v.Right == table {
+		if v.Left == source || v.Right == source {
 			out = append(out, v)
 		}
 	}
@@ -430,7 +761,7 @@ func (c *Catalog) ViewsOn(table string) []*View {
 	if c.viewsOn == nil {
 		c.viewsOn = make(map[string][]*View)
 	}
-	c.viewsOn[table] = out
+	c.viewsOn[source] = out
 	return out
 }
 

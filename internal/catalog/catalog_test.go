@@ -76,10 +76,10 @@ func TestAddIndex(t *testing.T) {
 
 func aggView() View {
 	return View{
-		Name:    "branch_totals",
-		Kind:    ViewAggregate,
-		Left:    "accounts",
-		GroupBy: []int{1},
+		Name:        "branch_totals",
+		Kind:        ViewAggregate,
+		Left:        "accounts",
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggCountRows},
 			{Func: expr.AggSum, Arg: expr.Col(2)},
@@ -117,7 +117,7 @@ func TestAddJoinView(t *testing.T) {
 		Right:        "branches",
 		JoinLeftCol:  1, // accounts.branch
 		JoinRightCol: 3, // branches.id (source-row index: 3 cols of accounts + 0)
-		Project:      []int{0, 2, 4},
+		ProjectCols:  []int{0, 2, 4},
 	}
 	if _, err := c.AddView(v); err != nil {
 		t.Fatal(err)
@@ -132,20 +132,20 @@ func TestAddViewValidation(t *testing.T) {
 	c := testCatalog(t)
 	bad := []View{
 		{Name: "v", Kind: ViewAggregate, Left: "missing", Aggs: []expr.AggSpec{{Func: expr.AggCountRows}}},
-		{Name: "v", Kind: ViewAggregate, Left: "accounts"},                                                                     // no aggs
-		{Name: "v", Kind: ViewAggregate, Left: "accounts", GroupBy: []int{9}, Aggs: []expr.AggSpec{{Func: expr.AggCountRows}}}, // bad group col
-		{Name: "v", Kind: ViewAggregate, Left: "accounts", Aggs: []expr.AggSpec{{Func: expr.AggSum}}},                          // SUM without arg
-		{Name: "v", Kind: ViewProjection, Left: "accounts"},                                                                    // no projection
-		{Name: "v", Kind: ViewProjection, Left: "accounts", Project: []int{5}},                                                 // bad project col
-		{Name: "v", Kind: 99, Left: "accounts"},                                                                                // bad kind
-		{Name: "v", Kind: ViewProjection, Left: "accounts", Right: "missing", Project: []int{0}},                               // bad join table
+		{Name: "v", Kind: ViewAggregate, Left: "accounts"},                                                                         // no aggs
+		{Name: "v", Kind: ViewAggregate, Left: "accounts", GroupByCols: []int{9}, Aggs: []expr.AggSpec{{Func: expr.AggCountRows}}}, // bad group col
+		{Name: "v", Kind: ViewAggregate, Left: "accounts", Aggs: []expr.AggSpec{{Func: expr.AggSum}}},                              // SUM without arg
+		{Name: "v", Kind: ViewProjection, Left: "accounts"},                                                                        // no projection
+		{Name: "v", Kind: ViewProjection, Left: "accounts", ProjectCols: []int{5}},                                                 // bad project col
+		{Name: "v", Kind: 99, Left: "accounts"},                                                                                    // bad kind
+		{Name: "v", Kind: ViewProjection, Left: "accounts", Right: "missing", ProjectCols: []int{0}},                               // bad join table
 		{Name: "v", Kind: ViewProjection, Left: "accounts", Right: "branches",
-			JoinLeftCol: 9, JoinRightCol: 3, Project: []int{0}}, // bad join col
+			JoinLeftCol: 9, JoinRightCol: 3, ProjectCols: []int{0}}, // bad join col
 		{Name: "v", Kind: ViewProjection, Left: "accounts", Right: "branches",
-			JoinLeftCol: 1, JoinRightCol: 0, Project: []int{0}}, // right col not in right portion
+			JoinLeftCol: 1, JoinRightCol: 0, ProjectCols: []int{0}}, // right col not in right portion
 		{Name: "v", Kind: ViewProjection, Left: "accounts", Right: "branches",
-			JoinLeftCol: 1, JoinRightCol: 4, Project: []int{0}}, // kinds differ (int vs string)
-		{Name: "accounts", Kind: ViewProjection, Left: "accounts", Project: []int{0}}, // name clash
+			JoinLeftCol: 1, JoinRightCol: 4, ProjectCols: []int{0}}, // kinds differ (int vs string)
+		{Name: "accounts", Kind: ViewProjection, Left: "accounts", ProjectCols: []int{0}}, // name clash
 	}
 	for i, v := range bad {
 		if _, err := c.AddView(v); err == nil {
@@ -218,7 +218,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		Right:        "branches",
 		JoinLeftCol:  1,
 		JoinRightCol: 3,
-		Project:      []int{0, 4},
+		ProjectCols:  []int{0, 4},
 		Strategy:     StrategyEscrow,
 	})
 
@@ -247,7 +247,9 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		if av.Name != bv.Name || av.ID != bv.ID || av.Kind != bv.Kind ||
 			av.Strategy != bv.Strategy || av.Left != bv.Left || av.Right != bv.Right ||
 			av.JoinLeftCol != bv.JoinLeftCol || av.JoinRightCol != bv.JoinRightCol ||
-			!reflect.DeepEqual(av.Project, bv.Project) || !reflect.DeepEqual(av.GroupBy, bv.GroupBy) {
+			!reflect.DeepEqual(av.Project, bv.Project) || !reflect.DeepEqual(av.GroupBy, bv.GroupBy) ||
+			!reflect.DeepEqual(av.ProjectCols, bv.ProjectCols) || !reflect.DeepEqual(av.GroupByCols, bv.GroupByCols) ||
+			av.Level() != bv.Level() || av.OverView() != bv.OverView() {
 			t.Fatalf("view %d scalar fields differ:\n%+v\n%+v", i, av, bv)
 		}
 		if (av.Where == nil) != (bv.Where == nil) ||
@@ -291,5 +293,130 @@ func TestDecodeErrors(t *testing.T) {
 	bad[0] = 99 // version
 	if _, err := Decode(bad); err == nil {
 		t.Error("bad version accepted")
+	}
+}
+
+// TestNamedPositionalEquivalence pins the API redesign contract: a definition
+// written in the named style resolves to exactly the same view as one written
+// with the deprecated positional fields, and both styles survive an
+// encode/decode round trip identically.
+func TestNamedPositionalEquivalence(t *testing.T) {
+	named := View{
+		Name: "branch_totals", Kind: ViewAggregate, Source: "accounts",
+		GroupBy: []string{"branch"},
+		Aggs: []expr.AggSpec{
+			{Func: expr.AggCountRows},
+			{Func: expr.AggSum, Arg: expr.NamedCol("balance")},
+		},
+	}
+	positional := View{
+		Name: "branch_totals", Kind: ViewAggregate, Left: "accounts",
+		GroupByCols: []int{1},
+		Aggs: []expr.AggSpec{
+			{Func: expr.AggCountRows},
+			{Func: expr.AggSum, Arg: expr.Col(2)},
+		},
+	}
+	build := func(def View) *View {
+		c := testCatalog(t)
+		v, err := c.AddView(def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	nv, pv := build(named), build(positional)
+	if nv.Left != pv.Left || nv.Source != pv.Source {
+		t.Fatalf("source: named %q/%q positional %q/%q", nv.Left, nv.Source, pv.Left, pv.Source)
+	}
+	if !reflect.DeepEqual(nv.GroupByCols, pv.GroupByCols) || !reflect.DeepEqual(nv.GroupBy, pv.GroupBy) {
+		t.Fatalf("group-by: named %v/%v positional %v/%v", nv.GroupByCols, nv.GroupBy, pv.GroupByCols, pv.GroupBy)
+	}
+	for i := range nv.Aggs {
+		if nv.Aggs[i].Name != pv.Aggs[i].Name {
+			t.Fatalf("agg %d name: %q vs %q", i, nv.Aggs[i].Name, pv.Aggs[i].Name)
+		}
+		if nv.Aggs[i].String() != pv.Aggs[i].String() {
+			t.Fatalf("agg %d: %s vs %s", i, nv.Aggs[i].String(), pv.Aggs[i].String())
+		}
+	}
+	if nv.Level() != 0 || nv.OverView() {
+		t.Fatalf("flat view level=%d overView=%v", nv.Level(), nv.OverView())
+	}
+}
+
+// stackedCatalog builds accounts -> branch_totals -> grand_totals.
+func stackedCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := testCatalog(t)
+	if _, err := c.AddView(aggView()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddView(View{
+		Name: "grand_totals", Kind: ViewAggregate, Source: "branch_totals",
+		GroupBy: []string{"count"},
+		Aggs:    []expr.AggSpec{{Func: expr.AggSum, Arg: expr.NamedCol("sum_balance")}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestViewDAGRules pins the catalog's DAG validation and the per-source
+// ViewsOn cache across view DDL.
+func TestViewDAGRules(t *testing.T) {
+	c := stackedCatalog(t)
+	child, err := c.View("grand_totals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Level() != 1 || !child.OverView() {
+		t.Fatalf("stacked view level=%d overView=%v", child.Level(), child.OverView())
+	}
+	// The per-source cache indexes views over views, and resets on DDL.
+	if vs := c.ViewsOn("branch_totals"); len(vs) != 1 || vs[0].Name != "grand_totals" {
+		t.Fatalf("ViewsOn(branch_totals) = %v", vs)
+	}
+	if err := c.DropView("branch_totals"); !errors.Is(err, ErrInUse) {
+		t.Fatalf("mid-DAG drop err = %v", err)
+	}
+	if err := c.DropView("grand_totals"); err != nil {
+		t.Fatal(err)
+	}
+	if vs := c.ViewsOn("branch_totals"); len(vs) != 0 {
+		t.Fatalf("ViewsOn after drop = %v", vs)
+	}
+	if err := c.DropView("branch_totals"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stacked view cannot use X-lock maintenance, MIN/MAX, or a join; a
+	// deferred parent requires a deferred child.
+	c = testCatalog(t)
+	if _, err := c.AddView(View{
+		Name: "parent", Kind: ViewAggregate, Source: "accounts",
+		GroupBy:  []string{"branch"},
+		Aggs:     []expr.AggSpec{{Func: expr.AggSum, Arg: expr.NamedCol("balance")}},
+		Strategy: StrategyDeferred,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bad := []View{
+		{Name: "x", Kind: ViewAggregate, Source: "parent", GroupBy: []string{"branch"},
+			Aggs:     []expr.AggSpec{{Func: expr.AggSum, Arg: expr.NamedCol("sum_balance")}},
+			Strategy: StrategyXLock},
+		{Name: "x", Kind: ViewAggregate, Source: "parent", GroupBy: []string{"branch"},
+			Aggs:     []expr.AggSpec{{Func: expr.AggMax, Arg: expr.NamedCol("sum_balance")}},
+			Strategy: StrategyDeferred},
+		{Name: "x", Kind: ViewProjection, Source: "parent", Project: []string{"branch"}},
+		{Name: "x", Kind: ViewAggregate, Source: "parent", GroupBy: []string{"branch"},
+			Aggs: []expr.AggSpec{{Func: expr.AggSum, Arg: expr.NamedCol("sum_balance")}},
+			// escrow child under a deferred parent would read torn parent state
+			Strategy: StrategyEscrow},
+	}
+	for i, def := range bad {
+		if _, err := c.AddView(def); !errors.Is(err, ErrInvalid) {
+			t.Errorf("bad stacked def %d: err = %v", i, err)
+		}
 	}
 }

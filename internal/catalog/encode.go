@@ -13,7 +13,10 @@ import (
 // ErrCorrupt reports an undecodable catalog blob.
 var ErrCorrupt = errors.New("catalog: corrupt encoding")
 
-const encodingVersion = 1
+// encodingVersion 2 appends the named-column fields (aggregate output names,
+// group-by/project name lists) after each view's version-1 fields; Decode
+// still accepts version-1 blobs, deriving the names from the source schema.
+const encodingVersion = 2
 
 // Encode serializes the whole catalog for the snapshot.
 func (c *Catalog) Encode() []byte {
@@ -69,22 +72,26 @@ func (c *Catalog) Encode() []byte {
 		b = binary.AppendUvarint(b, uint64(v.JoinLeftCol))
 		b = binary.AppendUvarint(b, uint64(v.JoinRightCol))
 		b = putBytes(b, expr.Marshal(v.Where))
-		b = putInts(b, v.Project)
-		b = putInts(b, v.GroupBy)
+		b = putInts(b, v.ProjectCols)
+		b = putInts(b, v.GroupByCols)
 		b = binary.AppendUvarint(b, uint64(len(v.Aggs)))
 		for _, a := range v.Aggs {
 			b = append(b, byte(a.Func))
 			b = putBytes(b, expr.Marshal(a.Arg))
+			b = putString(b, a.Name)
 		}
+		b = putStrings(b, v.Project)
+		b = putStrings(b, v.GroupBy)
 	}
 	return b
 }
 
-// Decode rebuilds a catalog from an Encode blob.
+// Decode rebuilds a catalog from an Encode blob (version 1 or 2).
 func Decode(b []byte) (*Catalog, error) {
 	d := &decoder{buf: b}
-	if v := d.byte_(); v != encodingVersion {
-		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, v)
+	ver := d.byte_()
+	if ver != 1 && ver != encodingVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, ver)
 	}
 	c := New()
 	c.nextTree = id.Tree(d.uvarint())
@@ -116,8 +123,8 @@ func Decode(b []byte) (*Catalog, error) {
 			return nil, fmt.Errorf("%w: view %q where: %v", ErrCorrupt, v.Name, err)
 		}
 		v.Where = where
-		v.Project = d.ints()
-		v.GroupBy = d.ints()
+		v.ProjectCols = d.ints()
+		v.GroupByCols = d.ints()
 		for na := d.uvarint(); na > 0 && d.err == nil; na-- {
 			a := expr.AggSpec{Func: expr.AggFunc(d.byte_())}
 			arg, err := expr.Unmarshal(d.bytes_())
@@ -125,7 +132,14 @@ func Decode(b []byte) (*Catalog, error) {
 				return nil, fmt.Errorf("%w: view %q agg: %v", ErrCorrupt, v.Name, err)
 			}
 			a.Arg = arg
+			if ver >= 2 {
+				a.Name = d.string_()
+			}
 			v.Aggs = append(v.Aggs, a)
+		}
+		if ver >= 2 {
+			v.Project = d.strings_()
+			v.GroupBy = d.strings_()
 		}
 		c.views[v.Name] = v
 	}
@@ -135,7 +149,35 @@ func Decode(b []byte) (*Catalog, error) {
 	if len(d.buf) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf))
 	}
+	if err := c.finishViewsLocked(); err != nil {
+		return nil, err
+	}
 	return c, nil
+}
+
+// finishViewsLocked recomputes the derived DAG fields (Source alias, level,
+// srcView) after decoding, with a defensive cycle check: AddView cannot
+// create a cycle (a view only ever references relations that already exist),
+// but a corrupt blob could, and the schema derivation recurses on the source
+// chain.
+func (c *Catalog) finishViewsLocked() error {
+	for _, v := range c.views {
+		v.Source = v.Left
+		_, v.srcView = c.views[v.Left]
+		lvl := 0
+		for cur := v; ; lvl++ {
+			p, ok := c.views[cur.Left]
+			if !ok {
+				break
+			}
+			if lvl > len(c.views) {
+				return fmt.Errorf("%w: view source cycle through %q", ErrCorrupt, v.Name)
+			}
+			cur = p
+		}
+		v.level = lvl
+	}
+	return nil
 }
 
 func sortByName[T any](s []T, name func(T) string) {
@@ -161,6 +203,14 @@ func putBool(b []byte, v bool) []byte {
 		return append(b, 1)
 	}
 	return append(b, 0)
+}
+
+func putStrings(b []byte, xs []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(xs)))
+	for _, x := range xs {
+		b = putString(b, x)
+	}
+	return b
 }
 
 func putInts(b []byte, xs []int) []byte {
@@ -231,6 +281,19 @@ func (d *decoder) bytes_() []byte {
 	}
 	out := d.buf[:n]
 	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) strings_() []string {
+	n := d.uvarint()
+	if d.err != nil || n > uint64(len(d.buf))+1 {
+		d.fail()
+		return nil
+	}
+	var out []string
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out = append(out, d.string_())
+	}
 	return out
 }
 

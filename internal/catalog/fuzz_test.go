@@ -20,8 +20,8 @@ func FuzzDecode(f *testing.F) {
 	c.AddIndex("t_g", "t", []int{1}, false)
 	c.AddView(View{
 		Name: "agg", Kind: ViewAggregate, Left: "t",
-		Where:   expr.Gt(expr.Col(2), expr.ConstFloat(0)),
-		GroupBy: []int{1},
+		Where:       expr.Gt(expr.Col(2), expr.ConstFloat(0)),
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggCountRows},
 			{Func: expr.AggSum, Arg: expr.Col(2)},

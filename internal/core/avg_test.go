@@ -23,7 +23,7 @@ func setupAvgView(t *testing.T, db *DB) {
 	}
 	if err := db.CreateIndexedView(catalog.View{
 		Name: "branch_avg", Kind: catalog.ViewAggregate, Left: "accounts",
-		GroupBy: []int{1},
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggAvg, Arg: expr.Col(2)},
 			{Func: expr.AggSum, Arg: expr.Col(2)},

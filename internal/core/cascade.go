@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/escrow"
+	"repro/internal/id"
+	"repro/internal/record"
+	"repro/internal/view"
+	"repro/internal/wal"
+)
+
+// This file implements topological fold cascades over the view DAG
+// (DESIGN.md §10). A view's source must already exist when the view is
+// created and a view cannot be dropped while dependents remain, so ascending
+// tree-ID order is a valid topological order of the DAG: folding trees in
+// that order means every parent row change is final before its dependents
+// fold. Both the commit-time escrow fold (tx.go) and the deferred applier
+// (deferred.go) drive their cascades through the foldQueue below.
+
+// foldQueue is a commit-local coalescing queue of pending escrow folds keyed
+// by (view tree, group key). Deltas merge per (column, int/float) cell, so no
+// matter how many base changes or cascade paths feed a group, it folds at
+// most once per transaction — the structural ≤1-fold-per-(view,group)
+// guarantee DESIGN.md §10 documents.
+type foldQueue struct {
+	pending map[id.Tree]map[string][]wal.ColDelta
+}
+
+func newFoldQueue() *foldQueue {
+	return &foldQueue{pending: make(map[id.Tree]map[string][]wal.ColDelta)}
+}
+
+// add merges one cell delta into the queue, splitting mixed int/float
+// accumulations to stay exact. It reports whether the (view, group) entry
+// already existed — a coalesce rather than a new pending fold.
+func (q *foldQueue) add(tree id.Tree, key string, col uint32, d escrow.Delta) bool {
+	rows := q.pending[tree]
+	if rows == nil {
+		rows = make(map[string][]wal.ColDelta)
+		q.pending[tree] = rows
+	}
+	ds, existed := rows[key]
+	if d.Int != 0 {
+		ds = mergeColDelta(ds, wal.ColDelta{Col: col, Int: d.Int})
+	}
+	if d.Float != 0 {
+		ds = mergeColDelta(ds, wal.ColDelta{Col: col, IsFloat: true, Float: d.Float})
+	}
+	if ds == nil {
+		ds = []wal.ColDelta{} // keep the entry: a net-zero fold is still a fold target
+	}
+	rows[key] = ds
+	return existed
+}
+
+// popMinTree removes and returns the queue's lowest pending tree — the next
+// DAG level to fold. Cascades only ever enqueue into strictly larger tree IDs
+// (a child is created after its source), so levels pop in topological order.
+func (q *foldQueue) popMinTree() (id.Tree, map[string][]wal.ColDelta, bool) {
+	var min id.Tree
+	found := false
+	for tid := range q.pending {
+		if !found || tid < min {
+			min, found = tid, true
+		}
+	}
+	if !found {
+		return 0, nil, false
+	}
+	rows := q.pending[min]
+	delete(q.pending, min)
+	return min, rows, true
+}
+
+func mergeColDelta(ds []wal.ColDelta, d wal.ColDelta) []wal.ColDelta {
+	for i := range ds {
+		if ds[i].Col == d.Col && ds[i].IsFloat == d.IsFloat {
+			ds[i].Int += d.Int
+			ds[i].Float += d.Float
+			return ds
+		}
+	}
+	return append(ds, d)
+}
+
+// dropZeroDeltas filters columns whose merged delta cancelled to zero.
+// Folding them would be a no-op that still logs a record — and, on a stacked
+// view, could spuriously create a missing child row.
+func dropZeroDeltas(ds []wal.ColDelta) []wal.ColDelta {
+	out := ds[:0]
+	for _, d := range ds {
+		if (d.IsFloat && d.Float != 0) || (!d.IsFloat && d.Int != 0) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// sortedRowKeys orders one tree's pending group keys for deterministic fold
+// (and therefore WAL) order.
+func sortedRowKeys(rows map[string][]wal.ColDelta) []string {
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// foldResult reports what one fold did to its view row, in the form the
+// cascade needs: the row before and after, and whether each side was visible
+// (present and not a ghost) to the views stacked above.
+type foldResult struct {
+	old, next          record.Row
+	existed            bool
+	oldGhost, newGhost bool
+}
+
+// enqueueCascade translates one parent view row change into child-view
+// deltas: the vanished old row contributes with sign -1, the new row with +1.
+// Columns the change left untouched cancel exactly in the queue's merge, so
+// an unchanged parent row cascades nothing.
+func (db *DB) enqueueCascade(q *foldQueue, m *view.Maintainer, key []byte, fr foldResult, children []*catalog.View) error {
+	oldVisible := fr.existed && !fr.oldGhost
+	newVisible := !fr.newGhost
+	if !oldVisible && !newVisible {
+		return nil
+	}
+	var oldOut, newOut record.Row
+	var err error
+	if oldVisible {
+		if oldOut, err = m.OutputRow(key, fr.old); err != nil {
+			return err
+		}
+	}
+	if newVisible {
+		if newOut, err = m.OutputRow(key, fr.next); err != nil {
+			return err
+		}
+	}
+	for _, child := range children {
+		cm := db.reg.Maintainer(child.ID)
+		if cm == nil {
+			return fmt.Errorf("core: view %q has no compiled maintainer", child.Name)
+		}
+		if oldOut != nil {
+			if err := db.enqueueContribution(q, child, cm, oldOut, -1); err != nil {
+				return err
+			}
+		}
+		if newOut != nil {
+			if err := db.enqueueContribution(q, child, cm, newOut, +1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// enqueueContribution merges one source (= parent output) row's signed
+// contributions to a child view into the queue.
+func (db *DB) enqueueContribution(q *foldQueue, child *catalog.View, cm *view.Maintainer, src record.Row, sign int) error {
+	ok, err := cm.Matches(src)
+	if err != nil || !ok {
+		return err
+	}
+	key, err := cm.GroupKey(src)
+	if err != nil {
+		return err
+	}
+	hidden, contribs, err := cm.Contributions(src, sign)
+	if err != nil {
+		return err
+	}
+	k := string(key)
+	coalesced := q.add(child.ID, k, hidden.Cell, hidden.Delta)
+	for _, c := range contribs {
+		for _, cd := range c.Cells {
+			q.add(child.ID, k, cd.Cell, cd.Delta)
+		}
+	}
+	db.met.Cascade.Enqueued.Add(1)
+	if coalesced {
+		db.met.Cascade.Coalesced.Add(1)
+	}
+	return nil
+}

@@ -9,7 +9,8 @@ import (
 
 // CheckConsistency quiesces the database and verifies the paper's central
 // invariant: every indexed view's live contents equal a recompute-from-
-// scratch over its base tables — including deferred views, once the
+// scratch over its source relation (base tables, or the parent view for a
+// stacked view) — including deferred views, once the
 // background applier has drained. It also checks B-tree structural
 // invariants and that the escrow ledger is empty at quiescence.
 func (db *DB) CheckConsistency() error {
@@ -55,11 +56,10 @@ func (db *DB) CheckConsistency() error {
 		if m == nil {
 			return fmt.Errorf("core: view %q has no maintainer", v.Name)
 		}
-		left, err := cat.Table(v.Left)
-		if err != nil {
-			return err
-		}
-		leftRows, err := db.tableRows(left)
+		// For a view-over-view the recompute reads the parent view's live rows
+		// (in output form), so a stacked chain is checked against the same
+		// rows its maintenance folded from.
+		leftRows, err := db.relationRows(cat, v.Left)
 		if err != nil {
 			return err
 		}

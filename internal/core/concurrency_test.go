@@ -285,7 +285,7 @@ func TestRandomWorkloadStress(t *testing.T) {
 	// A second, X-lock view over the same table stresses both paths at once.
 	if err := db.CreateIndexedView(catalog.View{
 		Name: "branch_totals_x", Kind: catalog.ViewAggregate, Left: "accounts",
-		GroupBy: []int{1},
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggCountRows},
 			{Func: expr.AggSum, Arg: expr.Col(2)},

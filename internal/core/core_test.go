@@ -36,10 +36,10 @@ func setupBanking(t *testing.T, db *DB, strategy catalog.Strategy) {
 		t.Fatal(err)
 	}
 	err = db.CreateIndexedView(catalog.View{
-		Name:    "branch_totals",
-		Kind:    catalog.ViewAggregate,
-		Left:    "accounts",
-		GroupBy: []int{1},
+		Name:        "branch_totals",
+		Kind:        catalog.ViewAggregate,
+		Left:        "accounts",
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggCountRows},
 			{Func: expr.AggSum, Arg: expr.Col(2)},
@@ -381,10 +381,10 @@ func TestMinMaxMaintenance(t *testing.T) {
 	}
 	// MAX forces the X-lock fallback even under the escrow strategy.
 	err = db.CreateIndexedView(catalog.View{
-		Name:    "branch_extremes",
-		Kind:    catalog.ViewAggregate,
-		Left:    "accounts",
-		GroupBy: []int{1},
+		Name:        "branch_extremes",
+		Kind:        catalog.ViewAggregate,
+		Left:        "accounts",
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggCountRows},
 			{Func: expr.AggMax, Arg: expr.Col(2)},
@@ -441,11 +441,11 @@ func TestProjectionViewMaintenance(t *testing.T) {
 		t.Fatal(err)
 	}
 	err = db.CreateIndexedView(catalog.View{
-		Name:    "rich",
-		Kind:    catalog.ViewProjection,
-		Left:    "accounts",
-		Where:   expr.Ge(expr.Col(2), expr.ConstInt(100)),
-		Project: []int{0, 2},
+		Name:        "rich",
+		Kind:        catalog.ViewProjection,
+		Left:        "accounts",
+		Where:       expr.Ge(expr.Col(2), expr.ConstInt(100)),
+		ProjectCols: []int{0, 2},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -506,8 +506,8 @@ func TestJoinViewMaintenance(t *testing.T) {
 				Name: "region_totals", Kind: catalog.ViewAggregate,
 				Left: "accounts", Right: "branches",
 				JoinLeftCol: 1, JoinRightCol: 3, // accounts.branch = branches.id (source col 3)
-				GroupBy: []int{4}, // branches.region (source col 4)
-				Aggs:    []expr.AggSpec{{Func: expr.AggSum, Arg: expr.Col(2)}},
+				GroupByCols: []int{4}, // branches.region (source col 4)
+				Aggs:        []expr.AggSpec{{Func: expr.AggSum, Arg: expr.Col(2)}},
 			})
 		},
 	} {
@@ -638,9 +638,9 @@ func TestDeferredViewValidation(t *testing.T) {
 	// MIN/MAX has no commutative fold: deferred maintenance must refuse it.
 	err = db.CreateIndexedView(catalog.View{
 		Name: "branch_max", Kind: catalog.ViewAggregate, Left: "accounts",
-		GroupBy:  []int{1},
-		Aggs:     []expr.AggSpec{{Func: expr.AggCountRows}, {Func: expr.AggMax, Arg: expr.Col(2)}},
-		Strategy: catalog.StrategyDeferred,
+		GroupByCols: []int{1},
+		Aggs:        []expr.AggSpec{{Func: expr.AggCountRows}, {Func: expr.AggMax, Arg: expr.Col(2)}},
+		Strategy:    catalog.StrategyDeferred,
 	})
 	if !errors.Is(err, catalog.ErrInvalid) {
 		t.Fatalf("deferred MIN/MAX view: %v", err)
@@ -648,7 +648,7 @@ func TestDeferredViewValidation(t *testing.T) {
 	// Projections have no fold arithmetic at all.
 	err = db.CreateIndexedView(catalog.View{
 		Name: "acct_proj", Kind: catalog.ViewProjection, Left: "accounts",
-		Project: []int{0, 2}, Strategy: catalog.StrategyDeferred,
+		ProjectCols: []int{0, 2}, Strategy: catalog.StrategyDeferred,
 	})
 	if !errors.Is(err, catalog.ErrInvalid) {
 		t.Fatalf("deferred projection view: %v", err)
@@ -669,7 +669,7 @@ func TestCreateViewBackfill(t *testing.T) {
 	// View created after data exists must be backfilled.
 	err = db.CreateIndexedView(catalog.View{
 		Name: "branch_totals", Kind: catalog.ViewAggregate, Left: "accounts",
-		GroupBy: []int{1},
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggCountRows},
 			{Func: expr.AggSum, Arg: expr.Col(2)},

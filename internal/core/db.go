@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -225,6 +226,13 @@ var (
 	ErrDeadlock = lock.ErrDeadlock
 	// ErrLockTimeout reports a lock wait that exceeded its timeout.
 	ErrLockTimeout = lock.ErrTimeout
+	// ErrInvalidView is the root sentinel every CreateIndexedView/DropView/
+	// RefreshView validation failure wraps; the chain names the offending view
+	// (and column) by name. errors.Is(err, ErrInvalidView) matches them all.
+	ErrInvalidView = errors.New("core: invalid view operation")
+	// ErrViewInUse (which also wraps ErrInvalidView at the call sites) rejects
+	// dropping a view while other views are defined over it.
+	ErrViewInUse = errors.New("core: view has dependent views")
 )
 
 // Open recovers (or creates) the database at path.
@@ -315,10 +323,18 @@ func Open(path string, opts Options) (*DB, error) {
 	go db.applierLoop(applyInterval)
 	// Deferred deltas pending in the applier queue at a crash were never
 	// logged, so a recovered deferred view may be stale relative to its
-	// (fully recovered) base tables. Recompute each one; the refresh barrier
-	// also initializes its watermark.
+	// (fully recovered) base tables. Recompute each one in tree-ID (topological)
+	// order so parents converge before their dependents; RefreshView cascades
+	// to the dependent subtree, so a view whose source view is itself deferred
+	// is covered by the source's refresh and skipped here.
 	if !st.Summary.Fresh {
-		for _, v := range db.deferredViews() {
+		views := db.deferredViews()
+		sort.Slice(views, func(i, j int) bool { return views[i].ID < views[j].ID })
+		cat := db.Catalog()
+		for _, v := range views {
+			if p, err := cat.View(v.Left); err == nil && p.Strategy == catalog.StrategyDeferred {
+				continue
+			}
 			if _, err := db.RefreshView(v.Name); err != nil {
 				db.Close()
 				return nil, fmt.Errorf("core: recovery refresh of deferred view %q: %w", v.Name, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/apply"
@@ -127,7 +128,7 @@ func (db *DB) CreateIndexedView(def catalog.View) error {
 	return db.ddl(func(c *catalog.Catalog) error {
 		v, err := c.AddView(def)
 		if err != nil {
-			return err
+			return wrapViewErr("create view", def.Name, err)
 		}
 		if v.Strategy == catalog.StrategyDeferred {
 			deferredTree = v.ID
@@ -144,15 +145,20 @@ func (db *DB) CreateIndexedView(def catalog.View) error {
 		if m == nil {
 			return fmt.Errorf("core: view %q has no compiled maintainer", def.Name)
 		}
-		// Block writers of every base table during the backfill scan.
-		left, err := cat.Table(v.Left)
+		// Block writers of the source relation during the backfill scan. For a
+		// view-over-view the pseudo-table's ID is the parent view's tree, so
+		// the S lock serializes against in-flight escrow writers' IX locks:
+		// their commit-time cascade folds land either wholly before the scan
+		// (the recompute sees them) or wholly after (the cascade, which sees
+		// this view in the catalog by then, maintains it incrementally).
+		left, err := cat.SourceTable(v.Left)
 		if err != nil {
 			return err
 		}
 		if err := db.lockTree(st, left.ID, lock.ModeS); err != nil {
 			return err
 		}
-		leftRows, err := db.tableRows(left)
+		leftRows, err := db.relationRows(cat, v.Left)
 		if err != nil {
 			return err
 		}
@@ -198,11 +204,11 @@ func (db *DB) DropView(name string) error {
 	return db.ddl(func(c *catalog.Catalog) error {
 		v, err := c.View(name)
 		if err != nil {
-			return err
+			return wrapViewErr("drop view", name, err)
 		}
 		viewTree = v.ID
 		wasDeferred = v.Strategy == catalog.StrategyDeferred
-		return c.DropView(name)
+		return wrapViewErr("drop view", name, c.DropView(name))
 	}, func(st *txn.Txn) error {
 		// Physically clear the view's tree (logged so recovery agrees).
 		items := db.tree(viewTree).Items(nil, nil, true)
@@ -218,6 +224,58 @@ func (db *DB) DropView(name string) error {
 			db.publishDeferredBarrier(viewTree, ts, true)
 		}
 	})
+}
+
+// wrapViewErr ties a view DDL/refresh failure to its public root sentinel:
+// every failure matches ErrInvalidView, and dependent-view conflicts
+// additionally match ErrViewInUse. The underlying catalog error (which names
+// the offending view or column) stays in the chain.
+func wrapViewErr(op, name string, err error) error {
+	if err == nil || errors.Is(err, ErrInvalidView) {
+		return err
+	}
+	root := error(ErrInvalidView)
+	if errors.Is(err, catalog.ErrInUse) {
+		root = fmt.Errorf("%w: %w", ErrInvalidView, ErrViewInUse)
+	}
+	return fmt.Errorf("%w: %s %q: %w", root, op, name, err)
+}
+
+// relationRows snapshots every live row of a view's source relation in the form
+// maintenance sees it: stored rows for a base table, output rows (group-by
+// columns followed by aggregate results) for a source view. Callers must hold
+// a lock on the source tree; for a view source that tree is the view's own
+// (catalog.SourceTable reports it as the pseudo-table's ID).
+func (db *DB) relationRows(cat *catalog.Catalog, name string) ([]record.Row, error) {
+	v, err := cat.View(name)
+	if err != nil {
+		tbl, terr := cat.Table(name)
+		if terr != nil {
+			return nil, terr
+		}
+		return db.tableRows(tbl)
+	}
+	m := db.reg.Maintainer(v.ID)
+	if m == nil {
+		return nil, fmt.Errorf("core: view %q has no compiled maintainer", name)
+	}
+	var rows []record.Row
+	var scanErr error
+	db.tree(v.ID).Scan(nil, nil, false, func(it btree.Item) bool {
+		stored, err := record.DecodeRow(it.Val)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		out, err := m.OutputRow(it.Key, stored)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		rows = append(rows, out)
+		return true
+	})
+	return rows, scanErr
 }
 
 // tableRows snapshots every live row of a table.

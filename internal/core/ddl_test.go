@@ -124,7 +124,7 @@ func TestDDLUnderConcurrentWriters(t *testing.T) {
 	}
 	err := db.CreateIndexedView(catalog.View{
 		Name: "branch_totals", Kind: catalog.ViewAggregate, Left: "accounts",
-		GroupBy: []int{1},
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggCountRows},
 			{Func: expr.AggSum, Arg: expr.Col(2)},

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -12,10 +13,7 @@ import (
 	"repro/internal/id"
 	"repro/internal/lock"
 	"repro/internal/metrics"
-	"repro/internal/record"
 	"repro/internal/txn"
-	"repro/internal/view"
-	"repro/internal/wal"
 )
 
 // This file is the control plane of the deferred view-maintenance tier
@@ -166,21 +164,45 @@ func (db *DB) applierRound(co *applier.Coalescer) {
 		start := time.Now()
 		applied := 0
 		var retry []applier.GroupDelta
-		for i := 0; i < len(groups); {
-			j := i
-			for j < len(groups) && groups[j].Tree == groups[i].Tree {
-				j++
+		// Partition the round's groups into deferred cascade components: a
+		// deferred parent and its (necessarily deferred) dependents fold in
+		// one system transaction at one commit timestamp, so a snapshot
+		// reader never observes a parent level ahead of its children.
+		cat := db.Catalog()
+		rootOf := make(map[id.Tree]id.Tree)
+		members := make(map[id.Tree][]*catalog.View)
+		for _, v := range db.deferredViews() {
+			r := deferredComponentRoot(cat, v)
+			rootOf[v.ID] = r
+			members[r] = append(members[r], v)
+		}
+		comp := make(map[id.Tree][]applier.GroupDelta)
+		var order []id.Tree
+		for _, g := range groups {
+			r, ok := rootOf[g.Tree]
+			if !ok {
+				continue // view dropped while its deltas were pending
 			}
-			if err := db.applyDeferredView(groups[i].Tree, groups[i:j]); err != nil {
-				// The view's system transaction rolled back whole; keep its
-				// groups pending (merging with later publishes) and hold its
-				// watermark until a retry succeeds.
-				failed[groups[i].Tree] = true
-				retry = append(retry, groups[i:j]...)
+			if _, seen := comp[r]; !seen {
+				order = append(order, r)
+			}
+			comp[r] = append(comp[r], g)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, r := range order {
+			ms := members[r]
+			sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+			if err := db.applyDeferredComponent(ms, comp[r]); err != nil {
+				// The component's system transaction rolled back whole; keep
+				// its groups pending (merging with later publishes) and hold
+				// every member's watermark until a retry succeeds.
+				for _, v := range ms {
+					failed[v.ID] = true
+				}
+				retry = append(retry, comp[r]...)
 			} else {
-				applied += j - i
+				applied += len(comp[r])
 			}
-			i = j
 		}
 		if len(retry) > 0 {
 			co.AddGroups(retry)
@@ -218,23 +240,79 @@ func (db *DB) advanceDeferredWatermarks(wm uint64, except map[id.Tree]bool) {
 	}
 }
 
-// applyDeferredView folds one view's coalesced group deltas in a single
-// system transaction under the view's tree X lock. Holding exactly one lock
-// at a time keeps the applier out of every deadlock cycle: it never waits
-// while holding something a user transaction could want.
-func (db *DB) applyDeferredView(tree id.Tree, groups []applier.GroupDelta) error {
-	m := db.reg.Maintainer(tree)
-	if m == nil {
-		return nil // view dropped while its deltas were pending
+// deferredComponentRoot walks v's source chain upward through deferred views
+// and returns the topmost one's tree — the cascade component v folds under.
+// Flat deferred views (source is a base table, or a non-deferred view) are
+// their own component root.
+func deferredComponentRoot(cat *catalog.Catalog, v *catalog.View) id.Tree {
+	for {
+		p, err := cat.View(v.Left)
+		if err != nil || p.Strategy != catalog.StrategyDeferred {
+			return v.ID
+		}
+		v = p
+	}
+}
+
+// applyDeferredComponent folds one deferred cascade component's coalesced
+// group deltas in a single system transaction: member trees X-lock in
+// ascending ID order (the DAG's topological order, so every multi-tree locker
+// agrees on the order), folds proceed in the same order with each parent row
+// change cascading into its dependents through the fold queue, and the whole
+// cascade commits at one timestamp — every member's watermark then advances
+// together, so no reader ever sees a torn cross-level state. The applier
+// still holds only this one component's locks at a time; if a user
+// transaction's read entangles it in a deadlock, the system transaction rolls
+// back whole and the round retries.
+func (db *DB) applyDeferredComponent(members []*catalog.View, groups []applier.GroupDelta) error {
+	root := db.reg.Maintainer(members[0].ID)
+	if root == nil {
+		return nil // component dropped while its deltas were pending
 	}
 	start := time.Now()
 	err := db.runSysTxn(func(st *txn.Txn) error {
-		if err := db.lockTree(st, tree, lock.ModeX); err != nil {
-			return err
-		}
-		for _, g := range groups {
-			if err := db.applyDeferredGroup(st, m, tree, g); err != nil {
+		for _, v := range members {
+			if err := db.lockTree(st, v.ID, lock.ModeX); err != nil {
 				return err
+			}
+		}
+		q := newFoldQueue()
+		for _, g := range groups {
+			for _, d := range g.Deltas {
+				if d.IsFloat {
+					q.add(g.Tree, g.Key, d.Col, escrow.Delta{Float: d.Float})
+				} else {
+					q.add(g.Tree, g.Key, d.Col, escrow.Delta{Int: d.Int})
+				}
+			}
+		}
+		for {
+			tid, rows, ok := q.popMinTree()
+			if !ok {
+				break
+			}
+			m := db.reg.Maintainer(tid)
+			if m == nil {
+				continue // dropped mid-flight (its dependents went with it)
+			}
+			children := db.Catalog().ViewsOn(m.V.Name)
+			for _, k := range sortedRowKeys(rows) {
+				ds := dropZeroDeltas(rows[k])
+				if len(ds) == 0 {
+					continue
+				}
+				// Deferred maintenance creates no ghosts up front: a new
+				// group's row is created by the fold itself.
+				fr, err := db.foldRow(st, escrow.RowID{Tree: tid, Key: k}, ds, true)
+				if err != nil {
+					return err
+				}
+				db.met.Cascade.ObserveFold(m.V.Level())
+				if len(children) > 0 {
+					if err := db.enqueueCascade(q, m, []byte(k), fr, children); err != nil {
+						return err
+					}
+				}
 			}
 		}
 		return nil
@@ -242,41 +320,12 @@ func (db *DB) applyDeferredView(tree id.Tree, groups []applier.GroupDelta) error
 	if err == nil && db.tracer != nil {
 		db.tracer.TraceEvent(metrics.Event{
 			Type:     metrics.EventDeferredApply,
-			Resource: m.V.Name,
+			Resource: root.V.Name,
 			Rows:     len(groups),
 			Dur:      time.Since(start),
 		})
 	}
 	return err
-}
-
-// applyDeferredGroup folds one group's net delta into its view row: an
-// ordinary escrow fold when the row exists, a fresh insert when the group is
-// new (deferred maintenance creates no ghosts up front), and a skip when the
-// net delta on a missing group is zero.
-func (db *DB) applyDeferredGroup(st *txn.Txn, m *view.Maintainer, tree id.Tree, g applier.GroupDelta) error {
-	key := []byte(g.Key)
-	if _, ok := db.tree(tree).Has(key); ok {
-		return db.foldRow(st, escrow.RowID{Tree: tree, Key: g.Key}, g.Deltas)
-	}
-	next, err := m.ApplyFold(m.NewGroupRow(), g.Deltas)
-	if err != nil {
-		return err
-	}
-	empty, err := m.GroupEmpty(next)
-	if err != nil {
-		return err
-	}
-	if empty {
-		// Net zero against a group that no longer exists (e.g. the ghost was
-		// already cleaned): nothing to write.
-		return nil
-	}
-	latch := db.structLatch(tree, key)
-	latch.Lock()
-	defer latch.Unlock()
-	rec := &wal.Record{Type: wal.TInsert, Tree: tree, Key: key, NewVal: record.EncodeRow(next)}
-	return db.logOp(st, rec)
 }
 
 // deferredViews lists the catalog's deferred views.

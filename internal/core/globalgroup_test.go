@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/record"
+	"repro/internal/txn"
+)
+
+// TestStackedViewGlobalGroup pins two named-API contracts at once: a
+// positional-free definition with no GroupBy at all materializes a single
+// global group (empty key), and an unnamed SUM over a named column
+// synthesizes a readable output name ("sum_balance", not "sum_col2") that a
+// stacked view can reference.
+func TestStackedViewGlobalGroup(t *testing.T) {
+	db := openTestDB(t, Options{})
+	if err := db.CreateTable("accounts", []catalog.Column{
+		{Name: "id", Kind: record.KindInt64},
+		{Name: "branch", Kind: record.KindInt64},
+		{Name: "balance", Kind: record.KindInt64},
+	}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndexedView(catalog.View{
+		Name: "branch_totals", Kind: catalog.ViewAggregate, Source: "accounts",
+		GroupBy: []string{"branch"},
+		Aggs:    []expr.AggSpec{{Func: expr.AggCountRows}, {Func: expr.AggSum, Arg: expr.NamedCol("balance")}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndexedView(catalog.View{
+		Name: "grand_totals", Kind: catalog.ViewAggregate, Source: "branch_totals",
+		Aggs: []expr.AggSpec{{Func: expr.AggSum, Arg: expr.NamedCol("sum_balance")}},
+	}); err != nil {
+		t.Fatalf("global-group stacked view: %v", err)
+	}
+	tx, err := db.Begin(txn.ReadCommitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		if err := tx.Insert("accounts", record.Row{record.Int(i), record.Int(i % 2), record.Int(100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := db.Begin(txn.ReadCommitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rt.ScanView("grand_totals")
+	rt.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0].Key) != 0 || rows[0].Result[0].AsInt() != 400 {
+		t.Fatalf("global group: got %+v, want one empty-key row summing 400", rows)
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,7 +37,7 @@ func setupJoinStress(t *testing.T, db *DB) {
 				Name: "qty_by_name", Kind: catalog.ViewAggregate,
 				Left: "orders", Right: "products",
 				JoinLeftCol: 1, JoinRightCol: 3,
-				GroupBy: []int{4},
+				GroupByCols: []int{4},
 				Aggs: []expr.AggSpec{
 					{Func: expr.AggCountRows},
 					{Func: expr.AggSum, Arg: expr.Col(2)},
@@ -49,7 +49,7 @@ func setupJoinStress(t *testing.T, db *DB) {
 				Name: "details", Kind: catalog.ViewProjection,
 				Left: "orders", Right: "products",
 				JoinLeftCol: 1, JoinRightCol: 3,
-				Project: []int{0, 4, 2},
+				ProjectCols: []int{0, 4, 2},
 			})
 		},
 	} {

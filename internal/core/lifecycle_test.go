@@ -41,9 +41,9 @@ func TestDescribeView(t *testing.T) {
 	// A MIN/MAX view reports the fallback.
 	if err := db.CreateIndexedView(catalog.View{
 		Name: "extremes", Kind: catalog.ViewAggregate, Left: "accounts",
-		GroupBy:  []int{1},
-		Aggs:     []expr.AggSpec{{Func: expr.AggMax, Arg: expr.Col(2)}},
-		Strategy: catalog.StrategyEscrow,
+		GroupByCols: []int{1},
+		Aggs:        []expr.AggSpec{{Func: expr.AggMax, Arg: expr.Col(2)}},
+		Strategy:    catalog.StrategyEscrow,
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -295,6 +295,12 @@ func (db *DB) maintainXLock(tx *Tx, v *catalog.View, m *view.Maintainer, src rec
 		}
 		stored = m.NewGroupRow()
 	}
+	// ApplyFold mutates in place; dependents need the row's pre-image.
+	children := db.Catalog().ViewsOn(v.Name)
+	var oldStored record.Row
+	if len(children) > 0 && ok {
+		oldStored = append(record.Row(nil), stored...)
+	}
 	next, err := m.ApplyFold(stored, deltas)
 	if err != nil {
 		return err
@@ -330,14 +336,66 @@ func (db *DB) maintainXLock(tx *Tx, v *catalog.View, m *view.Maintainer, src rec
 	switch {
 	case !ok:
 		rec := &wal.Record{Type: wal.TInsert, Tree: v.ID, Key: key, NewVal: record.EncodeRow(next)}
-		return db.logOp(tx.t, rec)
+		if err := db.logOp(tx.t, rec); err != nil {
+			return err
+		}
+		return db.cascadeXLock(tx, v, m, key, nil, next, children)
 	case empty:
 		rec := &wal.Record{Type: wal.TDelete, Tree: v.ID, Key: key, OldVal: cur}
-		return db.logOp(tx.t, rec)
+		if err := db.logOp(tx.t, rec); err != nil {
+			return err
+		}
+		return db.cascadeXLock(tx, v, m, key, oldStored, nil, children)
 	default:
 		rec := &wal.Record{Type: wal.TUpdate, Tree: v.ID, Key: key, OldVal: cur, NewVal: record.EncodeRow(next)}
-		return db.logOp(tx.t, rec)
+		if err := db.logOp(tx.t, rec); err != nil {
+			return err
+		}
+		return db.cascadeXLock(tx, v, m, key, oldStored, next, children)
 	}
+}
+
+// cascadeXLock pushes one X-lock-maintained parent row change into the views
+// stacked on it. The X-lock path knows the row's old and new images at DML
+// time, so dependents take the ordinary DML maintenance route: the old output
+// row contributes with sign -1 and the new one with +1 through
+// applySourceDelta, which ledgers escrow and deferred children for the
+// commit-time fold (coalescing with every other path that feeds the same
+// group). Stacked views are never X-lock maintained themselves — the catalog
+// rejects that — so the recursion is one level deep here and the commit-time
+// cascade carries the change the rest of the way down.
+func (db *DB) cascadeXLock(tx *Tx, v *catalog.View, m *view.Maintainer, key []byte, oldStored, newStored record.Row, children []*catalog.View) error {
+	if len(children) == 0 || (oldStored == nil && newStored == nil) {
+		return nil
+	}
+	push := func(stored record.Row, sign int) error {
+		out, err := m.OutputRow(key, stored)
+		if err != nil {
+			return err
+		}
+		for _, child := range children {
+			cm := db.reg.Maintainer(child.ID)
+			if cm == nil {
+				return fmt.Errorf("core: view %q has no compiled maintainer", child.Name)
+			}
+			if err := db.applySourceDelta(tx, child, cm, out, sign); err != nil {
+				return err
+			}
+			db.met.Cascade.Enqueued.Add(1)
+		}
+		return nil
+	}
+	if oldStored != nil {
+		if err := push(oldStored, -1); err != nil {
+			return err
+		}
+	}
+	if newStored != nil {
+		if err := push(newStored, +1); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func colDelta(cd view.CellDelta) wal.ColDelta {

@@ -30,7 +30,7 @@ func benchDB(b *testing.B, strategy catalog.Strategy) *DB {
 	if strategy != 0 {
 		if err := db.CreateIndexedView(catalog.View{
 			Name: "branch_totals", Kind: catalog.ViewAggregate, Left: "accounts",
-			GroupBy: []int{1},
+			GroupByCols: []int{1},
 			Aggs: []expr.AggSpec{
 				{Func: expr.AggCountRows},
 				{Func: expr.AggSum, Arg: expr.Col(2)},

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/catalog"
 	"repro/internal/expr"
 	"repro/internal/id"
@@ -291,9 +294,28 @@ func (tx *Tx) AggregateNoView(table string, where expr.Expr, groupBy []int, aggs
 	if err != nil {
 		return nil, err
 	}
+	// Ad-hoc aggregates accept the same named column references CREATE VIEW
+	// does; resolve them here since this path bypasses the catalog.
+	resolve := func(name string) (int, error) {
+		for i, c := range tbl.Cols {
+			if c.Name == name {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("%w: table %q has no column %q", catalog.ErrNotFound, table, name)
+	}
+	if where, err = expr.ResolveColumns(where, resolve); err != nil {
+		return nil, err
+	}
+	aggs = append([]expr.AggSpec(nil), aggs...)
+	for i := range aggs {
+		if aggs[i].Arg, err = expr.ResolveColumns(aggs[i].Arg, resolve); err != nil {
+			return nil, err
+		}
+	}
 	def := &catalog.View{
 		Name: "(adhoc)", Kind: catalog.ViewAggregate, Left: table,
-		Where: where, GroupBy: groupBy, Aggs: aggs,
+		Where: where, GroupByCols: groupBy, Aggs: aggs,
 	}
 	m, err := view.Compile(def, tbl, nil)
 	if err != nil {
@@ -325,106 +347,153 @@ func (tx *Tx) AggregateNoView(table string, where expr.Expr, groupBy []int, aggs
 	return out, nil
 }
 
-// RefreshView recomputes a view's contents from its base tables in a system
-// transaction, logging the differences. It reports how many view rows
-// changed. For a deferred view it also publishes a barrier to the applier:
-// pending deltas the recompute already incorporated are dropped, and the
-// view's watermark jumps to the refresh's commit timestamp. The barrier is
-// ordered correctly because the refresh holds the base tables' S locks
-// through commit — any commit not included in the recompute serializes after
-// it and publishes its batch later.
+// RefreshView recomputes a view's contents from its source relation in a
+// system transaction, logging the differences, and then cascades: every
+// transitive dependent recomputes from its freshly refreshed source, in
+// ascending tree-ID (= topological) order inside the same system transaction.
+// It reports how many view rows changed across the whole subtree. For each
+// deferred view in the subtree it also publishes a barrier to the applier at
+// the one commit timestamp: pending deltas the recompute already incorporated
+// are dropped, and the views' watermarks jump together — a reader comparing
+// levels never sees a torn cross-level refresh. The barriers are ordered
+// correctly because the refresh holds the source trees' S locks through
+// commit — any commit not included in the recompute serializes after it and
+// publishes its batch later.
 func (db *DB) RefreshView(viewName string) (int, error) {
 	if db.closed.Load() {
 		return 0, ErrClosed
 	}
 	db.gate.RLock()
 	defer db.gate.RUnlock()
-	v, err := db.Catalog().View(viewName)
+	cat := db.Catalog()
+	v, err := cat.View(viewName)
 	if err != nil {
-		return 0, err
+		return 0, wrapViewErr("refresh view", viewName, err)
 	}
-	m := db.reg.Maintainer(v.ID)
+	subtree := viewSubtree(cat, v)
+	var deferredTrees []id.Tree
+	for _, sv := range subtree {
+		if sv.Strategy == catalog.StrategyDeferred {
+			deferredTrees = append(deferredTrees, sv.ID)
+		}
+	}
 	var preFinish func(ts uint64)
-	if v.Strategy == catalog.StrategyDeferred {
-		preFinish = func(ts uint64) { db.publishDeferredBarrier(v.ID, ts, false) }
+	if len(deferredTrees) > 0 {
+		preFinish = func(ts uint64) {
+			for _, tid := range deferredTrees {
+				db.publishDeferredBarrier(tid, ts, false)
+			}
+		}
 	}
 	changed := 0
 	err = db.runSysTxnHook(func(st *txn.Txn) error {
-		// Stabilize the bases and take the view exclusively.
-		left, err := db.Catalog().Table(v.Left)
-		if err != nil {
-			return err
-		}
-		if err := db.lockTree(st, left.ID, lock.ModeS); err != nil {
-			return err
-		}
-		leftRows, err := db.tableRows(left)
-		if err != nil {
-			return err
-		}
-		var rightRows []record.Row
-		if v.Join() {
-			right, err := db.Catalog().Table(v.Right)
+		for _, sv := range subtree {
+			n, err := db.refreshOne(st, cat, sv)
 			if err != nil {
 				return err
 			}
-			if err := db.lockTree(st, right.ID, lock.ModeS); err != nil {
-				return err
-			}
-			if rightRows, err = db.tableRows(right); err != nil {
-				return err
-			}
-		}
-		if err := db.lockTree(st, v.ID, lock.ModeX); err != nil {
-			return err
-		}
-		want, err := m.Recompute(leftRows, rightRows)
-		if err != nil {
-			return err
-		}
-		have := db.tree(v.ID).Items(nil, nil, true)
-		// Merge the two sorted sequences, logging the differences.
-		i, j := 0, 0
-		for i < len(want) || j < len(have) {
-			var cmp int
-			switch {
-			case i >= len(want):
-				cmp = 1
-			case j >= len(have):
-				cmp = -1
-			default:
-				cmp = record.CompareKeys(want[i].Key, have[j].Key)
-			}
-			switch {
-			case cmp < 0: // missing row
-				rec := &wal.Record{Type: wal.TInsert, Tree: v.ID, Key: want[i].Key, NewVal: record.EncodeRow(want[i].Val)}
-				if err := db.logOp(st, rec); err != nil {
-					return err
-				}
-				changed++
-				i++
-			case cmp > 0: // stale row
-				rec := &wal.Record{Type: wal.TDelete, Tree: v.ID, Key: have[j].Key, OldVal: have[j].Val, OldGhost: have[j].Ghost}
-				if err := db.logOp(st, rec); err != nil {
-					return err
-				}
-				changed++
-				j++
-			default:
-				newVal := record.EncodeRow(want[i].Val)
-				if have[j].Ghost || string(newVal) != string(have[j].Val) {
-					rec := &wal.Record{Type: wal.TUpdate, Tree: v.ID, Key: have[j].Key,
-						OldVal: have[j].Val, NewVal: newVal, OldGhost: have[j].Ghost}
-					if err := db.logOp(st, rec); err != nil {
-						return err
-					}
-					changed++
-				}
-				i++
-				j++
-			}
+			changed += n
 		}
 		return nil
 	}, preFinish)
 	return changed, err
+}
+
+// viewSubtree returns v plus every transitive dependent, in ascending tree-ID
+// (= topological) order. Each view has exactly one source, so the walk never
+// visits a view twice.
+func viewSubtree(cat *catalog.Catalog, v *catalog.View) []*catalog.View {
+	subtree := []*catalog.View{v}
+	for i := 0; i < len(subtree); i++ {
+		subtree = append(subtree, cat.ViewsOn(subtree[i].Name)...)
+	}
+	sort.Slice(subtree, func(i, j int) bool { return subtree[i].ID < subtree[j].ID })
+	return subtree
+}
+
+// refreshOne recomputes one view from its source relation and logs the
+// differences. The source S lock is a no-op when the source is a view this
+// transaction already refreshed (the lock manager treats a request covered by
+// the held X mode as granted), so a cascade locks each tree exactly once.
+func (db *DB) refreshOne(st *txn.Txn, cat *catalog.Catalog, v *catalog.View) (int, error) {
+	m := db.reg.Maintainer(v.ID)
+	if m == nil {
+		return 0, fmt.Errorf("core: view %q has no compiled maintainer", v.Name)
+	}
+	// Stabilize the source and take the view exclusively.
+	left, err := cat.SourceTable(v.Left)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.lockTree(st, left.ID, lock.ModeS); err != nil {
+		return 0, err
+	}
+	leftRows, err := db.relationRows(cat, v.Left)
+	if err != nil {
+		return 0, err
+	}
+	var rightRows []record.Row
+	if v.Join() {
+		right, err := cat.Table(v.Right)
+		if err != nil {
+			return 0, err
+		}
+		if err := db.lockTree(st, right.ID, lock.ModeS); err != nil {
+			return 0, err
+		}
+		if rightRows, err = db.tableRows(right); err != nil {
+			return 0, err
+		}
+	}
+	if err := db.lockTree(st, v.ID, lock.ModeX); err != nil {
+		return 0, err
+	}
+	want, err := m.Recompute(leftRows, rightRows)
+	if err != nil {
+		return 0, err
+	}
+	have := db.tree(v.ID).Items(nil, nil, true)
+	// Merge the two sorted sequences, logging the differences.
+	changed := 0
+	i, j := 0, 0
+	for i < len(want) || j < len(have) {
+		var cmp int
+		switch {
+		case i >= len(want):
+			cmp = 1
+		case j >= len(have):
+			cmp = -1
+		default:
+			cmp = record.CompareKeys(want[i].Key, have[j].Key)
+		}
+		switch {
+		case cmp < 0: // missing row
+			rec := &wal.Record{Type: wal.TInsert, Tree: v.ID, Key: want[i].Key, NewVal: record.EncodeRow(want[i].Val)}
+			if err := db.logOp(st, rec); err != nil {
+				return changed, err
+			}
+			changed++
+			i++
+		case cmp > 0: // stale row
+			rec := &wal.Record{Type: wal.TDelete, Tree: v.ID, Key: have[j].Key, OldVal: have[j].Val, OldGhost: have[j].Ghost}
+			if err := db.logOp(st, rec); err != nil {
+				return changed, err
+			}
+			changed++
+			j++
+		default:
+			newVal := record.EncodeRow(want[i].Val)
+			if have[j].Ghost || string(newVal) != string(have[j].Val) {
+				rec := &wal.Record{Type: wal.TUpdate, Tree: v.ID, Key: have[j].Key,
+					OldVal: have[j].Val, NewVal: newVal, OldGhost: have[j].Ghost}
+				if err := db.logOp(st, rec); err != nil {
+					return changed, err
+				}
+				changed++
+			}
+			i++
+			j++
+		}
+	}
+	return changed, nil
 }

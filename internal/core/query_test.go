@@ -157,7 +157,7 @@ func TestGetViewRowProjection(t *testing.T) {
 	}
 	if err := db.CreateIndexedView(catalog.View{
 		Name: "slim", Kind: catalog.ViewProjection, Left: "accounts",
-		Project: []int{0, 2},
+		ProjectCols: []int{0, 2},
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -303,57 +303,66 @@ func (tx *Tx) finish(committed bool) {
 }
 
 // foldEscrow applies the transaction's pending deltas to the view rows under
-// the short structure latch, logging one logical EscrowFold per row. Deltas
-// against deferred views are not folded: they are returned as per-group
-// deltas for the commit to publish to the background applier (deferred.go).
+// the short structure latch, logging one logical EscrowFold per row. Trees
+// fold in ascending tree-ID order — a valid topological order of the view
+// DAG (cascade.go) — and each fold's visible row change is translated into
+// child-view deltas queued behind it, so stacked views fold level by level
+// within the same commit, all stamped at one commit timestamp. Deltas against
+// deferred views are not folded: they are returned as per-group deltas for
+// the commit to publish to the background applier (deferred.go), which runs
+// the cascade below a deferred parent itself.
 func (db *DB) foldEscrow(t *txn.Txn) ([]applier.GroupDelta, error) {
 	cds := db.ledger.TxnDeltas(t.ID)
 	if len(cds) == 0 {
 		return nil, nil
 	}
 	start := time.Now()
-	// Flatten cell deltas into one backing array (splitting mixed int/float
-	// cells to stay exact) and group by row as index ranges — TxnDeltas is
-	// already row-ordered, and one array serves every row's slice.
-	flat := make([]wal.ColDelta, 0, len(cds)+2)
-	type span struct {
-		row        escrow.RowID
-		start, end int
-	}
-	var spanBuf [4]span
-	spans := spanBuf[:0]
+	q := newFoldQueue()
 	for _, cd := range cds {
-		from := len(flat)
-		if cd.Delta.Float != 0 && cd.Delta.Int != 0 {
-			flat = append(flat,
-				wal.ColDelta{Col: cd.Cell.Col, Int: cd.Delta.Int},
-				wal.ColDelta{Col: cd.Cell.Col, IsFloat: true, Float: cd.Delta.Float})
-		} else if cd.Delta.Float != 0 {
-			flat = append(flat, wal.ColDelta{Col: cd.Cell.Col, IsFloat: true, Float: cd.Delta.Float})
-		} else {
-			flat = append(flat, wal.ColDelta{Col: cd.Cell.Col, Int: cd.Delta.Int})
-		}
-		if n := len(spans); n > 0 && spans[n-1].row == cd.Cell.Row {
-			spans[n-1].end = len(flat)
-		} else {
-			spans = append(spans, span{row: cd.Cell.Row, start: from, end: len(flat)})
-		}
+		q.add(cd.Cell.Row.Tree, cd.Cell.Row.Key, cd.Cell.Col, cd.Delta)
 	}
 	var deferredGroups []applier.GroupDelta
 	folded := 0
-	for _, sp := range spans {
-		if m := db.reg.Maintainer(sp.row.Tree); m != nil && m.V.Strategy == catalog.StrategyDeferred {
-			deferredGroups = append(deferredGroups, applier.GroupDelta{
-				Tree:   sp.row.Tree,
-				Key:    sp.row.Key,
-				Deltas: flat[sp.start:sp.end:sp.end],
-			})
+	for {
+		tid, rows, ok := q.popMinTree()
+		if !ok {
+			break
+		}
+		m := db.reg.Maintainer(tid)
+		if m == nil {
+			return nil, fmt.Errorf("core: fold against unknown view %s", tid)
+		}
+		if m.V.Strategy == catalog.StrategyDeferred {
+			for _, k := range sortedRowKeys(rows) {
+				ds := dropZeroDeltas(rows[k])
+				if len(ds) == 0 {
+					continue
+				}
+				deferredGroups = append(deferredGroups, applier.GroupDelta{Tree: tid, Key: k, Deltas: ds})
+				if m.V.OverView() {
+					db.met.Cascade.DeferredOut.Add(1)
+				}
+			}
 			continue
 		}
-		if err := db.foldRow(t, sp.row, flat[sp.start:sp.end:sp.end]); err != nil {
-			return nil, err
+		children := db.Catalog().ViewsOn(m.V.Name)
+		for _, k := range sortedRowKeys(rows) {
+			ds := dropZeroDeltas(rows[k])
+			if len(ds) == 0 {
+				continue
+			}
+			fr, err := db.foldRow(t, escrow.RowID{Tree: tid, Key: k}, ds, m.V.OverView())
+			if err != nil {
+				return nil, err
+			}
+			folded++
+			db.met.Cascade.ObserveFold(m.V.Level())
+			if len(children) > 0 {
+				if err := db.enqueueCascade(q, m, []byte(k), fr, children); err != nil {
+					return nil, err
+				}
+			}
 		}
-		folded++
 	}
 	if folded > 0 {
 		dur := time.Since(start)
@@ -366,15 +375,20 @@ func (db *DB) foldEscrow(t *txn.Txn) ([]applier.GroupDelta, error) {
 	return deferredGroups, nil
 }
 
-// foldRow folds one view row under the structure latch.
-func (db *DB) foldRow(t *txn.Txn, row escrow.RowID, deltas []wal.ColDelta) error {
+// foldRow folds one view row under the structure latch, returning the before
+// and after images the caller's cascade needs. createIfMissing folds against
+// a fresh empty group when the row is absent (stacked and deferred views:
+// their rows are created by the cascade or applier itself, with no ghost
+// pre-creation at DML time); otherwise an absent row is a protocol bug — the
+// ghost a transaction targeted cannot be erased while its deltas are pending.
+func (db *DB) foldRow(t *txn.Txn, row escrow.RowID, deltas []wal.ColDelta, createIfMissing bool) (foldResult, error) {
 	if err := db.hit(fault.PointFold); err != nil {
-		return err
+		return foldResult{}, err
 	}
 	start := time.Now()
 	m := db.reg.Maintainer(row.Tree)
 	if m == nil {
-		return fmt.Errorf("core: fold against unknown view %s", row.Tree)
+		return foldResult{}, fmt.Errorf("core: fold against unknown view %s", row.Tree)
 	}
 	key := []byte(row.Key)
 	latch := db.structLatch(row.Tree, key)
@@ -384,22 +398,26 @@ func (db *DB) foldRow(t *txn.Txn, row escrow.RowID, deltas []wal.ColDelta) error
 	cur, oldGhost, ok := tree.Get(key)
 	var stored record.Row
 	var err error
-	if ok {
+	switch {
+	case ok:
 		if stored, err = record.DecodeRow(cur); err != nil {
-			return err
+			return foldResult{}, err
 		}
-	} else {
-		// The ghost this transaction targeted cannot be erased while its
-		// deltas are pending, so an absent row means a protocol bug.
-		return fmt.Errorf("core: fold target %s[%x] missing", row.Tree, key)
+	case createIfMissing:
+		stored = m.NewGroupRow()
+		oldGhost = true
+	default:
+		return foldResult{}, fmt.Errorf("core: fold target %s[%x] missing", row.Tree, key)
 	}
+	// ApplyFold mutates in place; keep the pre-image for the cascade.
+	old := append(record.Row(nil), stored...)
 	next, err := m.ApplyFold(stored, deltas)
 	if err != nil {
-		return err
+		return foldResult{}, err
 	}
 	empty, err := m.GroupEmpty(next)
 	if err != nil {
-		return err
+		return foldResult{}, err
 	}
 	rec := &wal.Record{
 		Type:     wal.TEscrowFold,
@@ -416,17 +434,25 @@ func (db *DB) foldRow(t *txn.Txn, row escrow.RowID, deltas []wal.ColDelta) error
 	rec.Sys = t.Sys
 	_, walBytes, err := db.log.AppendSized(rec)
 	if err != nil {
-		return err
+		return foldResult{}, err
 	}
 	// Pin the fold's delta version before the tree changes; the pre-image is
-	// already in hand, so chain seeding costs no extra read.
+	// already in hand, so chain seeding costs no extra read. A row this fold
+	// creates (a stacked view's group) seeds its chain with an empty ghost
+	// group rather than an absent base: a delta version cannot resurrect an
+	// absent row, but it can fold an empty ghost into a visible group —
+	// readers below the fold's timestamp still see nothing (ghost), readers
+	// at or above it see the folded row.
 	db.mvcc.Pin(row.Tree, key, rec, t.ID, func() ([]byte, bool, bool) {
+		if !ok {
+			return record.EncodeRow(old), true, true
+		}
 		return cur, oldGhost, ok
 	})
 	tree.Put(key, record.EncodeRow(next), empty)
 	if err := t.RecordOp(rec); err != nil {
 		db.mvcc.Unpin(row.Tree, key, rec)
-		return err
+		return foldResult{}, err
 	}
 	db.folds.Add(1)
 	// Per-view maintenance bill: rows folded, fold latency, WAL volume.
@@ -435,7 +461,7 @@ func (db *DB) foldRow(t *txn.Txn, row escrow.RowID, deltas []wal.ColDelta) error
 		c.FoldNs.Add(time.Since(start).Nanoseconds())
 		c.WALBytes.Add(int64(walBytes))
 	}
-	return nil
+	return foldResult{old: old, next: next, existed: ok, oldGhost: oldGhost, newGhost: empty}, nil
 }
 
 // lockRes acquires res for t honoring the transaction's context and lock

@@ -56,9 +56,13 @@ func (f AggFunc) Escrowable() bool {
 
 // AggSpec is one aggregate column of a view: Func applied to Arg evaluated
 // over each source row. Arg is ignored (may be nil) for AggCountRows.
+// Name, when set, is the output column's name in the view schema — required
+// for views stacked on this one to reference the column; the catalog
+// synthesizes one (e.g. "sum_amount") when left empty.
 type AggSpec struct {
 	Func AggFunc
 	Arg  Expr
+	Name string
 }
 
 // String renders the spec.

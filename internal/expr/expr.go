@@ -67,6 +67,61 @@ type colRef struct{ idx int }
 // Col returns a reference to column idx of the input row.
 func Col(idx int) Expr { return colRef{idx: idx} }
 
+// namedCol references a source column by name. It must be resolved to a
+// positional reference (ResolveColumns) before evaluation — the catalog does
+// this at CREATE VIEW time, so an unresolved reference reaching Eval means
+// the definition bypassed DDL validation.
+type namedCol struct{ name string }
+
+// NamedCol returns a reference to the source column with the given name.
+// View definitions using NamedCol are resolved against the source schema by
+// the catalog when the view is created.
+func NamedCol(name string) Expr { return namedCol{name: name} }
+
+// ErrUnresolved reports a named column reference that was never resolved to
+// a positional one.
+var ErrUnresolved = errors.New("expr: unresolved named column")
+
+func (c namedCol) Eval(record.Row) (record.Value, error) {
+	return record.Value{}, fmt.Errorf("%w: %q", ErrUnresolved, c.name)
+}
+
+func (c namedCol) String() string { return c.name }
+
+// ResolveColumns rewrites every named column reference in e to a positional
+// one using resolve; positional references pass through untouched. A nil e
+// resolves to nil.
+func ResolveColumns(e Expr, resolve func(name string) (int, error)) (Expr, error) {
+	switch t := e.(type) {
+	case nil:
+		return nil, nil
+	case namedCol:
+		idx, err := resolve(t.name)
+		if err != nil {
+			return nil, err
+		}
+		return colRef{idx: idx}, nil
+	case binOp:
+		l, err := ResolveColumns(t.l, resolve)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ResolveColumns(t.r, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return binOp{op: t.op, l: l, r: r}, nil
+	case unary:
+		x, err := ResolveColumns(t.x, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return unary{op: t.op, x: x}, nil
+	default:
+		return e, nil
+	}
+}
+
 func (c colRef) Eval(row record.Row) (record.Value, error) {
 	if c.idx < 0 || c.idx >= len(row) {
 		return record.Value{}, fmt.Errorf("%w: col %d of %d", ErrColumnRange, c.idx, len(row))
@@ -75,6 +130,13 @@ func (c colRef) Eval(row record.Row) (record.Value, error) {
 }
 
 func (c colRef) String() string { return fmt.Sprintf("col%d", c.idx) }
+
+// ColIndex reports the column index when e is a plain (resolved) column
+// reference, so callers holding the source schema can render it by name.
+func ColIndex(e Expr) (int, bool) {
+	c, ok := e.(colRef)
+	return c.idx, ok
+}
 
 // constant is a literal value.
 type constant struct{ v record.Value }
@@ -306,6 +368,7 @@ const (
 	tagConst  byte = 2
 	tagBinary byte = 3
 	tagUnary  byte = 4
+	tagNamed  byte = 5
 )
 
 // Marshal serializes an expression; nil encodes as an empty slice.
@@ -319,6 +382,12 @@ func Marshal(e Expr) []byte {
 func (c colRef) marshal(dst []byte) []byte {
 	dst = append(dst, tagCol)
 	return binary.AppendUvarint(dst, uint64(c.idx))
+}
+
+func (c namedCol) marshal(dst []byte) []byte {
+	dst = append(dst, tagNamed)
+	dst = binary.AppendUvarint(dst, uint64(len(c.name)))
+	return append(dst, c.name...)
 }
 
 func (c constant) marshal(dst []byte) []byte {
@@ -367,6 +436,12 @@ func unmarshal(buf []byte) (Expr, []byte, error) {
 			return nil, nil, ErrCorrupt
 		}
 		return colRef{idx: int(idx)}, buf[n:], nil
+	case tagNamed:
+		n, used := binary.Uvarint(buf)
+		if used <= 0 || n > uint64(len(buf)-used) {
+			return nil, nil, ErrCorrupt
+		}
+		return namedCol{name: string(buf[used : used+int(n)])}, buf[used+int(n):], nil
 	case tagConst:
 		n, used := binary.Uvarint(buf)
 		if used <= 0 || n > uint64(len(buf)-used) {

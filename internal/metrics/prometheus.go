@@ -109,6 +109,17 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 	gauge("vtxn_deferred_staleness_ns", "Age of the oldest unapplied deferred publish (0 when caught up).", s.Deferred.StalenessNs)
 	summary("vtxn_deferred_apply_seconds", "Deferred applier round latency.", s.Deferred.Apply)
 
+	// Stacked-view cascades (views over views).
+	counter("vtxn_cascade_enqueued_total", "Child-view cell deltas produced by parent view row changes.", s.Cascade.Enqueued)
+	counter("vtxn_cascade_coalesced_total", "Cascade deltas merged into an already-pending (view, group) accumulator.", s.Cascade.Coalesced)
+	counter("vtxn_cascade_folds_total", "Commit-time folds of stacked views (DAG level >= 1).", s.Cascade.Folds)
+	counter("vtxn_cascade_deferred_out_total", "Cascade group deltas routed to the deferred applier.", s.Cascade.DeferredOut)
+	fmt.Fprintf(sb, "# HELP vtxn_cascade_level_folds_total Commit-time view folds by DAG level.\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_cascade_level_folds_total counter\n")
+	for i, n := range s.Cascade.LevelFolds {
+		fmt.Fprintf(sb, "vtxn_cascade_level_folds_total{level=\"%d\"} %d\n", i, n)
+	}
+
 	// Stall watchdog + flight recorder.
 	counter("vtxn_watchdog_detections_total", "Stall signatures detected by the watchdog.", s.Watchdog.Detections)
 	fmt.Fprintf(sb, "# HELP vtxn_watchdog_signature_detections_total Watchdog detections by stall signature.\n")

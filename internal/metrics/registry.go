@@ -17,6 +17,7 @@ type Registry struct {
 	Hot      HotMetrics
 	MVCC     MVCCMetrics
 	Deferred DeferredMetrics
+	Cascade  CascadeMetrics
 }
 
 // NewRegistry returns an empty registry with the hot-spot sketches sized to
@@ -272,6 +273,47 @@ func (dm *DeferredMetrics) ObserveQueueDepth(n int) {
 		return
 	}
 	maxInt64(&dm.QueueHighWater, int64(n))
+}
+
+// CascadeLevels is how many view-DAG levels CascadeMetrics attributes
+// individually; deeper levels fall into the last bucket.
+const CascadeLevels = 4
+
+// CascadeMetrics track stacked-view (view-over-view) maintenance: the child
+// deltas parent folds cascade downward, how many of them merge into a
+// (view, group) accumulator already pending in the same transaction — the
+// commit-local coalescing queue's ≤1-fold-per-group guarantee — and how the
+// resulting folds distribute over DAG levels.
+type CascadeMetrics struct {
+	// Enqueued counts child-view cell deltas produced by parent row changes
+	// (both commit-time escrow cascades and DML-time X-lock cascades);
+	// Coalesced the subset merged into an already-pending (view, group)
+	// accumulator instead of creating a new one.
+	Enqueued  atomic.Int64
+	Coalesced atomic.Int64
+	// Folds counts commit-time folds against stacked views (level >= 1) —
+	// folds fed by a cascade rather than by base-table DML directly.
+	Folds atomic.Int64
+	// DeferredOut counts cascade group deltas routed to the deferred applier
+	// instead of folded at commit (escrow parent feeding a deferred child).
+	DeferredOut atomic.Int64
+	// LevelFolds breaks every commit-time view fold down by DAG level
+	// (level 0 = views directly over base tables).
+	LevelFolds [CascadeLevels]atomic.Int64
+}
+
+// ObserveFold records one commit-time fold of a view at the given DAG level.
+func (cm *CascadeMetrics) ObserveFold(level int) {
+	if cm == nil {
+		return
+	}
+	if level >= CascadeLevels {
+		level = CascadeLevels - 1
+	}
+	cm.LevelFolds[level].Add(1)
+	if level > 0 {
+		cm.Folds.Add(1)
+	}
 }
 
 // WatchdogMetrics count stall-watchdog detections by signature.

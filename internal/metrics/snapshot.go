@@ -19,6 +19,7 @@ type Snapshot struct {
 	Hotspots HotspotsSnapshot `json:"hotspots"`
 	MVCC     MVCCSnapshot     `json:"mvcc"`
 	Deferred DeferredSnapshot `json:"deferred"`
+	Cascade  CascadeSnapshot  `json:"cascade"`
 }
 
 // EngineSnapshot are the engine-level transaction counters, plus the
@@ -219,6 +220,19 @@ type DeferredViewSnapshot struct {
 	Watermark uint64 `json:"watermark"`
 }
 
+// CascadeSnapshot summarizes stacked-view (view-over-view) maintenance: child
+// deltas enqueued by parent folds, the coalescing win of the commit-local
+// queue, and per-DAG-level fold counts.
+type CascadeSnapshot struct {
+	Enqueued    int64 `json:"enqueued"`
+	Coalesced   int64 `json:"coalesced"`
+	Folds       int64 `json:"folds"`
+	DeferredOut int64 `json:"deferred_out"`
+	// LevelFolds[i] counts commit-time folds of views at DAG level i (level 0 =
+	// views directly over base tables; the last bucket absorbs deeper levels).
+	LevelFolds []int64 `json:"level_folds"`
+}
+
 // FlightSnapshot reports the flight recorder's state; the engine fills it
 // (the recorder is not registry-owned).
 type FlightSnapshot struct {
@@ -284,6 +298,16 @@ func (r *Registry) Snap() Snapshot {
 		DeltasCoalesced:  r.Deferred.DeltasCoalesced.Load(),
 		QueueHighWater:   r.Deferred.QueueHighWater.Load(),
 		Apply:            r.Deferred.Apply.Snap(),
+	}
+	s.Cascade = CascadeSnapshot{
+		Enqueued:    r.Cascade.Enqueued.Load(),
+		Coalesced:   r.Cascade.Coalesced.Load(),
+		Folds:       r.Cascade.Folds.Load(),
+		DeferredOut: r.Cascade.DeferredOut.Load(),
+		LevelFolds:  make([]int64, CascadeLevels),
+	}
+	for i := range r.Cascade.LevelFolds {
+		s.Cascade.LevelFolds[i] = r.Cascade.LevelFolds[i].Load()
 	}
 	s.MVCC = MVCCSnapshot{
 		Chains:            r.MVCC.Chains.Load(),

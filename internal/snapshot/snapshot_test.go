@@ -24,8 +24,8 @@ func buildFixture(t *testing.T) (*catalog.Catalog, map[id.Tree]*btree.Tree) {
 	}
 	v, err := cat.AddView(catalog.View{
 		Name: "totals", Kind: catalog.ViewAggregate, Left: "accounts",
-		GroupBy: []int{1},
-		Aggs:    []expr.AggSpec{{Func: expr.AggCountRows}},
+		GroupByCols: []int{1},
+		Aggs:        []expr.AggSpec{{Func: expr.AggCountRows}},
 	})
 	if err != nil {
 		t.Fatal(err)

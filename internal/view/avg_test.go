@@ -14,8 +14,8 @@ func avgMaintainer(t *testing.T) *Maintainer {
 	c, accounts, _ := fixtures(t)
 	v, err := c.AddView(catalog.View{
 		Name: "avg_view", Kind: catalog.ViewAggregate, Left: "accounts",
-		GroupBy: []int{1},
-		Aggs:    []expr.AggSpec{{Func: expr.AggAvg, Arg: expr.Col(2)}},
+		GroupByCols: []int{1},
+		Aggs:        []expr.AggSpec{{Func: expr.AggAvg, Arg: expr.Col(2)}},
 	})
 	if err != nil {
 		t.Fatal(err)

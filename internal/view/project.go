@@ -27,8 +27,8 @@ func (m *Maintainer) ProjectEntry(src record.Row) (ProjectionEntry, error) {
 			keyRow = append(keyRow, src[base+pk])
 		}
 	}
-	val := make(record.Row, len(m.V.Project))
-	for i, c := range m.V.Project {
+	val := make(record.Row, len(m.V.ProjectCols))
+	for i, c := range m.V.ProjectCols {
 		if c < 0 || c >= len(src) {
 			return ProjectionEntry{}, fmt.Errorf("%w: project column %d of %d", ErrSchema, c, len(src))
 		}

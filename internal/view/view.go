@@ -149,8 +149,8 @@ func (m *Maintainer) Matches(src record.Row) (bool, error) {
 
 // GroupRow extracts the grouping column values from a source row.
 func (m *Maintainer) GroupRow(src record.Row) (record.Row, error) {
-	out := make(record.Row, len(m.V.GroupBy))
-	for i, c := range m.V.GroupBy {
+	out := make(record.Row, len(m.V.GroupByCols))
+	for i, c := range m.V.GroupByCols {
 		if c < 0 || c >= len(src) {
 			return nil, fmt.Errorf("%w: group column %d of %d", ErrSchema, c, len(src))
 		}
@@ -163,8 +163,8 @@ func (m *Maintainer) GroupRow(src record.Row) (record.Row, error) {
 // straight from the source columns (no intermediate group row), pre-sizing
 // for the common fixed-width kinds.
 func (m *Maintainer) GroupKey(src record.Row) ([]byte, error) {
-	key := make([]byte, 0, 9*len(m.V.GroupBy))
-	for _, c := range m.V.GroupBy {
+	key := make([]byte, 0, 9*len(m.V.GroupByCols))
+	for _, c := range m.V.GroupByCols {
 		if c < 0 || c >= len(src) {
 			return nil, fmt.Errorf("%w: group column %d of %d", ErrSchema, c, len(src))
 		}
@@ -340,6 +340,27 @@ func (m *Maintainer) GroupEmpty(stored record.Row) (bool, error) {
 		return false, fmt.Errorf("%w: stored row lacks hidden count", ErrSchema)
 	}
 	return stored[0].AsInt() == 0, nil
+}
+
+// OutputRow materializes the view's user-visible output row for one stored
+// group: the group column values (decoded from the view key) followed by the
+// aggregate results in definition order. This is the source row a view
+// stacked on this one evaluates its own expressions against, matching the
+// schema catalog.SourceTable derives.
+func (m *Maintainer) OutputRow(key []byte, stored record.Row) (record.Row, error) {
+	group, err := record.DecodeKey(key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: view %q group key: %v", ErrSchema, m.V.Name, err)
+	}
+	if len(group) != len(m.V.GroupByCols) {
+		return nil, fmt.Errorf("%w: view %q key has %d group columns, want %d",
+			ErrSchema, m.V.Name, len(group), len(m.V.GroupByCols))
+	}
+	res, err := m.Result(stored)
+	if err != nil {
+		return nil, err
+	}
+	return append(group, res...), nil
 }
 
 // Result maps a stored value row to the user-visible aggregate results, in

@@ -38,10 +38,10 @@ func aggMaintainer(t *testing.T) *Maintainer {
 	t.Helper()
 	c, accounts, _ := fixtures(t)
 	v, err := c.AddView(catalog.View{
-		Name:    "branch_totals",
-		Kind:    catalog.ViewAggregate,
-		Left:    "accounts",
-		GroupBy: []int{1},
+		Name:        "branch_totals",
+		Kind:        catalog.ViewAggregate,
+		Left:        "accounts",
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggCountRows},
 			{Func: expr.AggSum, Arg: expr.Col(2)},
@@ -93,7 +93,7 @@ func TestCompileValidation(t *testing.T) {
 	}
 	jv, _ := c.AddView(catalog.View{
 		Name: "jv", Kind: catalog.ViewProjection, Left: "accounts", Right: "branches",
-		JoinLeftCol: 1, JoinRightCol: 4, Project: []int{0, 5},
+		JoinLeftCol: 1, JoinRightCol: 4, ProjectCols: []int{0, 5},
 	})
 	if _, err := Compile(jv, accounts, nil); err == nil {
 		t.Fatal("missing right table accepted")
@@ -250,8 +250,8 @@ func TestProjectionEntry(t *testing.T) {
 	c, accounts, branches := fixtures(t)
 	v, err := c.AddView(catalog.View{
 		Name: "rich", Kind: catalog.ViewProjection, Left: "accounts",
-		Where:   expr.Gt(expr.Col(2), expr.ConstInt(1000)),
-		Project: []int{0, 2},
+		Where:       expr.Gt(expr.Col(2), expr.ConstInt(1000)),
+		ProjectCols: []int{0, 2},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -288,7 +288,7 @@ func TestJoinSourceRows(t *testing.T) {
 	v, err := c.AddView(catalog.View{
 		Name: "joined", Kind: catalog.ViewProjection, Left: "accounts", Right: "branches",
 		JoinLeftCol: 1, JoinRightCol: 4, // accounts.branch = branches.id
-		Project: []int{0, 5},
+		ProjectCols: []int{0, 5},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -367,11 +367,11 @@ func TestRecomputeAggregate(t *testing.T) {
 func TestIncrementalMatchesRecompute(t *testing.T) {
 	c, accounts, _ := fixtures(t)
 	v, err := c.AddView(catalog.View{
-		Name:    "totals",
-		Kind:    catalog.ViewAggregate,
-		Left:    "accounts",
-		Where:   expr.Ge(expr.Col(2), expr.ConstInt(0)), // filter: non-negative balances
-		GroupBy: []int{1},
+		Name:        "totals",
+		Kind:        catalog.ViewAggregate,
+		Left:        "accounts",
+		Where:       expr.Ge(expr.Col(2), expr.ConstInt(0)), // filter: non-negative balances
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggCountRows},
 			{Func: expr.AggSum, Arg: expr.Col(2)},
@@ -481,8 +481,8 @@ func TestRecomputeJoin(t *testing.T) {
 		Name: "per_region", Kind: catalog.ViewAggregate,
 		Left: "accounts", Right: "branches",
 		JoinLeftCol: 1, JoinRightCol: 4, // accounts.branch = branches.id
-		GroupBy: []int{5}, // region
-		Aggs:    []expr.AggSpec{{Func: expr.AggSum, Arg: expr.Col(2)}},
+		GroupByCols: []int{5}, // region
+		Aggs:        []expr.AggSpec{{Func: expr.AggSum, Arg: expr.Col(2)}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -524,7 +524,7 @@ func BenchmarkContributions(b *testing.B) {
 	}, []int{0})
 	v, _ := c.AddView(catalog.View{
 		Name: "t", Kind: catalog.ViewAggregate, Left: "accounts",
-		GroupBy: []int{1},
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggCountRows},
 			{Func: expr.AggSum, Arg: expr.Col(2)},

@@ -57,10 +57,10 @@ func (w Orders) Setup(db *core.DB) error {
 		return err
 	}
 	if err := db.CreateIndexedView(catalog.View{
-		Name:    SalesView,
-		Kind:    catalog.ViewAggregate,
-		Left:    "orders",
-		GroupBy: []int{1},
+		Name:        SalesView,
+		Kind:        catalog.ViewAggregate,
+		Left:        "orders",
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggCountRows},
 			{Func: expr.AggSum, Arg: expr.Col(2)},
@@ -79,7 +79,7 @@ func (w Orders) Setup(db *core.DB) error {
 			Right:        "products",
 			JoinLeftCol:  1,
 			JoinRightCol: 3,
-			Project:      []int{0, 4, 2, 5}, // order id, product name, qty, price
+			ProjectCols:  []int{0, 4, 2, 5}, // order id, product name, qty, price
 		}); err != nil {
 			return err
 		}

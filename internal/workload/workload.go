@@ -52,10 +52,10 @@ func (w Banking) Setup(db *core.DB) error {
 		return err
 	}
 	if err := db.CreateIndexedView(catalog.View{
-		Name:    ViewName,
-		Kind:    catalog.ViewAggregate,
-		Left:    "accounts",
-		GroupBy: []int{1},
+		Name:        ViewName,
+		Kind:        catalog.ViewAggregate,
+		Left:        "accounts",
+		GroupByCols: []int{1},
 		Aggs: []expr.AggSpec{
 			{Func: expr.AggCountRows},
 			{Func: expr.AggSum, Arg: expr.Col(2)},

@@ -27,10 +27,10 @@ func mvccBanking(t *testing.T, accounts int, perAccount int64) *vtxn.DB {
 		t.Fatal(err)
 	}
 	if err := db.CreateIndexedView(vtxn.ViewDef{
-		Name:    "branch_totals",
-		Kind:    vtxn.ViewAggregate,
-		Left:    "accounts",
-		GroupBy: []int{1},
+		Name:        "branch_totals",
+		Kind:        vtxn.ViewAggregate,
+		Left:        "accounts",
+		GroupByCols: []int{1},
 		Aggs: []vtxn.AggSpec{
 			{Func: vtxn.AggCountRows},
 			{Func: vtxn.AggSum, Arg: vtxn.Col(2)},

@@ -180,6 +180,8 @@ func TestBeginTxContextCancelAbortsLockWait(t *testing.T) {
 // and removals break the public API and must not happen silently.
 func metricsSchema() []string {
 	schema := []string{
+		"cascade.coalesced", "cascade.deferred_out", "cascade.enqueued",
+		"cascade.folds", "cascade.level_folds",
 		"deferred.apply", "deferred.apply_rounds", "deferred.deltas_coalesced",
 		"deferred.deltas_in", "deferred.groups_applied", "deferred.lag_ts",
 		"deferred.pending_groups", "deferred.published_batches",
@@ -290,10 +292,10 @@ func TestMetricsGoldenSchema(t *testing.T) {
 	// A deferred view populates the deferred.views listing (and the schema's
 	// per-view watermark sub-paths).
 	if err := db.CreateIndexedView(vtxn.ViewDef{
-		Name:    "branch_totals_deferred",
-		Kind:    vtxn.ViewAggregate,
-		Left:    "accounts",
-		GroupBy: []int{1},
+		Name:        "branch_totals_deferred",
+		Kind:        vtxn.ViewAggregate,
+		Left:        "accounts",
+		GroupByCols: []int{1},
 		Aggs: []vtxn.AggSpec{
 			{Func: vtxn.AggCountRows},
 			{Func: vtxn.AggSum, Arg: vtxn.Col(2)},
@@ -313,7 +315,7 @@ func TestMetricsGoldenSchema(t *testing.T) {
 	}
 	got := map[string]bool{}
 	collectKeyPaths("", decoded, got)
-	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery", "watchdog", "flightrec", "hotspots", "mvcc", "deferred"} {
+	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery", "watchdog", "flightrec", "hotspots", "mvcc", "deferred", "cascade"} {
 		if !got[top] {
 			t.Fatalf("snapshot missing top-level section %q", top)
 		}

@@ -28,7 +28,9 @@
 //     DB.WaitForViewWatermark(ctx, view, tx.CommitTS()) is the
 //     read-your-writes barrier.
 //
-// Quickstart:
+// Quickstart — definitions use the named-column style: name the source
+// relation and reference its columns by name; the catalog resolves them at
+// CREATE VIEW time:
 //
 //	db, err := vtxn.Open(dir, vtxn.Options{})
 //	...
@@ -38,16 +40,30 @@
 //	    {Name: "balance", Kind: vtxn.KindInt64},
 //	}, []int{0})
 //	db.CreateIndexedView(vtxn.ViewDef{
-//	    Name: "branch_totals", Kind: vtxn.ViewAggregate, Left: "accounts",
-//	    GroupBy: []int{1},
-//	    Aggs: []vtxn.AggSpec{
-//	        {Func: vtxn.AggCountRows},
-//	        {Func: vtxn.AggSum, Arg: vtxn.Col(2)},
-//	    },
+//	    Name: "branch_totals", Kind: vtxn.ViewAggregate,
+//	    Source:  "accounts",
+//	    GroupBy: []string{"branch"},
+//	    Aggs:    []vtxn.AggSpec{vtxn.CountRows(), vtxn.Sum("balance")},
 //	})
 //	tx, _ := db.BeginTx(ctx, vtxn.TxOptions{Isolation: vtxn.ReadCommitted})
 //	tx.Insert("accounts", vtxn.Row{vtxn.Int(1), vtxn.Int(7), vtxn.Int(100)})
 //	tx.Commit()
+//
+// Views can also stack: a ViewDef whose Source names another aggregate view
+// forms a dependency DAG maintained in topological order, with at most one
+// fold per (view,group) per transaction regardless of how many base-row
+// changes funnel through a shared ancestor:
+//
+//	db.CreateIndexedView(vtxn.ViewDef{
+//	    Name: "region_totals", Kind: vtxn.ViewAggregate,
+//	    Source:  "branch_totals",
+//	    GroupBy: []string{"region"},
+//	    Aggs:    []vtxn.AggSpec{vtxn.Sum("sum_balance")},
+//	})
+//
+// (Aggregate output columns are named — Sum("balance") publishes
+// "sum_balance" unless AggSpec.Name overrides it.) The deprecated positional
+// fields (GroupByCols, ProjectCols, vtxn.Col) still work for flat views.
 //
 // Observability: DB.Metrics() returns a structured snapshot of every engine
 // counter and latency summary, MetricsHandler serves the same data as
@@ -284,6 +300,12 @@ var (
 	// other than Snapshot.
 	ErrReadOnly     = core.ErrReadOnly
 	ErrSnapshotOnly = core.ErrSnapshotOnly
+	// ErrInvalidView is the root sentinel wrapped by every
+	// CreateIndexedView/DropView/RefreshView validation failure; the wrapping
+	// error names the offending view and column. ErrViewInUse rejects dropping
+	// a view while other views are defined over it.
+	ErrInvalidView = core.ErrInvalidView
+	ErrViewInUse   = core.ErrViewInUse
 )
 
 // Open recovers (or creates) the database at path.
@@ -312,7 +334,36 @@ func Bytes(v []byte) Value { return record.Bytes(v) }
 // Expression constructors (see the expr package for semantics).
 
 // Col references column idx of the view's source row.
+//
+// Deprecated: prefer NamedCol; the catalog resolves names against the source
+// schema at CREATE VIEW time.
 func Col(idx int) Expr { return expr.Col(idx) }
+
+// NamedCol references a source column by name; the catalog resolves it when
+// the view is created.
+func NamedCol(name string) Expr { return expr.NamedCol(name) }
+
+// Aggregate constructors for the named definition style. The output column
+// name defaults to "<func>_<col>" ("sum_balance"); set AggSpec.Name to
+// override it — views stacked on this one reference aggregates by that name.
+
+// CountRows is COUNT(*); its output column is named "count".
+func CountRows() AggSpec { return AggSpec{Func: expr.AggCountRows} }
+
+// Count is COUNT(col): non-NULL values only.
+func Count(col string) AggSpec { return AggSpec{Func: expr.AggCount, Arg: expr.NamedCol(col)} }
+
+// Sum is SUM(col).
+func Sum(col string) AggSpec { return AggSpec{Func: expr.AggSum, Arg: expr.NamedCol(col)} }
+
+// Avg is AVG(col), maintained as a (count, sum) pair so it escrow-folds.
+func Avg(col string) AggSpec { return AggSpec{Func: expr.AggAvg, Arg: expr.NamedCol(col)} }
+
+// Min is MIN(col). Not escrow-able: maintenance falls back to X locks.
+func Min(col string) AggSpec { return AggSpec{Func: expr.AggMin, Arg: expr.NamedCol(col)} }
+
+// Max is MAX(col). Not escrow-able: maintenance falls back to X locks.
+func Max(col string) AggSpec { return AggSpec{Func: expr.AggMax, Arg: expr.NamedCol(col)} }
 
 // Const returns a literal expression.
 func Const(v Value) Expr { return expr.Const(v) }

@@ -28,10 +28,10 @@ func setupPublic(t *testing.T, db *vtxn.DB) {
 		t.Fatal(err)
 	}
 	if err := db.CreateIndexedView(vtxn.ViewDef{
-		Name:    "branch_totals",
-		Kind:    vtxn.ViewAggregate,
-		Left:    "accounts",
-		GroupBy: []int{1},
+		Name:        "branch_totals",
+		Kind:        vtxn.ViewAggregate,
+		Left:        "accounts",
+		GroupByCols: []int{1},
 		Aggs: []vtxn.AggSpec{
 			{Func: vtxn.AggCountRows},
 			{Func: vtxn.AggSum, Arg: vtxn.Col(2)},
@@ -119,8 +119,8 @@ func TestPublicAPIExpressionsInViews(t *testing.T) {
 			vtxn.Gt(vtxn.Col(2), vtxn.ConstInt(5)),
 			vtxn.Not(vtxn.Eq(vtxn.Col(1), vtxn.ConstStr("noise"))),
 		),
-		GroupBy: []int{1},
-		Aggs:    []vtxn.AggSpec{{Func: vtxn.AggSum, Arg: vtxn.Mul(vtxn.Col(2), vtxn.ConstInt(2))}},
+		GroupByCols: []int{1},
+		Aggs:        []vtxn.AggSpec{{Func: vtxn.AggSum, Arg: vtxn.Mul(vtxn.Col(2), vtxn.ConstInt(2))}},
 	}); err != nil {
 		t.Fatal(err)
 	}
