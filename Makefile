@@ -4,7 +4,7 @@ GO ?= go
 TORTURE_SEEDS ?= 100
 TORTURE_SMOKE_SEEDS ?= 25
 
-.PHONY: all verify race vet fmt staticcheck lint torture torture-smoke bench-smoke baseline metrics-smoke flightrec-smoke hotspots-smoke mvcc-smoke deferred-smoke viewdag-smoke
+.PHONY: all verify race vet fmt staticcheck lint torture torture-smoke bench-smoke baseline metrics-smoke flightrec-smoke hotspots-smoke mvcc-smoke deferred-smoke viewdag-smoke freshness-smoke
 
 all: verify
 
@@ -17,6 +17,7 @@ verify:
 	$(MAKE) mvcc-smoke
 	$(MAKE) deferred-smoke
 	$(MAKE) viewdag-smoke
+	$(MAKE) freshness-smoke
 
 # Forensics smoke: induce a real deadlock and assert the flight recorder's
 # automatic dump fires and its JSONL output parses with both transactions'
@@ -51,6 +52,15 @@ deferred-smoke:
 viewdag-smoke:
 	$(GO) run ./cmd/viewdagsmoke
 
+# Freshness smoke: truth-check the observability plane — one marked commit's
+# causal span crosses the deferred boundary into every level of the rollup
+# chain (publish → fold → watermark advance, over the JSONL flight record),
+# the per-view commit-to-visible accounting nests inside a client-measured
+# window with staleness gauges at zero when drained, and an injected applier
+# delay trips the freshness-SLO watchdog naming the lagging view.
+freshness-smoke:
+	$(GO) run ./cmd/freshnesssmoke
+
 # Race tier: the short test set under the race detector.
 race:
 	$(GO) test -race -short ./...
@@ -82,13 +92,16 @@ torture-smoke:
 
 # Bench-smoke tier: run the headline experiments (F2 writes, T5R snapshot
 # reads, F9D deferred applier, DAG rollup chain) at smoke scale and gate their
-# throughput (>30% regression fails) and allocs/op (>20% growth fails) against
-# the committed baseline; -require pins all four so a dropped experiment fails
-# loudly. Fresh results go to untracked BENCH_fresh*.json so the run never
-# dirties the committed baseline; CI uploads them as artifacts.
+# throughput (>30% regression fails), allocs/op (>20% growth fails), and p99
+# commit-to-visible (>5x growth fails, where the baseline records it — the
+# wide ceiling absorbs scheduler jitter on µs-scale latencies while still
+# catching an applier that stalls into milliseconds) against the committed
+# baseline; -require pins all four so a dropped experiment fails loudly.
+# Fresh results go to untracked BENCH_fresh*.json so the run never dirties
+# the committed baseline; CI uploads them as artifacts.
 bench-smoke:
-	$(GO) run ./cmd/viewbench -exp F2,T5R,F9D,DAG -smoke -json BENCH_fresh.json -metrics BENCH_fresh_metrics.json -flight-sink BENCH_fresh_flight.jsonl
-	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -fresh BENCH_fresh.json -require F2,T5R,F9D,DAG
+	$(GO) run ./cmd/viewbench -exp F2,T5R,F9D,DAG -smoke -freshness -json BENCH_fresh.json -metrics BENCH_fresh_metrics.json -flight-sink BENCH_fresh_flight.jsonl
+	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -fresh BENCH_fresh.json -require F2,T5R,F9D,DAG -freshness-threshold 4
 
 # Observability smoke: run the headline experiment with metrics + tracing on
 # and pretty-print the snapshot — a quick eyeball check that every series is
@@ -99,4 +112,4 @@ metrics-smoke:
 
 # Refresh the committed bench-smoke baseline (run on an idle machine).
 baseline:
-	$(GO) run ./cmd/viewbench -exp F2,T5R,F9D,DAG -smoke -json BENCH_baseline.json
+	$(GO) run ./cmd/viewbench -exp F2,T5R,F9D,DAG -smoke -freshness -json BENCH_baseline.json

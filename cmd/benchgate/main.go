@@ -27,6 +27,7 @@ type metric struct {
 	Metric      string  `json:"metric"`
 	Value       float64 `json:"value"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	FreshP99Ns  int64   `json:"commit_to_visible_p99_ns"`
 }
 
 func main() {
@@ -44,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	freshPath := fs.String("fresh", "BENCH_results.json", "results file from this run")
 	threshold := fs.Float64("threshold", 0.30, "max allowed fractional regression (0.30 = 30%)")
 	allocThreshold := fs.Float64("alloc-threshold", 0.20, "max allowed fractional allocs/op growth (0.20 = 20%)")
+	freshThreshold := fs.Float64("freshness-threshold", 1.0, "max allowed fractional p99 commit-to-visible growth (1.0 = 2x)")
 	require := fs.String("require", "", "comma-separated experiment IDs that must appear in both files")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,7 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	failures, checked := gate(baseline, fresh, *threshold, *allocThreshold)
+	failures, checked := gate(baseline, fresh, *threshold, *allocThreshold, *freshThreshold)
 	for _, f := range failures {
 		fmt.Fprintln(stdout, "FAIL "+f)
 	}
@@ -108,9 +110,10 @@ func load(path string) (map[string]metric, error) {
 
 // gate compares every experiment present in both maps and returns a message
 // per regression beyond threshold, plus how many metrics it checked. Headline
-// values gate downward (lower is worse); allocs/op gates upward (higher is
-// worse) against its own threshold, for experiments whose baseline records it.
-func gate(baseline, fresh map[string]metric, threshold, allocThreshold float64) (failures []string, checked int) {
+// values gate downward (lower is worse); allocs/op and p99 commit-to-visible
+// gate upward (higher is worse) against their own thresholds, for experiments
+// whose baseline records them.
+func gate(baseline, fresh map[string]metric, threshold, allocThreshold, freshThreshold float64) (failures []string, checked int) {
 	ids := make([]string, 0, len(baseline))
 	for id := range baseline {
 		ids = append(ids, id)
@@ -136,6 +139,15 @@ func gate(baseline, fresh map[string]metric, threshold, allocThreshold float64) 
 				failures = append(failures, fmt.Sprintf(
 					"%s allocs/op: %.2f is %.1f%% above baseline %.2f (ceiling %.2f)",
 					id, got.AllocsPerOp, 100*(got.AllocsPerOp/base.AllocsPerOp-1), base.AllocsPerOp, ceil))
+			}
+		}
+		if base.FreshP99Ns > 0 && got.FreshP99Ns > 0 {
+			checked++
+			ceil := float64(base.FreshP99Ns) * (1 + freshThreshold)
+			if float64(got.FreshP99Ns) > ceil {
+				failures = append(failures, fmt.Sprintf(
+					"%s p99 commit-to-visible: %dns is %.1f%% above baseline %dns (ceiling %.0fns)",
+					id, got.FreshP99Ns, 100*(float64(got.FreshP99Ns)/float64(base.FreshP99Ns)-1), base.FreshP99Ns, ceil))
 			}
 		}
 	}

@@ -18,7 +18,7 @@ func TestGate(t *testing.T) {
 		"T1": {Metric: "escrow_view_ops_per_sec", Value: 300},       // -40%: regression
 		"T7": {Metric: "only_in_fresh", Value: 1},
 	}
-	failures, checked := gate(baseline, fresh, 0.30, 0.20)
+	failures, checked := gate(baseline, fresh, 0.30, 0.20, 1.0)
 	if checked != 2 {
 		t.Errorf("checked = %d, want 2 (F2 and T1 are shared)", checked)
 	}
@@ -28,11 +28,11 @@ func TestGate(t *testing.T) {
 
 	// At the boundary: exactly -30% passes, a hair more fails.
 	fresh["T1"] = metric{Metric: "escrow_view_ops_per_sec", Value: 350}
-	if failures, _ := gate(baseline, fresh, 0.30, 0.20); len(failures) != 0 {
+	if failures, _ := gate(baseline, fresh, 0.30, 0.20, 1.0); len(failures) != 0 {
 		t.Errorf("-30%% exactly should pass, got %v", failures)
 	}
 	fresh["T1"] = metric{Metric: "escrow_view_ops_per_sec", Value: 349}
-	if failures, _ := gate(baseline, fresh, 0.30, 0.20); len(failures) != 1 {
+	if failures, _ := gate(baseline, fresh, 0.30, 0.20, 1.0); len(failures) != 1 {
 		t.Errorf("-30.2%% should fail, got %v", failures)
 	}
 }
@@ -47,7 +47,7 @@ func TestGateAllocsPerOp(t *testing.T) {
 		"T1": {Metric: "escrow_view_ops_per_sec", Value: 500, AllocsPerOp: 99},
 	}
 	// Exactly +20% passes; both throughput values and F2's allocs count as checked.
-	failures, checked := gate(baseline, fresh, 0.30, 0.20)
+	failures, checked := gate(baseline, fresh, 0.30, 0.20, 1.0)
 	if checked != 3 {
 		t.Errorf("checked = %d, want 3 (two values + F2 allocs)", checked)
 	}
@@ -58,16 +58,51 @@ func TestGateAllocsPerOp(t *testing.T) {
 	// A hair above the ceiling fails, and throughput alone staying flat
 	// doesn't mask it.
 	fresh["F2"] = metric{Metric: "escrow_tx_per_sec_max_writers", Value: 1000, AllocsPerOp: 48.1}
-	failures, _ = gate(baseline, fresh, 0.30, 0.20)
+	failures, _ = gate(baseline, fresh, 0.30, 0.20, 1.0)
 	if len(failures) != 1 {
 		t.Fatalf("+20.25%% allocs should fail, got %v", failures)
 	}
 
 	// Fresh results missing alloc data (older viewbench) are skipped, not failed.
 	fresh["F2"] = metric{Metric: "escrow_tx_per_sec_max_writers", Value: 1000}
-	failures, checked = gate(baseline, fresh, 0.30, 0.20)
+	failures, checked = gate(baseline, fresh, 0.30, 0.20, 1.0)
 	if len(failures) != 0 || checked != 2 {
 		t.Fatalf("missing fresh allocs should skip the alloc gate: failures=%v checked=%d", failures, checked)
+	}
+}
+
+func TestGateFreshnessP99(t *testing.T) {
+	baseline := map[string]metric{
+		"F9D": {Metric: "deferred_update_tx_per_sec", Value: 1000, FreshP99Ns: 2_000_000},
+		"DAG": {Metric: "rollup_chain_tx_per_sec", Value: 500}, // no freshness data: not gated
+	}
+	fresh := map[string]metric{
+		"F9D": {Metric: "deferred_update_tx_per_sec", Value: 1000, FreshP99Ns: 4_000_000},
+		"DAG": {Metric: "rollup_chain_tx_per_sec", Value: 500, FreshP99Ns: 9_999_999},
+	}
+	// Exactly 2x passes under the default 1.0 threshold; both throughput
+	// values and F9D's p99 count as checked.
+	failures, checked := gate(baseline, fresh, 0.30, 0.20, 1.0)
+	if checked != 3 {
+		t.Errorf("checked = %d, want 3 (two values + F9D p99)", checked)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("2x p99 exactly should pass, got %v", failures)
+	}
+
+	// A hair above the ceiling fails, and flat throughput doesn't mask it.
+	fresh["F9D"] = metric{Metric: "deferred_update_tx_per_sec", Value: 1000, FreshP99Ns: 4_000_001}
+	failures, _ = gate(baseline, fresh, 0.30, 0.20, 1.0)
+	if len(failures) != 1 || !strings.Contains(failures[0], "commit-to-visible") {
+		t.Fatalf("p99 above ceiling should fail with a commit-to-visible message, got %v", failures)
+	}
+
+	// Fresh results missing freshness data (run without -freshness) are
+	// skipped, not failed.
+	fresh["F9D"] = metric{Metric: "deferred_update_tx_per_sec", Value: 1000}
+	failures, checked = gate(baseline, fresh, 0.30, 0.20, 1.0)
+	if len(failures) != 0 || checked != 2 {
+		t.Fatalf("missing fresh p99 should skip the freshness gate: failures=%v checked=%d", failures, checked)
 	}
 }
 

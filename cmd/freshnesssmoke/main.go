@@ -1,0 +1,405 @@
+// Command freshnesssmoke is the CI smoke test for end-to-end maintenance
+// tracing and per-view freshness accounting: it builds the 3-level deferred
+// rollup chain (order_totals → customer_totals → region_totals), runs tilting
+// writers through it, and truth-checks the observability plane end to end:
+//
+//	(a) causal linkage — one marked commit's flight-record span survives the
+//	    async deferred-maintenance boundary: its deferred-publish resolves to
+//	    the transaction's span, and a fold at every chain level plus the
+//	    watermark advance that made it readable carry that span in their
+//	    multi-parent spans list (checked over the JSONL export);
+//	(b) honest accounting — each deferred view's commit-to-visible histogram
+//	    gains samples, and a quiesced single-commit probe's recorded latency
+//	    nests inside the client-measured commit→watermark-visible window,
+//	    with staleness gauges back at zero once drained;
+//	(c) SLO enforcement — an injected applier delay trips the freshness-SLO
+//	    watchdog signature, which names the lagging view, counts the breach,
+//	    and auto-dumps the flight record.
+//
+// Exit status 0 means the freshness plane tells the truth.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	vtxn "repro"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+)
+
+func fail(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "freshnesssmoke: FAIL: "+format+"\n", a...)
+	os.Exit(1)
+}
+
+const (
+	writers = 4
+	items   = 2 * writers
+	perItem = 100
+	regions = 2
+	tilts   = 50 // per writer
+)
+
+var chain = []string{"order_totals", "customer_totals", "region_totals"}
+
+func main() {
+	runLinkage()
+	runSLO()
+}
+
+// openDB opens a fresh database in a temp dir; the caller owns cleanup.
+func openDB(opts vtxn.Options) (*vtxn.DB, func()) {
+	dir, err := os.MkdirTemp("", "freshnesssmoke-*")
+	if err != nil {
+		fail("tempdir: %v", err)
+	}
+	db, err := vtxn.Open(dir, opts)
+	if err != nil {
+		os.RemoveAll(dir)
+		fail("open: %v", err)
+	}
+	return db, func() { db.Close(); os.RemoveAll(dir) }
+}
+
+// setupChain creates the order_items table and the 3-level deferred rollup
+// chain over it.
+func setupChain(db *vtxn.DB) {
+	if err := db.CreateTable("order_items", []vtxn.Column{
+		{Name: "item", Kind: vtxn.KindInt64},
+		{Name: "order_id", Kind: vtxn.KindInt64},
+		{Name: "customer", Kind: vtxn.KindInt64},
+		{Name: "region", Kind: vtxn.KindString},
+		{Name: "amount", Kind: vtxn.KindInt64},
+	}, []int{0}); err != nil {
+		fail("create table: %v", err)
+	}
+	sum := func(col, name string) vtxn.AggSpec {
+		s := vtxn.Sum(col)
+		s.Name = name
+		return s
+	}
+	for _, v := range []vtxn.ViewDef{
+		{Name: "order_totals", Kind: vtxn.ViewAggregate, Source: "order_items",
+			GroupBy:  []string{"order_id", "customer", "region"},
+			Aggs:     []vtxn.AggSpec{sum("amount", "total")},
+			Strategy: vtxn.StrategyDeferred},
+		{Name: "customer_totals", Kind: vtxn.ViewAggregate, Source: "order_totals",
+			GroupBy:  []string{"customer", "region"},
+			Aggs:     []vtxn.AggSpec{vtxn.CountRows(), sum("total", "total")},
+			Strategy: vtxn.StrategyDeferred},
+		{Name: "region_totals", Kind: vtxn.ViewAggregate, Source: "customer_totals",
+			GroupBy:  []string{"region"},
+			Aggs:     []vtxn.AggSpec{vtxn.CountRows(), sum("total", "total")},
+			Strategy: vtxn.StrategyDeferred},
+	} {
+		if err := db.CreateIndexedView(v); err != nil {
+			fail("create view %s: %v", v.Name, err)
+		}
+	}
+	tx, err := db.Begin(vtxn.ReadCommitted)
+	if err != nil {
+		fail("begin load: %v", err)
+	}
+	for i := int64(0); i < items; i++ {
+		if err := tx.Insert("order_items", vtxn.Row{
+			vtxn.Int(i), vtxn.Int(i), vtxn.Int(i),
+			vtxn.Str(fmt.Sprintf("region-%d", i%regions)), vtxn.Int(perItem),
+		}); err != nil {
+			fail("load: %v", err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		fail("load commit: %v", err)
+	}
+}
+
+// drainTo waits until region_totals (the chain's top) has applied ts.
+func drainTo(db *vtxn.DB, ts uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := db.WaitForViewWatermark(ctx, "region_totals", ts); err != nil {
+		fail("watermark wait: %v", err)
+	}
+}
+
+// tilt shifts amount between items a and b in one committed transaction.
+func tilt(db *vtxn.DB, a, b, av, bv int64) error {
+	tx, err := db.Begin(vtxn.ReadCommitted)
+	if err != nil {
+		return err
+	}
+	if err := tx.Update("order_items", vtxn.Row{vtxn.Int(a)}, map[int]vtxn.Value{4: vtxn.Int(av)}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	if err := tx.Update("order_items", vtxn.Row{vtxn.Int(b)}, map[int]vtxn.Value{4: vtxn.Int(bv)}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// freshOf returns the named view's freshness snapshot.
+func freshOf(s vtxn.MetricsSnapshot, view string) (metrics.ViewFreshnessSnapshot, bool) {
+	for _, v := range s.Freshness.Views {
+		if v.View == view {
+			return v, true
+		}
+	}
+	return metrics.ViewFreshnessSnapshot{}, false
+}
+
+// runLinkage drives the tilt workload, then traces one marked commit across
+// the deferred boundary and audits the freshness accounting against a
+// client-side measurement.
+func runLinkage() {
+	db, cleanup := openDB(vtxn.Options{Watchdog: true})
+	defer cleanup()
+	setupChain(db)
+
+	var wg sync.WaitGroup
+	var commits int64
+	for w := int64(0); w < writers; w++ {
+		wg.Add(1)
+		go func(w int64) {
+			defer wg.Done()
+			a, b := 2*w, 2*w+1
+			for i := int64(0); i < tilts; i++ {
+				av, bv := int64(perItem-1), int64(perItem+1)
+				if i%2 == 1 {
+					av, bv = perItem, perItem
+				}
+				if err := tilt(db, a, b, av, bv); err != nil {
+					fail("writer %d: %v", w, err)
+				}
+				atomic.AddInt64(&commits, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Quiesce fully, snapshot the histograms, then run one marked commit and
+	// measure its commit→visible window from the client side.
+	drainTo(db, db.Metrics().MVCC.Watermark)
+	before := db.Metrics()
+
+	probeStart := time.Now()
+	tx, err := db.Begin(vtxn.ReadCommitted)
+	if err != nil {
+		fail("probe begin: %v", err)
+	}
+	// A genuinely new amount: an update to the current value folds to a
+	// zero delta and publishes nothing, which would orphan the probe.
+	if err := tx.Update("order_items", vtxn.Row{vtxn.Int(0)}, map[int]vtxn.Value{4: vtxn.Int(perItem + 7)}); err != nil {
+		fail("probe update: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		fail("probe commit: %v", err)
+	}
+	drainTo(db, tx.CommitTS())
+	clientWindow := time.Since(probeStart)
+	after := db.Metrics()
+
+	checkLinkage(db, uint64(tx.ID()))
+	checkAccounting(before, after, clientWindow)
+
+	if err := db.CheckConsistency(); err != nil {
+		fail("consistency at quiesce: %v", err)
+	}
+	fmt.Printf("freshnesssmoke: OK (linkage): %d tilting commits; marked commit's span linked publish→fold→advance across %d levels; probe visible in %s\n",
+		atomic.LoadInt64(&commits), len(chain), clientWindow.Round(time.Microsecond))
+}
+
+// checkLinkage parses the JSONL flight record and asserts the marked
+// transaction's span crossed the async boundary into every chain level.
+func checkLinkage(db *vtxn.DB, txnID uint64) {
+	var jsonl bytes.Buffer
+	if err := db.WriteFlightRecordJSONL(&jsonl); err != nil {
+		fail("flight record: %v", err)
+	}
+	type rec struct {
+		Span     uint64   `json:"span"`
+		Spans    []uint64 `json:"spans"`
+		Type     string   `json:"type"`
+		Txn      uint64   `json:"txn"`
+		Resource string   `json:"resource"`
+	}
+	var commitSpan, publishSpan uint64
+	applied := map[string]bool{}
+	advanced := map[string]bool{}
+	sc := bufio.NewScanner(&jsonl)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var r rec
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			fail("JSONL line does not parse: %v: %s", err, sc.Text())
+		}
+		switch r.Type {
+		case "tx-begin":
+			if r.Txn == txnID {
+				commitSpan = r.Span
+			}
+		case "deferred-publish":
+			if r.Txn == txnID {
+				publishSpan = r.Span
+			}
+		case "deferred-apply", "watermark-advance":
+			for _, s := range r.Spans {
+				if commitSpan != 0 && s == commitSpan {
+					if r.Type == "deferred-apply" {
+						applied[r.Resource] = true
+					} else {
+						advanced[r.Resource] = true
+					}
+				}
+			}
+		}
+	}
+	if commitSpan == 0 {
+		fail("marked transaction %d has no tx-begin span", txnID)
+	}
+	if publishSpan != commitSpan {
+		fail("deferred-publish span %d != commit span %d", publishSpan, commitSpan)
+	}
+	for _, v := range chain {
+		if !applied[v] {
+			fail("no deferred-apply at level %q carries the commit's span %d (applied: %v)", v, commitSpan, applied)
+		}
+	}
+	if !advanced["region_totals"] {
+		fail("no watermark-advance for region_totals carries the commit's span %d (advanced: %v)", commitSpan, advanced)
+	}
+}
+
+// checkAccounting asserts every chain view gained commit-to-visible samples,
+// that the probe's recorded latency nests inside the client-measured window,
+// and that staleness gauges read zero at quiesce.
+func checkAccounting(before, after vtxn.MetricsSnapshot, clientWindow time.Duration) {
+	for _, view := range chain {
+		b, _ := freshOf(before, view)
+		a, ok := freshOf(after, view)
+		if !ok {
+			fail("freshness section missing view %q", view)
+		}
+		if a.Strategy != "deferred" {
+			fail("view %q freshness strategy = %q, want deferred", view, a.Strategy)
+		}
+		if a.CommitToVisible.Count == 0 {
+			fail("view %q has no commit-to-visible samples", view)
+		}
+		nSamples := a.CommitToVisible.Count - b.CommitToVisible.Count
+		nSum := a.CommitToVisible.SumNs - b.CommitToVisible.SumNs
+		if nSamples <= 0 {
+			fail("probe commit left no new commit-to-visible samples for %q", view)
+		}
+		// Every new sample's publish→advance interval nests inside the
+		// client's begin→visible window, so their mean must too.
+		if mean := time.Duration(nSum / nSamples); mean > clientWindow {
+			fail("view %q recorded mean commit-to-visible %s exceeds the client-measured window %s",
+				view, mean, clientWindow)
+		}
+		if a.StalenessNs != 0 {
+			fail("view %q staleness %dns at quiesce, want 0", view, a.StalenessNs)
+		}
+	}
+}
+
+// delayHooks sleeps at the deferred-apply fault point, stalling the applier
+// without failing it.
+type delayHooks struct {
+	mu    sync.Mutex
+	delay time.Duration
+}
+
+func (h *delayHooks) SetDelay(d time.Duration) {
+	h.mu.Lock()
+	h.delay = d
+	h.mu.Unlock()
+}
+
+func (h *delayHooks) Hit(p fault.Point) error {
+	if p != fault.PointDeferredApply {
+		return nil
+	}
+	h.mu.Lock()
+	d := h.delay
+	h.mu.Unlock()
+	time.Sleep(d)
+	return nil
+}
+
+// lockedBuffer is a concurrency-safe flight-record sink.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// runSLO injects an applier delay and asserts the freshness-SLO watchdog
+// names the lagging view, counts the breach, and dumps the flight record.
+func runSLO() {
+	hooks := &delayHooks{}
+	sink := &lockedBuffer{}
+	db, cleanup := openDB(vtxn.Options{
+		Hooks:            hooks,
+		FlightSink:       sink,
+		Watchdog:         true,
+		WatchdogInterval: 10 * time.Millisecond,
+		FreshnessSLO:     50 * time.Millisecond,
+	})
+	defer cleanup()
+	setupChain(db)
+	drainTo(db, db.Metrics().MVCC.Watermark)
+
+	hooks.SetDelay(150 * time.Millisecond)
+	deadline := time.Now().Add(10 * time.Second)
+	breached := false
+	for !breached && time.Now().Before(deadline) {
+		if err := tilt(db, 0, 1, perItem-1, perItem+1); err != nil {
+			fail("slo writer: %v", err)
+		}
+		breached = db.Metrics().Watchdog.FreshnessBreaches > 0
+		time.Sleep(5 * time.Millisecond)
+	}
+	hooks.SetDelay(0)
+	if !breached {
+		fail("watchdog never counted a freshness breach under a 150ms applier delay against a 50ms SLO")
+	}
+	dump := sink.String()
+	if !strings.Contains(dump, "watchdog stall: freshness-slo") {
+		fail("no flight-record auto-dump for the SLO breach")
+	}
+	if !strings.Contains(dump, "order_totals") {
+		fail("the SLO breach dump does not name a lagging chain view:\n%s", clip(dump))
+	}
+	drainTo(db, db.Metrics().MVCC.Watermark)
+	fmt.Printf("freshnesssmoke: OK (slo): injected 150ms applier delay tripped the 50ms freshness SLO; breach counted and flight record dumped naming the lagging view\n")
+}
+
+// clip bounds a dump for error output.
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "\n... (clipped)"
+	}
+	return s
+}

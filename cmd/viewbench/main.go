@@ -44,6 +44,11 @@ type headlineResult struct {
 	HotGroups     []metrics.HotGroupSnapshot `json:"hot_groups,omitempty"`
 	HotWaitGroups []metrics.HotGroupSnapshot `json:"hot_wait_groups,omitempty"`
 	ViewCosts     []metrics.ViewCostSnapshot `json:"view_costs,omitempty"`
+	// With -freshness: the headline run's commit-to-visible latency
+	// distribution (experiments that measure it: F9D, DAG). benchgate gates
+	// the p99 upward like allocs/op.
+	FreshP50Ns int64 `json:"commit_to_visible_p50_ns,omitempty"`
+	FreshP99Ns int64 `json:"commit_to_visible_p99_ns,omitempty"`
 }
 
 // attachHotspots copies the headline run's hot-spot attribution into the
@@ -71,6 +76,7 @@ func main() {
 		flightSink  = flag.String("flight-sink", "", "write automatic flight-record dumps (deadlock/timeout/stall) here: 'stderr' or a path ('' disables)")
 		pprofLabels = flag.Bool("pprof-labels", false, "tag commit hot paths with runtime/pprof labels (costs allocations)")
 		hotspots    = flag.Bool("hotspots", false, "include the headline run's top hot groups and per-view cost table in the results JSON")
+		freshness   = flag.Bool("freshness", false, "include the headline run's commit-to-visible p50/p99 in the results JSON")
 	)
 	flag.Parse()
 
@@ -176,6 +182,10 @@ func main() {
 			}
 			if *hotspots {
 				hr = attachHotspots(hr, headlineSnap)
+			}
+			if *freshness {
+				hr.FreshP50Ns = tb.HeadlineFreshP50Ns
+				hr.FreshP99Ns = tb.HeadlineFreshP99Ns
 			}
 			results[tb.ID] = hr
 		}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+)
+
+// lag implements the live per-view freshness dashboard:
+//
+//	lag                 auto-refreshing (ANSI) until Enter is pressed
+//	lag <frames> [ivl]  render that many frames then return (pipe/test mode)
+//
+// Each frame lists every maintained view with its current staleness gauge
+// (age of the oldest commit not yet visible) and its commit-to-visible
+// latency summary, plus the deferred watermark where one exists. Views past
+// the configured freshness SLO are flagged.
+func (s *shell) lag(args []string) error {
+	frames := -1
+	interval := defaultTopInterval
+	if len(args) > 0 {
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("usage: lag [frames] [interval]")
+		}
+		frames = n
+	}
+	if len(args) > 1 {
+		d, err := time.ParseDuration(args[1])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad interval %q", args[1])
+		}
+		interval = d
+	}
+	interactive := frames < 0
+
+	stop := make(chan struct{})
+	if interactive {
+		go func() {
+			buf := make([]byte, 1)
+			os.Stdin.Read(buf)
+			close(stop)
+		}()
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	s.renderLag(interactive)
+	for rendered := 1; frames < 0 || rendered < frames; {
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+		}
+		if interactive {
+			fmt.Fprint(s.out, "\x1b[2J\x1b[H")
+		}
+		s.renderLag(interactive)
+		rendered++
+	}
+	return nil
+}
+
+// renderLag writes one freshness frame from a fresh metrics snapshot.
+func (s *shell) renderLag(interactive bool) {
+	snap := s.db.Metrics()
+	hint := ""
+	if interactive {
+		hint = "   (Enter to quit)"
+	}
+	slo := "none"
+	if snap.Freshness.SLONs > 0 {
+		slo = time.Duration(snap.Freshness.SLONs).String()
+	}
+	fmt.Fprintf(s.out, "vtxn lag — freshness SLO %s — uptime %s%s\n\n",
+		slo, time.Duration(snap.Engine.UptimeNs).Round(time.Second), hint)
+
+	// Deferred watermarks by tree, for the watermark column.
+	marks := make(map[uint32]uint64, len(snap.Deferred.Views))
+	for _, v := range snap.Deferred.Views {
+		marks[v.Tree] = v.Watermark
+	}
+	fmt.Fprintf(s.out, "%-20s %-9s %12s %12s %12s %8s %10s\n",
+		"VIEW", "STRATEGY", "staleness", "c2v p50", "c2v p99", "samples", "watermark")
+	for _, v := range snap.Freshness.Views {
+		stale := time.Duration(v.StalenessNs).Round(time.Microsecond).String()
+		if snap.Freshness.SLONs > 0 && v.StalenessNs > snap.Freshness.SLONs {
+			stale += " !SLO"
+		}
+		wm := "-"
+		if m, ok := marks[v.Tree]; ok {
+			wm = strconv.FormatUint(m, 10)
+		}
+		fmt.Fprintf(s.out, "%-20s %-9s %12s %12s %12s %8d %10s\n",
+			v.View, v.Strategy, stale,
+			time.Duration(v.CommitToVisible.P50Ns).Round(time.Microsecond),
+			time.Duration(v.CommitToVisible.P99Ns).Round(time.Microsecond),
+			v.CommitToVisible.Count, wm)
+	}
+	if len(snap.Freshness.Views) == 0 {
+		fmt.Fprintln(s.out, "(no maintained views)")
+	}
+	fmt.Fprintln(s.out)
+}

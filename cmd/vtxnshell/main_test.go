@@ -174,3 +174,53 @@ func TestShellTop(t *testing.T) {
 		}
 	}
 }
+
+// TestShellLag drives the freshness dashboard in framed mode and checks the
+// per-view staleness table lists both maintenance strategies.
+func TestShellLag(t *testing.T) {
+	dir := t.TempDir()
+	db, err := vtxn.Open(dir, vtxn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var buf bytes.Buffer
+	sh := &shell{db: db, out: &buf}
+	setup := []string{
+		"create table accts id:int branch:int balance:int pk id",
+		"create view totals on accts group branch count sum:balance",
+		"create view totals_d on accts group branch count sum:balance strategy deferred",
+		"insert accts 1 7 100",
+		"insert accts 2 8 50",
+	}
+	for _, line := range setup {
+		if err := sh.exec(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	if err := sh.exec("lag 2 20ms"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"vtxn lag",
+		"STRATEGY",
+		"totals",
+		"totals_d",
+		"escrow",
+		"deferred",
+		"watermark",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lag output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Error("framed lag emitted ANSI escapes")
+	}
+	for _, bad := range []string{"lag 0", "lag x", "lag 1 notadur"} {
+		if err := sh.exec(bad); err == nil {
+			t.Errorf("%q should error", bad)
+		}
+	}
+}

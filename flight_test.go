@@ -3,6 +3,7 @@ package vtxn_test
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -408,6 +409,33 @@ func TestFlightRecordJSONLGoldenSchema(t *testing.T) {
 	}
 	defer db.Close()
 	induceDeadlock(t, db)
+	// A deferred view exercises the async-maintenance events: the commit's
+	// deferred-publish, the applier's fold, and the watermark advance whose
+	// multi-parent "spans" key links back to the originating commit.
+	if err := db.CreateIndexedView(vtxn.ViewDef{
+		Name: "branch_totals_deferred", Kind: vtxn.ViewAggregate,
+		Source:   "accounts",
+		GroupBy:  []string{"branch"},
+		Aggs:     []vtxn.AggSpec{vtxn.CountRows(), vtxn.Sum("balance")},
+		Strategy: vtxn.StrategyDeferred,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin(vtxn.ReadCommitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("accounts", vtxn.Row{vtxn.Int(0)}, map[int]vtxn.Value{2: vtxn.Int(42)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := db.WaitForViewWatermark(ctx, "branch_totals_deferred", tx.CommitTS()); err != nil {
+		t.Fatal(err)
+	}
 
 	var jsonl bytes.Buffer
 	if err := db.WriteFlightRecordJSONL(&jsonl); err != nil {
@@ -417,6 +445,7 @@ func TestFlightRecordJSONLGoldenSchema(t *testing.T) {
 	optional := map[string]bool{
 		"span": true, "txn": true, "dur_ns": true, "resource": true,
 		"mode": true, "outcome": true, "rows": true, "phase": true,
+		"spans": true,
 	}
 	seen := map[string]bool{}
 	records := 0

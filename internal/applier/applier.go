@@ -20,12 +20,24 @@ import (
 	"repro/internal/wal"
 )
 
+// MaxGroupSpans caps how many originating spans a coalesced group accumulates
+// — enough to link a fold back to its recent contributors without letting a
+// hot group's span list grow with the coalescing depth.
+const MaxGroupSpans = 8
+
 // GroupDelta is the net escrow delta a set of commits contributed to one
 // group row of one deferred view.
 type GroupDelta struct {
 	Tree   id.Tree
 	Key    string // encoded group key
 	Deltas []wal.ColDelta
+	// Spans are the causal span IDs of the originating commits (deduped,
+	// capped at MaxGroupSpans), threaded across the async boundary so applier
+	// folds and watermark advances can name their causes.
+	Spans []uint64
+	// OldestWallNs is the earliest contributing publish's wall clock — the
+	// group's commit-to-visible clock starts here.
+	OldestWallNs int64
 }
 
 // Batch is one committed transaction's deferred-view deltas, published to the
@@ -38,6 +50,10 @@ type Batch struct {
 	TS uint64
 	// WallNs is the publish wall-clock (UnixNano), the staleness clock.
 	WallNs int64
+	// Span is the publishing transaction's causal span ID (zero when the
+	// flight recorder is off), carried across the async boundary so the
+	// applier can stamp downstream events with their originating commits.
+	Span uint64
 	// Groups are the commit's per-(view, group) net deltas.
 	Groups []GroupDelta
 }
@@ -81,6 +97,10 @@ type cellKey struct {
 type pendingGroup struct {
 	cols  []wal.ColDelta
 	index map[cellKey]int
+	// spans are the contributing commits' causal spans (deduped, capped at
+	// MaxGroupSpans); oldestWallNs the earliest contributing publish.
+	spans        []uint64
+	oldestWallNs int64
 }
 
 // Coalescer merges published batches per (view, group) with exactly-one-fold
@@ -95,18 +115,27 @@ func NewCoalescer() *Coalescer {
 	return &Coalescer{pending: make(map[groupID]*pendingGroup)}
 }
 
-// Add merges a batch's groups into the pending table. It returns how many
+// Add merges a batch's groups into the pending table, threading the batch's
+// causal span and publish clock into each group it feeds. It returns how many
 // cell deltas arrived and how many of them coalesced into an already-pending
 // accumulator (the folds saved versus immediate maintenance).
 func (c *Coalescer) Add(b *Batch) (in, coalesced int) {
-	for _, g := range b.Groups {
+	for i := range b.Groups {
+		g := b.Groups[i]
+		if g.OldestWallNs == 0 {
+			g.OldestWallNs = b.WallNs
+		}
+		if b.Span != 0 && len(g.Spans) == 0 {
+			g.Spans = []uint64{b.Span}
+		}
 		in += len(g.Deltas)
 		coalesced += c.addGroup(g)
 	}
 	return in, coalesced
 }
 
-// AddGroups re-queues previously taken groups (a failed apply round).
+// AddGroups re-queues previously taken groups (a failed apply round); their
+// spans and publish clocks ride along so causality survives the retry.
 func (c *Coalescer) AddGroups(groups []GroupDelta) {
 	for _, g := range groups {
 		c.addGroup(g)
@@ -122,6 +151,10 @@ func (c *Coalescer) addGroup(g GroupDelta) (coalesced int) {
 	} else {
 		coalesced = len(g.Deltas)
 	}
+	if g.OldestWallNs != 0 && (pg.oldestWallNs == 0 || g.OldestWallNs < pg.oldestWallNs) {
+		pg.oldestWallNs = g.OldestWallNs
+	}
+	pg.spans = MergeSpans(pg.spans, g.Spans)
 	for _, d := range g.Deltas {
 		ck := cellKey{col: d.Col, isFloat: d.IsFloat}
 		if i, ok := pg.index[ck]; ok {
@@ -152,8 +185,49 @@ func (c *Coalescer) DropTree(tree id.Tree) int {
 	return dropped
 }
 
+// MergeSpans appends add's spans to have, deduplicating and respecting the
+// MaxGroupSpans cap (oldest contributors win: they are the ones the staleness
+// clock points at).
+func MergeSpans(have, add []uint64) []uint64 {
+	for _, s := range add {
+		if len(have) >= MaxGroupSpans {
+			break
+		}
+		if s == 0 {
+			continue
+		}
+		dup := false
+		for _, h := range have {
+			if h == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			have = append(have, s)
+		}
+	}
+	return have
+}
+
 // Len returns the number of pending (view, group) accumulators.
 func (c *Coalescer) Len() int { return len(c.pending) }
+
+// OldestPendingWallNs returns the earliest publish wall clock among every
+// pending group of tree, or zero when none is pending — the per-view
+// staleness clock the applier exports between rounds.
+func (c *Coalescer) OldestPendingWallNs(tree id.Tree) int64 {
+	var oldest int64
+	for gid, pg := range c.pending {
+		if gid.tree != tree || pg.oldestWallNs == 0 {
+			continue
+		}
+		if oldest == 0 || pg.oldestWallNs < oldest {
+			oldest = pg.oldestWallNs
+		}
+	}
+	return oldest
+}
 
 // Take removes and returns every pending group, sorted by (tree, key) so the
 // applier folds in a deterministic order. A failed round hands them back via
@@ -164,7 +238,10 @@ func (c *Coalescer) Take() []GroupDelta {
 	}
 	out := make([]GroupDelta, 0, len(c.pending))
 	for gid, pg := range c.pending {
-		out = append(out, GroupDelta{Tree: gid.tree, Key: gid.key, Deltas: pg.cols})
+		out = append(out, GroupDelta{
+			Tree: gid.tree, Key: gid.key, Deltas: pg.cols,
+			Spans: pg.spans, OldestWallNs: pg.oldestWallNs,
+		})
 	}
 	c.pending = make(map[groupID]*pendingGroup)
 	sort.Slice(out, func(i, j int) bool {

@@ -95,6 +95,64 @@ func TestCoalescerDropTree(t *testing.T) {
 	}
 }
 
+func TestCoalescerThreadsSpansAndPublishClock(t *testing.T) {
+	c := NewCoalescer()
+	c.Add(&Batch{TS: 1, WallNs: 500, Span: 11, Groups: []GroupDelta{
+		{Tree: 7, Key: "a", Deltas: []wal.ColDelta{{Col: 0, Int: 1}}},
+	}})
+	c.Add(&Batch{TS: 2, WallNs: 300, Span: 22, Groups: []GroupDelta{
+		{Tree: 7, Key: "a", Deltas: []wal.ColDelta{{Col: 0, Int: 1}}},
+		{Tree: 7, Key: "b", Deltas: []wal.ColDelta{{Col: 0, Int: 1}}},
+	}})
+	c.Add(&Batch{TS: 3, WallNs: 900, Span: 11, Groups: []GroupDelta{ // dup span
+		{Tree: 7, Key: "a", Deltas: []wal.ColDelta{{Col: 0, Int: 1}}},
+	}})
+	if got := c.OldestPendingWallNs(7); got != 300 {
+		t.Fatalf("OldestPendingWallNs = %d, want 300", got)
+	}
+	if got := c.OldestPendingWallNs(9); got != 0 {
+		t.Fatalf("OldestPendingWallNs of idle tree = %d, want 0", got)
+	}
+	taken := c.Take()
+	if len(taken) != 2 {
+		t.Fatalf("Take returned %d groups, want 2", len(taken))
+	}
+	a := taken[0] // (7,"a") sorts first
+	if !reflect.DeepEqual(a.Spans, []uint64{11, 22}) {
+		t.Fatalf("group a spans = %v, want [11 22] (deduped, arrival order)", a.Spans)
+	}
+	if a.OldestWallNs != 300 {
+		t.Fatalf("group a OldestWallNs = %d, want the earliest publish 300", a.OldestWallNs)
+	}
+	// A failed round's re-queue keeps causality: spans and clock survive.
+	c.AddGroups(taken)
+	c.Add(&Batch{TS: 4, WallNs: 1000, Span: 33, Groups: []GroupDelta{
+		{Tree: 7, Key: "a", Deltas: []wal.ColDelta{{Col: 0, Int: 1}}},
+	}})
+	retaken := c.Take()
+	if !reflect.DeepEqual(retaken[0].Spans, []uint64{11, 22, 33}) {
+		t.Fatalf("requeued spans = %v, want [11 22 33]", retaken[0].Spans)
+	}
+	if retaken[0].OldestWallNs != 300 {
+		t.Fatalf("requeued OldestWallNs = %d, want 300", retaken[0].OldestWallNs)
+	}
+
+	// The span cap bounds a hot group's list.
+	c2 := NewCoalescer()
+	for i := uint64(1); i <= 2*MaxGroupSpans; i++ {
+		c2.Add(&Batch{TS: i, WallNs: int64(i), Span: i, Groups: []GroupDelta{
+			{Tree: 1, Key: "hot", Deltas: []wal.ColDelta{{Col: 0, Int: 1}}},
+		}})
+	}
+	hot := c2.Take()
+	if len(hot[0].Spans) != MaxGroupSpans {
+		t.Fatalf("hot group holds %d spans, want capped at %d", len(hot[0].Spans), MaxGroupSpans)
+	}
+	if hot[0].Spans[0] != 1 {
+		t.Fatalf("span cap evicted the oldest contributor: %v", hot[0].Spans)
+	}
+}
+
 func TestCoalescerAddGroupsRequeues(t *testing.T) {
 	c := NewCoalescer()
 	c.Add(batch(1, GroupDelta{Tree: 1, Key: "a", Deltas: []wal.ColDelta{{Col: 0, Int: 2}}}))

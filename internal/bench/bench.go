@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -108,6 +109,27 @@ func tempDB(opts core.Options) (*core.DB, func(), error) {
 }
 
 func strategyName(s catalog.Strategy) string { return s.String() }
+
+// viewFreshness finds the named view's freshness snapshot (zero value when
+// the view has no samples yet).
+func viewFreshness(m metrics.Snapshot, view string) metrics.ViewFreshnessSnapshot {
+	for _, v := range m.Freshness.Views {
+		if v.View == view {
+			return v
+		}
+	}
+	return metrics.ViewFreshnessSnapshot{}
+}
+
+// freshCell formats a commit-to-visible summary for a table cell.
+func freshCell(v metrics.ViewFreshnessSnapshot) string {
+	if v.CommitToVisible.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s/%s",
+		stats.D(time.Duration(v.CommitToVisible.P50Ns)),
+		stats.D(time.Duration(v.CommitToVisible.P99Ns)))
+}
 
 // Runner is one experiment: an ID (table/figure number) and its run
 // function.

@@ -100,6 +100,13 @@ type Options struct {
 	// WatchdogStallThreshold is the age past which an in-progress condition
 	// counts as a stall (default 2s).
 	WatchdogStallThreshold time.Duration
+	// FreshnessSLO, when positive, is the per-view staleness bound the
+	// watchdog enforces: a view whose commit-to-visible lag exceeds it fires
+	// the freshness-slo stall signature naming the lagging view (and
+	// auto-dumps the linked flight record to FlightSink). It also annotates
+	// the metrics snapshot's freshness section. Requires Watchdog for
+	// enforcement; without it the SLO is report-only.
+	FreshnessSLO time.Duration
 	// ProfileLabels tags the commit hot path with runtime/pprof labels
 	// (vtxn_phase, vtxn_txn) so CPU profiles attribute time to transactions.
 	// Off by default: the labels allocate per commit.
@@ -187,6 +194,11 @@ type DB struct {
 	applierDrainOnStop atomic.Bool
 	deferredPending    atomic.Int64
 	deferredOldestNs   atomic.Int64
+	// deferredStale is the applier-maintained per-view oldest-unapplied-
+	// publish table (wall ns); Metrics merges it with a queue scan into each
+	// view's staleness gauge (deferred.go).
+	deferredStaleMu sync.Mutex
+	deferredStale   map[id.Tree]int64
 }
 
 // defaultFoldStripes is the default number of row-structure latch stripes.
@@ -233,6 +245,10 @@ var (
 	// ErrViewInUse (which also wraps ErrInvalidView at the call sites) rejects
 	// dropping a view while other views are defined over it.
 	ErrViewInUse = errors.New("core: view has dependent views")
+	// ErrViewWatermarkDropped reports a WaitForViewWatermark whose view was
+	// dropped while the waiter blocked (or before it waited): the watermark
+	// can never reach the target, so the wait fails instead of hanging.
+	ErrViewWatermarkDropped = txn.ErrViewWatermarkDropped
 )
 
 // Open recovers (or creates) the database at path.
@@ -345,6 +361,7 @@ func Open(path string, opts Options) (*DB, error) {
 		db.watchdog = flightrec.StartWatchdog(flightrec.WatchdogConfig{
 			Interval:       opts.WatchdogInterval,
 			StallThreshold: opts.WatchdogStallThreshold,
+			FreshnessSLO:   opts.FreshnessSLO,
 			Snap:           db.Metrics,
 			Tracer:         tracer,
 			Recorder:       flight,
@@ -495,6 +512,33 @@ func (db *DB) Metrics() metrics.Snapshot {
 	}
 	if oldest := db.deferredOldestNs.Load(); oldest > 0 && now.UnixNano() > oldest {
 		s.Deferred.StalenessNs = now.UnixNano() - oldest
+	}
+	// Per-view freshness: the commit-to-visible distribution each maintenance
+	// path observed, plus the current staleness gauge. Escrow/immediate views
+	// are never stale (their lag IS the commit path); deferred views age by
+	// their oldest unapplied publish (applier table merged with the undrained
+	// queue).
+	s.Freshness.SLONs = int64(db.opts.FreshnessSLO)
+	if views := db.Catalog().Views(); len(views) > 0 {
+		staleOldest := db.deferredStaleOldest()
+		sort.Slice(views, func(i, j int) bool { return views[i].ID < views[j].ID })
+		for _, v := range views {
+			f := db.met.Freshness.Get(v.ID)
+			var staleNs int64
+			if v.Strategy == catalog.StrategyDeferred {
+				if w, ok := staleOldest[v.ID]; ok && now.UnixNano() > w {
+					staleNs = now.UnixNano() - w
+				}
+			}
+			f.StalenessNs.Store(staleNs)
+			s.Freshness.Views = append(s.Freshness.Views, metrics.ViewFreshnessSnapshot{
+				Tree:            uint32(v.ID),
+				View:            v.Name,
+				Strategy:        v.Strategy.String(),
+				StalenessNs:     staleNs,
+				CommitToVisible: f.CommitToVisible.Snap(),
+			})
+		}
 	}
 	s.Escrow.Shards = db.ledger.Shards()
 	s.Ghost.Created = db.ghostsCreated.Load()

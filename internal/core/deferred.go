@@ -10,6 +10,7 @@ import (
 	"repro/internal/applier"
 	"repro/internal/catalog"
 	"repro/internal/escrow"
+	"repro/internal/fault"
 	"repro/internal/id"
 	"repro/internal/lock"
 	"repro/internal/metrics"
@@ -77,13 +78,46 @@ func (q *deferredQueue) take() []applier.Msg {
 	return msgs
 }
 
+// oldestPerTree scans the queued (not yet drained) batches and returns the
+// earliest publish wall clock per view tree. It is the staleness clock's view
+// of work the applier has not even picked up yet — which is exactly the part
+// that grows when the applier itself is stuck mid-round.
+func (q *deferredQueue) oldestPerTree() map[id.Tree]int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out map[id.Tree]int64
+	for _, m := range q.msgs {
+		if m.Batch == nil || m.Batch.WallNs == 0 {
+			continue
+		}
+		for _, g := range m.Batch.Groups {
+			if out == nil {
+				out = make(map[id.Tree]int64)
+			}
+			if cur, ok := out[g.Tree]; !ok || m.Batch.WallNs < cur {
+				out[g.Tree] = m.Batch.WallNs
+			}
+		}
+	}
+	return out
+}
+
 // publishDeferred hands one commit's deferred deltas to the applier. Called
-// between stampOps and FinishCommit — see the ordering invariant above.
-func (db *DB) publishDeferred(b *applier.Batch) {
+// between stampOps and FinishCommit — see the ordering invariant above. The
+// publishing transaction rides along (as Batch.Span and the trace event's Txn)
+// so the flight record links the commit to the applier work it caused.
+func (db *DB) publishDeferred(b *applier.Batch, t id.Txn) {
 	n := db.applierQ.push(applier.Msg{Batch: b})
 	db.met.Deferred.ObserveQueueDepth(n)
 	db.met.Deferred.PublishedBatches.Add(1)
 	db.met.Deferred.PublishedGroups.Add(int64(len(b.Groups)))
+	if db.tracer != nil {
+		db.tracer.TraceEvent(metrics.Event{
+			Type: metrics.EventDeferredPublish,
+			Txn:  t,
+			Rows: len(b.Groups),
+		})
+	}
 }
 
 // publishDeferredBarrier tells the applier a view was recomputed from its
@@ -153,7 +187,21 @@ func (db *DB) applierRound(co *applier.Coalescer) {
 	}
 
 	groups := co.Take()
+	// Per-view staleness clocks: while this round runs, the in-flight groups
+	// (including a component a delay fault is holding hostage) keep their
+	// views' staleness growing; Metrics merges this with the undrained queue.
+	stale := make(map[id.Tree]int64)
+	for _, g := range groups {
+		if g.OldestWallNs == 0 {
+			continue
+		}
+		if cur, ok := stale[g.Tree]; !ok || g.OldestWallNs < cur {
+			stale[g.Tree] = g.OldestWallNs
+		}
+	}
+	db.setDeferredStale(stale)
 	failed := make(map[id.Tree]bool)
+	var folded []deferredFold
 	if len(groups) > 0 {
 		// Fold rounds are gate-admitted actors like any other writer: the
 		// system transactions below append to the WAL, which Checkpoint swaps
@@ -192,7 +240,7 @@ func (db *DB) applierRound(co *applier.Coalescer) {
 		for _, r := range order {
 			ms := members[r]
 			sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
-			if err := db.applyDeferredComponent(ms, comp[r]); err != nil {
+			if folds, err := db.applyDeferredComponent(ms, comp[r]); err != nil {
 				// The component's system transaction rolled back whole; keep
 				// its groups pending (merging with later publishes) and hold
 				// every member's watermark until a retry succeeds.
@@ -202,6 +250,7 @@ func (db *DB) applierRound(co *applier.Coalescer) {
 				retry = append(retry, comp[r]...)
 			} else {
 				applied += len(comp[r])
+				folded = append(folded, folds...)
 			}
 		}
 		if len(retry) > 0 {
@@ -217,7 +266,42 @@ func (db *DB) applierRound(co *applier.Coalescer) {
 	}
 	db.advanceDeferredWatermarks(wm, failed)
 
-	// Staleness gauge: age of the oldest publish not yet folded.
+	// The watermark advance above is the moment this round's folds became
+	// snapshot-visible: observe each folded view's commit-to-visible latency
+	// (one sample per contributing publish clock) and stamp the advance with
+	// the originating spans so the flight record links commit → publish →
+	// fold → visible.
+	if len(folded) > 0 {
+		nowNs := time.Now().UnixNano()
+		for _, f := range folded {
+			var oldest int64
+			fresh := db.met.Freshness.Get(f.tree)
+			for _, w := range f.groupWalls {
+				if oldest == 0 || w < oldest {
+					oldest = w
+				}
+				if d := nowNs - w; d > 0 && fresh != nil {
+					fresh.CommitToVisible.Observe(time.Duration(d))
+				}
+			}
+			if db.tracer != nil {
+				var age time.Duration
+				if oldest != 0 && nowNs > oldest {
+					age = time.Duration(nowNs - oldest)
+				}
+				db.tracer.TraceEvent(metrics.Event{
+					Type:     metrics.EventWatermarkAdvance,
+					Resource: f.name,
+					Rows:     int(wm),
+					Dur:      age,
+					Spans:    f.spans,
+				})
+			}
+		}
+	}
+
+	// Staleness gauges: engine-wide age of the oldest publish not yet folded,
+	// and the per-view clocks (now only the retry groups still pending).
 	if co.Len() == 0 {
 		db.deferredOldestNs.Store(0)
 	} else if db.deferredOldestNs.Load() == 0 {
@@ -227,6 +311,42 @@ func (db *DB) applierRound(co *applier.Coalescer) {
 		db.deferredOldestNs.Store(minWall)
 	}
 	db.deferredPending.Store(int64(co.Len()))
+	end := make(map[id.Tree]int64)
+	if co.Len() > 0 {
+		for _, v := range db.deferredViews() {
+			if w := co.OldestPendingWallNs(v.ID); w != 0 {
+				end[v.ID] = w
+			}
+		}
+	}
+	db.setDeferredStale(end)
+}
+
+// setDeferredStale replaces the applier's per-view oldest-unapplied-publish
+// table (wall-clock ns per view tree). Metrics reads it alongside the queue
+// scan to compute each view's current staleness.
+func (db *DB) setDeferredStale(m map[id.Tree]int64) {
+	db.deferredStaleMu.Lock()
+	db.deferredStale = m
+	db.deferredStaleMu.Unlock()
+}
+
+// deferredStaleOldest returns the per-view oldest-unapplied-publish clocks:
+// the applier's in-flight/retry table merged (min-wins) with the undrained
+// queue. A view absent from the result is caught up.
+func (db *DB) deferredStaleOldest() map[id.Tree]int64 {
+	out := db.applierQ.oldestPerTree()
+	db.deferredStaleMu.Lock()
+	for tree, w := range db.deferredStale {
+		if out == nil {
+			out = make(map[id.Tree]int64)
+		}
+		if cur, ok := out[tree]; !ok || w < cur {
+			out[tree] = w
+		}
+	}
+	db.deferredStaleMu.Unlock()
+	return out
 }
 
 // advanceDeferredWatermarks publishes wm for every deferred view in the
@@ -254,6 +374,23 @@ func deferredComponentRoot(cat *catalog.Catalog, v *catalog.View) id.Tree {
 	}
 }
 
+// deferredFold is one member view's share of a successful component round:
+// the rows folded into it, the originating commit spans that caused them, and
+// the contributing publish clocks — everything the round needs to emit linked
+// watermark-advance events and commit-to-visible samples after the advance.
+type deferredFold struct {
+	tree id.Tree
+	name string
+	rows int
+	// spans are the originating commits' causal spans: the view's own input
+	// groups' spans, or (for a stacked level fed only by the cascade) the
+	// union across the component's inputs.
+	spans []uint64
+	// groupWalls are the contributing publishes' wall clocks (one commit-to-
+	// visible sample each); cascade-only levels inherit the component's oldest.
+	groupWalls []int64
+}
+
 // applyDeferredComponent folds one deferred cascade component's coalesced
 // group deltas in a single system transaction: member trees X-lock in
 // ascending ID order (the DAG's topological order, so every multi-tree locker
@@ -263,14 +400,38 @@ func deferredComponentRoot(cat *catalog.Catalog, v *catalog.View) id.Tree {
 // together, so no reader ever sees a torn cross-level state. The applier
 // still holds only this one component's locks at a time; if a user
 // transaction's read entangles it in a deadlock, the system transaction rolls
-// back whole and the round retries.
-func (db *DB) applyDeferredComponent(members []*catalog.View, groups []applier.GroupDelta) error {
+// back whole and the round retries. On success it returns one deferredFold
+// per member level actually folded, each stamped per-level with its
+// originating spans (EventDeferredApply carries them too).
+func (db *DB) applyDeferredComponent(members []*catalog.View, groups []applier.GroupDelta) ([]deferredFold, error) {
 	root := db.reg.Maintainer(members[0].ID)
 	if root == nil {
-		return nil // component dropped while its deltas were pending
+		return nil, nil // component dropped while its deltas were pending
+	}
+	if err := db.hit(fault.PointDeferredApply); err != nil {
+		return nil, err
+	}
+	// Causality of the fold: which publishes fed which member level. Direct
+	// input spans/clocks attribute per tree; cascade-only levels (stacked
+	// children with no direct deltas) inherit the whole component's.
+	inSpans := make(map[id.Tree][]uint64)
+	inWalls := make(map[id.Tree][]int64)
+	var compSpans []uint64
+	var compOldest int64
+	for _, g := range groups {
+		inSpans[g.Tree] = applier.MergeSpans(inSpans[g.Tree], g.Spans)
+		compSpans = applier.MergeSpans(compSpans, g.Spans)
+		if g.OldestWallNs != 0 {
+			inWalls[g.Tree] = append(inWalls[g.Tree], g.OldestWallNs)
+			if compOldest == 0 || g.OldestWallNs < compOldest {
+				compOldest = g.OldestWallNs
+			}
+		}
 	}
 	start := time.Now()
+	var folds []deferredFold
 	err := db.runSysTxn(func(st *txn.Txn) error {
+		folds = folds[:0] // a retried closure starts the tally over
 		for _, v := range members {
 			if err := db.lockTree(st, v.ID, lock.ModeX); err != nil {
 				return err
@@ -296,6 +457,7 @@ func (db *DB) applyDeferredComponent(members []*catalog.View, groups []applier.G
 				continue // dropped mid-flight (its dependents went with it)
 			}
 			children := db.Catalog().ViewsOn(m.V.Name)
+			level := deferredFold{tree: tid, name: m.V.Name}
 			for _, k := range sortedRowKeys(rows) {
 				ds := dropZeroDeltas(rows[k])
 				if len(ds) == 0 {
@@ -307,6 +469,7 @@ func (db *DB) applyDeferredComponent(members []*catalog.View, groups []applier.G
 				if err != nil {
 					return err
 				}
+				level.rows++
 				db.met.Cascade.ObserveFold(m.V.Level())
 				if len(children) > 0 {
 					if err := db.enqueueCascade(q, m, []byte(k), fr, children); err != nil {
@@ -314,18 +477,34 @@ func (db *DB) applyDeferredComponent(members []*catalog.View, groups []applier.G
 					}
 				}
 			}
+			if level.rows > 0 {
+				if level.spans = inSpans[tid]; len(level.spans) == 0 {
+					level.spans = compSpans
+				}
+				if level.groupWalls = inWalls[tid]; len(level.groupWalls) == 0 && compOldest != 0 {
+					level.groupWalls = []int64{compOldest}
+				}
+				folds = append(folds, level)
+			}
 		}
 		return nil
 	})
-	if err == nil && db.tracer != nil {
-		db.tracer.TraceEvent(metrics.Event{
-			Type:     metrics.EventDeferredApply,
-			Resource: root.V.Name,
-			Rows:     len(groups),
-			Dur:      time.Since(start),
-		})
+	if err != nil {
+		return nil, err
 	}
-	return err
+	if db.tracer != nil {
+		dur := time.Since(start)
+		for _, f := range folds {
+			db.tracer.TraceEvent(metrics.Event{
+				Type:     metrics.EventDeferredApply,
+				Resource: f.name,
+				Rows:     f.rows,
+				Dur:      dur,
+				Spans:    f.spans,
+			})
+		}
+	}
+	return folds, nil
 }
 
 // deferredViews lists the catalog's deferred views.

@@ -168,7 +168,8 @@ func (tx *Tx) commit() error {
 		tx.finish(true)
 		return nil
 	}
-	deferred, err := db.foldEscrow(tx.t)
+	commitStart := time.Now()
+	deferred, foldedViews, err := db.foldEscrow(tx.t)
 	if err != nil {
 		// Fold failure (e.g. a log fault) aborts the transaction; already-
 		// applied folds are compensated by the generic rollback.
@@ -201,9 +202,27 @@ func (tx *Tx) commit() error {
 		// Publish before FinishCommit: the oracle's read timestamp must not
 		// reach ts until this batch is queued, or an applier round could
 		// advance the view watermark past a commit it never saw (deferred.go).
-		db.publishDeferred(&applier.Batch{TS: ts, WallNs: time.Now().UnixNano(), Groups: deferred})
+		// The batch carries the commit's causal span (resolved while the
+		// transaction is still live in the recorder's span table) so applier
+		// folds and watermark advances can name this commit as their cause.
+		db.publishDeferred(&applier.Batch{
+			TS:     ts,
+			WallNs: time.Now().UnixNano(),
+			Span:   db.flight.SpanOf(tx.t.ID),
+			Groups: deferred,
+		}, tx.t.ID)
 	}
 	db.oracle.FinishCommit(ts)
+	// Immediately maintained views are visible the moment the commit finishes:
+	// their commit-to-visible latency IS the commit path.
+	if len(foldedViews) > 0 {
+		dur := time.Since(commitStart)
+		for _, tid := range foldedViews {
+			if f := db.met.Freshness.Get(tid); f != nil {
+				f.CommitToVisible.Observe(dur)
+			}
+		}
+	}
 	tx.finish(true)
 	return nil
 }
@@ -310,11 +329,13 @@ func (tx *Tx) finish(committed bool) {
 // within the same commit, all stamped at one commit timestamp. Deltas against
 // deferred views are not folded: they are returned as per-group deltas for
 // the commit to publish to the background applier (deferred.go), which runs
-// the cascade below a deferred parent itself.
-func (db *DB) foldEscrow(t *txn.Txn) ([]applier.GroupDelta, error) {
+// the cascade below a deferred parent itself. The second result lists the
+// distinct immediately maintained view trees folded — the commit observes
+// their commit-to-visible freshness once the commit finishes.
+func (db *DB) foldEscrow(t *txn.Txn) ([]applier.GroupDelta, []id.Tree, error) {
 	cds := db.ledger.TxnDeltas(t.ID)
 	if len(cds) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	start := time.Now()
 	q := newFoldQueue()
@@ -322,6 +343,7 @@ func (db *DB) foldEscrow(t *txn.Txn) ([]applier.GroupDelta, error) {
 		q.add(cd.Cell.Row.Tree, cd.Cell.Row.Key, cd.Cell.Col, cd.Delta)
 	}
 	var deferredGroups []applier.GroupDelta
+	var foldedViews []id.Tree
 	folded := 0
 	for {
 		tid, rows, ok := q.popMinTree()
@@ -330,7 +352,7 @@ func (db *DB) foldEscrow(t *txn.Txn) ([]applier.GroupDelta, error) {
 		}
 		m := db.reg.Maintainer(tid)
 		if m == nil {
-			return nil, fmt.Errorf("core: fold against unknown view %s", tid)
+			return nil, nil, fmt.Errorf("core: fold against unknown view %s", tid)
 		}
 		if m.V.Strategy == catalog.StrategyDeferred {
 			for _, k := range sortedRowKeys(rows) {
@@ -346,6 +368,7 @@ func (db *DB) foldEscrow(t *txn.Txn) ([]applier.GroupDelta, error) {
 			continue
 		}
 		children := db.Catalog().ViewsOn(m.V.Name)
+		before := folded
 		for _, k := range sortedRowKeys(rows) {
 			ds := dropZeroDeltas(rows[k])
 			if len(ds) == 0 {
@@ -353,15 +376,18 @@ func (db *DB) foldEscrow(t *txn.Txn) ([]applier.GroupDelta, error) {
 			}
 			fr, err := db.foldRow(t, escrow.RowID{Tree: tid, Key: k}, ds, m.V.OverView())
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			folded++
 			db.met.Cascade.ObserveFold(m.V.Level())
 			if len(children) > 0 {
 				if err := db.enqueueCascade(q, m, []byte(k), fr, children); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
+		}
+		if folded > before {
+			foldedViews = append(foldedViews, tid)
 		}
 	}
 	if folded > 0 {
@@ -372,7 +398,7 @@ func (db *DB) foldEscrow(t *txn.Txn) ([]applier.GroupDelta, error) {
 			db.tracer.TraceEvent(metrics.Event{Type: metrics.EventFold, Txn: t.ID, Dur: dur, Rows: folded})
 		}
 	}
-	return deferredGroups, nil
+	return deferredGroups, foldedViews, nil
 }
 
 // foldRow folds one view row under the structure latch, returning the before

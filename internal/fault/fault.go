@@ -46,9 +46,15 @@ const (
 	// PointSysCommit fires before a system transaction's commit record is
 	// appended.
 	PointSysCommit Point = "sys-commit"
+	// PointDeferredApply fires in the deferred applier before each component
+	// fold. It is NOT part of Points (the torture schedule never crashes
+	// here); its use is delay injection — a Hooks that sleeps at this point
+	// slows the applier to exercise the freshness-SLO watchdog.
+	PointDeferredApply Point = "deferred-apply"
 )
 
-// Points lists every named crash point (the schedule picks from these).
+// Points lists every named crash point (the torture schedule picks from
+// these; PointDeferredApply is deliberately excluded).
 var Points = []Point{PointWALAppend, PointFold, PointCheckpoint, PointGhostErase, PointSysCommit}
 
 // Hooks receives crash-point notifications. A nil Hooks in core.Options

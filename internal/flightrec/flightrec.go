@@ -18,6 +18,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -159,6 +160,21 @@ func (r *Recorder) TraceEvent(e metrics.Event) {
 	}
 }
 
+// SpanOf returns the live causal span of txn (the seq of its tx-begin), or
+// zero when the transaction is unknown or already ended. The commit path uses
+// it to thread the originating span across the async deferred-maintenance
+// boundary before tx-end retires the table entry.
+func (r *Recorder) SpanOf(txn id.Txn) uint64 {
+	if r == nil || txn == 0 {
+		return 0
+	}
+	ss := &r.spans[uint64(txn)%spanShards]
+	ss.mu.Lock()
+	span := ss.m[txn]
+	ss.mu.Unlock()
+	return span
+}
+
 // resolveSpan returns the causal span for e and maintains the span table: a
 // transaction's span is the sequence number of its tx-begin record, attached
 // to every later event carrying its txn ID and retired at tx-end.
@@ -246,8 +262,16 @@ func (r *Recorder) writeTimeline(w io.Writer, reason string) error {
 	fmt.Fprintf(bw, "%10s %12s %-10s event\n", "seq", "t+ms", "span")
 	for _, e := range recs {
 		span := "-"
-		if e.Span != 0 {
+		switch {
+		case e.Span != 0:
 			span = fmt.Sprintf("s%d", e.Span)
+		case len(e.Spans) > 0:
+			// Multi-parent event (coalesced deferred fold / watermark advance):
+			// name the first originating span and how many more contributed.
+			span = fmt.Sprintf("s%d", e.Spans[0])
+			if len(e.Spans) > 1 {
+				span += fmt.Sprintf("+%d", len(e.Spans)-1)
+			}
 		}
 		fmt.Fprintf(bw, "%10d %+12.3f %-10s %s\n",
 			e.Seq, float64(e.WallNs-base)/1e6, span, e.String())
@@ -267,21 +291,38 @@ type spanInfo struct {
 	failedWaits int
 	foldRows    int
 	outcome     string
+	// visibleIn names the views whose watermark advances credited this span
+	// (the commit's effects became readable there).
+	visibleIn []string
 }
 
 func writeSpanSummary(w io.Writer, recs []metrics.Event, base int64) {
 	bydSpan := make(map[uint64]*spanInfo)
 	var order []uint64
+	get := func(span uint64, e metrics.Event) *spanInfo {
+		si := bydSpan[span]
+		if si == nil {
+			si = &spanInfo{span: span, txn: e.Txn, firstNs: e.WallNs}
+			bydSpan[span] = si
+			order = append(order, span)
+		}
+		return si
+	}
 	for _, e := range recs {
+		// Multi-parent events (deferred folds, watermark advances) credit each
+		// originating span: the commit's story continues past tx-end.
+		for _, span := range e.Spans {
+			si := get(span, e)
+			si.events++
+			si.lastNs = e.WallNs
+			if e.Type == metrics.EventWatermarkAdvance {
+				si.visibleIn = append(si.visibleIn, e.Resource)
+			}
+		}
 		if e.Span == 0 {
 			continue
 		}
-		si := bydSpan[e.Span]
-		if si == nil {
-			si = &spanInfo{span: e.Span, txn: e.Txn, firstNs: e.WallNs}
-			bydSpan[e.Span] = si
-			order = append(order, e.Span)
-		}
+		si := get(e.Span, e)
 		si.events++
 		si.lastNs = e.WallNs
 		switch e.Type {
@@ -306,10 +347,22 @@ func writeSpanSummary(w io.Writer, recs []metrics.Event, base int64) {
 		if out == "" {
 			out = "open"
 		}
-		fmt.Fprintf(w, "  s%-8d %s: %d events +%.3fms..+%.3fms, %d lock waits (%d failed), %d rows folded, end: %s\n",
+		visible := ""
+		if len(si.visibleIn) > 0 {
+			seen := map[string]bool{}
+			var views []string
+			for _, v := range si.visibleIn {
+				if !seen[v] {
+					seen[v] = true
+					views = append(views, v)
+				}
+			}
+			visible = ", visible in: " + strings.Join(views, ", ")
+		}
+		fmt.Fprintf(w, "  s%-8d %s: %d events +%.3fms..+%.3fms, %d lock waits (%d failed), %d rows folded, end: %s%s\n",
 			si.span, si.txn, si.events,
 			float64(si.firstNs-base)/1e6, float64(si.lastNs-base)/1e6,
-			si.waits, si.failedWaits, si.foldRows, out)
+			si.waits, si.failedWaits, si.foldRows, out, visible)
 	}
 }
 
@@ -317,17 +370,21 @@ func writeSpanSummary(w io.Writer, recs []metrics.Event, base int64) {
 // schema (golden-tested like the metrics snapshot); only additions are
 // allowed.
 type Record struct {
-	Seq      uint64 `json:"seq"`
-	WallNs   int64  `json:"wall_ns"`
-	Span     uint64 `json:"span,omitempty"`
-	Type     string `json:"type"`
-	Txn      uint64 `json:"txn,omitempty"`
-	DurNs    int64  `json:"dur_ns,omitempty"`
-	Resource string `json:"resource,omitempty"`
-	Mode     string `json:"mode,omitempty"`
-	Outcome  string `json:"outcome,omitempty"`
-	Rows     int    `json:"rows,omitempty"`
-	Phase    string `json:"phase,omitempty"`
+	Seq    uint64 `json:"seq"`
+	WallNs int64  `json:"wall_ns"`
+	Span   uint64 `json:"span,omitempty"`
+	// Spans are the originating commits' spans for events downstream of the
+	// async deferred-maintenance boundary (multi-parent for coalesced
+	// batches).
+	Spans    []uint64 `json:"spans,omitempty"`
+	Type     string   `json:"type"`
+	Txn      uint64   `json:"txn,omitempty"`
+	DurNs    int64    `json:"dur_ns,omitempty"`
+	Resource string   `json:"resource,omitempty"`
+	Mode     string   `json:"mode,omitempty"`
+	Outcome  string   `json:"outcome,omitempty"`
+	Rows     int      `json:"rows,omitempty"`
+	Phase    string   `json:"phase,omitempty"`
 }
 
 // WriteJSONL renders the recorded history as machine-readable JSON Lines,
@@ -341,6 +398,7 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 			Seq:      e.Seq,
 			WallNs:   e.WallNs,
 			Span:     e.Span,
+			Spans:    e.Spans,
 			Type:     e.Type.String(),
 			Txn:      uint64(e.Txn),
 			DurNs:    int64(e.Dur),

@@ -19,6 +19,10 @@ type WatchdogConfig struct {
 	// Windows is how many consecutive intervals a growth signature (escrow
 	// backlog, ghost starvation) must persist; zero selects 3.
 	Windows int
+	// FreshnessSLO, when positive, arms the freshness-slo signature: any view
+	// whose current staleness exceeds it fires a detection naming the lagging
+	// view (and auto-dumps the linked trace via Recorder).
+	FreshnessSLO time.Duration
 	// Snap samples the engine (DB.Metrics).
 	Snap func() metrics.Snapshot
 	// Tracer receives EventStall on each detection onset (normally the flight
@@ -50,7 +54,7 @@ type Watchdog struct {
 
 // detection is one stall signature currently firing.
 type detection struct {
-	sig    string // "wal-flush", "lock-convoy", "escrow-backlog", "ghost-starvation"
+	sig    string // "wal-flush", "lock-convoy", "escrow-backlog", "ghost-starvation", "freshness-slo"
 	detail string
 	age    time.Duration
 }
@@ -150,6 +154,8 @@ func (w *Watchdog) count(sig string) {
 		m.EscrowStalls.Add(1)
 	case "ghost-starvation":
 		m.GhostStalls.Add(1)
+	case "freshness-slo":
+		m.FreshnessBreaches.Add(1)
 	}
 }
 
@@ -232,6 +238,27 @@ func (w *Watchdog) evaluate(prev, cur metrics.Snapshot) []detection {
 				cur.Ghost.Backlog, w.ghostStreak),
 			age: time.Duration(w.ghostStreak) * w.cfg.Interval,
 		})
+	}
+
+	// 5. Freshness SLO breach: some view's current staleness exceeds the
+	// configured bound — the deferred pipeline is not keeping the promise.
+	// Level-triggered input, edge-triggered reporting like every signature:
+	// one detection per onset, naming the worst-lagging view.
+	if slo := w.cfg.FreshnessSLO; slo > 0 {
+		var worst metrics.ViewFreshnessSnapshot
+		for _, v := range cur.Freshness.Views {
+			if v.StalenessNs > worst.StalenessNs {
+				worst = v
+			}
+		}
+		if age := time.Duration(worst.StalenessNs); age > slo {
+			dets = append(dets, detection{
+				sig: "freshness-slo",
+				detail: fmt.Sprintf("view %q staleness %s exceeds SLO %s (watermark lagging)",
+					worst.View, age.Round(time.Millisecond), slo),
+				age: age,
+			})
+		}
 	}
 
 	return dets

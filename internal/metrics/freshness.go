@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/id"
+)
+
+// ViewFreshness accumulates the freshness picture for one indexed view: the
+// commit-to-visible latency distribution (how long after a commit its effect
+// became readable in the view) and the current staleness gauge (how far
+// behind the view is right now). Escrow-maintained views observe the commit
+// path itself and are never stale; deferred/stacked views observe
+// publish→watermark and carry the age of their oldest unapplied publish.
+type ViewFreshness struct {
+	// CommitToVisible is the commit-to-visible latency histogram: for escrow
+	// views the commit-time fold path, for deferred views the wall time from
+	// the originating commit to the watermark advance that made it readable.
+	CommitToVisible Histogram
+	// StalenessNs is the current staleness gauge: age in nanoseconds of the
+	// oldest commit not yet visible in this view (zero when caught up).
+	StalenessNs atomic.Int64
+}
+
+// Freshness is a copy-on-write map from view tree ID to its freshness
+// accumulator, following the ViewCosts pattern: cardinality is bounded by
+// the catalog, hot-path lookups are one atomic pointer load + map read, and
+// the mutex is taken only the first time a tree is seen.
+type Freshness struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[id.Tree]*ViewFreshness]
+}
+
+// Get returns the accumulator for tree, creating it on first use. Nil-safe:
+// a nil receiver returns nil (callers must nil-check before observing).
+func (f *Freshness) Get(tree id.Tree) *ViewFreshness {
+	if f == nil {
+		return nil
+	}
+	if mp := f.m.Load(); mp != nil {
+		if v, ok := (*mp)[tree]; ok {
+			return v
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	old := f.m.Load()
+	if old != nil {
+		if v, ok := (*old)[tree]; ok {
+			return v
+		}
+	}
+	next := make(map[id.Tree]*ViewFreshness, 8)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	v := &ViewFreshness{}
+	next[tree] = v
+	f.m.Store(&next)
+	return v
+}
+
+// Drop removes a view's accumulator (the view was dropped); its series stop
+// being exported rather than freezing at the last value. Nil-safe.
+func (f *Freshness) Drop(tree id.Tree) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	old := f.m.Load()
+	if old == nil {
+		return
+	}
+	if _, ok := (*old)[tree]; !ok {
+		return
+	}
+	next := make(map[id.Tree]*ViewFreshness, len(*old))
+	for k, v := range *old {
+		if k != tree {
+			next[k] = v
+		}
+	}
+	f.m.Store(&next)
+}
+
+// Each calls fn for every tracked tree. Iteration order is unspecified.
+// Nil-safe.
+func (f *Freshness) Each(fn func(tree id.Tree, v *ViewFreshness)) {
+	if f == nil {
+		return
+	}
+	mp := f.m.Load()
+	if mp == nil {
+		return
+	}
+	for k, v := range *mp {
+		fn(k, v)
+	}
+}

@@ -108,6 +108,33 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 	gauge("vtxn_deferred_lag_ts", "Oracle read timestamp minus the minimum deferred-view watermark.", int64(s.Deferred.LagTS))
 	gauge("vtxn_deferred_staleness_ns", "Age of the oldest unapplied deferred publish (0 when caught up).", s.Deferred.StalenessNs)
 	summary("vtxn_deferred_apply_seconds", "Deferred applier round latency.", s.Deferred.Apply)
+	fmt.Fprintf(sb, "# HELP vtxn_view_watermark Applied watermark of each deferred view (commit timestamp).\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_view_watermark gauge\n")
+	for _, v := range s.Deferred.Views {
+		fmt.Fprintf(sb, "vtxn_view_watermark{view=%q} %d\n", promLabel(v.View), v.Watermark)
+	}
+
+	// Per-view freshness: current staleness gauges and commit-to-visible
+	// latency summaries (cardinality bounded by the catalog).
+	if s.Freshness.SLONs > 0 {
+		gauge("vtxn_freshness_slo_ns", "Configured freshness SLO (0 when unenforced).", s.Freshness.SLONs)
+	}
+	fmt.Fprintf(sb, "# HELP vtxn_view_staleness_seconds Age of the oldest commit not yet visible in each view (0 when caught up).\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_view_staleness_seconds gauge\n")
+	for _, v := range s.Freshness.Views {
+		fmt.Fprintf(sb, "vtxn_view_staleness_seconds{view=%q} %s\n", promLabel(v.View), seconds(v.StalenessNs))
+	}
+	fmt.Fprintf(sb, "# HELP vtxn_view_freshness_ns Commit-to-visible latency per view (commit-path fold for escrow views, publish to watermark for deferred).\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_view_freshness_ns summary\n")
+	for _, v := range s.Freshness.Views {
+		h := v.CommitToVisible
+		lv := promLabel(v.View)
+		fmt.Fprintf(sb, "vtxn_view_freshness_ns{view=%q,quantile=\"0.5\"} %d\n", lv, h.P50Ns)
+		fmt.Fprintf(sb, "vtxn_view_freshness_ns{view=%q,quantile=\"0.99\"} %d\n", lv, h.P99Ns)
+		fmt.Fprintf(sb, "vtxn_view_freshness_ns{view=%q,quantile=\"1\"} %d\n", lv, h.MaxNs)
+		fmt.Fprintf(sb, "vtxn_view_freshness_ns_sum{view=%q} %d\n", lv, h.SumNs)
+		fmt.Fprintf(sb, "vtxn_view_freshness_ns_count{view=%q} %d\n", lv, h.Count)
+	}
 
 	// Stacked-view cascades (views over views).
 	counter("vtxn_cascade_enqueued_total", "Child-view cell deltas produced by parent view row changes.", s.Cascade.Enqueued)
@@ -128,6 +155,7 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 	fmt.Fprintf(sb, "vtxn_watchdog_signature_detections_total{signature=\"lock-convoy\"} %d\n", s.Watchdog.LockConvoys)
 	fmt.Fprintf(sb, "vtxn_watchdog_signature_detections_total{signature=\"escrow-backlog\"} %d\n", s.Watchdog.EscrowStalls)
 	fmt.Fprintf(sb, "vtxn_watchdog_signature_detections_total{signature=\"ghost-starvation\"} %d\n", s.Watchdog.GhostStalls)
+	fmt.Fprintf(sb, "vtxn_watchdog_signature_detections_total{signature=\"freshness-slo\"} %d\n", s.Watchdog.FreshnessBreaches)
 	counter("vtxn_flightrec_events_total", "Events recorded by the flight recorder.", s.Flight.Recorded)
 	counter("vtxn_flightrec_dumps_total", "Flight-record dumps written.", s.Flight.Dumps)
 	gauge("vtxn_flightrec_capacity", "Flight-recorder ring capacity in events.", int64(s.Flight.Capacity))

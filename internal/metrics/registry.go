@@ -18,6 +18,9 @@ type Registry struct {
 	MVCC     MVCCMetrics
 	Deferred DeferredMetrics
 	Cascade  CascadeMetrics
+	// Freshness is the per-view commit-to-visible accounting (histograms and
+	// staleness gauges), fed by the commit fold path and the deferred applier.
+	Freshness Freshness
 }
 
 // NewRegistry returns an empty registry with the hot-spot sketches sized to
@@ -325,4 +328,7 @@ type WatchdogMetrics struct {
 	LockConvoys  atomic.Int64
 	EscrowStalls atomic.Int64
 	GhostStalls  atomic.Int64
+	// FreshnessBreaches counts freshness-SLO onsets (a view's staleness
+	// crossed Options.FreshnessSLO).
+	FreshnessBreaches atomic.Int64
 }

@@ -114,12 +114,21 @@ func (r *SnapshotRing) Rates() (Rates, bool) {
 		return Rates{}, false
 	}
 	sec := dt.Seconds()
+	// Clamp counter deltas to zero: a Close+reopen restarts the registry, so
+	// the first interval spanning the restart would otherwise report negative
+	// rates (the group and view diffs below already clamp the same way).
+	delta := func(cur, prev int64) int64 {
+		if d := cur - prev; d > 0 {
+			return d
+		}
+		return 0
+	}
 	out := Rates{
 		Interval:         dt,
-		CommitsPerSec:    float64(cur.Snap.Engine.Commits-prev.Snap.Engine.Commits) / sec,
-		AbortsPerSec:     float64(cur.Snap.Engine.Aborts-prev.Snap.Engine.Aborts) / sec,
-		WALAppendsPerSec: float64(cur.Snap.WAL.Appends-prev.Snap.WAL.Appends) / sec,
-		FoldRowsPerSec:   float64(cur.Snap.Escrow.FoldRows-prev.Snap.Escrow.FoldRows) / sec,
+		CommitsPerSec:    float64(delta(cur.Snap.Engine.Commits, prev.Snap.Engine.Commits)) / sec,
+		AbortsPerSec:     float64(delta(cur.Snap.Engine.Aborts, prev.Snap.Engine.Aborts)) / sec,
+		WALAppendsPerSec: float64(delta(cur.Snap.WAL.Appends, prev.Snap.WAL.Appends)) / sec,
+		FoldRowsPerSec:   float64(delta(cur.Snap.Escrow.FoldRows, prev.Snap.Escrow.FoldRows)) / sec,
 	}
 	out.TopWait = groupRates(cur.Snap.Hotspots.TopWait, prev.Snap.Hotspots.TopWait, 1e9*sec)
 	out.TopDelta = groupRates(cur.Snap.Hotspots.TopDelta, prev.Snap.Hotspots.TopDelta, sec)

@@ -84,3 +84,40 @@ func TestSnapshotRingRates(t *testing.T) {
 		t.Fatalf("after wrap: ok=%v CommitsPerSec=%v, want 10", ok, rates.CommitsPerSec)
 	}
 }
+
+// TestSnapshotRingRatesClampCounterReset pins the restart behavior: a
+// Close+reopen hands the ring a fresh registry whose counters restarted from
+// zero, and the interval spanning the restart must report zero rates, never
+// negative ones.
+func TestSnapshotRingRatesClampCounterReset(t *testing.T) {
+	r := NewSnapshotRing(4)
+	t0 := time.Unix(2000, 0)
+	before := Snapshot{}
+	before.Engine.Commits = 500
+	before.Engine.Aborts = 40
+	before.WAL.Appends = 900
+	before.Escrow.FoldRows = 300
+	r.Push(t0, before)
+
+	after := Snapshot{} // reopened engine: everything restarted from zero
+	after.Engine.Commits = 10
+	r.Push(t0.Add(time.Second), after)
+
+	rates, ok := r.Rates()
+	if !ok {
+		t.Fatal("Rates failed with 2 snapshots")
+	}
+	for name, got := range map[string]float64{
+		"CommitsPerSec":    rates.CommitsPerSec,
+		"AbortsPerSec":     rates.AbortsPerSec,
+		"WALAppendsPerSec": rates.WALAppendsPerSec,
+		"FoldRowsPerSec":   rates.FoldRowsPerSec,
+	} {
+		if got < 0 {
+			t.Errorf("%s = %v after counter reset, want clamped >= 0", name, got)
+		}
+	}
+	if rates.CommitsPerSec != 0 {
+		t.Errorf("CommitsPerSec = %v across a reset, want 0", rates.CommitsPerSec)
+	}
+}

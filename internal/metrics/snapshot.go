@@ -7,19 +7,20 @@ import "time"
 // field names are part of the public API and golden-tested; only additions
 // are allowed.
 type Snapshot struct {
-	Engine   EngineSnapshot   `json:"engine"`
-	Txn      TxnSnapshot      `json:"txn"`
-	Lock     LockSnapshot     `json:"lock"`
-	Escrow   EscrowSnapshot   `json:"escrow"`
-	WAL      WALSnapshot      `json:"wal"`
-	Ghost    GhostSnapshot    `json:"ghosts"`
-	Recovery RecoverySnapshot `json:"recovery"`
-	Watchdog WatchdogSnapshot `json:"watchdog"`
-	Flight   FlightSnapshot   `json:"flightrec"`
-	Hotspots HotspotsSnapshot `json:"hotspots"`
-	MVCC     MVCCSnapshot     `json:"mvcc"`
-	Deferred DeferredSnapshot `json:"deferred"`
-	Cascade  CascadeSnapshot  `json:"cascade"`
+	Engine    EngineSnapshot    `json:"engine"`
+	Txn       TxnSnapshot       `json:"txn"`
+	Lock      LockSnapshot      `json:"lock"`
+	Escrow    EscrowSnapshot    `json:"escrow"`
+	WAL       WALSnapshot       `json:"wal"`
+	Ghost     GhostSnapshot     `json:"ghosts"`
+	Recovery  RecoverySnapshot  `json:"recovery"`
+	Watchdog  WatchdogSnapshot  `json:"watchdog"`
+	Flight    FlightSnapshot    `json:"flightrec"`
+	Hotspots  HotspotsSnapshot  `json:"hotspots"`
+	MVCC      MVCCSnapshot      `json:"mvcc"`
+	Deferred  DeferredSnapshot  `json:"deferred"`
+	Cascade   CascadeSnapshot   `json:"cascade"`
+	Freshness FreshnessSnapshot `json:"freshness"`
 }
 
 // EngineSnapshot are the engine-level transaction counters, plus the
@@ -123,11 +124,12 @@ type RecoverySnapshot struct {
 
 // WatchdogSnapshot reports stall-watchdog detections by signature.
 type WatchdogSnapshot struct {
-	Detections   int64 `json:"detections"`
-	WALStalls    int64 `json:"wal_stalls"`
-	LockConvoys  int64 `json:"lock_convoys"`
-	EscrowStalls int64 `json:"escrow_stalls"`
-	GhostStalls  int64 `json:"ghost_stalls"`
+	Detections        int64 `json:"detections"`
+	WALStalls         int64 `json:"wal_stalls"`
+	LockConvoys       int64 `json:"lock_convoys"`
+	EscrowStalls      int64 `json:"escrow_stalls"`
+	GhostStalls       int64 `json:"ghost_stalls"`
+	FreshnessBreaches int64 `json:"freshness_breaches"`
 }
 
 // HotspotsSnapshot is the hot-spot attribution section: the top groups by
@@ -220,6 +222,30 @@ type DeferredViewSnapshot struct {
 	Watermark uint64 `json:"watermark"`
 }
 
+// FreshnessSnapshot is the per-view freshness section: commit-to-visible
+// latency summaries and current-staleness gauges for every maintained view.
+// The engine fills it (view names and strategies need the catalog).
+type FreshnessSnapshot struct {
+	// SLONs is the configured freshness SLO in nanoseconds (zero when
+	// unenforced).
+	SLONs int64 `json:"slo_ns"`
+	// Views lists each view's freshness, ordered by tree ID.
+	Views []ViewFreshnessSnapshot `json:"views"`
+}
+
+// ViewFreshnessSnapshot is one view's freshness picture.
+type ViewFreshnessSnapshot struct {
+	Tree     uint32 `json:"tree"`
+	View     string `json:"view"`
+	Strategy string `json:"strategy"`
+	// StalenessNs is the age of the oldest commit not yet visible in the view
+	// (always zero for escrow views: they are maintained inside the commit).
+	StalenessNs int64 `json:"staleness_ns"`
+	// CommitToVisible summarizes commit-to-visible latency: the commit-time
+	// fold for escrow views, publish→watermark for deferred views.
+	CommitToVisible HistSnapshot `json:"commit_to_visible"`
+}
+
 // CascadeSnapshot summarizes stacked-view (view-over-view) maintenance: child
 // deltas enqueued by parent folds, the coalescing win of the commit-local
 // queue, and per-DAG-level fold counts.
@@ -281,11 +307,12 @@ func (r *Registry) Snap() Snapshot {
 			BacklogHighWater: r.Ghost.BacklogHighWater.Load(),
 		},
 		Watchdog: WatchdogSnapshot{
-			Detections:   r.Watchdog.Detections.Load(),
-			WALStalls:    r.Watchdog.WALStalls.Load(),
-			LockConvoys:  r.Watchdog.LockConvoys.Load(),
-			EscrowStalls: r.Watchdog.EscrowStalls.Load(),
-			GhostStalls:  r.Watchdog.GhostStalls.Load(),
+			Detections:        r.Watchdog.Detections.Load(),
+			WALStalls:         r.Watchdog.WALStalls.Load(),
+			LockConvoys:       r.Watchdog.LockConvoys.Load(),
+			EscrowStalls:      r.Watchdog.EscrowStalls.Load(),
+			GhostStalls:       r.Watchdog.GhostStalls.Load(),
+			FreshnessBreaches: r.Watchdog.FreshnessBreaches.Load(),
 		},
 	}
 	s.Deferred = DeferredSnapshot{

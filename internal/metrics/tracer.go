@@ -47,8 +47,19 @@ const (
 	EventMVCCPrune
 	// EventDeferredApply fires after the deferred-view applier folds a round
 	// of coalesced deltas into one view; Resource is the view name, Rows the
-	// groups folded, and Dur the round's fold time.
+	// groups folded, and Dur the round's fold time. Spans carries the causal
+	// spans of the originating commits whose deltas the fold applied.
 	EventDeferredApply
+	// EventDeferredPublish fires when a commit hands its deferred view deltas
+	// to the background applier; Rows is the group deltas published. The
+	// transaction's span links the publish to its tx-begin.
+	EventDeferredPublish
+	// EventWatermarkAdvance fires when the applier advances one deferred
+	// view's watermark after folding; Resource is the view name, Rows the new
+	// watermark (truncated to int), Dur the oldest folded commit's
+	// commit-to-visible latency, and Spans the originating commits now
+	// visible in the view.
+	EventWatermarkAdvance
 )
 
 // String names the event type.
@@ -76,6 +87,10 @@ func (t EventType) String() string {
 		return "mvcc-prune"
 	case EventDeferredApply:
 		return "deferred-apply"
+	case EventDeferredPublish:
+		return "deferred-publish"
+	case EventWatermarkAdvance:
+		return "watermark-advance"
 	default:
 		return fmt.Sprintf("EventType(%d)", uint8(t))
 	}
@@ -94,6 +109,11 @@ type Event struct {
 	// lifetime (its value is the Seq of the transaction's tx-begin record).
 	// Zero for engine-level events, stamped by the flight recorder.
 	Span uint64
+	// Spans lists the originating commits' span IDs for events downstream of
+	// the async deferred-maintenance boundary (applier folds, watermark
+	// advances): a coalesced batch has several causal parents. Set by the
+	// emitter, preserved by the flight recorder.
+	Spans []uint64
 	// Txn is the acting transaction (zero for engine-level events).
 	Txn id.Txn
 	// Dur is the event's duration: wait time, fold time, flush time, phase
@@ -135,6 +155,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s: %d versions in %s", e.Type, e.Rows, e.Dur)
 	case EventDeferredApply:
 		return fmt.Sprintf("%s %s: %d groups in %s", e.Type, e.Resource, e.Rows, e.Dur)
+	case EventDeferredPublish:
+		return fmt.Sprintf("%s %s: %d groups", e.Type, e.Txn, e.Rows)
+	case EventWatermarkAdvance:
+		return fmt.Sprintf("%s %s: watermark %d (oldest visible after %s)", e.Type, e.Resource, e.Rows, e.Dur)
 	default:
 		return fmt.Sprintf("%s %s", e.Type, e.Txn)
 	}

@@ -56,6 +56,12 @@ type Table struct {
 	HeadlineShards      int
 	HeadlineCollisions  int64
 	HeadlineMaxQueue    int64
+	// HeadlineFreshP50Ns/P99Ns annotate the headline run with its
+	// commit-to-visible latency distribution when the experiment records it
+	// (0 = not measured) — viewbench -freshness exports them so benchgate can
+	// gate the freshness trajectory alongside throughput.
+	HeadlineFreshP50Ns int64
+	HeadlineFreshP99Ns int64
 }
 
 // AddRow appends a formatted row.

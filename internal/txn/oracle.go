@@ -2,12 +2,17 @@ package txn
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/id"
 )
+
+// ErrViewWatermarkDropped reports that the deferred view a waiter was blocked
+// on was dropped before its watermark reached the requested timestamp.
+var ErrViewWatermarkDropped = errors.New("txn: view watermark dropped")
 
 // Oracle is the engine's commit-timestamp allocator and snapshot registry —
 // the timestamp side of the multi-version read path (DESIGN.md §8).
@@ -49,6 +54,11 @@ type Oracle struct {
 	viewMu   sync.Mutex
 	viewWM   map[id.Tree]uint64
 	viewWake chan struct{}
+	// viewDropped records trees whose watermark was dropped, so a waiter that
+	// re-observes after DropViewWatermark distinguishes "dropped" from "not
+	// yet published" and gives up instead of blocking forever. Tree IDs are
+	// never reused, so the set only grows — bounded by DDL volume, not load.
+	viewDropped map[id.Tree]struct{}
 }
 
 type snapEntry struct {
@@ -59,10 +69,11 @@ type snapEntry struct {
 // NewOracle returns an oracle whose first commit timestamp is 1.
 func NewOracle() *Oracle {
 	return &Oracle{
-		inflight: make(map[uint64]struct{}),
-		snaps:    make(map[uint64]snapEntry),
-		viewWM:   make(map[id.Tree]uint64),
-		viewWake: make(chan struct{}),
+		inflight:    make(map[uint64]struct{}),
+		snaps:       make(map[uint64]snapEntry),
+		viewWM:      make(map[id.Tree]uint64),
+		viewWake:    make(chan struct{}),
+		viewDropped: make(map[id.Tree]struct{}),
 	}
 }
 
@@ -178,15 +189,16 @@ func (o *Oracle) AdvanceViewWatermark(tree id.Tree, ts uint64) {
 	o.viewMu.Unlock()
 }
 
-// DropViewWatermark forgets a dropped view's watermark (and wakes waiters so
-// a wait against the dropped view re-observes and can give up).
+// DropViewWatermark forgets a dropped view's watermark and records the drop,
+// waking waiters unconditionally so a wait against the dropped view
+// re-observes and returns ErrViewWatermarkDropped — even a waiter that was
+// blocked before the view ever published a watermark.
 func (o *Oracle) DropViewWatermark(tree id.Tree) {
 	o.viewMu.Lock()
-	if _, ok := o.viewWM[tree]; ok {
-		delete(o.viewWM, tree)
-		close(o.viewWake)
-		o.viewWake = make(chan struct{})
-	}
+	delete(o.viewWM, tree)
+	o.viewDropped[tree] = struct{}{}
+	close(o.viewWake)
+	o.viewWake = make(chan struct{})
 	o.viewMu.Unlock()
 }
 
@@ -213,15 +225,21 @@ func (o *Oracle) ViewWatermarks() map[id.Tree]uint64 {
 // WaitForViewWatermark blocks until the deferred view's watermark reaches ts
 // or ctx is done (returning ctx's error). It is the read-your-writes barrier:
 // a reader that waits for its own commit timestamp is guaranteed the applier
-// has folded that commit's deltas into the view.
+// has folded that commit's deltas into the view. If the view is dropped while
+// the waiter is blocked, it returns ErrViewWatermarkDropped rather than
+// hanging on a watermark that will never advance.
 func (o *Oracle) WaitForViewWatermark(ctx context.Context, tree id.Tree, ts uint64) error {
 	for {
 		o.viewMu.Lock()
 		wm := o.viewWM[tree]
+		_, dropped := o.viewDropped[tree]
 		wake := o.viewWake
 		o.viewMu.Unlock()
 		if wm >= ts {
 			return nil
+		}
+		if dropped {
+			return ErrViewWatermarkDropped
 		}
 		select {
 		case <-wake:

@@ -1,9 +1,13 @@
 package txn
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/id"
 )
 
 func TestOracleWatermarkLagsInflight(t *testing.T) {
@@ -62,6 +66,94 @@ func TestOracleSnapshotPinsHorizon(t *testing.T) {
 	o.EndSnapshot(h) // double end is a no-op
 	if n := o.ActiveSnapshots(); n != 0 {
 		t.Fatalf("active snapshots after double end = %d, want 0", n)
+	}
+}
+
+// TestOracleWaitForViewWatermarkDropUnblocks pins the drop contract: a waiter
+// blocked on a view watermark must return ErrViewWatermarkDropped when the
+// view is dropped — not hang forever on a watermark that will never advance.
+// Covers both a view that had published a watermark and one that never did.
+func TestOracleWaitForViewWatermarkDropUnblocks(t *testing.T) {
+	for _, published := range []bool{true, false} {
+		o := NewOracle()
+		tree := id.Tree(7)
+		if published {
+			o.AdvanceViewWatermark(tree, 3)
+		}
+		errc := make(chan error, 1)
+		go func() {
+			errc <- o.WaitForViewWatermark(context.Background(), tree, 100)
+		}()
+		// Let the waiter block, then drop the view out from under it.
+		time.Sleep(10 * time.Millisecond)
+		o.DropViewWatermark(tree)
+		select {
+		case err := <-errc:
+			if !errors.Is(err, ErrViewWatermarkDropped) {
+				t.Fatalf("published=%v: wait returned %v, want ErrViewWatermarkDropped", published, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("published=%v: waiter still blocked 5s after DropViewWatermark", published)
+		}
+		// A wait begun after the drop fails immediately too.
+		if err := o.WaitForViewWatermark(context.Background(), tree, 1); !errors.Is(err, ErrViewWatermarkDropped) {
+			t.Fatalf("published=%v: post-drop wait returned %v, want ErrViewWatermarkDropped", published, err)
+		}
+		// An already-satisfied wait still succeeds regardless of other drops.
+		other := id.Tree(9)
+		o.AdvanceViewWatermark(other, 5)
+		if err := o.WaitForViewWatermark(context.Background(), other, 5); err != nil {
+			t.Fatalf("published=%v: satisfied wait on live view returned %v", published, err)
+		}
+	}
+}
+
+// TestOracleWaitForViewWatermarkCtxCancelRacingDrop interleaves context
+// cancellation with concurrent drops and advances: every waiter must resolve
+// to exactly one of nil / ctx.Err() / ErrViewWatermarkDropped, never hang.
+func TestOracleWaitForViewWatermarkCtxCancelRacingDrop(t *testing.T) {
+	o := NewOracle()
+	const waiters = 16
+	tree := id.Tree(11)
+	o.AdvanceViewWatermark(tree, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Half the waiters use the cancelable context, half block on the
+			// drop alone.
+			c := context.Background()
+			if i%2 == 0 {
+				c = ctx
+			}
+			errs <- o.WaitForViewWatermark(c, tree, 1000)
+		}(i)
+	}
+	// Racing advances (below the target), a cancel, and the drop.
+	var race sync.WaitGroup
+	race.Add(2)
+	go func() { defer race.Done(); o.AdvanceViewWatermark(tree, 2); cancel() }()
+	go func() { defer race.Done(); o.AdvanceViewWatermark(tree, 3); o.DropViewWatermark(tree) }()
+	race.Wait()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiters still blocked 10s after cancel+drop")
+	}
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("waiter returned nil: watermark never reached the target")
+		}
+		if !errors.Is(err, ErrViewWatermarkDropped) && !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter returned %v, want ErrViewWatermarkDropped or context.Canceled", err)
+		}
 	}
 }
 

@@ -196,6 +196,9 @@ func metricsSchema() []string {
 		"escrow.shards",
 		"flightrec.capacity", "flightrec.dumps", "flightrec.enabled",
 		"flightrec.recorded",
+		"freshness.slo_ns", "freshness.views",
+		"freshness.views.commit_to_visible", "freshness.views.staleness_ns",
+		"freshness.views.strategy", "freshness.views.tree", "freshness.views.view",
 		"ghosts.backlog", "ghosts.backlog_high_water", "ghosts.cleaner_passes",
 		"ghosts.created", "ghosts.erased",
 		"hotspots.sketch_capacity", "hotspots.top_delta", "hotspots.top_wait",
@@ -218,12 +221,12 @@ func metricsSchema() []string {
 		"txn.apply", "txn.begin", "txn.commit_wait", "txn.fold", "txn.lock_wait",
 		"wal.appends", "wal.batch_max", "wal.batch_records", "wal.coalesced_syncs",
 		"wal.flush", "wal.flush_active_ns", "wal.flushes", "wal.fsync",
-		"watchdog.detections", "watchdog.escrow_stalls", "watchdog.ghost_stalls",
-		"watchdog.lock_convoys", "watchdog.wal_stalls",
+		"watchdog.detections", "watchdog.escrow_stalls", "watchdog.freshness_breaches",
+		"watchdog.ghost_stalls", "watchdog.lock_convoys", "watchdog.wal_stalls",
 	}
 	// Histograms share one sub-schema; expand it instead of listing forty
 	// near-identical lines.
-	for _, h := range []string{"deferred.apply", "lock.wait", "txn.apply", "txn.begin", "txn.commit_wait", "txn.fold", "txn.lock_wait", "wal.flush", "wal.fsync"} {
+	for _, h := range []string{"deferred.apply", "freshness.views.commit_to_visible", "lock.wait", "txn.apply", "txn.begin", "txn.commit_wait", "txn.fold", "txn.lock_wait", "wal.flush", "wal.fsync"} {
 		for _, f := range []string{"count", "sum_ns", "mean_ns", "p50_ns", "p99_ns", "max_ns"} {
 			schema = append(schema, h+"."+f)
 		}
@@ -315,7 +318,7 @@ func TestMetricsGoldenSchema(t *testing.T) {
 	}
 	got := map[string]bool{}
 	collectKeyPaths("", decoded, got)
-	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery", "watchdog", "flightrec", "hotspots", "mvcc", "deferred", "cascade"} {
+	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery", "watchdog", "flightrec", "hotspots", "mvcc", "deferred", "cascade", "freshness"} {
 		if !got[top] {
 			t.Fatalf("snapshot missing top-level section %q", top)
 		}

@@ -87,6 +87,7 @@
 package vtxn
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/pprof"
 
@@ -149,8 +150,13 @@ const (
 	TraceSnapshotBegin = metrics.EventSnapshotBegin
 	TraceMVCCPrune     = metrics.EventMVCCPrune
 	// TraceDeferredApply marks the deferred-view applier folding one round of
-	// coalesced deltas into a view.
-	TraceDeferredApply = metrics.EventDeferredApply
+	// coalesced deltas into a view; TraceDeferredPublish a commit handing its
+	// deferred deltas to the applier; TraceWatermarkAdvance a view's applied
+	// watermark advancing after a fold (stamped with the originating commits'
+	// spans — the end of the commit→publish→fold→visible causal chain).
+	TraceDeferredApply    = metrics.EventDeferredApply
+	TraceDeferredPublish  = metrics.EventDeferredPublish
+	TraceWatermarkAdvance = metrics.EventWatermarkAdvance
 )
 
 // NewSlowLogger returns a Tracer that logs events at or above threshold —
@@ -164,8 +170,10 @@ var NewSlowLogger = metrics.NewSlowLogger
 //
 // The handler is a mux: the root path serves the metrics text, /debug/pprof/
 // serves the standard net/http/pprof profiles (CPU profiles attribute commit
-// time to transactions when Options.ProfileLabels is on), and
-// /debug/flightrec streams the flight record as JSONL.
+// time to transactions when Options.ProfileLabels is on), /debug/flightrec
+// streams the flight record as JSONL, and /debug/freshness serves the
+// per-view freshness section (staleness gauges and commit-to-visible latency
+// summaries) as JSON.
 func MetricsHandler(db *DB) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -177,6 +185,14 @@ func MetricsHandler(db *DB) http.Handler {
 		w.Header().Set("Content-Type", "application/jsonl")
 		if err := db.WriteFlightRecordJSONL(w); err != nil {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		}
+	})
+	mux.HandleFunc("/debug/freshness", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(db.Metrics().Freshness); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	mux.Handle("/", metrics.Handler(db.Metrics))
@@ -306,6 +322,10 @@ var (
 	// a view while other views are defined over it.
 	ErrInvalidView = core.ErrInvalidView
 	ErrViewInUse   = core.ErrViewInUse
+	// ErrViewWatermarkDropped fails a DB.WaitForViewWatermark whose view was
+	// dropped (before or during the wait) — the watermark can never reach the
+	// target, so the waiter errors instead of hanging.
+	ErrViewWatermarkDropped = core.ErrViewWatermarkDropped
 )
 
 // Open recovers (or creates) the database at path.
