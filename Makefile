@@ -4,7 +4,7 @@ GO ?= go
 TORTURE_SEEDS ?= 100
 TORTURE_SMOKE_SEEDS ?= 25
 
-.PHONY: all verify race vet fmt staticcheck lint torture torture-smoke bench-smoke baseline metrics-smoke flightrec-smoke hotspots-smoke mvcc-smoke deferred-smoke viewdag-smoke freshness-smoke
+.PHONY: all verify race vet fmt staticcheck lint torture torture-smoke bench-smoke baseline metrics-smoke flightrec-smoke hotspots-smoke mvcc-smoke deferred-smoke viewdag-smoke freshness-smoke scrub-smoke scrub-long
 
 all: verify
 
@@ -18,6 +18,7 @@ verify:
 	$(MAKE) deferred-smoke
 	$(MAKE) viewdag-smoke
 	$(MAKE) freshness-smoke
+	$(MAKE) scrub-smoke
 
 # Forensics smoke: induce a real deadlock and assert the flight recorder's
 # automatic dump fires and its JSONL output parses with both transactions'
@@ -61,6 +62,20 @@ viewdag-smoke:
 freshness-smoke:
 	$(GO) run ./cmd/freshnesssmoke
 
+# Scrub smoke: truth-check the online consistency scrubber in both
+# directions — silence on a healthy engine (zero divergences with full
+# coverage under concurrent tilt writers over an immediate view plus the
+# 3-level deferred chain), and guaranteed detection of an injected one-row
+# view corruption with exact (view, group) attribution, the divergence trace
+# event, a flight-record dump, and the watchdog's scrub-divergence signature.
+scrub-smoke:
+	$(GO) run ./cmd/scrubsmoke
+
+# Nightly soak: the same truth check with a 40x larger write storm and a
+# longer live-scrub window.
+scrub-long:
+	$(GO) run ./cmd/scrubsmoke -long
+
 # Race tier: the short test set under the race detector.
 race:
 	$(GO) test -race -short ./...
@@ -99,8 +114,11 @@ torture-smoke:
 # baseline; -require pins all four so a dropped experiment fails loudly.
 # Fresh results go to untracked BENCH_fresh*.json so the run never dirties
 # the committed baseline; CI uploads them as artifacts.
+# The scrubber runs live (-scrub 25ms, engine-default tick and pace) so the
+# gate also proves continuous verification stays inside the regression
+# thresholds.
 bench-smoke:
-	$(GO) run ./cmd/viewbench -exp F2,T5R,F9D,DAG -smoke -freshness -json BENCH_fresh.json -metrics BENCH_fresh_metrics.json -flight-sink BENCH_fresh_flight.jsonl
+	$(GO) run ./cmd/viewbench -exp F2,T5R,F9D,DAG -smoke -freshness -scrub 25ms -json BENCH_fresh.json -metrics BENCH_fresh_metrics.json -flight-sink BENCH_fresh_flight.jsonl
 	$(GO) run ./cmd/benchgate -baseline BENCH_baseline.json -fresh BENCH_fresh.json -require F2,T5R,F9D,DAG -freshness-threshold 4
 
 # Observability smoke: run the headline experiment with metrics + tracing on

@@ -73,6 +73,7 @@ func main() {
 		metricsPath = flag.String("metrics", "", "write the headline run's DB.Metrics() snapshot to this JSON file")
 		traceSlow   = flag.Duration("trace-slow", 0, "log engine trace events slower than this to stderr (0 disables)")
 		watchdog    = flag.Bool("watchdog", true, "run the engine stall watchdog during experiments")
+		scrub       = flag.Duration("scrub", 0, "run the online consistency scrubber during experiments at this tick (0 disables)")
 		flightSink  = flag.String("flight-sink", "", "write automatic flight-record dumps (deadlock/timeout/stall) here: 'stderr' or a path ('' disables)")
 		pprofLabels = flag.Bool("pprof-labels", false, "tag commit hot paths with runtime/pprof labels (costs allocations)")
 		hotspots    = flag.Bool("hotspots", false, "include the headline run's top hot groups and per-view cost table in the results JSON")
@@ -84,6 +85,7 @@ func main() {
 		bench.Tracer = metrics.NewSlowLogger(os.Stderr, *traceSlow, "viewbench ")
 	}
 	bench.Watchdog = *watchdog
+	bench.ScrubInterval = *scrub
 	bench.ProfileLabels = *pprofLabels
 	switch *flightSink {
 	case "":

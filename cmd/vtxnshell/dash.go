@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+)
+
+// defaultDashInterval is the refresh period every dashboard shares.
+const defaultDashInterval = time.Second
+
+// dashboard is the frame loop behind top, lag, and scrub: it parses the
+// shared "[frames] [interval]" arguments, runs interactively (ANSI
+// clear-and-redraw until Enter is pressed) when no frame count is given, or
+// renders exactly that many frames for pipes and tests. renderFirst emits a
+// frame immediately instead of waiting out the first tick; frame receives
+// whether the loop is interactive (for the quit hint).
+func (s *shell) dashboard(usage string, args []string, renderFirst bool, frame func(interactive bool)) error {
+	frames := -1
+	interval := defaultDashInterval
+	if len(args) > 0 {
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("usage: %s", usage)
+		}
+		frames = n
+	}
+	if len(args) > 1 {
+		d, err := time.ParseDuration(args[1])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad interval %q", args[1])
+		}
+		interval = d
+	}
+	interactive := frames < 0
+
+	stop := make(chan struct{})
+	if interactive {
+		// One byte of stdin (the Enter keystroke) ends the dashboard; the
+		// REPL scanner resumes with the following line.
+		go func() {
+			buf := make([]byte, 1)
+			os.Stdin.Read(buf)
+			close(stop)
+		}()
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	rendered := 0
+	if renderFirst {
+		frame(interactive)
+		rendered++
+	}
+	for ; frames < 0 || rendered < frames; rendered++ {
+		select {
+		case <-stop:
+			return nil
+		case <-ticker.C:
+		}
+		if interactive {
+			fmt.Fprint(s.out, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		frame(interactive)
+	}
+	return nil
+}
+
+// quitHint is the interactive dashboards' header suffix.
+func quitHint(interactive bool) string {
+	if interactive {
+		return "   (Enter to quit)"
+	}
+	return ""
+}

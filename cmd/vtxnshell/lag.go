@@ -2,7 +2,6 @@ package main
 
 import (
 	"fmt"
-	"os"
 	"strconv"
 	"time"
 )
@@ -17,63 +16,18 @@ import (
 // latency summary, plus the deferred watermark where one exists. Views past
 // the configured freshness SLO are flagged.
 func (s *shell) lag(args []string) error {
-	frames := -1
-	interval := defaultTopInterval
-	if len(args) > 0 {
-		n, err := strconv.Atoi(args[0])
-		if err != nil || n <= 0 {
-			return fmt.Errorf("usage: lag [frames] [interval]")
-		}
-		frames = n
-	}
-	if len(args) > 1 {
-		d, err := time.ParseDuration(args[1])
-		if err != nil || d <= 0 {
-			return fmt.Errorf("bad interval %q", args[1])
-		}
-		interval = d
-	}
-	interactive := frames < 0
-
-	stop := make(chan struct{})
-	if interactive {
-		go func() {
-			buf := make([]byte, 1)
-			os.Stdin.Read(buf)
-			close(stop)
-		}()
-	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	s.renderLag(interactive)
-	for rendered := 1; frames < 0 || rendered < frames; {
-		select {
-		case <-stop:
-			return nil
-		case <-ticker.C:
-		}
-		if interactive {
-			fmt.Fprint(s.out, "\x1b[2J\x1b[H")
-		}
-		s.renderLag(interactive)
-		rendered++
-	}
-	return nil
+	return s.dashboard("lag [frames] [interval]", args, true, s.renderLag)
 }
 
 // renderLag writes one freshness frame from a fresh metrics snapshot.
 func (s *shell) renderLag(interactive bool) {
 	snap := s.db.Metrics()
-	hint := ""
-	if interactive {
-		hint = "   (Enter to quit)"
-	}
 	slo := "none"
 	if snap.Freshness.SLONs > 0 {
 		slo = time.Duration(snap.Freshness.SLONs).String()
 	}
 	fmt.Fprintf(s.out, "vtxn lag — freshness SLO %s — uptime %s%s\n\n",
-		slo, time.Duration(snap.Engine.UptimeNs).Round(time.Second), hint)
+		slo, time.Duration(snap.Engine.UptimeNs).Round(time.Second), quitHint(interactive))
 
 	// Deferred watermarks by tree, for the watermark column.
 	marks := make(map[uint32]uint64, len(snap.Deferred.Views))

@@ -22,6 +22,8 @@
 //	metrics                        engine observability snapshot (JSON)
 //	top [frames] [interval]        live hot-spot dashboard (Enter quits)
 //	lag [frames] [interval]        live per-view freshness dashboard (Enter quits)
+//	scrub [frames] [interval]      live online-verification dashboard (Enter quits)
+//	scrub full                     one unpaced full verification pass now
 //	flightrec [json]               flight-record dump (timeline, or JSONL)
 //	checkpoint | stats | ghosts | check | quit
 //
@@ -99,12 +101,14 @@ func (s *shell) exec(line string) error {
 	}
 	switch fields[0] {
 	case "help":
-		fmt.Fprintln(s.out, "tables views describe insert delete get scan view refresh checkpoint stats metrics top lag flightrec ghosts check quit")
+		fmt.Fprintln(s.out, "tables views describe insert delete get scan view refresh checkpoint stats metrics top lag scrub flightrec ghosts check quit")
 		return nil
 	case "top":
 		return s.top(fields[1:])
 	case "lag":
 		return s.lag(fields[1:])
+	case "scrub":
+		return s.scrubCmd(fields[1:])
 	case "tables":
 		for _, t := range s.db.Catalog().Tables() {
 			cols := make([]string, len(t.Cols))

@@ -224,3 +224,56 @@ func TestShellLag(t *testing.T) {
 		}
 	}
 }
+
+// TestShellScrub drives the verification dashboard in framed mode plus the
+// on-demand full pass.
+func TestShellScrub(t *testing.T) {
+	dir := t.TempDir()
+	db, err := vtxn.Open(dir, vtxn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var buf bytes.Buffer
+	sh := &shell{db: db, out: &buf}
+	setup := []string{
+		"create table accts id:int branch:int balance:int pk id",
+		"create view totals on accts group branch count sum:balance",
+		"insert accts 1 7 100",
+		"insert accts 2 8 50",
+	}
+	for _, line := range setup {
+		if err := sh.exec(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	if err := sh.exec("scrub full"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.exec("scrub 2 20ms"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"ok: full pass clean",
+		"vtxn scrub",
+		"rows verified",
+		"coverage ts",
+		"totals",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrub output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DIVERG") {
+		t.Errorf("healthy engine shows divergences:\n%s", out)
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Error("framed scrub emitted ANSI escapes")
+	}
+	for _, bad := range []string{"scrub 0", "scrub x", "scrub 1 notadur"} {
+		if err := sh.exec(bad); err == nil {
+			t.Errorf("%q should error", bad)
+		}
+	}
+}

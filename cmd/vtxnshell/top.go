@@ -2,15 +2,10 @@ package main
 
 import (
 	"fmt"
-	"os"
-	"strconv"
 	"time"
 
 	"repro/internal/metrics"
 )
-
-// defaultTopInterval is the dashboard refresh period.
-const defaultTopInterval = time.Second
 
 // top implements the live hot-spot dashboard:
 //
@@ -21,53 +16,12 @@ const defaultTopInterval = time.Second
 // per-interval rates: engine throughput, the hottest groups by lock wait and
 // escrow delta rate, and the per-view maintenance cost table.
 func (s *shell) top(args []string) error {
-	frames := -1
-	interval := defaultTopInterval
-	if len(args) > 0 {
-		n, err := strconv.Atoi(args[0])
-		if err != nil || n <= 0 {
-			return fmt.Errorf("usage: top [frames] [interval]")
-		}
-		frames = n
-	}
-	if len(args) > 1 {
-		d, err := time.ParseDuration(args[1])
-		if err != nil || d <= 0 {
-			return fmt.Errorf("bad interval %q", args[1])
-		}
-		interval = d
-	}
-	interactive := frames < 0
-
 	ring := metrics.NewSnapshotRing(8)
 	ring.Push(time.Now(), s.db.Metrics())
-
-	stop := make(chan struct{})
-	if interactive {
-		// One byte of stdin (the Enter keystroke) ends the dashboard; the
-		// REPL scanner resumes with the following line.
-		go func() {
-			buf := make([]byte, 1)
-			os.Stdin.Read(buf)
-			close(stop)
-		}()
-	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	for rendered := 0; frames < 0 || rendered < frames; {
-		select {
-		case <-stop:
-			return nil
-		case <-ticker.C:
-		}
+	return s.dashboard("top [frames] [interval]", args, false, func(interactive bool) {
 		ring.Push(time.Now(), s.db.Metrics())
-		if interactive {
-			fmt.Fprint(s.out, "\x1b[2J\x1b[H") // clear screen, home cursor
-		}
 		s.renderTop(ring, interactive)
-		rendered++
-	}
-	return nil
+	})
 }
 
 // renderTop writes one dashboard frame from the ring's newest rates.
@@ -78,13 +32,9 @@ func (s *shell) renderTop(ring *metrics.SnapshotRing, interactive bool) {
 		return
 	}
 	snap := s.db.Metrics()
-	hint := ""
-	if interactive {
-		hint = "   (Enter to quit)"
-	}
 	fmt.Fprintf(s.out, "vtxn top — interval %s — uptime %s%s\n",
 		rates.Interval.Round(time.Millisecond),
-		time.Duration(snap.Engine.UptimeNs).Round(time.Second), hint)
+		time.Duration(snap.Engine.UptimeNs).Round(time.Second), quitHint(interactive))
 	fmt.Fprintf(s.out, "commits/s %.0f  aborts/s %.0f  wal appends/s %.0f  fold rows/s %.0f\n\n",
 		rates.CommitsPerSec, rates.AbortsPerSec, rates.WALAppendsPerSec, rates.FoldRowsPerSec)
 

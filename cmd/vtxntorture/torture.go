@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -182,6 +183,10 @@ func (e *episode) torture() error {
 		Hooks:    e.inj,
 		Tracer:   slowTracer,
 		Watchdog: true,
+		// The online scrubber runs live through every episode: its snapshot
+		// reads race the workload and the injected faults, and any divergence
+		// it confirms on a still-healthy engine fails the seed below.
+		ScrubInterval: time.Millisecond,
 	})
 	if err != nil {
 		if e.inj.Crashed() {
@@ -198,6 +203,12 @@ func (e *episode) torture() error {
 		if err := e.step(db, rng); err != nil && !e.inj.Crashed() {
 			db.Crash(false)
 			return fmt.Errorf("op %d: %w", e.opsDone, err)
+		}
+	}
+	if !e.inj.Crashed() {
+		if d := db.Metrics().Scrub.Divergences; d > 0 {
+			db.Crash(false)
+			return fmt.Errorf("online scrubber confirmed %d view-row divergences during the episode", d)
 		}
 	}
 	db.Crash(e.flush)
@@ -458,7 +469,7 @@ func (e *episode) verify() error {
 	if err := e.checkWAL(false); err != nil {
 		return fmt.Errorf("pre-recovery %w", err)
 	}
-	db, err := core.Open(e.dir, core.Options{SyncMode: e.syncMode, Tracer: slowTracer, Watchdog: true})
+	db, err := core.Open(e.dir, core.Options{SyncMode: e.syncMode, Tracer: slowTracer, Watchdog: true, ScrubInterval: time.Millisecond})
 	if err != nil {
 		return fmt.Errorf("recovery open: %w", err)
 	}
@@ -477,6 +488,15 @@ func (e *episode) verify() error {
 	if err := db.CheckConsistency(); err != nil {
 		db.Close()
 		return fmt.Errorf("post-recovery workload: %w", err)
+	}
+	// The online verifier must agree with the offline checker on the
+	// recovered state: one unpaced full pass, zero divergences.
+	if n, err := db.ScrubNow(context.Background()); err != nil {
+		db.Close()
+		return fmt.Errorf("post-recovery scrub: %w", err)
+	} else if n > 0 {
+		db.Close()
+		return fmt.Errorf("post-recovery scrub found %d view-row divergences", n)
 	}
 	db.Crash(true)
 	db2, err := core.Open(e.dir, core.Options{SyncMode: e.syncMode, Tracer: slowTracer, Watchdog: true})

@@ -31,6 +31,12 @@ var MetricsSink func(metrics.Snapshot)
 // every database the harness opens.
 var Watchdog bool
 
+// ScrubInterval, when positive (viewbench -scrub), runs the online
+// consistency scrubber on every database the harness opens, at that tick and
+// the default row budget — so the benchmarks measure the engine as deployed
+// with continuous verification on.
+var ScrubInterval time.Duration
+
 // FlightSink, when set (viewbench -flight-sink), receives automatic
 // flight-record dumps from every database the harness opens.
 var FlightSink io.Writer
@@ -83,6 +89,9 @@ func tempDB(opts core.Options) (*core.DB, func(), error) {
 	}
 	if Watchdog {
 		opts.Watchdog = true
+	}
+	if opts.ScrubInterval == 0 && ScrubInterval > 0 {
+		opts.ScrubInterval = ScrubInterval
 	}
 	if opts.FlightSink == nil {
 		opts.FlightSink = FlightSink

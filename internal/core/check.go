@@ -1,11 +1,22 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/record"
+	"repro/internal/verify"
 )
+
+// CheckProgress is one per-view progress report from CheckConsistencyCtx:
+// view Index (0-based) of Total just finished verifying Rows live rows.
+type CheckProgress struct {
+	View  string
+	Index int
+	Total int
+	Rows  int
+}
 
 // CheckConsistency quiesces the database and verifies the paper's central
 // invariant: every indexed view's live contents equal a recompute-from-
@@ -14,6 +25,15 @@ import (
 // background applier has drained. It also checks B-tree structural
 // invariants and that the escrow ledger is empty at quiescence.
 func (db *DB) CheckConsistency() error {
+	return db.CheckConsistencyCtx(context.Background(), nil)
+}
+
+// CheckConsistencyCtx is CheckConsistency with a context bounding the
+// quiescence wait and an optional per-view progress callback (invoked after
+// each view verifies clean, under the exclusive gate — keep it fast). It
+// shares its recompute/compare core (internal/verify) with the online
+// scrubber, so the two checkers accept exactly the same states.
+func (db *DB) CheckConsistencyCtx(ctx context.Context, progress func(CheckProgress)) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
@@ -23,6 +43,9 @@ func (db *DB) CheckConsistency() error {
 	// (the applier never takes the gate, but new user commits could). A
 	// bounded retry turns a wedged applier into an error, not a hang.
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := db.waitDeferredCaughtUp(10 * time.Second); err != nil {
 			return err
 		}
@@ -51,7 +74,11 @@ func (db *DB) CheckConsistency() error {
 	for name, err := range trees {
 		return fmt.Errorf("core: %s: %w", name, err)
 	}
-	for _, v := range cat.Views() {
+	views := cat.Views()
+	for i, v := range views {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		m := db.reg.Maintainer(v.ID)
 		if m == nil {
 			return fmt.Errorf("core: view %q has no maintainer", v.Name)
@@ -77,22 +104,20 @@ func (db *DB) CheckConsistency() error {
 		if err != nil {
 			return err
 		}
-		have := db.tree(v.ID).Items(nil, nil, false) // live rows only
-		if len(want) != len(have) {
-			return fmt.Errorf("core: view %q has %d live rows, recompute says %d", v.Name, len(have), len(want))
-		}
-		for i := range want {
-			if record.CompareKeys(want[i].Key, have[i].Key) != 0 {
-				return fmt.Errorf("core: view %q row %d key mismatch", v.Name, i)
-			}
-			got, err := record.DecodeRow(have[i].Val)
+		stored := db.tree(v.ID).Items(nil, nil, false) // live rows only
+		have := make([]verify.Entry, 0, len(stored))
+		for _, it := range stored {
+			row, err := record.DecodeRow(it.Val)
 			if err != nil {
 				return err
 			}
-			if record.CompareRows(got, want[i].Val) != 0 {
-				return fmt.Errorf("core: view %q key %x: stored %v, recompute %v",
-					v.Name, have[i].Key, got, want[i].Val)
-			}
+			have = append(have, verify.Entry{Key: it.Key, Val: row})
+		}
+		if diffs := verify.Compare(want, have, 1); len(diffs) > 0 {
+			return diffs[0].Error(v.Name)
+		}
+		if progress != nil {
+			progress(CheckProgress{View: v.Name, Index: i, Total: len(views), Rows: len(have)})
 		}
 	}
 	return nil

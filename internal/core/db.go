@@ -25,6 +25,7 @@ import (
 	"repro/internal/mvcc"
 	"repro/internal/record"
 	"repro/internal/recovery"
+	"repro/internal/scrub"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
@@ -111,6 +112,16 @@ type Options struct {
 	// (vtxn_phase, vtxn_txn) so CPU profiles attribute time to transactions.
 	// Off by default: the labels allocate per commit.
 	ProfileLabels bool
+	// ScrubInterval runs the online consistency scrubber: a background
+	// goroutine verifying one (view, group-range) slice per tick against a
+	// recompute at an MVCC snapshot timestamp (DESIGN.md §7.4). 0 selects the
+	// default (25ms); negative disables the background loop (ScrubNow still
+	// works).
+	ScrubInterval time.Duration
+	// ScrubRowBudget paces the scrubber in verified rows per second — source
+	// rows recomputed plus view rows compared. 0 selects the default
+	// (200k rows/s); negative removes the pacing entirely.
+	ScrubRowBudget int
 }
 
 // Stats are cumulative engine counters.
@@ -199,6 +210,13 @@ type DB struct {
 	// view's staleness gauge (deferred.go).
 	deferredStaleMu sync.Mutex
 	deferredStale   map[id.Tree]int64
+
+	// scrub is the online consistency scrubber (always constructed, so
+	// ScrubNow works even when the background loop is disabled); scrubStop/
+	// scrubDone bracket the background goroutine when ScrubInterval enables it.
+	scrub     *scrub.Scrubber
+	scrubStop chan struct{}
+	scrubDone chan struct{}
 }
 
 // defaultFoldStripes is the default number of row-structure latch stripes.
@@ -357,6 +375,30 @@ func Open(path string, opts Options) (*DB, error) {
 			}
 		}
 	}
+	// The online consistency scrubber (DESIGN.md §7.4). The Scrubber itself
+	// always exists so ScrubNow works; the background loop runs unless
+	// ScrubInterval is negative.
+	scrubInterval := opts.ScrubInterval
+	if scrubInterval == 0 {
+		scrubInterval = defaultScrubInterval
+	}
+	scrubBudget := opts.ScrubRowBudget
+	if scrubBudget == 0 {
+		scrubBudget = defaultScrubRowBudget
+	}
+	db.scrub = scrub.New(scrubEngine{db}, scrub.Config{
+		Interval:  scrubInterval,
+		RowBudget: scrubBudget,
+		Metrics:   &met.Scrub,
+	})
+	if opts.ScrubInterval >= 0 {
+		db.scrubStop = make(chan struct{})
+		db.scrubDone = make(chan struct{})
+		go func() {
+			defer close(db.scrubDone)
+			db.scrub.Run(db.scrubStop)
+		}()
+	}
 	if opts.Watchdog {
 		db.watchdog = flightrec.StartWatchdog(flightrec.WatchdogConfig{
 			Interval:       opts.WatchdogInterval,
@@ -378,6 +420,12 @@ func (db *DB) Close() error {
 		return ErrClosed
 	}
 	db.watchdog.Close()
+	// Stop the scrubber before anything it reads through (and before the
+	// gate is taken exclusively — each scrub slice is a gate reader).
+	if db.scrubStop != nil {
+		close(db.scrubStop)
+		<-db.scrubDone
+	}
 	if db.cleanerStop != nil {
 		close(db.cleanerStop)
 		<-db.cleanerDone
@@ -412,6 +460,12 @@ func (db *DB) Crash(flush bool) {
 		return
 	}
 	db.watchdog.Close()
+	// Stop the scrubber before anything it reads through (and before the
+	// gate is taken exclusively — each scrub slice is a gate reader).
+	if db.scrubStop != nil {
+		close(db.scrubStop)
+		<-db.scrubDone
+	}
 	if db.cleanerStop != nil {
 		close(db.cleanerStop)
 		<-db.cleanerDone
@@ -537,6 +591,24 @@ func (db *DB) Metrics() metrics.Snapshot {
 				Strategy:        v.Strategy.String(),
 				StalenessNs:     staleNs,
 				CommitToVisible: f.CommitToVisible.Snap(),
+			})
+		}
+	}
+	// Scrub coverage: the registry filled the counters; resolve per-view
+	// names here (sorted by tree ID, bounded by the catalog).
+	s.Scrub.Enabled = db.scrubStop != nil && !db.closed.Load()
+	if views := db.Catalog().Views(); len(views) > 0 {
+		sort.Slice(views, func(i, j int) bool { return views[i].ID < views[j].ID })
+		for _, v := range views {
+			vs := db.met.Scrub.Views.Get(v.ID)
+			s.Scrub.Views = append(s.Scrub.Views, metrics.ViewScrubSnapshot{
+				Tree:           uint32(v.ID),
+				View:           v.Name,
+				Passes:         vs.Passes.Load(),
+				RowsVerified:   vs.RowsVerified.Load(),
+				Divergences:    vs.Divergences.Load(),
+				CoverageTS:     vs.CoverageTS.Load(),
+				LastPassUnixNs: vs.LastPassUnixNs.Load(),
 			})
 		}
 	}

@@ -223,9 +223,10 @@ func (db *DB) DropView(name string) error {
 		if wasDeferred {
 			db.publishDeferredBarrier(viewTree, ts, true)
 		}
-		// Stop exporting the dropped view's freshness series rather than
-		// freezing them at their last values.
+		// Stop exporting the dropped view's freshness and scrub series rather
+		// than freezing them at their last values.
 		db.met.Freshness.Drop(viewTree)
+		db.met.Scrub.Views.Drop(viewTree)
 	})
 }
 

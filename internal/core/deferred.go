@@ -240,7 +240,7 @@ func (db *DB) applierRound(co *applier.Coalescer) {
 		for _, r := range order {
 			ms := members[r]
 			sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
-			if folds, err := db.applyDeferredComponent(ms, comp[r]); err != nil {
+			if folds, err := db.applyDeferredComponent(ms, comp[r], wm); err != nil {
 				// The component's system transaction rolled back whole; keep
 				// its groups pending (merging with later publishes) and hold
 				// every member's watermark until a retry succeeds.
@@ -403,7 +403,14 @@ type deferredFold struct {
 // back whole and the round retries. On success it returns one deferredFold
 // per member level actually folded, each stamped per-level with its
 // originating spans (EventDeferredApply carries them too).
-func (db *DB) applyDeferredComponent(members []*catalog.View, groups []applier.GroupDelta) ([]deferredFold, error) {
+//
+// wm is the round's frontier: the fold covers every deferred delta of every
+// commit <= wm. The pre-finish hook publishes each member's (applyTS=fold ts,
+// watermark=wm) pair through the oracle BEFORE FinishCommit makes the fold
+// visible — so any snapshot timestamp at which the fold is visible was pinned
+// after the pair updated. The scrubber's pair protocol (internal/scrub)
+// depends on exactly this ordering.
+func (db *DB) applyDeferredComponent(members []*catalog.View, groups []applier.GroupDelta, wm uint64) ([]deferredFold, error) {
 	root := db.reg.Maintainer(members[0].ID)
 	if root == nil {
 		return nil, nil // component dropped while its deltas were pending
@@ -430,7 +437,7 @@ func (db *DB) applyDeferredComponent(members []*catalog.View, groups []applier.G
 	}
 	start := time.Now()
 	var folds []deferredFold
-	err := db.runSysTxn(func(st *txn.Txn) error {
+	err := db.runSysTxnHook(func(st *txn.Txn) error {
 		folds = folds[:0] // a retried closure starts the tally over
 		for _, v := range members {
 			if err := db.lockTree(st, v.ID, lock.ModeX); err != nil {
@@ -488,6 +495,13 @@ func (db *DB) applyDeferredComponent(members []*catalog.View, groups []applier.G
 			}
 		}
 		return nil
+	}, func(ts uint64) {
+		// Publish the (fold ts, frontier) pair before FinishCommit: the
+		// scrubber's pair-read/snapshot-pin ordering is sound only because a
+		// fold visible at a pinned timestamp already updated the pair.
+		for _, v := range members {
+			db.oracle.AdvanceViewApplied(v.ID, ts, wm)
+		}
 	})
 	if err != nil {
 		return nil, err

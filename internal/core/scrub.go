@@ -1,0 +1,308 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/fault"
+	"repro/internal/id"
+	"repro/internal/metrics"
+	"repro/internal/record"
+	"repro/internal/scrub"
+	"repro/internal/verify"
+)
+
+// This file adapts the kernel to the online consistency scrubber
+// (internal/scrub, DESIGN.md §7.4). Every read the scrubber makes goes
+// through the MVCC snapshot paths — zero lock-manager traffic, so it never
+// blocks or is blocked by writers. Each adapter call is gate-admitted like
+// any other reader; the scrubber goroutine stops before Close takes the gate
+// exclusively.
+
+// defaultScrubInterval is the background scrubber's tick: one (view,
+// group-range) slice per tick.
+const defaultScrubInterval = defaultMVCCPruneInterval
+
+// defaultScrubRowBudget is the default verification pace in rows per second
+// — low enough to stay in the noise of a saturated engine (tens of
+// microseconds of snapshot reads per tick), high enough to cycle small
+// catalogs every few seconds.
+const defaultScrubRowBudget = 200_000
+
+// scrubEngine is the kernel's scrub.Engine.
+type scrubEngine struct{ db *DB }
+
+// Plan implements scrub.Engine: catalog views in tree-ID order (topological
+// for stacked DAGs). A deferred view whose source is not itself deferred is
+// a component root and verifies through the (applyTS, watermark) pair; a
+// deferred view over a deferred parent folds co-atomically with it, so a
+// single snapshot timestamp serves both sides.
+func (e scrubEngine) Plan() []scrub.View {
+	db := e.db
+	if db.closed.Load() {
+		return nil
+	}
+	cat := db.Catalog()
+	views := cat.Views()
+	sort.Slice(views, func(i, j int) bool { return views[i].ID < views[j].ID })
+	out := make([]scrub.View, 0, len(views))
+	for _, v := range views {
+		pair := false
+		if v.Strategy == catalog.StrategyDeferred {
+			p, err := cat.View(v.Left)
+			pair = err != nil || p.Strategy != catalog.StrategyDeferred
+		}
+		out = append(out, scrub.View{Tree: v.ID, Name: v.Name, Pair: pair})
+	}
+	return out
+}
+
+// Pin implements scrub.Engine: pin the current read timestamp.
+func (e scrubEngine) Pin() (uint64, func()) {
+	ts, h := e.db.oracle.BeginSnapshot()
+	return ts, func() { e.db.oracle.EndSnapshot(h) }
+}
+
+// PinAt implements scrub.Engine: pin a past timestamp, refused when the
+// prune horizon has passed it.
+func (e scrubEngine) PinAt(ts uint64) (func(), bool) {
+	h, ok := e.db.oracle.BeginSnapshotAt(ts)
+	if !ok {
+		return nil, false
+	}
+	return func() { e.db.oracle.EndSnapshot(h) }, true
+}
+
+// Applied implements scrub.Engine: the deferred view's fold pair.
+func (e scrubEngine) Applied(tree id.Tree) (uint64, uint64) {
+	return e.db.oracle.ViewApplied(tree)
+}
+
+// Have implements scrub.Engine: scan the view's stored rows from lo at ts
+// via the snapshot merge (ghosts skipped, exactly like the recompute omits
+// empty groups), returning at most max entries and the resume key.
+func (e scrubEngine) Have(tree id.Tree, lo []byte, ts uint64, max int) ([]verify.Entry, []byte, error) {
+	db := e.db
+	if db.closed.Load() {
+		return nil, nil, ErrClosed
+	}
+	db.gate.RLock()
+	defer db.gate.RUnlock()
+	var entries []verify.Entry
+	var next []byte
+	err := db.snapshotScanAt(tree, lo, nil, ts, id.Txn(0), func(key, val []byte) (bool, error) {
+		if max > 0 && len(entries) == max {
+			next = append([]byte(nil), key...)
+			return false, nil
+		}
+		row, err := record.DecodeRow(val)
+		if err != nil {
+			return false, err
+		}
+		entries = append(entries, verify.Entry{Key: append([]byte(nil), key...), Val: row})
+		return true, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return entries, next, nil
+}
+
+// Want implements scrub.Engine: recompute the view's full expected contents
+// from its source relation as of ts.
+func (e scrubEngine) Want(tree id.Tree, ts uint64) ([]verify.Entry, int, error) {
+	db := e.db
+	if db.closed.Load() {
+		return nil, 0, ErrClosed
+	}
+	db.gate.RLock()
+	defer db.gate.RUnlock()
+	cat := db.Catalog()
+	v := viewByTree(cat, tree)
+	m := db.reg.Maintainer(tree)
+	if v == nil || m == nil {
+		return nil, 0, fmt.Errorf("core: scrub of unknown view %s", tree)
+	}
+	leftRows, err := db.relationRowsAt(cat, v.Left, ts)
+	if err != nil {
+		return nil, 0, err
+	}
+	var rightRows []record.Row
+	if v.Join() {
+		right, err := cat.Table(v.Right)
+		if err != nil {
+			return nil, 0, err
+		}
+		if rightRows, err = db.tableRowsAt(right, ts); err != nil {
+			return nil, 0, err
+		}
+	}
+	want, err := m.Recompute(leftRows, rightRows)
+	if err != nil {
+		return nil, 0, err
+	}
+	return want, len(leftRows) + len(rightRows), nil
+}
+
+// Report implements scrub.Engine: a confirmed divergence becomes
+// EventScrubDivergence trace events naming (view, group, expected, actual)
+// and an immediate flight-record dump. The watchdog's scrub-divergence
+// signature fires off the counter delta on its next poll.
+func (e scrubEngine) Report(d scrub.Divergence) {
+	db := e.db
+	for i, diff := range d.Diffs {
+		if i == 8 {
+			break // a wholly corrupt view logs a bounded sample
+		}
+		if db.tracer != nil {
+			db.tracer.TraceEvent(metrics.Event{
+				Type:     metrics.EventScrubDivergence,
+				Resource: d.View.Name,
+				Phase:    decodeHotKey(string(diff.Key)),
+				Outcome:  diff.Detail(),
+				Rows:     len(d.Diffs),
+			})
+		}
+	}
+	if db.flight != nil && len(d.Diffs) > 0 {
+		first := d.Diffs[0]
+		db.flight.Trigger(fmt.Sprintf("scrub divergence: view %q group %s: %s (view@%d vs source@%d)",
+			d.View.Name, decodeHotKey(string(first.Key)), first.Detail(), d.ViewTS, d.SourceTS))
+	}
+}
+
+// viewByTree finds a catalog view by its tree ID.
+func viewByTree(cat *catalog.Catalog, tree id.Tree) *catalog.View {
+	for _, v := range cat.Views() {
+		if v.ID == tree {
+			return v
+		}
+	}
+	return nil
+}
+
+// relationRowsAt is relationRows at a snapshot timestamp: every row of a
+// view's source relation as of ts, in the form maintenance sees it (stored
+// rows for a base table, output rows for a source view), read lock-free
+// through the version store.
+func (db *DB) relationRowsAt(cat *catalog.Catalog, name string, ts uint64) ([]record.Row, error) {
+	if v, err := cat.View(name); err == nil {
+		m := db.reg.Maintainer(v.ID)
+		if m == nil {
+			return nil, fmt.Errorf("core: view %q has no compiled maintainer", name)
+		}
+		var rows []record.Row
+		err := db.snapshotScanAt(v.ID, nil, nil, ts, id.Txn(0), func(key, val []byte) (bool, error) {
+			stored, err := record.DecodeRow(val)
+			if err != nil {
+				return false, err
+			}
+			out, err := m.OutputRow(key, stored)
+			if err != nil {
+				return false, err
+			}
+			rows = append(rows, out)
+			return true, nil
+		})
+		return rows, err
+	}
+	tbl, err := cat.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return db.tableRowsAt(tbl, ts)
+}
+
+// tableRowsAt snapshots every live row of a table as of ts.
+func (db *DB) tableRowsAt(tbl *catalog.Table, ts uint64) ([]record.Row, error) {
+	var rows []record.Row
+	err := db.snapshotScanAt(tbl.ID, nil, nil, ts, id.Txn(0), func(_, val []byte) (bool, error) {
+		row, err := record.DecodeRow(val)
+		if err != nil {
+			return false, err
+		}
+		rows = append(rows, row)
+		return true, nil
+	})
+	return rows, err
+}
+
+// ScrubNow runs one full verification pass over every view on the caller's
+// goroutine, unpaced: the on-demand sweep behind vtxnshell scrub full and
+// the smoke harnesses. It works whether or not the background scrubber is
+// enabled, and concurrently with it. Returns the number of divergences
+// found (each already traced, counted, and flight-dumped).
+func (db *DB) ScrubNow(ctx context.Context) (int64, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	return db.scrub.FullPass(ctx)
+}
+
+// CorruptViewRow deliberately perturbs one stored view row in place,
+// bypassing the WAL, locks, and version store — the fault-injection hook
+// behind cmd/scrubsmoke's detection direction and nothing else. keyRow is the
+// group key (projection views: the source PK columns), exactly as
+// Tx.GetViewRow takes it. The write is invisible to recovery (it is exactly
+// the silent corruption the scrubber exists to catch). The row's version
+// chain, if any, is evicted alongside — snapshot readers resolve tracked
+// rows through the version store, and a retained clean copy there would mask
+// the damaged stored bytes until the chain pruned (which a deferred view's
+// just-folded group never does while quiescent: the prune horizon waits on
+// the view watermarks trailing the fold). Callers should quiesce writers
+// first; with a write in flight on the row the eviction is refused and the
+// call errors. Testing only.
+func (db *DB) CorruptViewRow(viewName string, keyRow record.Row) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if err := db.hit(fault.PointViewCorrupt); err != nil {
+		return err
+	}
+	db.gate.RLock()
+	defer db.gate.RUnlock()
+	v, err := db.Catalog().View(viewName)
+	if err != nil {
+		return err
+	}
+	key := record.EncodeKey(keyRow)
+	tree := db.tree(v.ID)
+	val, ghost, ok := tree.Get(key)
+	if !ok || ghost {
+		return fmt.Errorf("%w: view %q key %x", ErrNotFound, viewName, key)
+	}
+	row, err := record.DecodeRow(val)
+	if err != nil {
+		return err
+	}
+	// Perturb the first aggregate cell when there is one (the hidden group
+	// count lives before it), otherwise the row's last column.
+	col := len(row) - 1
+	if m := db.reg.Maintainer(v.ID); m != nil && m.Cells() > 0 {
+		col = m.AggOffset(0)
+	}
+	row[col] = perturb(row[col])
+	tree.Put(key, record.EncodeRow(row), false)
+	if !db.mvcc.Evict(v.ID, key) {
+		return fmt.Errorf("core: corrupt %q key %x: version chain has writes in flight", viewName, key)
+	}
+	return nil
+}
+
+// perturb returns a value guaranteed to differ from v.
+func perturb(v record.Value) record.Value {
+	switch v.Kind() {
+	case record.KindInt64:
+		return record.Int(v.AsInt() + 1)
+	case record.KindFloat64:
+		return record.Float(v.AsFloat() + 1)
+	case record.KindString:
+		return record.Str(v.AsString() + "?")
+	case record.KindBool:
+		return record.Bool(!v.AsBool())
+	default:
+		return record.Int(1)
+	}
+}

@@ -37,12 +37,21 @@ func (db *DB) snapshotRow(tree id.Tree, key []byte, ts uint64, self id.Txn) ([]b
 }
 
 // snapshotScan visits the live rows of tree in [lo, hi) as of the
-// transaction's read timestamp, with zero lock-manager traffic: it merges the
-// btree's keys (ghosts included — a ghost now may have been live at the
-// timestamp) with the version store's tracked keys (a row deleted from the
-// tree may still be visible at the timestamp), resolving each through
-// snapshotRow. fn returning false stops the scan.
+// transaction's read timestamp, overlaying the transaction's own pending
+// writes. fn returning false stops the scan.
 func (db *DB) snapshotScan(tx *Tx, tree id.Tree, lo, hi []byte, fn func(key, val []byte) (bool, error)) error {
+	return db.snapshotScanAt(tree, lo, hi, tx.readTS, tx.t.ID, fn)
+}
+
+// snapshotScanAt visits the live rows of tree in [lo, hi) as of timestamp ts,
+// with zero lock-manager traffic: it merges the btree's keys (ghosts included
+// — a ghost now may have been live at the timestamp) with the version store's
+// tracked keys (a row deleted from the tree may still be visible at the
+// timestamp), resolving each through snapshotRow. self overlays that
+// transaction's pending operations; the scrubber passes the zero Txn (no
+// transaction ever carries ID 0, so nothing overlays). fn returning false
+// stops the scan.
+func (db *DB) snapshotScanAt(tree id.Tree, lo, hi []byte, ts uint64, self id.Txn, fn func(key, val []byte) (bool, error)) error {
 	items := db.tree(tree).Items(lo, hi, true)
 	trackedKeys := db.mvcc.TrackedKeys(tree, lo, hi)
 	i, j := 0, 0
@@ -69,7 +78,7 @@ func (db *DB) snapshotScan(tx *Tx, tree id.Tree, lo, hi []byte, fn func(key, val
 				j++
 			}
 		}
-		val, ghost, ok, err := db.snapshotRow(tree, key, tx.readTS, tx.t.ID)
+		val, ghost, ok, err := db.snapshotRow(tree, key, ts, self)
 		if err != nil {
 			return err
 		}

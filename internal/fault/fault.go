@@ -51,6 +51,11 @@ const (
 	// here); its use is delay injection — a Hooks that sleeps at this point
 	// slows the applier to exercise the freshness-SLO watchdog.
 	PointDeferredApply Point = "deferred-apply"
+	// PointViewCorrupt fires in DB.CorruptViewRow, the deliberate in-place
+	// view corruption behind the scrubber's detection smoke. NOT part of
+	// Points — it exists so an injector can observe (or veto) the corruption,
+	// never as a crash site.
+	PointViewCorrupt Point = "view-corrupt"
 )
 
 // Points lists every named crash point (the torture schedule picks from

@@ -45,6 +45,10 @@ type Watchdog struct {
 	stop chan struct{}
 	done chan struct{}
 
+	// prev is the baseline snapshot, captured synchronously at start so no
+	// counter edge predates it; thereafter owned by the loop goroutine.
+	prev metrics.Snapshot
+
 	// evaluation state (owned by the loop goroutine, or the test driving
 	// evaluate directly).
 	active       map[string]bool
@@ -54,7 +58,7 @@ type Watchdog struct {
 
 // detection is one stall signature currently firing.
 type detection struct {
-	sig    string // "wal-flush", "lock-convoy", "escrow-backlog", "ghost-starvation", "freshness-slo"
+	sig    string // "wal-flush", "lock-convoy", "escrow-backlog", "ghost-starvation", "freshness-slo", "scrub-divergence"
 	detail string
 	age    time.Duration
 }
@@ -76,6 +80,13 @@ func StartWatchdog(cfg WatchdogConfig) *Watchdog {
 		done:   make(chan struct{}),
 		active: make(map[string]bool),
 	}
+	// The baseline snapshot is taken here, synchronously, not on the loop
+	// goroutine: counters that tick before the goroutine's first run would
+	// otherwise be folded into the baseline and their edge lost. For the
+	// stall signatures that only shifts a window boundary, but for the
+	// scrub-divergence counter the edge IS the signal — a divergence found
+	// microseconds after Open must still fire.
+	w.prev = cfg.Snap()
 	go w.loop()
 	return w
 }
@@ -96,7 +107,7 @@ func (w *Watchdog) loop() {
 		pprof.Labels("vtxn", "watchdog")))
 	ticker := time.NewTicker(w.cfg.Interval)
 	defer ticker.Stop()
-	prev := w.cfg.Snap()
+	prev := w.prev
 	for {
 		select {
 		case <-w.stop:
@@ -156,6 +167,8 @@ func (w *Watchdog) count(sig string) {
 		m.GhostStalls.Add(1)
 	case "freshness-slo":
 		m.FreshnessBreaches.Add(1)
+	case "scrub-divergence":
+		m.ScrubDivergences.Add(1)
 	}
 }
 
@@ -259,6 +272,29 @@ func (w *Watchdog) evaluate(prev, cur metrics.Snapshot) []detection {
 				age: age,
 			})
 		}
+	}
+
+	// 6. Scrub divergence: the online scrubber confirmed stored view rows
+	// disagreeing with a recompute — a broken invariant, not a performance
+	// stall. The counter delta carries the edge; the detail names the view
+	// whose per-view count grew the most this interval.
+	if d := cur.Scrub.Divergences - prev.Scrub.Divergences; d > 0 {
+		prevByTree := make(map[uint32]int64, len(prev.Scrub.Views))
+		for _, v := range prev.Scrub.Views {
+			prevByTree[v.Tree] = v.Divergences
+		}
+		var worst metrics.ViewScrubSnapshot
+		var worstDelta int64
+		for _, v := range cur.Scrub.Views {
+			if vd := v.Divergences - prevByTree[v.Tree]; vd > worstDelta {
+				worstDelta, worst = vd, v
+			}
+		}
+		detail := fmt.Sprintf("%d view rows diverged from recompute this interval", d)
+		if worstDelta > 0 {
+			detail = fmt.Sprintf("view %q: %d of %s", worst.View, worstDelta, detail)
+		}
+		dets = append(dets, detection{sig: "scrub-divergence", detail: detail, age: w.cfg.Interval})
 	}
 
 	return dets

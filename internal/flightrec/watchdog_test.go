@@ -208,6 +208,45 @@ func TestWatchdogGhostStarvationSignature(t *testing.T) {
 	}
 }
 
+// TestWatchdogScrubDivergenceSignature: any growth in the scrubber's
+// divergence counter fires immediately (no streak — a broken invariant is not
+// a trend), naming the view whose per-view count grew the most.
+func TestWatchdogScrubDivergenceSignature(t *testing.T) {
+	var wm metrics.WatchdogMetrics
+	w := testWatchdog(WatchdogConfig{Metrics: &wm})
+	snap := func(total int64, views ...metrics.ViewScrubSnapshot) metrics.Snapshot {
+		var s metrics.Snapshot
+		s.Scrub.Divergences = total
+		s.Scrub.Views = views
+		return s
+	}
+	// Flat counter: nothing fires.
+	if dets := w.evaluate(snap(2), snap(2)); hasSig(dets, "scrub-divergence") {
+		t.Fatal("flat divergence counter fired")
+	}
+	// Growth fires at once and names the worst view.
+	prev := snap(2,
+		metrics.ViewScrubSnapshot{Tree: 1, View: "ok", Divergences: 0},
+		metrics.ViewScrubSnapshot{Tree: 2, View: "bad", Divergences: 2})
+	cur := snap(7,
+		metrics.ViewScrubSnapshot{Tree: 1, View: "ok", Divergences: 1},
+		metrics.ViewScrubSnapshot{Tree: 2, View: "bad", Divergences: 6})
+	dets := w.evaluate(prev, cur)
+	if !hasSig(dets, "scrub-divergence") {
+		t.Fatalf("divergence growth not detected; got %v", sigs(dets))
+	}
+	for _, d := range dets {
+		if d.sig == "scrub-divergence" && !strings.Contains(d.detail, `view "bad": 4`) {
+			t.Errorf("detail does not name the worst view: %q", d.detail)
+		}
+	}
+	// The counter routes to the dedicated metric.
+	w.report(dets)
+	if got := wm.ScrubDivergences.Load(); got != 1 {
+		t.Fatalf("scrub_divergences = %d, want 1", got)
+	}
+}
+
 // TestWatchdogReportEdgeTriggered: a persisting condition is reported once at
 // onset; after it clears, the next onset reports again.
 func TestWatchdogReportEdgeTriggered(t *testing.T) {

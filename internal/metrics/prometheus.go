@@ -111,7 +111,7 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 	fmt.Fprintf(sb, "# HELP vtxn_view_watermark Applied watermark of each deferred view (commit timestamp).\n")
 	fmt.Fprintf(sb, "# TYPE vtxn_view_watermark gauge\n")
 	for _, v := range s.Deferred.Views {
-		fmt.Fprintf(sb, "vtxn_view_watermark{view=%q} %d\n", promLabel(v.View), v.Watermark)
+		fmt.Fprintf(sb, "vtxn_view_watermark{view=\"%s\"} %d\n", promLabel(v.View), v.Watermark)
 	}
 
 	// Per-view freshness: current staleness gauges and commit-to-visible
@@ -122,18 +122,18 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 	fmt.Fprintf(sb, "# HELP vtxn_view_staleness_seconds Age of the oldest commit not yet visible in each view (0 when caught up).\n")
 	fmt.Fprintf(sb, "# TYPE vtxn_view_staleness_seconds gauge\n")
 	for _, v := range s.Freshness.Views {
-		fmt.Fprintf(sb, "vtxn_view_staleness_seconds{view=%q} %s\n", promLabel(v.View), seconds(v.StalenessNs))
+		fmt.Fprintf(sb, "vtxn_view_staleness_seconds{view=\"%s\"} %s\n", promLabel(v.View), seconds(v.StalenessNs))
 	}
 	fmt.Fprintf(sb, "# HELP vtxn_view_freshness_ns Commit-to-visible latency per view (commit-path fold for escrow views, publish to watermark for deferred).\n")
 	fmt.Fprintf(sb, "# TYPE vtxn_view_freshness_ns summary\n")
 	for _, v := range s.Freshness.Views {
 		h := v.CommitToVisible
 		lv := promLabel(v.View)
-		fmt.Fprintf(sb, "vtxn_view_freshness_ns{view=%q,quantile=\"0.5\"} %d\n", lv, h.P50Ns)
-		fmt.Fprintf(sb, "vtxn_view_freshness_ns{view=%q,quantile=\"0.99\"} %d\n", lv, h.P99Ns)
-		fmt.Fprintf(sb, "vtxn_view_freshness_ns{view=%q,quantile=\"1\"} %d\n", lv, h.MaxNs)
-		fmt.Fprintf(sb, "vtxn_view_freshness_ns_sum{view=%q} %d\n", lv, h.SumNs)
-		fmt.Fprintf(sb, "vtxn_view_freshness_ns_count{view=%q} %d\n", lv, h.Count)
+		fmt.Fprintf(sb, "vtxn_view_freshness_ns{view=\"%s\",quantile=\"0.5\"} %d\n", lv, h.P50Ns)
+		fmt.Fprintf(sb, "vtxn_view_freshness_ns{view=\"%s\",quantile=\"0.99\"} %d\n", lv, h.P99Ns)
+		fmt.Fprintf(sb, "vtxn_view_freshness_ns{view=\"%s\",quantile=\"1\"} %d\n", lv, h.MaxNs)
+		fmt.Fprintf(sb, "vtxn_view_freshness_ns_sum{view=\"%s\"} %d\n", lv, h.SumNs)
+		fmt.Fprintf(sb, "vtxn_view_freshness_ns_count{view=\"%s\"} %d\n", lv, h.Count)
 	}
 
 	// Stacked-view cascades (views over views).
@@ -156,6 +156,7 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 	fmt.Fprintf(sb, "vtxn_watchdog_signature_detections_total{signature=\"escrow-backlog\"} %d\n", s.Watchdog.EscrowStalls)
 	fmt.Fprintf(sb, "vtxn_watchdog_signature_detections_total{signature=\"ghost-starvation\"} %d\n", s.Watchdog.GhostStalls)
 	fmt.Fprintf(sb, "vtxn_watchdog_signature_detections_total{signature=\"freshness-slo\"} %d\n", s.Watchdog.FreshnessBreaches)
+	fmt.Fprintf(sb, "vtxn_watchdog_signature_detections_total{signature=\"scrub-divergence\"} %d\n", s.Watchdog.ScrubDivergences)
 	counter("vtxn_flightrec_events_total", "Events recorded by the flight recorder.", s.Flight.Recorded)
 	counter("vtxn_flightrec_dumps_total", "Flight-record dumps written.", s.Flight.Dumps)
 	gauge("vtxn_flightrec_capacity", "Flight-recorder ring capacity in events.", int64(s.Flight.Capacity))
@@ -166,35 +167,60 @@ func writeExposition(sb *strings.Builder, s Snapshot) {
 	fmt.Fprintf(sb, "# HELP vtxn_hot_group_lock_wait_seconds_total Lock wait time attributed to the hottest view group keys (Space-Saving estimate).\n")
 	fmt.Fprintf(sb, "# TYPE vtxn_hot_group_lock_wait_seconds_total counter\n")
 	for _, g := range s.Hotspots.TopWait {
-		fmt.Fprintf(sb, "vtxn_hot_group_lock_wait_seconds_total{view=%q,key=%q} %s\n",
+		fmt.Fprintf(sb, "vtxn_hot_group_lock_wait_seconds_total{view=\"%s\",key=\"%s\"} %s\n",
 			promLabel(g.View), promLabel(g.Key), seconds(g.Value))
 	}
 	fmt.Fprintf(sb, "# HELP vtxn_hot_group_lock_conflicts_total Blocked lock acquisitions attributed to the hottest view group keys.\n")
 	fmt.Fprintf(sb, "# TYPE vtxn_hot_group_lock_conflicts_total counter\n")
 	for _, g := range s.Hotspots.TopWait {
-		fmt.Fprintf(sb, "vtxn_hot_group_lock_conflicts_total{view=%q,key=%q} %d\n",
+		fmt.Fprintf(sb, "vtxn_hot_group_lock_conflicts_total{view=\"%s\",key=\"%s\"} %d\n",
 			promLabel(g.View), promLabel(g.Key), g.Count)
 	}
 	fmt.Fprintf(sb, "# HELP vtxn_hot_group_escrow_deltas_total Escrow delta updates attributed to the hottest view group keys (Space-Saving estimate).\n")
 	fmt.Fprintf(sb, "# TYPE vtxn_hot_group_escrow_deltas_total counter\n")
 	for _, g := range s.Hotspots.TopDelta {
-		fmt.Fprintf(sb, "vtxn_hot_group_escrow_deltas_total{view=%q,key=%q} %d\n",
+		fmt.Fprintf(sb, "vtxn_hot_group_escrow_deltas_total{view=\"%s\",key=\"%s\"} %d\n",
 			promLabel(g.View), promLabel(g.Key), g.Value)
 	}
 	fmt.Fprintf(sb, "# HELP vtxn_view_fold_rows_total View rows folded at commit, per view.\n")
 	fmt.Fprintf(sb, "# TYPE vtxn_view_fold_rows_total counter\n")
 	for _, v := range s.Hotspots.Views {
-		fmt.Fprintf(sb, "vtxn_view_fold_rows_total{view=%q} %d\n", promLabel(v.View), v.RowsFolded)
+		fmt.Fprintf(sb, "vtxn_view_fold_rows_total{view=\"%s\"} %d\n", promLabel(v.View), v.RowsFolded)
 	}
 	fmt.Fprintf(sb, "# HELP vtxn_view_fold_seconds_total Commit-time fold latency accumulated per view.\n")
 	fmt.Fprintf(sb, "# TYPE vtxn_view_fold_seconds_total counter\n")
 	for _, v := range s.Hotspots.Views {
-		fmt.Fprintf(sb, "vtxn_view_fold_seconds_total{view=%q} %s\n", promLabel(v.View), seconds(v.FoldNs))
+		fmt.Fprintf(sb, "vtxn_view_fold_seconds_total{view=\"%s\"} %s\n", promLabel(v.View), seconds(v.FoldNs))
 	}
 	fmt.Fprintf(sb, "# HELP vtxn_view_wal_bytes_total WAL bytes attributed to each view's maintenance.\n")
 	fmt.Fprintf(sb, "# TYPE vtxn_view_wal_bytes_total counter\n")
 	for _, v := range s.Hotspots.Views {
-		fmt.Fprintf(sb, "vtxn_view_wal_bytes_total{view=%q} %d\n", promLabel(v.View), v.WALBytes)
+		fmt.Fprintf(sb, "vtxn_view_wal_bytes_total{view=\"%s\"} %d\n", promLabel(v.View), v.WALBytes)
+	}
+
+	// Online consistency scrubber.
+	enabled := int64(0)
+	if s.Scrub.Enabled {
+		enabled = 1
+	}
+	gauge("vtxn_scrub_enabled", "Whether the online scrubber is running (1) or disabled (0).", enabled)
+	counter("vtxn_scrub_cycles_total", "Completed full scrub passes over every view in the catalog.", s.Scrub.Cycles)
+	counter("vtxn_scrub_slices_total", "Verified (view, group-range) slices.", s.Scrub.Slices)
+	counter("vtxn_scrub_rows_verified_total", "Rows read to verify slices (source recompute plus view compare).", s.Scrub.RowsVerified)
+	counter("vtxn_scrub_divergences_total", "View rows found disagreeing with their recompute.", s.Scrub.Divergences)
+	counter("vtxn_scrub_conflicts_total", "Deferred-view slices discarded because the applier folded mid-verification.", s.Scrub.Conflicts)
+	counter("vtxn_scrub_snapshot_retries_total", "Watermark pins refused by the prune horizon and retried.", s.Scrub.SnapshotRetries)
+	gauge("vtxn_scrub_last_full_pass_unix", "Unix time the most recent full pass completed (0 before the first).", s.Scrub.LastFullPassUnix)
+	summary("vtxn_scrub_cycle_seconds", "Full scrub pass duration.", s.Scrub.CycleDur)
+	fmt.Fprintf(sb, "# HELP vtxn_scrub_view_coverage_ts Per-view coverage watermark: every group verified at a snapshot timestamp >= this.\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_scrub_view_coverage_ts gauge\n")
+	for _, v := range s.Scrub.Views {
+		fmt.Fprintf(sb, "vtxn_scrub_view_coverage_ts{view=\"%s\"} %d\n", promLabel(v.View), v.CoverageTS)
+	}
+	fmt.Fprintf(sb, "# HELP vtxn_scrub_view_divergences_total Divergences attributed to each view.\n")
+	fmt.Fprintf(sb, "# TYPE vtxn_scrub_view_divergences_total counter\n")
+	for _, v := range s.Scrub.Views {
+		fmt.Fprintf(sb, "vtxn_scrub_view_divergences_total{view=\"%s\"} %d\n", promLabel(v.View), v.Divergences)
 	}
 
 	// Recovery (static per instance).
@@ -212,9 +238,16 @@ func seconds(ns int64) string {
 	return fmt.Sprintf("%.9f", float64(ns)/1e9)
 }
 
-// promLabel sanitizes a label value before %q quoting: decoded group keys
-// are already printable, but a raw/hex fallback or a hostile view name must
-// not smuggle a newline or invalid UTF-8 into the exposition.
+// promEscaper applies the three escapes the Prometheus text format defines
+// inside quoted label values: backslash, double quote, and line feed.
+var promEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// promLabel escapes a label value for the Prometheus text exposition format.
+// Decoded group keys are usually printable, but a raw/hex fallback or a
+// hostile view name must not smuggle a quote, backslash, newline, or invalid
+// UTF-8 into the exposition. Go's %q is close but not identical (it emits
+// \xNN and \uNNNN escapes the format does not define), so callers
+// interpolate the result between literal quotes with %s instead.
 func promLabel(v string) string {
-	return strings.ToValidUTF8(strings.ReplaceAll(v, "\n", "\\n"), "�")
+	return promEscaper.Replace(strings.ToValidUTF8(v, "�"))
 }

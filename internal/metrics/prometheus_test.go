@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromLabel covers the three escapes the Prometheus text format defines
+// for label values — backslash, double quote, newline — and nothing else
+// (Go's %q would emit \xNN sequences the format does not understand).
+func TestPromLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`say "hi"`, `say \"hi\"`},
+		{`back\slash`, `back\\slash`},
+		{"two\nlines", `two\nlines`},
+		{"\\\"\n", `\\\"\n`},
+		{`C:\views\"q"` + "\n", `C:\\views\\\"q\"\n`},
+		// Other control characters pass through untouched — the format allows
+		// any UTF-8 byte except the three above.
+		{"tab\there", "tab\there"},
+		// Invalid UTF-8 is replaced, not emitted raw.
+		{"bad\xffbyte", "bad\uFFFDbyte"},
+	}
+	for _, c := range cases {
+		if got := promLabel(c.in); got != c.want {
+			t.Errorf("promLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestExpositionEscapesLabels renders a snapshot whose view names and group
+// keys carry quotes, backslashes, and newlines through every labeled series,
+// and asserts the exposition stays line-oriented and parseable.
+func TestExpositionEscapesLabels(t *testing.T) {
+	hostile := "v\"iew\\one\ntwo"
+	var s Snapshot
+	s.Deferred.Views = []DeferredViewSnapshot{{Tree: 1, View: hostile, Watermark: 7}}
+	s.Freshness.Views = []ViewFreshnessSnapshot{{Tree: 1, View: hostile, StalenessNs: 5}}
+	s.Hotspots.TopDelta = []HotGroupSnapshot{{Tree: 1, View: hostile, Key: "k\"ey\n", Count: 1, Value: 2}}
+	s.Hotspots.TopWait = []HotGroupSnapshot{{Tree: 1, View: hostile, Key: `k\ey`, Count: 1, Value: 2}}
+	s.Hotspots.Views = []ViewCostSnapshot{{Tree: 1, View: hostile, RowsFolded: 3}}
+	s.Scrub.Views = []ViewScrubSnapshot{{Tree: 1, View: hostile, CoverageTS: 9, Divergences: 2}}
+
+	var sb strings.Builder
+	writeExposition(&sb, s)
+	text := sb.String()
+
+	if strings.Contains(text, hostile) {
+		t.Fatalf("raw label value leaked into exposition:\n%s", text)
+	}
+	escaped := `v\"iew\\one\ntwo`
+	for _, series := range []string{
+		`vtxn_view_watermark{view="` + escaped + `"} 7`,
+		`vtxn_scrub_view_coverage_ts{view="` + escaped + `"} 9`,
+		`vtxn_scrub_view_divergences_total{view="` + escaped + `"} 2`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("exposition missing escaped series %q", series)
+		}
+	}
+	if !strings.Contains(text, `key="k\"ey\n"`) {
+		t.Errorf("hot-group key not escaped:\n%s", text)
+	}
+	// The escapes must keep the format line-oriented: every non-comment line
+	// still splits into exactly "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}

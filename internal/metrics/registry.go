@@ -21,6 +21,9 @@ type Registry struct {
 	// Freshness is the per-view commit-to-visible accounting (histograms and
 	// staleness gauges), fed by the commit fold path and the deferred applier.
 	Freshness Freshness
+	// Scrub is the online consistency scrubber's accounting: verification
+	// volume, divergences, and per-view coverage watermarks.
+	Scrub ScrubMetrics
 }
 
 // NewRegistry returns an empty registry with the hot-spot sketches sized to
@@ -331,4 +334,7 @@ type WatchdogMetrics struct {
 	// FreshnessBreaches counts freshness-SLO onsets (a view's staleness
 	// crossed Options.FreshnessSLO).
 	FreshnessBreaches atomic.Int64
+	// ScrubDivergences counts scrub-divergence onsets (the online scrubber
+	// found a view disagreeing with its recompute).
+	ScrubDivergences atomic.Int64
 }

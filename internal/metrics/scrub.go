@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/id"
+)
+
+// ScrubMetrics track the online consistency scrubber (DESIGN.md §7.4): the
+// background plane that continuously re-verifies every indexed view against
+// a recompute over its source relation at MVCC snapshot timestamps. Global
+// counters live here; the per-view coverage state is the Views map.
+type ScrubMetrics struct {
+	// Cycles counts completed full passes: every view in the catalog verified
+	// end to end since the cycle began.
+	Cycles atomic.Int64
+	// Slices counts verified (view, group-range) slices — the scrubber's unit
+	// of work, one per tick.
+	Slices atomic.Int64
+	// RowsVerified counts rows the scrubber read to verify slices: source
+	// rows recomputed plus view rows compared. This is the quantity the row
+	// budget paces.
+	RowsVerified atomic.Int64
+	// Divergences counts view rows whose stored contents disagreed with the
+	// recompute — each one is a broken invariant, never expected in a healthy
+	// engine.
+	Divergences atomic.Int64
+	// Conflicts counts deferred-view slices discarded because the applier
+	// folded into the view mid-verification (the optimistic apply-pair check
+	// failed); the slice is retried at a fresher timestamp, so conflicts cost
+	// progress but never correctness.
+	Conflicts atomic.Int64
+	// SnapshotRetries counts watermark pins refused because the prune horizon
+	// had already passed the timestamp (retried with a fresher watermark).
+	SnapshotRetries atomic.Int64
+	// LastFullPassUnixNs is the wall clock (UnixNano) at which the most
+	// recent full pass completed; zero until the first one does.
+	LastFullPassUnixNs atomic.Int64
+	// CycleDur times full passes, wall-clock from a cycle's first slice to
+	// its last.
+	CycleDur Histogram
+	// Views is the per-view coverage state.
+	Views ScrubViews
+}
+
+// ViewScrub is one view's scrub coverage state.
+type ViewScrub struct {
+	// Passes counts completed verification passes over the whole view.
+	Passes atomic.Int64
+	// RowsVerified counts rows read to verify this view.
+	RowsVerified atomic.Int64
+	// Divergences counts divergences attributed to this view.
+	Divergences atomic.Int64
+	// CoverageTS is the coverage watermark: every group of the view has been
+	// verified at a snapshot timestamp >= this (the first slice's timestamp
+	// of the last completed pass). Zero until a pass completes.
+	CoverageTS atomic.Uint64
+	// LastPassUnixNs is the wall clock at which the last pass completed.
+	LastPassUnixNs atomic.Int64
+}
+
+// ScrubViews is a copy-on-write map from view tree ID to its scrub state,
+// following the Freshness pattern: bounded by the catalog, lock-free reads,
+// mutex only on first sight of a tree.
+type ScrubViews struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[id.Tree]*ViewScrub]
+}
+
+// Get returns the state for tree, creating it on first use. Nil-safe: a nil
+// receiver returns nil.
+func (sv *ScrubViews) Get(tree id.Tree) *ViewScrub {
+	if sv == nil {
+		return nil
+	}
+	if mp := sv.m.Load(); mp != nil {
+		if v, ok := (*mp)[tree]; ok {
+			return v
+		}
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	old := sv.m.Load()
+	if old != nil {
+		if v, ok := (*old)[tree]; ok {
+			return v
+		}
+	}
+	next := make(map[id.Tree]*ViewScrub, 8)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	v := &ViewScrub{}
+	next[tree] = v
+	sv.m.Store(&next)
+	return v
+}
+
+// Drop removes a dropped view's state so its series stop being exported.
+// Nil-safe.
+func (sv *ScrubViews) Drop(tree id.Tree) {
+	if sv == nil {
+		return
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	old := sv.m.Load()
+	if old == nil {
+		return
+	}
+	if _, ok := (*old)[tree]; !ok {
+		return
+	}
+	next := make(map[id.Tree]*ViewScrub, len(*old))
+	for k, v := range *old {
+		if k != tree {
+			next[k] = v
+		}
+	}
+	sv.m.Store(&next)
+}
+
+// Each calls fn for every tracked tree. Iteration order is unspecified.
+// Nil-safe.
+func (sv *ScrubViews) Each(fn func(tree id.Tree, v *ViewScrub)) {
+	if sv == nil {
+		return
+	}
+	mp := sv.m.Load()
+	if mp == nil {
+		return
+	}
+	for k, v := range *mp {
+		fn(k, v)
+	}
+}

@@ -21,6 +21,7 @@ type Snapshot struct {
 	Deferred  DeferredSnapshot  `json:"deferred"`
 	Cascade   CascadeSnapshot   `json:"cascade"`
 	Freshness FreshnessSnapshot `json:"freshness"`
+	Scrub     ScrubSnapshot     `json:"scrub"`
 }
 
 // EngineSnapshot are the engine-level transaction counters, plus the
@@ -130,6 +131,7 @@ type WatchdogSnapshot struct {
 	EscrowStalls      int64 `json:"escrow_stalls"`
 	GhostStalls       int64 `json:"ghost_stalls"`
 	FreshnessBreaches int64 `json:"freshness_breaches"`
+	ScrubDivergences  int64 `json:"scrub_divergences"`
 }
 
 // HotspotsSnapshot is the hot-spot attribution section: the top groups by
@@ -246,6 +248,53 @@ type ViewFreshnessSnapshot struct {
 	CommitToVisible HistSnapshot `json:"commit_to_visible"`
 }
 
+// ScrubSnapshot is the online consistency scrubber's section (DESIGN.md
+// §7.4): verification volume, divergence counts, and per-view coverage. The
+// registry fills the counters; the engine fills Views (names need the
+// catalog).
+type ScrubSnapshot struct {
+	// Enabled reports whether the background scrubber goroutine is running.
+	Enabled bool `json:"enabled"`
+	// Cycles counts completed full passes over every view; Slices the
+	// (view, group-range) verification slices processed.
+	Cycles int64 `json:"cycles"`
+	Slices int64 `json:"slices"`
+	// RowsVerified counts source rows recomputed plus view rows compared —
+	// the row budget's currency.
+	RowsVerified int64 `json:"rows_verified"`
+	// Divergences counts stored view rows that disagreed with the recompute.
+	Divergences int64 `json:"divergences"`
+	// Conflicts counts deferred slices discarded because a fold landed
+	// mid-verification; SnapshotRetries counts watermark pins refused by the
+	// prune horizon. Both are retried, costing progress, never correctness.
+	Conflicts       int64 `json:"conflicts"`
+	SnapshotRetries int64 `json:"snapshot_retries"`
+	// LastFullPassUnix is the wall clock (Unix seconds) of the most recent
+	// completed full pass, zero until the first.
+	LastFullPassUnix int64 `json:"last_full_pass_unix"`
+	// CycleDur summarizes full-pass wall durations.
+	CycleDur HistSnapshot `json:"cycle_dur"`
+	// Views lists each view's coverage state, ordered by tree ID.
+	Views []ViewScrubSnapshot `json:"views"`
+}
+
+// ViewScrubSnapshot is one view's scrub coverage picture.
+type ViewScrubSnapshot struct {
+	Tree uint32 `json:"tree"`
+	View string `json:"view"`
+	// Passes counts completed verification passes over the whole view.
+	Passes int64 `json:"passes"`
+	// RowsVerified counts rows read verifying this view; Divergences the
+	// divergences attributed to it.
+	RowsVerified int64 `json:"rows_verified"`
+	Divergences  int64 `json:"divergences"`
+	// CoverageTS is the snapshot timestamp every group has been verified at
+	// or above (the coverage watermark); LastPassUnixNs the wall clock of the
+	// last completed pass.
+	CoverageTS     uint64 `json:"coverage_ts"`
+	LastPassUnixNs int64  `json:"last_pass_unix_ns"`
+}
+
 // CascadeSnapshot summarizes stacked-view (view-over-view) maintenance: child
 // deltas enqueued by parent folds, the coalescing win of the commit-local
 // queue, and per-DAG-level fold counts.
@@ -313,7 +362,18 @@ func (r *Registry) Snap() Snapshot {
 			EscrowStalls:      r.Watchdog.EscrowStalls.Load(),
 			GhostStalls:       r.Watchdog.GhostStalls.Load(),
 			FreshnessBreaches: r.Watchdog.FreshnessBreaches.Load(),
+			ScrubDivergences:  r.Watchdog.ScrubDivergences.Load(),
 		},
+	}
+	s.Scrub = ScrubSnapshot{
+		Cycles:           r.Scrub.Cycles.Load(),
+		Slices:           r.Scrub.Slices.Load(),
+		RowsVerified:     r.Scrub.RowsVerified.Load(),
+		Divergences:      r.Scrub.Divergences.Load(),
+		Conflicts:        r.Scrub.Conflicts.Load(),
+		SnapshotRetries:  r.Scrub.SnapshotRetries.Load(),
+		LastFullPassUnix: r.Scrub.LastFullPassUnixNs.Load() / int64(time.Second),
+		CycleDur:         r.Scrub.CycleDur.Snap(),
 	}
 	s.Deferred = DeferredSnapshot{
 		PublishedBatches: r.Deferred.PublishedBatches.Load(),

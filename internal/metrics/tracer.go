@@ -60,6 +60,11 @@ const (
 	// commit-to-visible latency, and Spans the originating commits now
 	// visible in the view.
 	EventWatermarkAdvance
+	// EventScrubDivergence fires when the online consistency scrubber finds a
+	// view row disagreeing with its recompute; Resource is the view name,
+	// Phase the diverging group key (human-readable), Outcome the
+	// expected-vs-actual detail, and Rows the divergences in the slice.
+	EventScrubDivergence
 )
 
 // String names the event type.
@@ -91,6 +96,8 @@ func (t EventType) String() string {
 		return "deferred-publish"
 	case EventWatermarkAdvance:
 		return "watermark-advance"
+	case EventScrubDivergence:
+		return "scrub-divergence"
 	default:
 		return fmt.Sprintf("EventType(%d)", uint8(t))
 	}
@@ -159,6 +166,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s %s: %d groups", e.Type, e.Txn, e.Rows)
 	case EventWatermarkAdvance:
 		return fmt.Sprintf("%s %s: watermark %d (oldest visible after %s)", e.Type, e.Resource, e.Rows, e.Dur)
+	case EventScrubDivergence:
+		return fmt.Sprintf("%s %s group %s: %s", e.Type, e.Resource, e.Phase, e.Outcome)
 	default:
 		return fmt.Sprintf("%s %s", e.Type, e.Txn)
 	}
@@ -195,7 +204,10 @@ func (l *SlowLogger) TraceEvent(e Event) {
 	// deadlock victim may be picked microseconds into its wait, and dropping
 	// it under the threshold hides the abort the operator is hunting for.
 	failedWait := e.Type == EventLockWait && e.Outcome != "" && e.Outcome != "granted"
-	alwaysPrint := e.Type == EventRecovery || e.Type == EventStall || failedWait
+	// A scrub divergence is a broken invariant: always worth a line, no
+	// matter how fast the slice that found it ran.
+	alwaysPrint := e.Type == EventRecovery || e.Type == EventStall ||
+		e.Type == EventScrubDivergence || failedWait
 	if !alwaysPrint && (e.Dur < l.threshold || e.Type == EventTxBegin) {
 		return
 	}

@@ -287,6 +287,33 @@ func (s *Store) TrackedKeys(tree id.Tree, lo, hi []byte) [][]byte {
 	return out
 }
 
+// Evict drops (tree, key)'s version chain outright, making the btree's
+// stored bytes the only source of truth at every timestamp. It refuses when
+// the chain has pending (in-flight) entries and reports whether the key is
+// now untracked. Fault injection only: committed history normally leaves the
+// store through Prune, never through Evict.
+func (s *Store) Evict(tree id.Tree, key []byte) bool {
+	ck := chainKey{tree: tree, key: string(key)}
+	sh := s.shard(ck)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ch := sh.chains[ck]
+	if ch == nil {
+		return true
+	}
+	ch.mu.Lock()
+	busy := len(ch.pend) > 0
+	ch.mu.Unlock()
+	if busy {
+		return false
+	}
+	delete(sh.chains, ck)
+	if s.m != nil {
+		s.m.Chains.Add(-1)
+	}
+	return true
+}
+
 // FoldFunc folds escrow deltas into an encoded view row, returning the new
 // encoding and its group-empty (ghost) bit. The engine supplies it so the
 // store stays ignorant of row encodings and view metadata.

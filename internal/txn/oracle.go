@@ -54,6 +54,12 @@ type Oracle struct {
 	viewMu   sync.Mutex
 	viewWM   map[id.Tree]uint64
 	viewWake chan struct{}
+	// viewApply holds, per deferred view, the commit timestamp of the last
+	// applier fold that wrote the view's tree. Together with viewWM it forms
+	// the scrubber's apply pair (ViewApplied): the view's stored contents at
+	// any snapshot timestamp >= viewApply — and before the next fold — equal
+	// a recompute over the view's source at viewWM.
+	viewApply map[id.Tree]uint64
 	// viewDropped records trees whose watermark was dropped, so a waiter that
 	// re-observes after DropViewWatermark distinguishes "dropped" from "not
 	// yet published" and gives up instead of blocking forever. Tree IDs are
@@ -72,6 +78,7 @@ func NewOracle() *Oracle {
 		inflight:    make(map[uint64]struct{}),
 		snaps:       make(map[uint64]snapEntry),
 		viewWM:      make(map[id.Tree]uint64),
+		viewApply:   make(map[id.Tree]uint64),
 		viewWake:    make(chan struct{}),
 		viewDropped: make(map[id.Tree]struct{}),
 	}
@@ -127,6 +134,29 @@ func (o *Oracle) BeginSnapshot() (ts, handle uint64) {
 	return ts, handle
 }
 
+// BeginSnapshotAt pins ts — a timestamp in the past, typically a deferred
+// view's watermark — as an active snapshot, provided ts is still at or above
+// the prune horizon. It returns ok=false when the horizon has already passed
+// ts (the versions a reader at ts needs may be folded away); callers retry
+// with a fresher timestamp. The horizon is computed under the registry lock,
+// so a concurrently computed prune horizon can never pass a successfully
+// registered timestamp: the horizon is monotonic, and any in-flight prune
+// pass used a horizon at or below the one admitting ts.
+func (o *Oracle) BeginSnapshotAt(ts uint64) (handle uint64, ok bool) {
+	o.snapMu.Lock()
+	if ts < o.pruneHorizonLocked() {
+		o.snapMu.Unlock()
+		return 0, false
+	}
+	o.nextSnap++
+	handle = o.nextSnap
+	o.snaps[handle] = snapEntry{ts: ts, started: time.Now()}
+	o.snapMu.Unlock()
+	o.snapCount.Add(1)
+	o.began.Add(1)
+	return handle, true
+}
+
 // EndSnapshot retires an active snapshot.
 func (o *Oracle) EndSnapshot(handle uint64) {
 	o.snapMu.Lock()
@@ -160,19 +190,38 @@ func (o *Oracle) OldestSnapshotAge(now time.Time) time.Duration {
 	return now.Sub(oldest)
 }
 
-// PruneHorizon returns the version-chain pruning horizon: the oldest active
-// snapshot's read timestamp, or the watermark when no snapshot is active.
-// State at or below the horizon can be collapsed — every live and future
-// reader resolves at a timestamp >= the horizon.
+// PruneHorizon returns the version-chain pruning horizon: the minimum of the
+// oldest active snapshot's read timestamp and every deferred view's applied
+// watermark, or the commit watermark when neither holds it back. State at or
+// below the horizon can be collapsed — every live and future reader resolves
+// at a timestamp >= the horizon. Deferred view watermarks participate so the
+// scrubber (and any other watermark-timestamp reader) can always pin a
+// view's watermark with BeginSnapshotAt: with bounded staleness the applied
+// watermark tracks the commit watermark within one applier interval, so the
+// extra retention is a few milliseconds of versions.
 func (o *Oracle) PruneHorizon() uint64 {
 	o.snapMu.Lock()
 	defer o.snapMu.Unlock()
+	return o.pruneHorizonLocked()
+}
+
+// pruneHorizonLocked computes the horizon; the caller holds snapMu. It takes
+// viewMu inside snapMu — that order (snapMu, then viewMu) is the lock order
+// everywhere the two meet.
+func (o *Oracle) pruneHorizonLocked() uint64 {
 	h := o.watermark.Load()
 	for _, e := range o.snaps {
 		if e.ts < h {
 			h = e.ts
 		}
 	}
+	o.viewMu.Lock()
+	for _, wm := range o.viewWM {
+		if wm < h {
+			h = wm
+		}
+	}
+	o.viewMu.Unlock()
 	return h
 }
 
@@ -189,6 +238,39 @@ func (o *Oracle) AdvanceViewWatermark(tree id.Tree, ts uint64) {
 	o.viewMu.Unlock()
 }
 
+// AdvanceViewApplied publishes one applier fold round's outcome for a
+// deferred view as an atomic pair: applyTS is the fold transaction's commit
+// timestamp (the moment the view's new contents became snapshot-visible) and
+// wm the source frontier it applied — every source commit <= wm is now
+// folded in. Between this fold and the next one, the view's stored rows at
+// any snapshot timestamp >= applyTS equal a recompute over the source at wm.
+// Both components are monotonic; a stale pair is a no-op.
+func (o *Oracle) AdvanceViewApplied(tree id.Tree, applyTS, wm uint64) {
+	o.viewMu.Lock()
+	if applyTS > o.viewApply[tree] {
+		o.viewApply[tree] = applyTS
+	}
+	if wm > o.viewWM[tree] {
+		o.viewWM[tree] = wm
+		close(o.viewWake)
+		o.viewWake = make(chan struct{})
+	}
+	o.viewMu.Unlock()
+}
+
+// ViewApplied returns the deferred view's apply pair — the last fold's
+// commit timestamp and the applied source watermark — read atomically.
+// applyTS is zero when the applier has never folded into the view (a
+// freshly created or purely idle view); wm is zero when no watermark has
+// been published at all.
+func (o *Oracle) ViewApplied(tree id.Tree) (applyTS, wm uint64) {
+	o.viewMu.Lock()
+	applyTS = o.viewApply[tree]
+	wm = o.viewWM[tree]
+	o.viewMu.Unlock()
+	return applyTS, wm
+}
+
 // DropViewWatermark forgets a dropped view's watermark and records the drop,
 // waking waiters unconditionally so a wait against the dropped view
 // re-observes and returns ErrViewWatermarkDropped — even a waiter that was
@@ -196,6 +278,7 @@ func (o *Oracle) AdvanceViewWatermark(tree id.Tree, ts uint64) {
 func (o *Oracle) DropViewWatermark(tree id.Tree) {
 	o.viewMu.Lock()
 	delete(o.viewWM, tree)
+	delete(o.viewApply, tree)
 	o.viewDropped[tree] = struct{}{}
 	close(o.viewWake)
 	o.viewWake = make(chan struct{})

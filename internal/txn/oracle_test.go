@@ -157,6 +157,84 @@ func TestOracleWaitForViewWatermarkCtxCancelRacingDrop(t *testing.T) {
 	}
 }
 
+// TestOracleViewWatermarkHoldsHorizon pins the scrubber's retention contract:
+// a deferred view's applied watermark participates in the prune horizon, so a
+// timestamp read from ViewApplied can always be pinned with BeginSnapshotAt.
+func TestOracleViewWatermarkHoldsHorizon(t *testing.T) {
+	o := NewOracle()
+	for i := 0; i < 5; i++ {
+		ts := o.AllocateCommitTS()
+		o.FinishCommit(ts)
+	}
+	tree := id.Tree(3)
+	o.AdvanceViewWatermark(tree, 2)
+	if got := o.PruneHorizon(); got != 2 {
+		t.Fatalf("horizon with view watermark 2 = %d, want 2", got)
+	}
+	// Pinning the watermark succeeds; pinning below the horizon fails.
+	h, ok := o.BeginSnapshotAt(2)
+	if !ok {
+		t.Fatal("BeginSnapshotAt(watermark) refused")
+	}
+	if _, ok := o.BeginSnapshotAt(1); ok {
+		t.Fatal("BeginSnapshotAt below the horizon succeeded")
+	}
+	// The pinned snapshot holds the horizon even after the watermark advances.
+	o.AdvanceViewWatermark(tree, 5)
+	if got := o.PruneHorizon(); got != 2 {
+		t.Fatalf("horizon with pinned ts 2 = %d, want 2", got)
+	}
+	o.EndSnapshot(h)
+	if got := o.PruneHorizon(); got != 5 {
+		t.Fatalf("horizon after unpin = %d, want 5 (watermark), got %d", got, got)
+	}
+	// Dropping the view releases its hold entirely.
+	o.DropViewWatermark(tree)
+	if got := o.PruneHorizon(); got != 5 {
+		t.Fatalf("horizon after drop = %d, want 5 (commit watermark)", got)
+	}
+}
+
+// TestOracleViewApplied pins the apply-pair contract: both components are
+// monotonic, read atomically, and cleared by a drop.
+func TestOracleViewApplied(t *testing.T) {
+	o := NewOracle()
+	tree := id.Tree(4)
+	if a, w := o.ViewApplied(tree); a != 0 || w != 0 {
+		t.Fatalf("fresh pair = (%d,%d), want (0,0)", a, w)
+	}
+	o.AdvanceViewApplied(tree, 7, 5)
+	if a, w := o.ViewApplied(tree); a != 7 || w != 5 {
+		t.Fatalf("pair = (%d,%d), want (7,5)", a, w)
+	}
+	// Stale updates are no-ops; watermark-only advances keep applyTS.
+	o.AdvanceViewApplied(tree, 6, 4)
+	if a, w := o.ViewApplied(tree); a != 7 || w != 5 {
+		t.Fatalf("pair after stale update = (%d,%d), want (7,5)", a, w)
+	}
+	o.AdvanceViewWatermark(tree, 9)
+	if a, w := o.ViewApplied(tree); a != 7 || w != 9 {
+		t.Fatalf("pair after idle advance = (%d,%d), want (7,9)", a, w)
+	}
+	// AdvanceViewApplied wakes watermark waiters like AdvanceViewWatermark.
+	done := make(chan error, 1)
+	go func() { done <- o.WaitForViewWatermark(context.Background(), tree, 12) }()
+	time.Sleep(5 * time.Millisecond)
+	o.AdvanceViewApplied(tree, 13, 12)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiter woken by AdvanceViewApplied returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AdvanceViewApplied did not wake watermark waiter")
+	}
+	o.DropViewWatermark(tree)
+	if a, w := o.ViewApplied(tree); a != 0 || w != 0 {
+		t.Fatalf("pair after drop = (%d,%d), want (0,0)", a, w)
+	}
+}
+
 // TestOracleSnapshotNeverPassesHorizon drives committers, snapshot begin/end,
 // and horizon computation concurrently and checks the registration invariant:
 // a horizon computed at any moment is never above a snapshot that was already

@@ -218,15 +218,22 @@ func metricsSchema() []string {
 		"recovery.analysis_ns", "recovery.fresh", "recovery.gen", "recovery.losers",
 		"recovery.redo_ns", "recovery.replayed", "recovery.torn",
 		"recovery.undo_ns", "recovery.undone_ops",
+		"scrub.conflicts", "scrub.cycle_dur", "scrub.cycles", "scrub.divergences",
+		"scrub.enabled", "scrub.last_full_pass_unix", "scrub.rows_verified",
+		"scrub.slices", "scrub.snapshot_retries", "scrub.views",
+		"scrub.views.coverage_ts", "scrub.views.divergences",
+		"scrub.views.last_pass_unix_ns", "scrub.views.passes",
+		"scrub.views.rows_verified", "scrub.views.tree", "scrub.views.view",
 		"txn.apply", "txn.begin", "txn.commit_wait", "txn.fold", "txn.lock_wait",
 		"wal.appends", "wal.batch_max", "wal.batch_records", "wal.coalesced_syncs",
 		"wal.flush", "wal.flush_active_ns", "wal.flushes", "wal.fsync",
 		"watchdog.detections", "watchdog.escrow_stalls", "watchdog.freshness_breaches",
-		"watchdog.ghost_stalls", "watchdog.lock_convoys", "watchdog.wal_stalls",
+		"watchdog.ghost_stalls", "watchdog.lock_convoys", "watchdog.scrub_divergences",
+		"watchdog.wal_stalls",
 	}
 	// Histograms share one sub-schema; expand it instead of listing forty
 	// near-identical lines.
-	for _, h := range []string{"deferred.apply", "freshness.views.commit_to_visible", "lock.wait", "txn.apply", "txn.begin", "txn.commit_wait", "txn.fold", "txn.lock_wait", "wal.flush", "wal.fsync"} {
+	for _, h := range []string{"deferred.apply", "freshness.views.commit_to_visible", "lock.wait", "scrub.cycle_dur", "txn.apply", "txn.begin", "txn.commit_wait", "txn.fold", "txn.lock_wait", "wal.flush", "wal.fsync"} {
 		for _, f := range []string{"count", "sum_ns", "mean_ns", "p50_ns", "p99_ns", "max_ns"} {
 			schema = append(schema, h+"."+f)
 		}
@@ -318,7 +325,7 @@ func TestMetricsGoldenSchema(t *testing.T) {
 	}
 	got := map[string]bool{}
 	collectKeyPaths("", decoded, got)
-	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery", "watchdog", "flightrec", "hotspots", "mvcc", "deferred", "cascade", "freshness"} {
+	for _, top := range []string{"engine", "txn", "lock", "escrow", "wal", "ghosts", "recovery", "watchdog", "flightrec", "hotspots", "mvcc", "deferred", "cascade", "freshness", "scrub"} {
 		if !got[top] {
 			t.Fatalf("snapshot missing top-level section %q", top)
 		}
@@ -380,6 +387,12 @@ func TestMetricsHandlerPrometheus(t *testing.T) {
 		"vtxn_escrow_fold_batches_total",
 		"vtxn_wal_group_commit_flushes_total",
 		"vtxn_txn_commits_total 4",
+		"vtxn_scrub_enabled 1",
+		"vtxn_scrub_rows_verified_total",
+		"vtxn_scrub_divergences_total 0",
+		"vtxn_scrub_last_full_pass_unix",
+		"vtxn_scrub_view_coverage_ts{view=\"branch_totals\"}",
+		"vtxn_watchdog_signature_detections_total{signature=\"scrub-divergence\"} 0",
 	} {
 		if !strings.Contains(text, series) {
 			t.Fatalf("exposition missing %q:\n%s", series, text)

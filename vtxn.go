@@ -71,6 +71,16 @@
 // Options.Tracer streams structured engine events (lock waits, folds, group
 // commits) to a hook such as NewSlowLogger.
 //
+// Online verification: a background scrubber continuously re-checks every
+// view against a recompute over its source at MVCC snapshot timestamps —
+// lock-free, paced by Options.ScrubRowBudget, one group-range slice per
+// Options.ScrubInterval. A confirmed divergence emits TraceScrubDivergence
+// naming (view, group, expected, actual), auto-dumps the flight record, and
+// trips the watchdog's scrub-divergence signature; DB.ScrubNow forces an
+// unpaced full pass on demand. DB.CheckConsistency remains the offline,
+// quiescent twin (CheckConsistencyCtx adds per-view progress callbacks); both
+// share one recompute/compare core.
+//
 // Forensics: an always-on flight recorder keeps the most recent engine
 // events in a bounded ring, each stamped with a sequence number, wall
 // timestamp, and causal span ID tying a transaction's begin, lock waits,
@@ -119,6 +129,9 @@ type (
 	ViewInfo = core.ViewInfo
 	// TxOptions configure one transaction started with DB.BeginTx.
 	TxOptions = core.TxOptions
+	// CheckProgress is one per-view progress report delivered by
+	// DB.CheckConsistencyCtx after each view verifies clean.
+	CheckProgress = core.CheckProgress
 )
 
 // Observability types (see the metrics package and DESIGN.md §7).
@@ -157,6 +170,10 @@ const (
 	TraceDeferredApply    = metrics.EventDeferredApply
 	TraceDeferredPublish  = metrics.EventDeferredPublish
 	TraceWatermarkAdvance = metrics.EventWatermarkAdvance
+	// TraceScrubDivergence marks the online scrubber confirming a stored view
+	// row that disagrees with a recompute over its source — a broken
+	// invariant, naming (view, group, expected, actual).
+	TraceScrubDivergence = metrics.EventScrubDivergence
 )
 
 // NewSlowLogger returns a Tracer that logs events at or above threshold —
@@ -171,9 +188,10 @@ var NewSlowLogger = metrics.NewSlowLogger
 // The handler is a mux: the root path serves the metrics text, /debug/pprof/
 // serves the standard net/http/pprof profiles (CPU profiles attribute commit
 // time to transactions when Options.ProfileLabels is on), /debug/flightrec
-// streams the flight record as JSONL, and /debug/freshness serves the
-// per-view freshness section (staleness gauges and commit-to-visible latency
-// summaries) as JSON.
+// streams the flight record as JSONL, /debug/freshness serves the per-view
+// freshness section (staleness gauges and commit-to-visible latency
+// summaries) as JSON, and /debug/scrub serves the online scrubber's section
+// (coverage, pace, divergences) as JSON.
 func MetricsHandler(db *DB) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -192,6 +210,14 @@ func MetricsHandler(db *DB) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(db.Metrics().Freshness); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/scrub", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(db.Metrics().Scrub); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
